@@ -1,0 +1,69 @@
+// Ablation — centralized FedAvg vs decentralized gossip topologies.
+//
+// Section IV-A notes the framework "is amenable to decentralized topologies
+// without a parameter server [8]". This bench quantifies the trade on
+// Testbed I (MNIST-LeNet, Fed-LBAP partition): a server does one
+// download+upload per client; a complete gossip graph reaches the same
+// average but pays degree-many downloads; a ring pays the least per round
+// but converges slower and holds a consensus gap.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bench_util.hpp"
+#include "fl/gossip_runner.hpp"
+
+using namespace fedsched;
+
+int main(int argc, char** argv) {
+  const bool full = fedsched::bench::full_scale(argc, argv);
+  const std::size_t samples = full ? 1500 : 900;
+  const std::size_t rounds = full ? 12 : 8;
+
+  const auto phones = device::testbed(2);
+  const auto train = data::generate_balanced(data::mnist_like(), samples, 80);
+  const auto test = data::generate_balanced(data::mnist_like(), 300, 81);
+
+  const auto users = core::build_profiles(phones, device::lenet_desc(),
+                                          device::NetworkType::kWifi, 60'000);
+  const auto lbap = sched::fed_lbap(users, 600, 100);
+  std::vector<double> weights;
+  for (std::size_t k : lbap.assignment.shards_per_user) {
+    weights.push_back(static_cast<double>(k));
+  }
+  common::Rng rng(82);
+  const auto partition = data::partition_with_sizes_iid(
+      train, data::proportional_sizes(train.size(), weights), rng);
+
+  common::Table table({"scheme", "sim_time_s", "accuracy", "consensus_gap"});
+  table.set_precision(3);
+
+  {
+    fl::FlConfig config;
+    config.rounds = rounds;
+    config.seed = 83;
+    fl::FedAvgRunner server(train, test, nn::ModelSpec{}, device::lenet_desc(),
+                            phones, device::NetworkType::kWifi, config);
+    const auto result = server.run(partition);
+    table.add_row({std::string("server (FedAvg)"), result.total_seconds,
+                   result.final_accuracy, 0.0});
+  }
+  for (fl::Topology topology : {fl::Topology::kComplete, fl::Topology::kRing}) {
+    fl::GossipConfig config;
+    config.rounds = rounds;
+    config.topology = topology;
+    config.seed = 83;
+    fl::GossipRunner gossip(train, test, nn::ModelSpec{}, device::lenet_desc(),
+                            phones, device::NetworkType::kWifi, config);
+    const auto result = gossip.run(partition);
+    table.add_row({std::string("gossip (") + fl::topology_name(topology) + ")",
+                   result.total_seconds, result.mean_accuracy,
+                   result.consensus_gap});
+  }
+
+  fedsched::bench::emit("ablation_topology",
+                        "server vs gossip topologies, Testbed II, MNIST-LeNet",
+                        table);
+  std::cout << "(all schemes share the Fed-LBAP partition and round count)\n";
+  return 0;
+}

@@ -1,0 +1,142 @@
+#pragma once
+// Shared experiment plumbing for the bench harnesses: dataset registry,
+// scenario-to-profile wiring, scheduler dispatch and scaled FL accuracy runs.
+
+#include <string>
+#include <vector>
+
+#include "core/fedsched.hpp"
+
+namespace fedsched::bench {
+
+/// One of the paper's two datasets at simulator scale (60K / 50K samples)
+/// plus its scaled synthetic stand-in for accuracy runs.
+struct DatasetCase {
+  std::string name;
+  data::SynthConfig synth;
+  std::size_t full_samples = 0;    // what the device simulator schedules
+  std::size_t fl_rounds_paper = 0; // 20 for MNIST, 50 for CIFAR10
+};
+
+inline DatasetCase mnist_case() {
+  return {"MNIST", data::mnist_like(), 60'000, 20};
+}
+inline DatasetCase cifar_case() {
+  return {"CIFAR10", data::cifar_like(), 50'000, 50};
+}
+
+inline nn::ModelSpec model_spec_for(const DatasetCase& ds, nn::Arch arch) {
+  nn::ModelSpec spec;
+  spec.arch = arch;
+  spec.in_channels = ds.synth.channels;
+  spec.in_h = ds.synth.height;
+  spec.in_w = ds.synth.width;
+  spec.classes = ds.synth.classes;
+  return spec;
+}
+
+inline const device::ModelDesc& desc_for(nn::Arch arch) {
+  return arch == nn::Arch::kLeNet ? device::lenet_desc() : device::vgg6_desc();
+}
+
+/// All four scheduling policies of the evaluation section.
+enum class Policy { kProportional, kRandom, kEqual, kFedLbap, kFedMinAvg };
+
+inline const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kProportional: return "Prop.";
+    case Policy::kRandom: return "Random";
+    case Policy::kEqual: return "Equal";
+    case Policy::kFedLbap: return "Fed-LBAP";
+    case Policy::kFedMinAvg: return "Fed-MinAvg";
+  }
+  return "?";
+}
+
+/// Produce the shard assignment for a policy. Fed-MinAvg requires users to
+/// carry class sets; minavg_config is ignored by the other policies.
+inline sched::Assignment assign_policy(Policy policy,
+                                       const std::vector<sched::UserProfile>& users,
+                                       std::size_t total_shards, std::size_t shard_size,
+                                       common::Rng& rng,
+                                       const sched::MinAvgConfig& minavg_config = {}) {
+  switch (policy) {
+    case Policy::kProportional:
+      return sched::assign_proportional(users, total_shards, shard_size);
+    case Policy::kRandom:
+      return sched::assign_random(users.size(), total_shards, shard_size, rng);
+    case Policy::kEqual:
+      return sched::assign_equal(users.size(), total_shards, shard_size);
+    case Policy::kFedLbap:
+      return sched::fed_lbap(users, total_shards, shard_size).assignment;
+    case Policy::kFedMinAvg:
+      return sched::fed_minavg(users, total_shards, shard_size, minavg_config)
+          .assignment;
+  }
+  throw std::invalid_argument("assign_policy: unknown policy");
+}
+
+/// Scaled FL accuracy run: materialize per-user *sample proportions* from a
+/// full-scale assignment onto a small synthetic dataset and train for real.
+struct AccuracyRunConfig {
+  std::size_t train_samples = 1200;
+  std::size_t test_samples = 400;
+  std::size_t rounds = 8;
+  std::uint64_t seed = 1;
+};
+
+inline double run_fl_accuracy(const DatasetCase& ds, nn::Arch arch,
+                              const std::vector<device::PhoneModel>& phones,
+                              const sched::Assignment& assignment,
+                              const AccuracyRunConfig& config,
+                              const std::vector<std::vector<std::uint16_t>>*
+                                  class_sets = nullptr) {
+  const data::Dataset train =
+      data::generate_balanced(ds.synth, config.train_samples, config.seed);
+  const data::Dataset test =
+      data::generate_balanced(ds.synth, config.test_samples, config.seed + 1);
+
+  std::vector<double> weights;
+  for (std::size_t k : assignment.shards_per_user) {
+    weights.push_back(static_cast<double>(k));
+  }
+  const auto sizes = data::proportional_sizes(train.size(), weights);
+  common::Rng rng(config.seed + 2);
+  const data::Partition partition =
+      class_sets ? data::partition_by_class_sets(train, *class_sets, sizes, rng)
+                 : data::partition_with_sizes_iid(train, sizes, rng);
+
+  fl::FlConfig fl_config;
+  fl_config.rounds = config.rounds;
+  fl_config.seed = config.seed + 3;
+  fl::FedAvgRunner runner(train, test, model_spec_for(ds, arch), desc_for(arch),
+                          phones, device::NetworkType::kWifi, fl_config);
+  return runner.run(partition).final_accuracy;
+}
+
+/// Users for a Table IV scenario: profiles from the named phones + class sets.
+inline std::vector<sched::UserProfile> scenario_profiles(
+    const data::Scenario& scenario, const device::ModelDesc& model,
+    std::size_t total_samples) {
+  std::vector<device::PhoneModel> phones;
+  phones.reserve(scenario.users.size());
+  for (const auto& user : scenario.users) {
+    phones.push_back(device::spec_by_name(user.device_model).model);
+  }
+  auto users = core::build_profiles(phones, model, device::NetworkType::kWifi,
+                                    total_samples);
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    users[u].classes = scenario.users[u].classes;
+  }
+  return users;
+}
+
+inline std::vector<device::PhoneModel> scenario_phones(const data::Scenario& scenario) {
+  std::vector<device::PhoneModel> phones;
+  for (const auto& user : scenario.users) {
+    phones.push_back(device::spec_by_name(user.device_model).model);
+  }
+  return phones;
+}
+
+}  // namespace fedsched::bench

@@ -1,0 +1,31 @@
+#pragma once
+// Shared helpers for the bench harnesses.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "common/table.hpp"
+
+namespace fedsched::bench {
+
+/// True when the binary was invoked with --full (paper-scale parameters) —
+/// default runs are scaled down to finish in about a minute.
+inline bool full_scale(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--full") return true;
+  }
+  return false;
+}
+
+/// Print a banner, the table, and persist the CSV under bench_out/.
+inline void emit(const std::string& experiment_id, const std::string& caption,
+                 const common::Table& table) {
+  std::cout << "== " << experiment_id << ": " << caption << " ==\n";
+  table.print(std::cout);
+  std::cout << '\n';
+  table.write_csv("bench_out/" + experiment_id + ".csv");
+}
+
+}  // namespace fedsched::bench

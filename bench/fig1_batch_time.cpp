@@ -1,0 +1,68 @@
+// Fig 1 — benchmark training performance on the mobile testbed:
+//   (a) per-batch training time, LeNet
+//   (b) per-batch training time, VGG6
+//   (c) average CPU frequency vs temperature over a sustained run.
+// The paper traces real phones; we trace the device simulator. The shapes to
+// match: flat traces for Mate10/Pixel2, a step-up for Nexus6P once the
+// governor reacts (Observation 2), mild drift for Nexus6 under VGG6.
+
+#include "bench_common.hpp"
+#include "bench_util.hpp"
+
+using namespace fedsched;
+
+namespace {
+
+void batch_trace(const device::ModelDesc& model, const char* experiment_id,
+                 std::size_t batches, std::size_t batch_size) {
+  common::Table table({"batch", "Nexus6_s", "Nexus6P_s", "Mate10_s", "Pixel2_s"});
+  std::vector<device::Device> devices;
+  for (device::PhoneModel phone : device::kAllPhoneModels) {
+    auto& dev = devices.emplace_back(phone);
+    // Per-batch jitter comparable to the paper's traces.
+    dev.set_measurement_noise(0.04, 1234 + static_cast<std::uint64_t>(phone));
+  }
+
+  for (std::size_t b = 0; b < batches; ++b) {
+    std::vector<common::Table::Cell> row;
+    row.emplace_back(static_cast<long long>(b));
+    for (auto& dev : devices) row.emplace_back(dev.train_batch(model, batch_size));
+    // Log every 10th batch to keep the table readable.
+    if (b % 10 == 0 || b + 1 == batches) table.add_row(std::move(row));
+  }
+  fedsched::bench::emit(experiment_id,
+                        std::string("per-batch training time (s), ") + model.name,
+                        table);
+}
+
+void freq_temp_trace(std::size_t minutes) {
+  common::Table table(
+      {"device", "t_s", "freq_ghz", "temp_c", "speed"});
+  for (device::PhoneModel phone : device::kAllPhoneModels) {
+    device::Device dev(phone);
+    std::vector<device::TracePoint> trace;
+    // Sustained VGG6 training, sampled every 5 s as in the paper.
+    const std::size_t samples_needed = 100000;  // more than the window needs
+    while (dev.clock_s() < 60.0 * static_cast<double>(minutes)) {
+      (void)dev.train_traced(device::vgg6_desc(), samples_needed / 100, 5.0, trace);
+      if (trace.size() > 4096) break;  // safety
+    }
+    for (std::size_t i = 0; i < trace.size(); i += 6) {  // thin to every 30 s
+      table.add_row({std::string(device::model_name(phone)), trace[i].time_s,
+                     trace[i].freq_ghz, trace[i].temp_c, trace[i].speed});
+    }
+  }
+  fedsched::bench::emit("fig1c", "CPU frequency vs temperature under sustained load",
+                        table);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = fedsched::bench::full_scale(argc, argv);
+  const std::size_t batches = full ? 400 : 250;  // enough to cross the throttle point
+  batch_trace(device::lenet_desc(), "fig1a", batches, 20);
+  batch_trace(device::vgg6_desc(), "fig1b", batches, 20);
+  freq_temp_trace(full ? 10 : 6);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig 4 — performance profiling on the Mate10 with two-step linear
+// regression:
+//   (a) step 1: training time vs (conv, dense) parameter counts per data size
+//   (b) step 2: predicted training time vs data size, against measurement.
+// Also reports the ablation: linear two-step profile vs the interpolated
+// measured profile on the throttling-prone Nexus6P, where a single line
+// must under-fit (DESIGN.md ablation 3).
+
+#include "bench_common.hpp"
+#include "bench_util.hpp"
+
+using namespace fedsched;
+
+int main(int argc, char** argv) {
+  (void)fedsched::bench::full_scale(argc, argv);  // cheap either way
+
+  profile::ProfilerConfig config;
+  config.data_sizes = {250, 500, 1000, 2000, 4000};
+  config.measurement_noise = 0.02;
+
+  // --- (a) step-1 hyperplanes. ---------------------------------------------
+  const auto profiler = profile::TwoStepProfiler::build(device::PhoneModel::kMate10,
+                                                        config);
+  common::Table step1({"data_size", "b0_s", "b1_s_per_Mconv", "b2_s_per_Mdense",
+                       "r_squared", "rmse_s"});
+  for (const auto& [size, fit] : profiler.step_one()) {
+    step1.add_row({static_cast<long long>(size), fit.beta[0], fit.beta[1],
+                   fit.beta[2], fit.r_squared, fit.rmse});
+  }
+  fedsched::bench::emit("fig4a", "step 1: time vs model parameters (Mate10)", step1);
+
+  // --- (b) step-2 prediction vs measurement for LeNet. ---------------------
+  const auto line = profiler.predict(device::lenet_desc());
+  const auto measured = profile::measure_profile(
+      device::PhoneModel::kMate10, device::lenet_desc(), config.data_sizes, 0.02, 77);
+  common::Table step2({"data_size", "two_step_pred_s", "measured_s", "truth_s",
+                       "pred_rel_error"});
+  for (std::size_t d : {500u, 1000u, 2000u, 3000u, 4500u, 6000u}) {
+    device::Device dev(device::PhoneModel::kMate10);
+    const double truth = dev.train(device::lenet_desc(), d);
+    step2.add_row({static_cast<long long>(d), line.epoch_seconds(d),
+                   measured.epoch_seconds(d), truth,
+                   (line.epoch_seconds(d) - truth) / truth});
+  }
+  fedsched::bench::emit("fig4b", "step 2: predicted vs measured epoch time (Mate10)",
+                        step2);
+
+  // --- Ablation: profile fidelity on a throttling device. ------------------
+  const auto p6_profiler =
+      profile::TwoStepProfiler::build(device::PhoneModel::kNexus6P, config);
+  const auto p6_line = p6_profiler.predict(device::lenet_desc());
+  const auto p6_measured = profile::measure_profile(
+      device::PhoneModel::kNexus6P, device::lenet_desc(),
+      {500, 1000, 2000, 4000, 6000}, 0.0, 78);
+  common::Table ablation({"data_size", "linear_profile_s", "interp_profile_s",
+                          "truth_s"});
+  for (std::size_t d : {1000u, 3000u, 6000u}) {
+    device::Device dev(device::PhoneModel::kNexus6P);
+    const double truth = dev.train(device::lenet_desc(), d);
+    ablation.add_row({static_cast<long long>(d), p6_line.epoch_seconds(d),
+                      p6_measured.epoch_seconds(d), truth});
+  }
+  fedsched::bench::emit("fig4_ablation",
+                        "profile fidelity under throttling (Nexus6P)", ablation);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Fig 5 — comparison of per-epoch computation time when data is IID, across
+// the three testbeds, {MNIST 60K, CIFAR10 50K} x {LeNet, VGG6}, for
+// Proportional / Random / Equal / Fed-LBAP. Times come from the ground-truth
+// device simulator (fresh thermal state per epoch); Random is averaged over
+// several seeds, as in the paper (10 runs).
+//
+// Shapes to reproduce: Fed-LBAP wins everywhere (paper: 5-10x average, up to
+// ~2 orders of magnitude on Testbed 2 / MNIST-VGG6); the naive baselines do
+// not scale with more users because stragglers dominate.
+//
+// Ablation (DESIGN.md #1/#3): Fed-LBAP driven by the *linear* two-step
+// profile instead of the thermal-aware interpolated profile — the schedule
+// quality drop quantifies what throttle-awareness buys.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bench_util.hpp"
+
+using namespace fedsched;
+using fedsched::bench::Policy;
+
+namespace {
+
+double random_mean_makespan(const std::vector<device::PhoneModel>& phones,
+                            const device::ModelDesc& model, std::size_t shards,
+                            std::size_t shard_size, int runs) {
+  common::RunningStats stats;
+  for (int r = 0; r < runs; ++r) {
+    common::Rng rng(500 + r);
+    const auto a = sched::assign_random(phones.size(), shards, shard_size, rng);
+    stats.add(core::simulate_epoch(phones, model, device::NetworkType::kWifi,
+                                   a.sample_counts())
+                  .makespan);
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = fedsched::bench::full_scale(argc, argv);
+  const int random_runs = full ? 10 : 5;
+  constexpr std::size_t kShard = 100;
+
+  common::Table table({"testbed", "dataset", "model", "Prop._s", "Random_s",
+                       "Equal_s", "FedLBAP_s", "FedLBAP_linear_s",
+                       "speedup_equal/lbap", "speedup_best"});
+  table.set_precision(1);
+
+  for (int tb = 1; tb <= 3; ++tb) {
+    const auto phones = device::testbed(tb);
+    for (const auto& ds : {fedsched::bench::mnist_case(),
+                           fedsched::bench::cifar_case()}) {
+      for (nn::Arch arch : {nn::Arch::kLeNet, nn::Arch::kVgg6}) {
+        const device::ModelDesc& model = fedsched::bench::desc_for(arch);
+        const std::size_t shards = ds.full_samples / kShard;
+        const auto users = core::build_profiles(phones, model,
+                                                device::NetworkType::kWifi,
+                                                ds.full_samples);
+
+        auto makespan_of = [&](const sched::Assignment& a) {
+          return core::simulate_epoch(phones, model, device::NetworkType::kWifi,
+                                      a.sample_counts())
+              .makespan;
+        };
+
+        const double prop =
+            makespan_of(sched::assign_proportional(users, shards, kShard));
+        const double rnd =
+            random_mean_makespan(phones, model, shards, kShard, random_runs);
+        const double equal =
+            makespan_of(sched::assign_equal(users.size(), shards, kShard));
+        const double lbap =
+            makespan_of(sched::fed_lbap(users, shards, kShard).assignment);
+
+        // Ablation: schedules computed from the linear two-step profile.
+        profile::ProfilerConfig pconfig;
+        pconfig.data_sizes = {ds.full_samples / 20, ds.full_samples / 10,
+                              ds.full_samples / 4};
+        auto linear_users = users;
+        for (auto& user : linear_users) {
+          const auto profiler = profile::TwoStepProfiler::build(user.phone, pconfig);
+          user.time_model =
+              std::make_shared<profile::LinearTimeModel>(profiler.predict(model));
+        }
+        const double lbap_linear =
+            makespan_of(sched::fed_lbap(linear_users, shards, kShard).assignment);
+
+        const double worst = std::max({prop, rnd, equal});
+        table.add_row({std::string("Testbed ") + std::to_string(tb), ds.name,
+                       std::string(nn::arch_name(arch)), prop, rnd, equal, lbap,
+                       lbap_linear, equal / lbap, worst / lbap});
+      }
+    }
+  }
+  fedsched::bench::emit("fig5", "IID per-epoch computation time by scheduler", table);
+  std::cout << "(FedLBAP_linear_s = ablation: Fed-LBAP fed the linear two-step "
+               "profile instead of the thermal-aware measured profile)\n";
+  return 0;
+}

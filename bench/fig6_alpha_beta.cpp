@@ -1,0 +1,86 @@
+// Fig 6 — effectiveness of alpha and beta on the Table IV scenarios
+// S(I), S(II), S(III) (CIFAR10-LeNet): per-epoch training time and FL
+// accuracy as alpha sweeps [100, 5000] with beta = 0 vs beta = 2.
+//
+// Shapes to reproduce:
+//  - beta=0: training time trends up with alpha (workload concentrates on
+//    users with more classes, killing parallelism);
+//  - S(I)/S(II): accuracy trends *down* with alpha (the sole holders of
+//    classes 7 / 4 get excluded); S(III) trends the other way (outlier
+//    classes are redundantly covered);
+//  - beta=2 recruits uncovered-class outliers at some time cost and lifts
+//    accuracy by a few points.
+//
+// Ablation (DESIGN.md #2): the literal Eq. 6 bonus (disjoint-only) vs the
+// any-new-class variant; the latter is what makes beta effective when class
+// sets partially overlap.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bench_util.hpp"
+
+using namespace fedsched;
+
+int main(int argc, char** argv) {
+  const bool full = fedsched::bench::full_scale(argc, argv);
+  constexpr std::size_t kShard = 100;
+  const std::size_t total_samples = 50'000;  // CIFAR10 scale
+  const std::vector<double> alphas =
+      full ? std::vector<double>{100, 250, 500, 1000, 2000, 5000}
+           : std::vector<double>{100, 500, 2000, 5000};
+
+  fedsched::bench::AccuracyRunConfig acc_config;
+  acc_config.train_samples = full ? 2500 : 1500;
+  acc_config.test_samples = 300;
+  acc_config.rounds = full ? 20 : 16;
+
+  std::cout << "scaled accuracy runs: " << acc_config.train_samples
+            << " train samples, " << acc_config.rounds << " rounds"
+            << (full ? " (--full)" : "") << "\n";
+
+  common::Table table({"scenario", "alpha", "beta", "bonus_mode", "epoch_time_s",
+                       "covered_classes", "participants", "accuracy"});
+  table.set_precision(3);
+
+  const auto ds = fedsched::bench::cifar_case();
+  for (const auto& scenario : data::all_scenarios()) {
+    const auto users = fedsched::bench::scenario_profiles(
+        scenario, device::lenet_desc(), total_samples);
+    const auto phones = fedsched::bench::scenario_phones(scenario);
+    const auto class_sets = scenario.class_sets();
+
+    for (double beta : {0.0, 2.0}) {
+      for (sched::BonusMode mode :
+           {sched::BonusMode::kDisjointOnly, sched::BonusMode::kAnyNewClass}) {
+        // The bonus mode only matters when beta > 0; skip the redundant passes.
+        if (beta == 0.0 && mode != sched::BonusMode::kDisjointOnly) continue;
+        for (double alpha : alphas) {
+          sched::MinAvgConfig config;
+          config.cost.alpha = alpha;
+          config.cost.beta = beta;
+          config.cost.testset_classes = 10;
+          config.cost.bonus_mode = mode;
+          const auto result =
+              sched::fed_minavg(users, total_samples / kShard, kShard, config);
+
+          acc_config.seed = 11;
+          const double accuracy = fedsched::bench::run_fl_accuracy(
+              ds, nn::Arch::kLeNet, phones, result.assignment, acc_config,
+              &class_sets);
+
+          const char* mode_name =
+              mode == sched::BonusMode::kDisjointOnly ? "eq6" : "any-new";
+          table.add_row({scenario.name, alpha, beta, std::string(mode_name),
+                         result.makespan_seconds,
+                         static_cast<long long>(result.covered_classes),
+                         static_cast<long long>(result.assignment.participants()),
+                         accuracy});
+        }
+      }
+    }
+  }
+  fedsched::bench::emit("fig6", "alpha/beta sweep on S(I)-S(III), CIFAR10-LeNet",
+                        table);
+  return 0;
+}

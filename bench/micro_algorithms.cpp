@@ -1,0 +1,113 @@
+// Microbenchmarks for the scheduling algorithms: Fed-LBAP's O(ns log ns)
+// and Fed-MinAvg's O(mn) scaling, plus shard-granularity sensitivity
+// (DESIGN.md ablation 4: finer shards improve makespan at more cost).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "profile/time_model.hpp"
+#include "sched/baselines.hpp"
+#include "sched/fed_lbap.hpp"
+#include "sched/fed_minavg.hpp"
+
+namespace {
+
+using namespace fedsched;
+
+std::vector<sched::UserProfile> random_users(std::size_t n, bool with_classes,
+                                             std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<sched::UserProfile> users;
+  users.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sched::UserProfile u;
+    u.name = "u" + std::to_string(j);
+    u.time_model = std::make_shared<profile::LinearTimeModel>(rng.uniform(0.0, 2.0),
+                                                              rng.uniform(0.05, 0.5));
+    u.comm_seconds = rng.uniform(0.0, 3.0);
+    if (with_classes) {
+      const std::size_t count = 1 + rng.uniform_int(6);
+      for (std::size_t c : rng.sample_without_replacement(10, count)) {
+        u.classes.push_back(static_cast<std::uint16_t>(c));
+      }
+    }
+    users.push_back(std::move(u));
+  }
+  return users;
+}
+
+void BM_FedLbap_Users(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t shards = 512;
+  const auto users = random_users(n, false, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::fed_lbap(users, shards, 10));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FedLbap_Users)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+void BM_FedLbap_Shards(benchmark::State& state) {
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  const auto users = random_users(16, false, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::fed_lbap(users, shards, 10));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(shards));
+}
+BENCHMARK(BM_FedLbap_Shards)->RangeMultiplier(2)->Range(64, 4096)->Complexity();
+
+void BM_FedMinAvg_Shards(benchmark::State& state) {
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  const auto users = random_users(16, true, 3);
+  sched::MinAvgConfig config;
+  config.cost.alpha = 1000;
+  config.cost.beta = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::fed_minavg(users, shards, 10, config));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(shards));
+}
+BENCHMARK(BM_FedMinAvg_Shards)->RangeMultiplier(2)->Range(64, 4096)->Complexity();
+
+void BM_FedMinAvg_Users(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto users = random_users(n, true, 4);
+  sched::MinAvgConfig config;
+  config.cost.alpha = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::fed_minavg(users, 512, 10, config));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FedMinAvg_Users)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+// Shard-granularity ablation: quality (makespan) printed as a counter.
+void BM_FedLbap_Granularity(benchmark::State& state) {
+  const std::size_t shard_size = static_cast<std::size_t>(state.range(0));
+  const std::size_t total_samples = 61440;
+  const auto users = random_users(12, false, 5);
+  double makespan = 0.0;
+  for (auto _ : state) {
+    const auto result =
+        sched::fed_lbap(users, total_samples / shard_size, shard_size);
+    makespan = result.makespan_seconds;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["makespan_s"] = makespan;
+}
+BENCHMARK(BM_FedLbap_Granularity)->RangeMultiplier(4)->Range(10, 2560);
+
+void BM_Baseline_Random(benchmark::State& state) {
+  common::Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::assign_random(64, 1024, 10, rng));
+  }
+}
+BENCHMARK(BM_Baseline_Random);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Microbenchmarks for the tensor/nn kernels that dominate training time:
+// GEMM variants, im2col convolution, and a full LeNet train step.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "data/synth.hpp"
+#include "device/device.hpp"
+#include "fl/trainer.hpp"
+#include "nn/models.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace fedsched;
+using tensor::Tensor;
+
+void BM_Matmul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor out({n, n});
+  for (auto _ : state) {
+    tensor::ops::matmul(a, b, out);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->RangeMultiplier(2)->Range(16, 256);
+
+void BM_MatmulNT(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(2);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor out({n, n});
+  for (auto _ : state) {
+    tensor::ops::matmul_nt(a, b, out);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatmulNT)->RangeMultiplier(2)->Range(16, 256);
+
+void BM_Im2col(benchmark::State& state) {
+  tensor::ops::Conv2dGeometry g;
+  g.in_channels = 8;
+  g.in_h = g.in_w = static_cast<std::size_t>(state.range(0));
+  g.kernel = 3;
+  g.pad = 1;
+  common::Rng rng(3);
+  const Tensor image = Tensor::randn({1, g.in_channels * g.in_h * g.in_w}, rng);
+  Tensor cols({g.patch_size(), g.out_h() * g.out_w()});
+  for (auto _ : state) {
+    tensor::ops::im2col(image.data(), g, cols);
+    benchmark::DoNotOptimize(cols.raw());
+  }
+}
+BENCHMARK(BM_Im2col)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_LeNetForward(benchmark::State& state) {
+  common::Rng rng(4);
+  nn::ModelSpec spec;
+  nn::Model model = nn::build_model(spec, rng);
+  const Tensor batch = Tensor::randn({20, 144}, rng);
+  for (auto _ : state) {
+    Tensor out = model.forward(batch, false);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 20);
+}
+BENCHMARK(BM_LeNetForward);
+
+void BM_LeNetTrainBatch(benchmark::State& state) {
+  common::Rng rng(5);
+  nn::ModelSpec spec;
+  nn::Model model = nn::build_model(spec, rng);
+  nn::Sgd sgd({.learning_rate = 0.02f, .momentum = 0.9f});
+  const auto ds = data::generate_balanced(data::mnist_like(), 20, 6);
+  std::vector<std::size_t> idx(20);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  common::Rng trng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl::train_epoch(model, sgd, ds, idx, 20, trng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 20);
+}
+BENCHMARK(BM_LeNetTrainBatch);
+
+void BM_Vgg6TrainBatch(benchmark::State& state) {
+  common::Rng rng(8);
+  const auto cfg = data::cifar_like();
+  nn::ModelSpec spec{.arch = nn::Arch::kVgg6,
+                     .in_channels = cfg.channels,
+                     .in_h = cfg.height,
+                     .in_w = cfg.width};
+  nn::Model model = nn::build_model(spec, rng);
+  nn::Sgd sgd({.learning_rate = 0.02f, .momentum = 0.9f});
+  const auto ds = data::generate_balanced(cfg, 20, 9);
+  std::vector<std::size_t> idx(20);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  common::Rng trng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fl::train_epoch(model, sgd, ds, idx, 20, trng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 20);
+}
+BENCHMARK(BM_Vgg6TrainBatch);
+
+void BM_DeviceSimulatedEpoch(benchmark::State& state) {
+  // Host cost of simulating one 6K-sample epoch (should be microseconds-ms).
+  for (auto _ : state) {
+    device::Device dev(device::PhoneModel::kNexus6P);
+    benchmark::DoNotOptimize(dev.train(device::vgg6_desc(), 6000));
+  }
+}
+BENCHMARK(BM_DeviceSimulatedEpoch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Table II — per-epoch training time (seconds) of MNIST samples on each
+// device, for LeNet and VGG6 over WiFi and LTE, with the communication share
+// in parentheses. Regenerated from the device simulator; compare against the
+// paper's measured values quoted in the comments.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/fedsched.hpp"
+
+namespace {
+
+using namespace fedsched;
+
+struct PaperRow {
+  const char* model;
+  device::PhoneModel phone;
+  // paper's measured seconds: {3K WiFi, 3K LTE, 6K WiFi, 6K LTE}
+  double paper[4];
+};
+
+constexpr PaperRow kPaper[] = {
+    {"LeNet", device::PhoneModel::kNexus6, {31, 32, 62, 63}},
+    {"LeNet", device::PhoneModel::kNexus6P, {69, 71, 220, 222}},
+    {"LeNet", device::PhoneModel::kMate10, {45, 47, 89, 91}},
+    {"LeNet", device::PhoneModel::kPixel2, {25, 27, 51, 53}},
+    {"VGG6", device::PhoneModel::kNexus6, {495, 539, 1021, 1065}},
+    {"VGG6", device::PhoneModel::kNexus6P, {540, 584, 1134, 1178}},
+    {"VGG6", device::PhoneModel::kMate10, {359, 403, 712, 756}},
+    {"VGG6", device::PhoneModel::kPixel2, {339, 383, 661, 705}},
+};
+
+std::string cell(double total_s, double comm_s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f(%.1f%%)", total_s, 100.0 * comm_s / total_s);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)fedsched::bench::full_scale(argc, argv);  // always paper scale: cheap
+  common::Table table({"model", "device", "3K WiFi", "3K LTE", "6K WiFi", "6K LTE",
+                       "paper 3K WiFi", "paper 6K WiFi"});
+
+  for (const PaperRow& row : kPaper) {
+    const device::ModelDesc& model = device::desc_by_name(row.model);
+    std::vector<common::Table::Cell> cells;
+    cells.emplace_back(std::string(row.model));
+    cells.emplace_back(std::string(device::model_name(row.phone)));
+    for (std::size_t samples : {std::size_t{3000}, std::size_t{6000}}) {
+      for (device::NetworkType net :
+           {device::NetworkType::kWifi, device::NetworkType::kLte}) {
+        device::Device dev(row.phone, net);
+        const double compute = dev.train(model, samples);
+        const double comm = dev.comm_seconds(model);
+        cells.emplace_back(cell(compute + comm, comm));
+      }
+    }
+    cells.emplace_back(std::to_string(static_cast<int>(row.paper[0])));
+    cells.emplace_back(std::to_string(static_cast<int>(row.paper[2])));
+    table.add_row(std::move(cells));
+  }
+
+  fedsched::bench::emit("table2", "per-epoch training time, simulated vs paper", table);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Table III — model accuracy under the four IID schedulers, for
+// {MNIST, CIFAR10} x {LeNet, VGG6} x testbeds I-III.
+//
+// The schedule decides only *how many samples each user trains*; data stays
+// IID, so the paper's finding is that accuracies are statistically
+// indistinguishable across schedulers (load unbalancing is free). Training
+// runs at reduced scale (header reports the scale); shapes, not absolute
+// digits, are the reproduction target.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "bench_util.hpp"
+
+using namespace fedsched;
+using fedsched::bench::Policy;
+
+int main(int argc, char** argv) {
+  const bool full = fedsched::bench::full_scale(argc, argv);
+  fedsched::bench::AccuracyRunConfig acc_config;
+  acc_config.test_samples = 300;
+  constexpr std::size_t kShard = 100;
+
+  common::Table table({"dataset", "model", "testbed", "Prop.", "Random", "Equal",
+                       "Fed-LBAP"});
+  table.set_precision(4);
+
+  for (const auto& ds : {fedsched::bench::mnist_case(), fedsched::bench::cifar_case()}) {
+    for (nn::Arch arch : {nn::Arch::kLeNet, nn::Arch::kVgg6}) {
+      // Paper: 20 FL epochs on MNIST, 50 on CIFAR10. The CIFAR-like surrogate
+      // needs both more data and more rounds before scheduler columns are
+      // comparable (convergence, not scheduling, dominates below that).
+      const bool cifar = ds.name != "MNIST";
+      acc_config.train_samples =
+          cifar ? (full ? 2400u : 1600u) : (full ? 2000u : 1000u);
+      acc_config.rounds = cifar ? (full ? 20 : 14) : (full ? 10 : 6);
+      std::cout << ds.name << "/" << nn::arch_name(arch) << ": "
+                << acc_config.train_samples << " samples, " << acc_config.rounds
+                << " rounds\n";
+      for (int tb = 1; tb <= 3; ++tb) {
+        const auto phones = device::testbed(tb);
+        const device::ModelDesc& model = fedsched::bench::desc_for(arch);
+        const std::size_t shards = ds.full_samples / kShard;
+        const auto users = core::build_profiles(phones, model,
+                                                device::NetworkType::kWifi,
+                                                ds.full_samples);
+        std::vector<common::Table::Cell> row = {
+            ds.name, std::string(nn::arch_name(arch)),
+            "(" + std::string(static_cast<std::size_t>(tb), 'I') + ")"};
+        for (Policy policy : {Policy::kProportional, Policy::kRandom, Policy::kEqual,
+                              Policy::kFedLbap}) {
+          common::Rng rng(42 + tb);
+          const auto assignment =
+              fedsched::bench::assign_policy(policy, users, shards, kShard, rng);
+          acc_config.seed = 7 * tb + 1;
+          row.emplace_back(fedsched::bench::run_fl_accuracy(ds, arch, phones,
+                                                            assignment, acc_config));
+        }
+        table.add_row(std::move(row));
+      }
+    }
+  }
+  fedsched::bench::emit("table3", "IID accuracy by scheduler", table);
+  return 0;
+}

@@ -1,0 +1,287 @@
+// fedsched command-line tool — drive the library without writing C++.
+//
+//   fedsched_cli profile  --device Mate10 --model LeNet
+//   fedsched_cli schedule --testbed 2 --model LeNet --samples 60000 \
+//                         --policy fed-lbap
+//   fedsched_cli simulate --testbed 2 --model VGG6 --counts 10000,10000,...
+//   fedsched_cli train    --dataset mnist --testbed 1 --rounds 10 \
+//                         --samples 1200 --policy fed-lbap [--save out.bin]
+//   fedsched_cli energy   --device Nexus6P --model VGG6 --samples 3000
+//
+// Every subcommand prints an aligned table; `--help` lists the flags.
+
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/fedsched.hpp"
+#include "device/battery.hpp"
+#include "fl/report.hpp"
+#include "nn/serialize.hpp"
+
+using namespace fedsched;
+
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        throw std::invalid_argument("expected --flag, got '" + key + "'");
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stol(it->second);
+  }
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return values_.count(key); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<std::size_t> parse_counts(const std::string& csv) {
+  std::vector<std::size_t> counts;
+  std::stringstream ss(csv);
+  std::string field;
+  while (std::getline(ss, field, ',')) counts.push_back(std::stoul(field));
+  return counts;
+}
+
+sched::Baseline baseline_from(const std::string& name) {
+  if (name == "equal") return sched::Baseline::kEqual;
+  if (name == "prop") return sched::Baseline::kProportional;
+  if (name == "random") return sched::Baseline::kRandom;
+  throw std::invalid_argument("unknown policy '" + name + "'");
+}
+
+int cmd_profile(const Args& args) {
+  const auto& spec = device::spec_by_name(args.get("device", "Mate10"));
+  const auto& model = device::desc_by_name(args.get("model", "LeNet"));
+  const auto sizes = parse_counts(args.get("sizes", "500,1000,2000,4000,6000"));
+
+  const auto profile = profile::measure_profile(spec.model, model, sizes);
+  common::Table table({"samples", "epoch_s", "s_per_sample", "energy_wh"});
+  for (std::size_t d : sizes) {
+    table.add_row({static_cast<long long>(d), profile.epoch_seconds(d),
+                   profile.epoch_seconds(d) / static_cast<double>(d),
+                   device::training_energy_wh(spec.model, model, d)});
+  }
+  std::cout << spec.name << " / " << model.name << " profile:\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_schedule(const Args& args) {
+  const auto phones = device::testbed(static_cast<int>(args.get_int("testbed", 2)));
+  const auto& model = device::desc_by_name(args.get("model", "LeNet"));
+  const auto total = static_cast<std::size_t>(args.get_int("samples", 60000));
+  const auto shard = static_cast<std::size_t>(args.get_int("shard", 100));
+  const std::string policy = args.get("policy", "fed-lbap");
+  const auto network = args.get("network", "wifi") == "lte"
+                           ? device::NetworkType::kLte
+                           : device::NetworkType::kWifi;
+
+  const auto users = core::build_profiles(phones, model, network, total);
+  sched::Assignment assignment;
+  if (policy == "fed-lbap") {
+    assignment = sched::fed_lbap(users, total / shard, shard).assignment;
+  } else if (policy == "fed-minavg") {
+    auto with_classes = users;
+    common::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+    for (auto& user : with_classes) {
+      // Without a scenario file, give every user a random class subset.
+      const std::size_t k = 2 + rng.uniform_int(6);
+      for (std::size_t c : rng.sample_without_replacement(10, k)) {
+        user.classes.push_back(static_cast<std::uint16_t>(c));
+      }
+    }
+    sched::MinAvgConfig config;
+    config.cost.alpha = args.get_double("alpha", 1000.0);
+    config.cost.beta = args.get_double("beta", 2.0);
+    assignment =
+        sched::fed_minavg(with_classes, total / shard, shard, config).assignment;
+  } else {
+    common::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+    assignment =
+        sched::assign_baseline(baseline_from(policy), users, total / shard, shard, rng);
+  }
+
+  const auto sim = core::simulate_epoch(phones, model, network,
+                                        assignment.sample_counts());
+  const auto names = core::testbed_names(phones);
+  common::Table table({"user", "samples", "epoch_s"});
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    table.add_row({names[u], static_cast<long long>(assignment.sample_counts()[u]),
+                   sim.client_seconds[u]});
+  }
+  table.print(std::cout);
+  std::cout << "makespan: " << sim.makespan << " s   straggler gap: "
+            << 100.0 * core::straggler_gap(sim.client_seconds) << "%\n";
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const auto phones = device::testbed(static_cast<int>(args.get_int("testbed", 2)));
+  const auto& model = device::desc_by_name(args.get("model", "LeNet"));
+  const auto counts = parse_counts(args.get("counts", ""));
+  if (counts.size() != phones.size()) {
+    std::cerr << "--counts must list " << phones.size() << " sample counts\n";
+    return 2;
+  }
+  const auto sim = core::simulate_epoch(phones, model, device::NetworkType::kWifi,
+                                        counts);
+  const auto names = core::testbed_names(phones);
+  common::Table table({"user", "samples", "epoch_s"});
+  for (std::size_t u = 0; u < phones.size(); ++u) {
+    table.add_row({names[u], static_cast<long long>(counts[u]),
+                   sim.client_seconds[u]});
+  }
+  table.print(std::cout);
+  std::cout << "makespan: " << sim.makespan << " s\n";
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const auto ds_config =
+      args.get("dataset", "mnist") == "cifar" ? data::cifar_like() : data::mnist_like();
+  const auto phones = device::testbed(static_cast<int>(args.get_int("testbed", 1)));
+  const auto arch =
+      args.get("model", "LeNet") == "VGG6" ? nn::Arch::kVgg6 : nn::Arch::kLeNet;
+  const auto& desc = arch == nn::Arch::kLeNet ? device::lenet_desc()
+                                              : device::vgg6_desc();
+  const auto samples = static_cast<std::size_t>(args.get_int("samples", 1200));
+  const std::string policy = args.get("policy", "fed-lbap");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  const auto train = data::generate_balanced(ds_config, samples, seed);
+  const auto test = data::generate_balanced(ds_config, samples / 3, seed + 1);
+
+  // Schedule at full simulator scale, materialize proportionally.
+  const auto users = core::build_profiles(phones, desc, device::NetworkType::kWifi,
+                                          60'000);
+  sched::Assignment assignment;
+  common::Rng rng(seed + 2);
+  if (policy == "fed-lbap") {
+    assignment = sched::fed_lbap(users, 600, 100).assignment;
+  } else {
+    assignment = sched::assign_baseline(baseline_from(policy), users, 600, 100, rng);
+  }
+  std::vector<double> weights;
+  for (std::size_t k : assignment.shards_per_user) {
+    weights.push_back(static_cast<double>(k));
+  }
+  const auto partition = data::partition_with_sizes_iid(
+      train, data::proportional_sizes(train.size(), weights), rng);
+
+  fl::FlConfig config;
+  config.rounds = static_cast<std::size_t>(args.get_int("rounds", 10));
+  config.seed = seed + 3;
+  config.evaluate_each_round = args.has("verbose");
+  nn::ModelSpec spec;
+  spec.arch = arch;
+  spec.in_channels = ds_config.channels;
+  spec.in_h = ds_config.height;
+  spec.in_w = ds_config.width;
+  fl::FedAvgRunner runner(train, test, spec, desc, phones,
+                          device::NetworkType::kWifi, config);
+  const auto result = runner.run(partition);
+
+  fl::round_table(result).print(std::cout);
+  if (args.has("verbose") && !result.rounds.empty()) {
+    std::cout << '\n'
+              << fl::round_timeline(result.rounds.back(), core::testbed_names(phones));
+  }
+  std::cout << "final accuracy " << result.final_accuracy << " after "
+            << result.total_seconds << " simulated seconds\n";
+
+  if (args.has("save")) {
+    nn::save_weights(runner.global_model(), args.get("save", "model.bin"));
+    std::cout << "saved global model to " << args.get("save", "model.bin") << "\n";
+  }
+  return 0;
+}
+
+int cmd_energy(const Args& args) {
+  const auto& spec = device::spec_by_name(args.get("device", "Nexus6P"));
+  const auto& model = device::desc_by_name(args.get("model", "VGG6"));
+  const auto samples = static_cast<std::size_t>(args.get_int("samples", 3000));
+  const auto network = args.get("network", "wifi") == "lte"
+                           ? device::NetworkType::kLte
+                           : device::NetworkType::kWifi;
+
+  const double train_wh = device::training_energy_wh(spec.model, model, samples);
+  const double comm_wh = device::comm_energy_wh(network, model);
+  const auto battery = device::battery_of(spec.model);
+  device::Device dev(spec.model, network);
+  const double epoch_s = dev.train(model, samples) + dev.comm_seconds(model);
+
+  common::Table table({"quantity", "value"});
+  table.set_precision(4);
+  table.add_row({std::string("epoch time (s)"), epoch_s});
+  table.add_row({std::string("training energy (Wh)"), train_wh});
+  table.add_row({std::string("comm energy (Wh)"), comm_wh});
+  table.add_row({std::string("battery capacity (Wh)"), battery.capacity_wh});
+  table.add_row({std::string("epochs per full charge"),
+                 battery.capacity_wh * (1.0 - battery.reserve_fraction) /
+                     (train_wh + comm_wh)});
+  std::cout << spec.name << " / " << model.name << " energy report:\n";
+  table.print(std::cout);
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "usage: fedsched_cli <command> [--flag value ...]\n"
+      "commands:\n"
+      "  profile   --device <name> --model <LeNet|VGG6> [--sizes a,b,c]\n"
+      "  schedule  --testbed <1|2|3> --model <..> --samples N --policy\n"
+      "            <fed-lbap|fed-minavg|equal|prop|random> [--network wifi|lte]\n"
+      "  simulate  --testbed <1|2|3> --model <..> --counts n1,n2,...\n"
+      "  train     --dataset <mnist|cifar> --testbed <1|2|3> --rounds N\n"
+      "            --samples N --policy <..> [--save path] [--verbose]\n"
+      "  energy    --device <name> --model <..> --samples N [--network ..]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (command == "profile") return cmd_profile(args);
+    if (command == "schedule") return cmd_schedule(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "energy") return cmd_energy(args);
+    usage();
+    return command == "help" || command == "--help" ? 0 : 2;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,53 @@
+#pragma once
+// Minimal leveled logger. Thread-safe line-at-a-time output to stderr.
+
+#include <sstream>
+#include <string>
+
+namespace fedsched::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one line (module is a short tag such as "sched" or "fl").
+void log_line(LogLevel level, const std::string& module, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string module)
+      : level_(level), module_(std::move(module)) {}
+  ~LogStream() { log_line(level_, module_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string module_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+[[nodiscard]] inline detail::LogStream log_debug(std::string module) {
+  return {LogLevel::kDebug, std::move(module)};
+}
+[[nodiscard]] inline detail::LogStream log_info(std::string module) {
+  return {LogLevel::kInfo, std::move(module)};
+}
+[[nodiscard]] inline detail::LogStream log_warn(std::string module) {
+  return {LogLevel::kWarn, std::move(module)};
+}
+[[nodiscard]] inline detail::LogStream log_error(std::string module) {
+  return {LogLevel::kError, std::move(module)};
+}
+
+}  // namespace fedsched::common

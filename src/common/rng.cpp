@@ -1,0 +1,40 @@
+#include "common/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fedsched::common {
+
+double Rng::sqrt_ratio(double s) noexcept { return std::sqrt(-2.0 * std::log(s) / s); }
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  // Partial Fisher-Yates: after k swaps the first k entries are the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + uniform_int(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+std::size_t weighted_choice(Rng& rng, const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("weighted_choice: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("weighted_choice: all weights zero");
+  double r = rng.uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical slack: last positive entry
+}
+
+}  // namespace fedsched::common

@@ -1,0 +1,50 @@
+#pragma once
+// Column-aligned ASCII tables and CSV output for benchmark harnesses.
+//
+// Every bench binary in bench/ regenerates one table or figure of the paper;
+// Table gives them a uniform, diff-friendly text rendering plus a CSV dump
+// that plotting scripts can consume.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace fedsched::common {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, long long>;
+
+  explicit Table(std::vector<std::string> headers);
+
+  /// Number of decimal places used when rendering double cells (default 3).
+  void set_precision(int digits) noexcept { precision_ = digits; }
+
+  void add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+  [[nodiscard]] const Cell& at(std::size_t row, std::size_t col) const;
+
+  /// Render with aligned columns and a header separator.
+  [[nodiscard]] std::string to_ascii() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+  /// Write CSV to `path`, creating parent directories if necessary.
+  void write_csv(const std::string& path) const;
+
+ private:
+  [[nodiscard]] std::string render(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 3;
+};
+
+/// Escape a CSV field (quotes fields containing comma/quote/newline).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace fedsched::common

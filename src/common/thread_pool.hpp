@@ -1,0 +1,70 @@
+#pragma once
+// A small fixed-size worker pool with a parallel_for helper.
+//
+// All parallelism in fedsched is explicit (Core Guidelines CP rules): tasks
+// are submitted as value-captured callables, results travel through futures,
+// and parallel_for partitions an index range into contiguous blocks so each
+// worker touches disjoint cache lines.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fedsched::common {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Submit a nullary callable; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      const std::lock_guard lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      queue_.emplace([task]() mutable { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [begin, end), split into contiguous blocks across the
+  /// pool; blocks the caller until every index has been processed. Exceptions
+  /// from fn propagate (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Block-wise variant: fn(block_begin, block_end) per block.
+  void parallel_for_blocks(std::size_t begin, std::size_t end,
+                           const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool for library internals (lazily constructed, never torn
+/// down before exit). Prefer passing an explicit pool where ownership matters.
+[[nodiscard]] ThreadPool& global_pool();
+
+}  // namespace fedsched::common

@@ -1,0 +1,122 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "device/battery.hpp"
+#include "profile/profiler.hpp"
+
+namespace fedsched::core {
+
+std::vector<std::string> testbed_names(const std::vector<device::PhoneModel>& phones) {
+  std::map<device::PhoneModel, char> next_suffix;
+  std::vector<std::string> names;
+  names.reserve(phones.size());
+  for (device::PhoneModel phone : phones) {
+    // The paper suffixes every user: "Nexus6(a)", even when unique.
+    std::string name = device::model_name(phone);
+    char& suffix = next_suffix.try_emplace(phone, 'a').first->second;
+    name += '(';
+    name += suffix++;
+    name += ')';
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+std::vector<sched::UserProfile> build_profiles(
+    const std::vector<device::PhoneModel>& phones, const device::ModelDesc& model,
+    device::NetworkType network, std::size_t total_samples,
+    const ProfileOptions& options) {
+  if (phones.empty()) throw std::invalid_argument("build_profiles: no phones");
+  std::vector<std::size_t> anchors = options.anchor_sizes;
+  if (anchors.empty()) {
+    // Geometric anchor ladder up to the full dataset: captures both the cold
+    // linear regime and the hot throttled regime.
+    for (double frac : {0.02, 0.05, 0.125, 0.25, 0.5, 1.0}) {
+      const auto size = static_cast<std::size_t>(
+          std::max(1.0, frac * static_cast<double>(total_samples)));
+      if (anchors.empty() || size > anchors.back()) anchors.push_back(size);
+    }
+  }
+
+  // Profiles are per phone *model* (the paper profiles device types offline),
+  // so duplicates in the testbed share one measurement campaign.
+  std::map<device::PhoneModel, profile::TimeModelPtr> cache;
+  const auto names = testbed_names(phones);
+  std::vector<sched::UserProfile> users;
+  users.reserve(phones.size());
+  for (std::size_t u = 0; u < phones.size(); ++u) {
+    const device::PhoneModel phone = phones[u];
+    auto it = cache.find(phone);
+    if (it == cache.end()) {
+      auto measured = profile::measure_profile(phone, model, anchors,
+                                               options.measurement_noise,
+                                               options.seed + static_cast<int>(phone));
+      it = cache.emplace(phone, std::make_shared<profile::InterpolatedTimeModel>(
+                                    std::move(measured)))
+               .first;
+    }
+    sched::UserProfile user;
+    user.name = names[u];
+    user.phone = phone;
+    user.time_model = it->second;
+    user.comm_seconds = device::round_comm_seconds(network, model);
+    users.push_back(std::move(user));
+  }
+  return users;
+}
+
+EpochSimulation simulate_epoch(const std::vector<device::PhoneModel>& phones,
+                               const device::ModelDesc& model,
+                               device::NetworkType network,
+                               const std::vector<std::size_t>& sample_counts) {
+  if (phones.size() != sample_counts.size()) {
+    throw std::invalid_argument("simulate_epoch: phones/counts size mismatch");
+  }
+  EpochSimulation sim;
+  sim.client_seconds.resize(phones.size(), 0.0);
+  double sum = 0.0;
+  std::size_t active = 0;
+  for (std::size_t u = 0; u < phones.size(); ++u) {
+    if (sample_counts[u] == 0) continue;
+    device::Device dev(phones[u], network);
+    const double t = dev.comm_seconds(model) + dev.train(model, sample_counts[u]);
+    sim.client_seconds[u] = t;
+    sim.makespan = std::max(sim.makespan, t);
+    sum += t;
+    ++active;
+  }
+  sim.mean = active ? sum / static_cast<double>(active) : 0.0;
+  return sim;
+}
+
+void apply_battery_capacity(std::vector<sched::UserProfile>& users,
+                            const device::ModelDesc& model,
+                            device::NetworkType network, std::size_t shard_size,
+                            double state_of_charge) {
+  for (auto& user : users) {
+    const device::Battery battery(device::battery_of(user.phone), state_of_charge);
+    const std::size_t samples = device::max_samples_within_energy(
+        user.phone, model, network, battery.schedulable_wh(), shard_size);
+    user.capacity_shards = samples / shard_size;
+  }
+}
+
+double straggler_gap(const std::vector<double>& client_seconds) {
+  double max = 0.0, sum = 0.0;
+  std::size_t active = 0;
+  for (double t : client_seconds) {
+    if (t <= 0.0) continue;
+    max = std::max(max, t);
+    sum += t;
+    ++active;
+  }
+  if (active == 0 || sum == 0.0) return 0.0;
+  const double mean = sum / static_cast<double>(active);
+  return (max - mean) / mean;
+}
+
+}  // namespace fedsched::core

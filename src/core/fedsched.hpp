@@ -1,0 +1,28 @@
+#pragma once
+// Umbrella header: the public API of the fedsched library.
+//
+// Layers (bottom-up):
+//   common/   — RNG, thread pool, stats, tables
+//   tensor/   — dense float tensors and kernels
+//   nn/       — layers, models (LeNet / VGG6), SGD, losses
+//   data/     — synthetic MNIST/CIFAR-like datasets, federated partitioners
+//   device/   — the simulated mobile testbed (thermal model, governor, links)
+//   profile/  — the two-step performance profiler and time models
+//   sched/    — Fed-LBAP, Fed-MinAvg and the baselines (the paper's core)
+//   fl/       — synchronous FedAvg on the simulated testbed
+//   core/     — experiment glue used by examples and benches
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "data/partition.hpp"
+#include "data/scenarios.hpp"
+#include "data/synth.hpp"
+#include "device/device.hpp"
+#include "fl/runner.hpp"
+#include "nn/models.hpp"
+#include "profile/profiler.hpp"
+#include "sched/baselines.hpp"
+#include "sched/fed_lbap.hpp"
+#include "sched/fed_minavg.hpp"

@@ -1,0 +1,60 @@
+#pragma once
+// In-memory labeled image dataset.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fedsched::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  /// images: [N, channels*height*width]; labels: N entries in [0, classes).
+  Dataset(tensor::Tensor images, std::vector<std::uint16_t> labels, std::size_t classes,
+          std::size_t channels, std::size_t height, std::size_t width);
+
+  [[nodiscard]] std::size_t size() const noexcept { return labels_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return labels_.empty(); }
+  [[nodiscard]] std::size_t classes() const noexcept { return classes_; }
+  [[nodiscard]] std::size_t channels() const noexcept { return channels_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t features() const noexcept {
+    return channels_ * height_ * width_;
+  }
+
+  [[nodiscard]] const tensor::Tensor& images() const noexcept { return images_; }
+  [[nodiscard]] std::span<const std::uint16_t> labels() const noexcept {
+    return {labels_};
+  }
+  [[nodiscard]] std::uint16_t label(std::size_t i) const { return labels_.at(i); }
+
+  /// Copy the selected rows into a new dataset (order preserved).
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Copy rows [begin, end) into a batch tensor + label vector.
+  void fill_batch(std::span<const std::size_t> indices, tensor::Tensor& batch,
+                  std::vector<std::uint16_t>& labels) const;
+
+  /// Per-class sample counts over the whole set.
+  [[nodiscard]] std::vector<std::size_t> class_histogram() const;
+  /// Per-class sample counts over a subset of rows.
+  [[nodiscard]] std::vector<std::size_t> class_histogram(
+      std::span<const std::size_t> indices) const;
+
+ private:
+  tensor::Tensor images_;
+  std::vector<std::uint16_t> labels_;
+  std::size_t classes_ = 0;
+  std::size_t channels_ = 0;
+  std::size_t height_ = 0;
+  std::size_t width_ = 0;
+};
+
+/// Indices of all samples of each class: result[c] lists rows with label c.
+[[nodiscard]] std::vector<std::vector<std::size_t>> indices_by_class(const Dataset& ds);
+
+}  // namespace fedsched::data

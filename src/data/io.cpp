@@ -1,0 +1,105 @@
+#include "data/io.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedsched::data {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x46534431;  // "FSD1"
+
+void ensure_parent(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+}
+}  // namespace
+
+void save_dataset(const Dataset& ds, const std::string& path) {
+  ensure_parent(path);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_dataset: cannot open " + path);
+
+  const std::uint32_t magic = kMagic;
+  const std::uint64_t dims[5] = {ds.size(), ds.classes(), ds.channels(), ds.height(),
+                                 ds.width()};
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(dims), sizeof(dims));
+  out.write(reinterpret_cast<const char*>(ds.labels().data()),
+            static_cast<std::streamsize>(ds.size() * sizeof(std::uint16_t)));
+  out.write(reinterpret_cast<const char*>(ds.images().raw()),
+            static_cast<std::streamsize>(ds.images().numel() * sizeof(float)));
+  if (!out) throw std::runtime_error("save_dataset: write failed for " + path);
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_dataset: cannot open " + path);
+
+  std::uint32_t magic = 0;
+  std::uint64_t dims[5] = {};
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(dims), sizeof(dims));
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_dataset: " + path + " is not a fedsched dataset");
+  }
+  const std::size_t n = dims[0], classes = dims[1], channels = dims[2],
+                    height = dims[3], width = dims[4];
+  const std::size_t features = channels * height * width;
+  if (classes == 0 || features == 0 || n > (1ull << 32)) {
+    throw std::runtime_error("load_dataset: implausible header in " + path);
+  }
+
+  std::vector<std::uint16_t> labels(n);
+  in.read(reinterpret_cast<char*>(labels.data()),
+          static_cast<std::streamsize>(n * sizeof(std::uint16_t)));
+  tensor::Tensor images({n, features});
+  in.read(reinterpret_cast<char*>(images.raw()),
+          static_cast<std::streamsize>(images.numel() * sizeof(float)));
+  if (!in) throw std::runtime_error("load_dataset: truncated file " + path);
+  return {std::move(images), std::move(labels), classes, channels, height, width};
+}
+
+void save_partition(const Partition& partition, const std::string& path) {
+  ensure_parent(path);
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_partition: cannot open " + path);
+  for (const auto& share : partition.user_indices) {
+    for (std::size_t i = 0; i < share.size(); ++i) {
+      out << (i ? "," : "") << share[i];
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("save_partition: write failed for " + path);
+}
+
+Partition load_partition(const std::string& path, std::size_t dataset_size) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_partition: cannot open " + path);
+  Partition partition;
+  std::string line;
+  while (std::getline(in, line)) {
+    auto& share = partition.user_indices.emplace_back();
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) {
+      if (field.empty()) continue;
+      std::size_t pos = 0;
+      const unsigned long long value = std::stoull(field, &pos);
+      if (pos != field.size()) {
+        throw std::runtime_error("load_partition: bad index '" + field + "'");
+      }
+      if (value >= dataset_size) {
+        throw std::runtime_error("load_partition: index " + field +
+                                 " out of range for dataset of " +
+                                 std::to_string(dataset_size));
+      }
+      share.push_back(static_cast<std::size_t>(value));
+    }
+  }
+  return partition;
+}
+
+}  // namespace fedsched::data

@@ -1,0 +1,30 @@
+#pragma once
+// Dataset and partition persistence.
+//
+// Binary dataset container (magic + dims + labels + float pixels) and a CSV
+// partition format (one line per user: comma-separated row indices), so
+// generated experiment inputs can be inspected, versioned and reloaded.
+
+#include <string>
+
+#include "data/dataset.hpp"
+#include "data/partition.hpp"
+
+namespace fedsched::data {
+
+/// Write the dataset to `path` (creates parent directories).
+void save_dataset(const Dataset& ds, const std::string& path);
+
+/// Load a dataset saved by save_dataset. Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] Dataset load_dataset(const std::string& path);
+
+/// Write a partition as CSV: line u lists user u's row indices (may be empty).
+void save_partition(const Partition& partition, const std::string& path);
+
+/// Load a partition saved by save_partition. Validates indices against
+/// `dataset_size` (pass Dataset::size()).
+[[nodiscard]] Partition load_partition(const std::string& path,
+                                       std::size_t dataset_size);
+
+}  // namespace fedsched::data

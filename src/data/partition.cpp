@@ -1,0 +1,250 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace fedsched::data {
+
+std::vector<std::size_t> Partition::sizes() const {
+  std::vector<std::size_t> out(user_indices.size());
+  for (std::size_t u = 0; u < user_indices.size(); ++u) out[u] = user_indices[u].size();
+  return out;
+}
+
+std::size_t Partition::total() const noexcept {
+  std::size_t n = 0;
+  for (const auto& ui : user_indices) n += ui.size();
+  return n;
+}
+
+double Partition::imbalance_ratio() const {
+  const auto ss = sizes();
+  std::vector<double> xs(ss.begin(), ss.end());
+  const double m = common::mean(xs);
+  return m > 0.0 ? common::stddev(xs) / m : 0.0;
+}
+
+std::vector<std::vector<std::uint16_t>> class_sets_of(const Partition& partition,
+                                                      const Dataset& ds) {
+  std::vector<std::vector<std::uint16_t>> sets(partition.users());
+  for (std::size_t u = 0; u < partition.users(); ++u) {
+    const auto hist = ds.class_histogram(partition.user_indices[u]);
+    for (std::size_t c = 0; c < hist.size(); ++c) {
+      if (hist[c] > 0) sets[u].push_back(static_cast<std::uint16_t>(c));
+    }
+  }
+  return sets;
+}
+
+Partition partition_equal_iid(const Dataset& ds, std::size_t n_users, common::Rng& rng) {
+  std::vector<std::size_t> sizes(n_users, ds.size() / n_users);
+  for (std::size_t u = 0; u < ds.size() % n_users; ++u) ++sizes[u];
+  return partition_with_sizes_iid(ds, sizes, rng);
+}
+
+Partition partition_with_sizes_iid(const Dataset& ds,
+                                   const std::vector<std::size_t>& sizes,
+                                   common::Rng& rng) {
+  if (sizes.empty()) throw std::invalid_argument("partition_with_sizes_iid: no users");
+  const std::size_t total = std::accumulate(sizes.begin(), sizes.end(), std::size_t{0});
+  if (total > ds.size()) {
+    throw std::invalid_argument("partition_with_sizes_iid: requested more than dataset");
+  }
+
+  auto pools = indices_by_class(ds);
+  for (auto& pool : pools) rng.shuffle(pool);
+  std::vector<std::size_t> cursor(pools.size(), 0);
+
+  Partition partition;
+  partition.user_indices.resize(sizes.size());
+  // Round-robin over classes per user keeps every share class-balanced up to
+  // rounding — "the ratio between different classes is maintained uniform".
+  for (std::size_t u = 0; u < sizes.size(); ++u) {
+    auto& share = partition.user_indices[u];
+    share.reserve(sizes[u]);
+    std::size_t c = rng.uniform_int(pools.size());  // random starting class
+    std::size_t taken = 0;
+    std::size_t dry_classes = 0;
+    while (taken < sizes[u] && dry_classes < pools.size()) {
+      if (cursor[c] < pools[c].size()) {
+        share.push_back(pools[c][cursor[c]++]);
+        ++taken;
+        dry_classes = 0;
+      } else {
+        ++dry_classes;
+      }
+      c = (c + 1) % pools.size();
+    }
+  }
+  return partition;
+}
+
+std::vector<std::size_t> gaussian_sizes(std::size_t total, std::size_t n_users,
+                                        double ratio, common::Rng& rng,
+                                        std::size_t min_size) {
+  if (n_users == 0) throw std::invalid_argument("gaussian_sizes: no users");
+  if (ratio < 0.0) throw std::invalid_argument("gaussian_sizes: negative ratio");
+  const double mean = static_cast<double>(total) / static_cast<double>(n_users);
+  std::vector<double> raw(n_users);
+  for (double& x : raw) {
+    x = std::max(static_cast<double>(min_size), rng.gaussian(mean, ratio * mean));
+  }
+  // Rescale to the exact total, then fix integer rounding drift.
+  const double sum = std::accumulate(raw.begin(), raw.end(), 0.0);
+  std::vector<std::size_t> sizes(n_users);
+  std::size_t assigned = 0;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    sizes[u] = std::max(min_size,
+                        static_cast<std::size_t>(raw[u] / sum * static_cast<double>(total)));
+    assigned += sizes[u];
+  }
+  std::size_t u = 0;
+  while (assigned < total) {
+    ++sizes[u % n_users];
+    ++assigned;
+    ++u;
+  }
+  while (assigned > total) {
+    const std::size_t idx = u % n_users;
+    if (sizes[idx] > min_size) {
+      --sizes[idx];
+      --assigned;
+    }
+    ++u;
+  }
+  return sizes;
+}
+
+Partition partition_nclass(const Dataset& ds, std::size_t n_users,
+                           std::size_t classes_per_user, common::Rng& rng) {
+  const std::size_t k = ds.classes();
+  if (classes_per_user == 0 || classes_per_user > k) {
+    throw std::invalid_argument("partition_nclass: bad classes_per_user");
+  }
+  // Draw each user's class subset; re-draw until every class has a holder
+  // (bounded retries — with n*c >= k this converges almost immediately).
+  std::vector<std::vector<std::uint16_t>> sets(n_users);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<bool> covered(k, false);
+    for (std::size_t u = 0; u < n_users; ++u) {
+      auto pick = rng.sample_without_replacement(k, classes_per_user);
+      sets[u].assign(pick.begin(), pick.end());
+      std::sort(sets[u].begin(), sets[u].end());
+      for (std::size_t c : pick) covered[c] = true;
+    }
+    if (n_users * classes_per_user < k ||
+        std::all_of(covered.begin(), covered.end(), [](bool b) { return b; })) {
+      break;
+    }
+  }
+
+  auto pools = indices_by_class(ds);
+  for (auto& pool : pools) rng.shuffle(pool);
+
+  Partition partition;
+  partition.user_indices.resize(n_users);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<std::size_t> holders;
+    for (std::size_t u = 0; u < n_users; ++u) {
+      if (std::binary_search(sets[u].begin(), sets[u].end(),
+                             static_cast<std::uint16_t>(c))) {
+        holders.push_back(u);
+      }
+    }
+    if (holders.empty()) continue;
+    // Random proportions per holder ("each class may also have different
+    // number of samples"): weights uniform in [0.5, 1.5].
+    std::vector<double> weights(holders.size());
+    for (double& w : weights) w = rng.uniform(0.5, 1.5);
+    const double wsum = std::accumulate(weights.begin(), weights.end(), 0.0);
+    std::size_t cursor = 0;
+    for (std::size_t h = 0; h < holders.size(); ++h) {
+      const std::size_t take =
+          (h + 1 == holders.size())
+              ? pools[c].size() - cursor
+              : static_cast<std::size_t>(weights[h] / wsum *
+                                         static_cast<double>(pools[c].size()));
+      for (std::size_t i = 0; i < take && cursor < pools[c].size(); ++i, ++cursor) {
+        partition.user_indices[holders[h]].push_back(pools[c][cursor]);
+      }
+    }
+  }
+  return partition;
+}
+
+Partition partition_by_class_sets(const Dataset& ds,
+                                  const std::vector<std::vector<std::uint16_t>>& class_sets,
+                                  const std::vector<std::size_t>& sizes,
+                                  common::Rng& rng) {
+  if (class_sets.size() != sizes.size()) {
+    throw std::invalid_argument("partition_by_class_sets: sets/sizes length mismatch");
+  }
+  auto pools = indices_by_class(ds);
+  for (auto& pool : pools) rng.shuffle(pool);
+  std::vector<std::size_t> cursor(pools.size(), 0);
+
+  Partition partition;
+  partition.user_indices.resize(sizes.size());
+  for (std::size_t u = 0; u < sizes.size(); ++u) {
+    const auto& classes = class_sets[u];
+    if (classes.empty() && sizes[u] > 0) {
+      throw std::invalid_argument("partition_by_class_sets: nonzero size, empty class set");
+    }
+    auto& share = partition.user_indices[u];
+    share.reserve(sizes[u]);
+    std::size_t taken = 0;
+    std::size_t dry = 0;
+    std::size_t pos = 0;
+    // Round-robin over the user's classes so its share stays class-balanced.
+    while (taken < sizes[u] && dry < classes.size()) {
+      const std::uint16_t c = classes[pos % classes.size()];
+      if (c >= pools.size()) {
+        throw std::invalid_argument("partition_by_class_sets: class out of range");
+      }
+      if (cursor[c] < pools[c].size()) {
+        share.push_back(pools[c][cursor[c]++]);
+        ++taken;
+        dry = 0;
+      } else {
+        ++dry;
+      }
+      ++pos;
+    }
+  }
+  return partition;
+}
+
+std::vector<std::size_t> proportional_sizes(std::size_t total,
+                                            const std::vector<double>& weights) {
+  if (weights.empty()) throw std::invalid_argument("proportional_sizes: no weights");
+  double wsum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("proportional_sizes: negative weight");
+    wsum += w;
+  }
+  if (wsum <= 0.0) throw std::invalid_argument("proportional_sizes: zero weights");
+  std::vector<std::size_t> sizes(weights.size(), 0);
+  std::size_t assigned = 0;
+  for (std::size_t u = 0; u < weights.size(); ++u) {
+    sizes[u] = static_cast<std::size_t>(weights[u] / wsum * static_cast<double>(total));
+    assigned += sizes[u];
+  }
+  // Distribute the rounding remainder to the largest weights.
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return weights[a] > weights[b]; });
+  std::size_t i = 0;
+  while (assigned < total) {
+    ++sizes[order[i % order.size()]];
+    ++assigned;
+    ++i;
+  }
+  return sizes;
+}
+
+}  // namespace fedsched::data

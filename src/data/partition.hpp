@@ -1,0 +1,70 @@
+#pragma once
+// Partitioning a dataset across federated users.
+//
+// These utilities produce the data distributions of the paper's experiments:
+//   - stratified IID splits (Equal baseline / FedAvg),
+//   - Gaussian size imbalance at a controllable imbalance ratio (Fig 2),
+//   - n-class non-IID splits (Fig 3a),
+//   - explicit class-set assignments (Fig 3b outliers, Table IV scenarios),
+//   - materialization of scheduler outputs (per-user sample counts).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace fedsched::data {
+
+/// Row indices of the source dataset held by each user.
+struct Partition {
+  std::vector<std::vector<std::size_t>> user_indices;
+
+  [[nodiscard]] std::size_t users() const noexcept { return user_indices.size(); }
+  [[nodiscard]] std::vector<std::size_t> sizes() const;
+  [[nodiscard]] std::size_t total() const noexcept;
+  /// Ratio of size stddev to size mean — the paper's "imbalance ratio".
+  [[nodiscard]] double imbalance_ratio() const;
+};
+
+/// Classes present in each user's share.
+[[nodiscard]] std::vector<std::vector<std::uint16_t>> class_sets_of(
+    const Partition& partition, const Dataset& ds);
+
+/// Stratified IID split into n equal shares (class ratios preserved).
+[[nodiscard]] Partition partition_equal_iid(const Dataset& ds, std::size_t n_users,
+                                            common::Rng& rng);
+
+/// Stratified IID split with explicit per-user sizes. sum(sizes) <= ds.size();
+/// each user's share keeps classes as balanced as the sizes allow.
+[[nodiscard]] Partition partition_with_sizes_iid(const Dataset& ds,
+                                                 const std::vector<std::size_t>& sizes,
+                                                 common::Rng& rng);
+
+/// Per-user sizes drawn from N(mean, ratio*mean), clipped at min_size and
+/// rescaled to sum to total exactly.
+[[nodiscard]] std::vector<std::size_t> gaussian_sizes(std::size_t total,
+                                                      std::size_t n_users, double ratio,
+                                                      common::Rng& rng,
+                                                      std::size_t min_size = 1);
+
+/// n-class non-IID (Fig 3a): every user holds a random subset of
+/// classes_per_user classes; each class's samples are split across its
+/// holders with random (seeded) proportions. Every class is guaranteed at
+/// least one holder.
+[[nodiscard]] Partition partition_nclass(const Dataset& ds, std::size_t n_users,
+                                         std::size_t classes_per_user, common::Rng& rng);
+
+/// Explicit class sets: user u receives sizes[u] samples drawn evenly from its
+/// allowed classes (shared class pools are consumed first-come). A size of 0
+/// with a non-empty class set yields an empty share. If a pool runs dry the
+/// user gets fewer samples; callers can check Partition::sizes().
+[[nodiscard]] Partition partition_by_class_sets(
+    const Dataset& ds, const std::vector<std::vector<std::uint16_t>>& class_sets,
+    const std::vector<std::size_t>& sizes, common::Rng& rng);
+
+/// Split proportionally to weights (non-negative, at least one positive).
+[[nodiscard]] std::vector<std::size_t> proportional_sizes(
+    std::size_t total, const std::vector<double>& weights);
+
+}  // namespace fedsched::data

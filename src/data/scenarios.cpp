@@ -1,0 +1,107 @@
+#include "data/scenarios.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedsched::data {
+
+std::vector<std::vector<std::uint16_t>> Scenario::class_sets() const {
+  std::vector<std::vector<std::uint16_t>> sets;
+  sets.reserve(users.size());
+  for (const auto& user : users) sets.push_back(user.classes);
+  return sets;
+}
+
+Scenario scenario_s1() {
+  return {"S(I)",
+          {
+              {"Nexus6", {0, 1, 2, 3, 4, 5, 6, 9}},
+              {"Mate10", {2, 3, 4, 5, 6, 8}},
+              {"Pixel2", {7, 8}},
+          }};
+}
+
+Scenario scenario_s2() {
+  return {"S(II)",
+          {
+              {"Nexus6", {1, 2, 5, 7}},
+              {"Nexus6", {2, 6, 8}},
+              {"Nexus6P", {0, 3, 8, 9}},
+              {"Nexus6P", {0}},
+              {"Mate10", {4, 9}},
+              {"Pixel2", {0, 1, 2}},
+          }};
+}
+
+Scenario scenario_s3() {
+  return {"S(III)",
+          {
+              {"Nexus6", {2, 6, 8, 9}},
+              {"Nexus6", {0, 1, 3, 7, 8, 9}},
+              {"Nexus6", {9}},
+              {"Nexus6", {0, 5}},
+              {"Nexus6P", {2}},
+              {"Nexus6P", {0, 1, 2, 4, 5}},
+              {"Mate10", {1, 3, 4, 8}},
+              {"Mate10", {9}},
+              {"Pixel2", {1}},
+              {"Pixel2", {0, 1, 2, 3, 7, 8}},
+          }};
+}
+
+const std::vector<Scenario>& all_scenarios() {
+  static const std::vector<Scenario> scenarios = {scenario_s1(), scenario_s2(),
+                                                  scenario_s3()};
+  return scenarios;
+}
+
+OutlierSetup make_outlier_setup(common::Rng& rng, std::size_t classes) {
+  if (classes < 10) throw std::invalid_argument("make_outlier_setup: needs >= 10 classes");
+  // Draw 9 distinct classes split 3/3/3 across the base users; the leftover
+  // class (chosen among the unused ones) is the outlier's.
+  const auto nine = rng.sample_without_replacement(classes, 9);
+  OutlierSetup setup;
+  setup.base_users.resize(3);
+  for (std::size_t u = 0; u < 3; ++u) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      setup.base_users[u].push_back(static_cast<std::uint16_t>(nine[u * 3 + i]));
+    }
+    std::sort(setup.base_users[u].begin(), setup.base_users[u].end());
+  }
+  std::vector<bool> used(classes, false);
+  for (std::size_t c : nine) used[c] = true;
+  std::vector<std::uint16_t> leftover;
+  for (std::size_t c = 0; c < classes; ++c) {
+    if (!used[c]) leftover.push_back(static_cast<std::uint16_t>(c));
+  }
+  setup.outlier_class = leftover[rng.uniform_int(leftover.size())];
+  return setup;
+}
+
+std::vector<std::vector<std::uint16_t>> outlier_class_sets(const OutlierSetup& setup,
+                                                           OutlierMode mode) {
+  auto sets = setup.base_users;
+  switch (mode) {
+    case OutlierMode::kMissing:
+      break;  // 3 users, 9 classes
+    case OutlierMode::kSeparate:
+      sets.push_back({setup.outlier_class});
+      break;
+    case OutlierMode::kMerge:
+      sets.back().push_back(setup.outlier_class);
+      std::sort(sets.back().begin(), sets.back().end());
+      break;
+  }
+  return sets;
+}
+
+const char* outlier_mode_name(OutlierMode mode) noexcept {
+  switch (mode) {
+    case OutlierMode::kMissing: return "Missing";
+    case OutlierMode::kSeparate: return "Separate";
+    case OutlierMode::kMerge: return "Merge";
+  }
+  return "?";
+}
+
+}  // namespace fedsched::data

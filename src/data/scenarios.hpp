@@ -1,0 +1,63 @@
+#pragma once
+// Fixed non-IID scenarios from the paper.
+//
+//   - S(I), S(II), S(III): the class distributions of Table IV, used by the
+//     alpha/beta sweep (Fig 6) and the schedule dump (Table IV itself).
+//   - The Fig 3(b) outlier constructions: Missing / Separate / Merge.
+//
+// Device identity is carried as the paper's phone-model string ("Nexus6",
+// "Nexus6P", "Mate10", "Pixel2"); the device module resolves it to a spec.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fedsched::data {
+
+struct ScenarioUser {
+  std::string device_model;             // phone model powering this user
+  std::vector<std::uint16_t> classes;   // classes present in the local data
+};
+
+struct Scenario {
+  std::string name;
+  std::vector<ScenarioUser> users;
+
+  [[nodiscard]] std::size_t size() const noexcept { return users.size(); }
+  [[nodiscard]] std::vector<std::vector<std::uint16_t>> class_sets() const;
+};
+
+/// Table IV column "S(I)": 3 users.
+[[nodiscard]] Scenario scenario_s1();
+/// Table IV column "S(II)": 6 users.
+[[nodiscard]] Scenario scenario_s2();
+/// Table IV column "S(III)": 10 users.
+[[nodiscard]] Scenario scenario_s3();
+
+[[nodiscard]] const std::vector<Scenario>& all_scenarios();
+
+/// Fig 3(b): three base users each holding 3 random classes (out of 10),
+/// collectively covering exactly 9; the remaining class belongs to a one-class
+/// outlier.
+struct OutlierSetup {
+  std::vector<std::vector<std::uint16_t>> base_users;  // 3 users x 3 classes
+  std::uint16_t outlier_class = 0;
+};
+
+[[nodiscard]] OutlierSetup make_outlier_setup(common::Rng& rng, std::size_t classes = 10);
+
+enum class OutlierMode {
+  kMissing,   // outlier class absent from training entirely
+  kSeparate,  // outlier participates as a fourth user
+  kMerge,     // outlier class merged into the third user
+};
+
+/// Class sets of the participating users under the given mode.
+[[nodiscard]] std::vector<std::vector<std::uint16_t>> outlier_class_sets(
+    const OutlierSetup& setup, OutlierMode mode);
+
+[[nodiscard]] const char* outlier_mode_name(OutlierMode mode) noexcept;
+
+}  // namespace fedsched::data

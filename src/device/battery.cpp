@@ -1,0 +1,107 @@
+#include "device/battery.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "device/device.hpp"
+#include "device/thermal.hpp"
+
+namespace fedsched::device {
+
+BatterySpec battery_of(PhoneModel model) noexcept {
+  switch (model) {
+    case PhoneModel::kNexus6: return {.capacity_wh = 12.4};   // 3220 mAh
+    case PhoneModel::kNexus6P: return {.capacity_wh = 13.3};  // 3450 mAh
+    case PhoneModel::kMate10: return {.capacity_wh = 15.4};   // 4000 mAh
+    case PhoneModel::kPixel2: return {.capacity_wh = 10.4};   // 2700 mAh
+  }
+  return {};
+}
+
+/// Share of the training power that does not scale with the clocks (leakage,
+/// memory, rails). The thermal feedback in Device uses the dynamic component;
+/// energy accounting adds this static floor, which is why a throttled epoch
+/// burns *more* energy per sample — it holds the static rails up for longer.
+constexpr double kStaticPowerShare = 0.3;
+
+double training_energy_wh(PhoneModel phone, const ModelDesc& model,
+                          std::size_t samples) {
+  if (samples == 0) return 0.0;
+  // Re-run the compute trajectory (mirrors Device::train_traced's stepping so
+  // energy and time agree) and integrate static + dynamic power.
+  const DeviceSpec& spec = spec_of(phone);
+  ThermalState thermal(spec.thermal);
+  double remaining =
+      static_cast<double>(samples) * base_sample_ms(spec.compute, model) / 1e3;
+  double energy_j = 0.0;
+  constexpr double kDt = 0.25;
+  const double full_power = spec.thermal.peak_power * model.power_intensity;
+  while (remaining > 0.0) {
+    const double speed = thermal.speed_factor();
+    const double dt = std::min(kDt, remaining / speed);
+    remaining -= speed * dt;
+    const double dynamic_power = full_power * (1.0 - kStaticPowerShare) * speed;
+    energy_j += (full_power * kStaticPowerShare + dynamic_power) * dt;
+    // Thermal feedback tracks the clock-scaled draw, as in Device::train.
+    thermal.step(dt, full_power * speed);
+  }
+  return energy_j / 3600.0;
+}
+
+double comm_energy_wh(NetworkType network, const ModelDesc& model) {
+  // Radio power while transferring: WiFi ~0.8 W, cellular ~1.8 W.
+  const double radio_w = network == NetworkType::kWifi ? 0.8 : 1.8;
+  return radio_w * round_comm_seconds(network, model) / 3600.0;
+}
+
+std::size_t max_samples_within_energy(PhoneModel phone, const ModelDesc& model,
+                                      NetworkType network, double budget_wh,
+                                      std::size_t shard_size) {
+  if (shard_size == 0) {
+    throw std::invalid_argument("max_samples_within_energy: zero shard size");
+  }
+  const double comm = comm_energy_wh(network, model);
+  if (budget_wh <= comm) return 0;
+  // Energy is monotone in the sample count: binary search over shard counts.
+  std::size_t lo = 0;
+  std::size_t hi = 1;
+  while (training_energy_wh(phone, model, hi * shard_size) + comm <= budget_wh) {
+    lo = hi;
+    hi *= 2;
+    if (hi > (1u << 20)) break;  // > a million shards: effectively unbounded
+  }
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (training_energy_wh(phone, model, mid * shard_size) + comm <= budget_wh) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo * shard_size;
+}
+
+Battery::Battery(BatterySpec spec, double state_of_charge)
+    : spec_(spec), soc_(state_of_charge) {
+  if (spec_.capacity_wh <= 0.0) throw std::invalid_argument("Battery: zero capacity");
+  if (soc_ < 0.0 || soc_ > 1.0) {
+    throw std::invalid_argument("Battery: state of charge out of [0,1]");
+  }
+}
+
+double Battery::schedulable_wh() const noexcept {
+  return std::max(0.0, (soc_ - spec_.reserve_fraction) * spec_.capacity_wh);
+}
+
+double Battery::drain(double wh) noexcept {
+  const double available = soc_ * spec_.capacity_wh;
+  const double drawn = std::min(std::max(wh, 0.0), available);
+  soc_ -= drawn / spec_.capacity_wh;
+  return drawn;
+}
+
+void Battery::charge(double wh) noexcept {
+  soc_ = std::min(1.0, soc_ + std::max(wh, 0.0) / spec_.capacity_wh);
+}
+
+}  // namespace fedsched::device

@@ -1,0 +1,70 @@
+#pragma once
+// Battery / energy model.
+//
+// The paper targets *battery-powered* devices and bounds each user's workload
+// by a capacity C_j "quantified by the storage or battery energy" (Eq. 9).
+// This module supplies the energy side: per-epoch energy from the device's
+// power draw, a battery state tracker, and the translation from an energy
+// budget to the per-user shard capacity the schedulers consume.
+
+#include <cstddef>
+
+#include "device/model_desc.hpp"
+#include "device/network.hpp"
+#include "device/spec.hpp"
+
+namespace fedsched::device {
+
+struct BatterySpec {
+  double capacity_wh = 12.0;      // typical 3000+ mAh @ 3.85 V pack
+  double reserve_fraction = 0.2;  // never schedule below this state of charge
+};
+
+/// Battery specs matching each testbed phone (pack sizes from vendor data).
+[[nodiscard]] BatterySpec battery_of(PhoneModel model) noexcept;
+
+/// Energy (watt-hours) to train `samples` samples of `model` starting from a
+/// cold device. Integrates the same thermal/governor trajectory the time
+/// simulation follows, so a throttled device burns *less* power but for
+/// *longer* — the net energy per sample rises under throttling.
+[[nodiscard]] double training_energy_wh(PhoneModel phone, const ModelDesc& model,
+                                        std::size_t samples);
+
+/// Energy for one model exchange over the link (radio power x transfer time).
+[[nodiscard]] double comm_energy_wh(NetworkType network, const ModelDesc& model);
+
+/// Largest sample count whose (training + per-round comm) energy fits within
+/// `budget_wh`; returns 0 if even one shard does not fit. Monotone in the
+/// budget. Used to derive Fed-MinAvg's capacity C_j from battery state.
+[[nodiscard]] std::size_t max_samples_within_energy(PhoneModel phone,
+                                                    const ModelDesc& model,
+                                                    NetworkType network,
+                                                    double budget_wh,
+                                                    std::size_t shard_size);
+
+/// Mutable battery state across federated rounds.
+class Battery {
+ public:
+  Battery(BatterySpec spec, double state_of_charge = 1.0);
+
+  [[nodiscard]] const BatterySpec& spec() const noexcept { return spec_; }
+  /// State of charge in [0, 1].
+  [[nodiscard]] double state_of_charge() const noexcept { return soc_; }
+  [[nodiscard]] double remaining_wh() const noexcept {
+    return soc_ * spec_.capacity_wh;
+  }
+  /// Energy available for scheduling: remaining minus the user's reserve.
+  [[nodiscard]] double schedulable_wh() const noexcept;
+  [[nodiscard]] bool depleted() const noexcept { return schedulable_wh() <= 0.0; }
+
+  /// Drain by `wh`; clamps at empty. Returns the energy actually drawn.
+  double drain(double wh) noexcept;
+  /// Charge by `wh`; clamps at full.
+  void charge(double wh) noexcept;
+
+ private:
+  BatterySpec spec_;
+  double soc_;
+};
+
+}  // namespace fedsched::device

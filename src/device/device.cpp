@@ -1,0 +1,78 @@
+#include "device/device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedsched::device {
+
+double base_sample_ms(const ComputeParams& compute, const ModelDesc& model) noexcept {
+  return compute.conv_ms_per_mmac * model.conv_mmacs +
+         compute.dense_ms_per_mmac * model.dense_mmacs;
+}
+
+Device::Device(PhoneModel model, NetworkType network)
+    : spec_(&spec_of(model)), network_(network), thermal_(spec_->thermal) {}
+
+void Device::set_measurement_noise(double rel_stddev, std::uint64_t seed) {
+  if (rel_stddev < 0.0) throw std::invalid_argument("measurement noise must be >= 0");
+  noise_rel_ = rel_stddev;
+  noise_rng_.reseed(seed);
+}
+
+TracePoint Device::snapshot() const noexcept {
+  TracePoint p;
+  p.time_s = clock_s_;
+  p.temp_c = thermal_.temperature_c();
+  p.speed = thermal_.speed_factor();
+  p.freq_ghz = p.speed * max_cpu_ghz(*spec_);
+  return p;
+}
+
+double Device::train(const ModelDesc& model, std::size_t samples) {
+  std::vector<TracePoint> unused;
+  return train_traced(model, samples, 0.0, unused);
+}
+
+double Device::train_traced(const ModelDesc& model, std::size_t samples,
+                            double interval_s, std::vector<TracePoint>& trace) {
+  if (samples == 0) return 0.0;
+  const double start = clock_s_;
+  // Total "work" in seconds at full clocks; progress rate is the governor's
+  // speed factor, so hot devices burn wall-clock without burning work.
+  double remaining =
+      static_cast<double>(samples) * base_sample_ms(spec_->compute, model) / 1e3;
+  if (noise_rel_ > 0.0) {
+    remaining *= std::max(0.1, noise_rng_.gaussian(1.0, noise_rel_));
+  }
+
+  double next_trace = interval_s > 0.0 ? clock_s_ : -1.0;
+  constexpr double kDt = 0.25;  // governor/thermal update granularity (s)
+  while (remaining > 0.0) {
+    if (next_trace >= 0.0 && clock_s_ >= next_trace) {
+      trace.push_back(snapshot());
+      next_trace += interval_s;
+    }
+    const double speed = thermal_.speed_factor();
+    const double dt = std::min(kDt, remaining / speed);
+    remaining -= speed * dt;
+    // Power tracks the clocks: a throttled SoC draws proportionally less.
+    const double power = spec_->thermal.peak_power * model.power_intensity * speed;
+    thermal_.step(dt, power);
+    clock_s_ += dt;
+  }
+  if (next_trace >= 0.0) trace.push_back(snapshot());
+  return clock_s_ - start;
+}
+
+void Device::idle(double seconds) {
+  if (seconds < 0.0) throw std::invalid_argument("Device::idle: negative duration");
+  thermal_.cool(seconds);
+  clock_s_ += seconds;
+}
+
+void Device::reset() {
+  thermal_.reset();
+  clock_s_ = 0.0;
+}
+
+}  // namespace fedsched::device

@@ -1,0 +1,80 @@
+#pragma once
+// The mobile-device simulator façade.
+//
+// A Device owns a thermal state and advances simulated time as it "trains".
+// Per-sample cost at full clocks comes from the calibrated ComputeParams;
+// the governor modulates instantaneous throughput as the SoC heats, which is
+// what produces the paper's superlinear epoch times and batch-time variance
+// (Fig 1, Table II). Optional measurement noise makes profiler experiments
+// honest.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "device/model_desc.hpp"
+#include "device/network.hpp"
+#include "device/spec.hpp"
+#include "device/thermal.hpp"
+
+namespace fedsched::device {
+
+/// Per-sample training milliseconds at full clocks.
+[[nodiscard]] double base_sample_ms(const ComputeParams& compute,
+                                    const ModelDesc& model) noexcept;
+
+struct TracePoint {
+  double time_s = 0.0;
+  double temp_c = 0.0;
+  double speed = 0.0;      // governor factor in [floor, 1]
+  double freq_ghz = 0.0;   // speed rendered as an effective clock
+};
+
+class Device {
+ public:
+  explicit Device(PhoneModel model, NetworkType network = NetworkType::kWifi);
+
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return *spec_; }
+  [[nodiscard]] NetworkType network() const noexcept { return network_; }
+  [[nodiscard]] double clock_s() const noexcept { return clock_s_; }
+  [[nodiscard]] double temperature_c() const noexcept { return thermal_.temperature_c(); }
+  [[nodiscard]] double speed_factor() const noexcept { return thermal_.speed_factor(); }
+
+  /// Deviation of simulated "measurements" (relative stddev, default 0).
+  void set_measurement_noise(double rel_stddev, std::uint64_t seed);
+
+  /// Train `samples` samples of `model`; advances the clock and thermal
+  /// state; returns elapsed simulated seconds.
+  double train(const ModelDesc& model, std::size_t samples);
+
+  /// Same, recording a (time, temperature, speed) trace every `interval_s`.
+  double train_traced(const ModelDesc& model, std::size_t samples, double interval_s,
+                      std::vector<TracePoint>& trace);
+
+  /// Train one mini-batch; convenience for per-batch traces (Fig 1a-b).
+  double train_batch(const ModelDesc& model, std::size_t batch_size) {
+    return train(model, batch_size);
+  }
+
+  /// Model exchange with the server over this device's link.
+  [[nodiscard]] double comm_seconds(const ModelDesc& model) const noexcept {
+    return round_comm_seconds(network_, model);
+  }
+
+  /// Let the device sit idle (cools down), advancing the clock.
+  void idle(double seconds);
+
+  /// Reset clock and thermal state (freshly picked-up phone).
+  void reset();
+
+ private:
+  [[nodiscard]] TracePoint snapshot() const noexcept;
+
+  const DeviceSpec* spec_;  // points at the static spec table
+  NetworkType network_;
+  ThermalState thermal_;
+  double clock_s_ = 0.0;
+  double noise_rel_ = 0.0;
+  common::Rng noise_rng_{0};
+};
+
+}  // namespace fedsched::device

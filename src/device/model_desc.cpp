@@ -1,0 +1,68 @@
+#include "device/model_desc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsched::device {
+
+const ModelDesc& lenet_desc() {
+  // Parameter split: LeNet's weight mass sits in the dense layers; the MAC
+  // split is more even because conv weights are reused spatially.
+  static const ModelDesc desc{
+      .name = "LeNet",
+      .conv_params = 7'200,
+      .dense_params = 197'800,   // total 205K (paper Section III-A)
+      .conv_mmacs = 0.72,
+      .dense_mmacs = 0.62,
+      .size_mb = 2.5,
+      .power_intensity = 0.70,   // light sustained load
+  };
+  return desc;
+}
+
+const ModelDesc& vgg6_desc() {
+  // Five 3x3 conv layers + one dense layer (paper Section VII): almost all
+  // parameters and nearly all MACs are convolutional.
+  static const ModelDesc desc{
+      .name = "VGG6",
+      .conv_params = 5'250'000,
+      .dense_params = 200'000,   // total 5.45M
+      .conv_mmacs = 96.0,
+      .dense_mmacs = 0.80,
+      .size_mb = 65.4,
+      .power_intensity = 1.00,   // saturates the CPU clusters
+  };
+  return desc;
+}
+
+const ModelDesc& desc_by_name(const std::string& name) {
+  if (name == "LeNet") return lenet_desc();
+  if (name == "VGG6") return vgg6_desc();
+  throw std::invalid_argument("desc_by_name: unknown model " + name);
+}
+
+std::vector<ModelDesc> profiler_sweep(std::size_t k) {
+  if (k < 4) throw std::invalid_argument("profiler_sweep: need at least 4 variants");
+  std::vector<ModelDesc> variants;
+  variants.reserve(k);
+  // Interpolate/extrapolate between LeNet-scale and VGG-scale architectures
+  // on a log grid, alternating conv-heavy and dense-heavy designs so the
+  // two regression coefficients are well identified.
+  for (std::size_t i = 0; i < k; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(k - 1);
+    const double conv_scale = std::pow(10.0, -1.0 + 3.0 * t);  // 0.1x .. 100x
+    const bool dense_heavy = (i % 2 == 1);
+    ModelDesc d;
+    d.name = "sweep-" + std::to_string(i);
+    d.conv_mmacs = 1.0 * conv_scale;
+    d.dense_mmacs = dense_heavy ? 0.4 * conv_scale + 1.2 : 0.3;
+    d.conv_params = static_cast<std::size_t>(50'000.0 * conv_scale);
+    d.dense_params = static_cast<std::size_t>(d.dense_mmacs / 3.0 * 1e6);
+    d.size_mb = static_cast<double>(d.conv_params + d.dense_params) * 4.0 / 1e6 * 3.0;
+    d.power_intensity = 0.6 + 0.4 * t;
+    variants.push_back(d);
+  }
+  return variants;
+}
+
+}  // namespace fedsched::device

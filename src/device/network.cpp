@@ -1,0 +1,28 @@
+#include "device/network.hpp"
+
+namespace fedsched::device {
+
+const LinkParams& link_of(NetworkType type) noexcept {
+  static const LinkParams wifi{.uplink_mbps = 85.0, .downlink_mbps = 88.0, .rtt_s = 0.05};
+  static const LinkParams lte{.uplink_mbps = 60.0, .downlink_mbps = 11.0, .rtt_s = 0.15};
+  return type == NetworkType::kWifi ? wifi : lte;
+}
+
+const char* network_name(NetworkType type) noexcept {
+  return type == NetworkType::kWifi ? "WiFi" : "LTE";
+}
+
+double upload_seconds(const LinkParams& link, double size_mb) noexcept {
+  return size_mb * 8.0 / link.uplink_mbps + link.rtt_s;
+}
+
+double download_seconds(const LinkParams& link, double size_mb) noexcept {
+  return size_mb * 8.0 / link.downlink_mbps + link.rtt_s;
+}
+
+double round_comm_seconds(NetworkType type, const ModelDesc& model) noexcept {
+  const LinkParams& link = link_of(type);
+  return upload_seconds(link, model.size_mb) + download_seconds(link, model.size_mb);
+}
+
+}  // namespace fedsched::device

@@ -1,0 +1,32 @@
+#pragma once
+// Wireless link model for model push/pull between server and device.
+//
+// Calibrated to the paper's measurements (Section III-A): campus WiFi at
+// 80-90 Mbps symmetric, T-Mobile LTE at 60 Mbps up / 11 Mbps down, AWS server
+// one coast away. With these numbers the simulated communication share of an
+// epoch lands on Table II's 0.1-15% range.
+
+#include "device/model_desc.hpp"
+
+namespace fedsched::device {
+
+enum class NetworkType { kWifi, kLte };
+
+struct LinkParams {
+  double uplink_mbps = 0.0;
+  double downlink_mbps = 0.0;
+  double rtt_s = 0.0;  // per-transfer handshake/latency overhead
+};
+
+[[nodiscard]] const LinkParams& link_of(NetworkType type) noexcept;
+[[nodiscard]] const char* network_name(NetworkType type) noexcept;
+
+/// Seconds to push a payload of size_mb to the server.
+[[nodiscard]] double upload_seconds(const LinkParams& link, double size_mb) noexcept;
+/// Seconds to pull a payload of size_mb from the server.
+[[nodiscard]] double download_seconds(const LinkParams& link, double size_mb) noexcept;
+
+/// Full per-epoch exchange: download the global model, upload the update.
+[[nodiscard]] double round_comm_seconds(NetworkType type, const ModelDesc& model) noexcept;
+
+}  // namespace fedsched::device

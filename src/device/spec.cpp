@@ -1,0 +1,150 @@
+#include "device/spec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedsched::device {
+
+namespace {
+
+DeviceSpec make_nexus6() {
+  DeviceSpec spec;
+  spec.model = PhoneModel::kNexus6;
+  spec.name = "Nexus6";
+  spec.soc = "Snapdragon 805";
+  spec.clusters = {{4, 2.7}};
+  spec.big_little = false;
+  // 2014 phablet: strong single-cluster CPU, slow heating (big chassis),
+  // mild throttling only under sustained heavy loads (VGG6).
+  spec.thermal = {.ambient_c = 25.0,
+                  .heat_capacity = 35.0,
+                  .dissipation = 0.18,
+                  .peak_power = 5.0,
+                  .throttle_start_c = 45.0,
+                  .throttle_end_c = 55.0,
+                  .speed_floor = 0.80};
+  spec.compute = {.conv_ms_per_mmac = 1.49, .dense_ms_per_mmac = 14.7};
+  return spec;
+}
+
+DeviceSpec make_nexus6p() {
+  DeviceSpec spec;
+  spec.model = PhoneModel::kNexus6P;
+  spec.name = "Nexus6P";
+  spec.soc = "Snapdragon 810";
+  spec.clusters = {{4, 1.55}, {4, 2.0}};
+  spec.big_little = true;
+  // The controversial Snapdragon 810: heats quickly, throttles early and
+  // hard (big cores go offline), floor speed < half — the paper's straggler.
+  spec.thermal = {.ambient_c = 25.0,
+                  .heat_capacity = 30.0,
+                  .dissipation = 0.08,
+                  .peak_power = 6.0,
+                  .throttle_start_c = 33.0,
+                  .throttle_end_c = 36.0,
+                  .speed_floor = 0.45};
+  spec.compute = {.conv_ms_per_mmac = 0.64, .dense_ms_per_mmac = 36.0};
+  return spec;
+}
+
+DeviceSpec make_mate10() {
+  DeviceSpec spec;
+  spec.model = PhoneModel::kMate10;
+  spec.name = "Mate10";
+  spec.soc = "Kirin 970";
+  spec.clusters = {{4, 2.36}, {4, 1.8}};
+  spec.big_little = true;
+  // Good heat dissipation; never throttles in the paper's traces, but its
+  // dense-layer throughput lags Nexus6 (Observation 1).
+  spec.thermal = {.ambient_c = 25.0,
+                  .heat_capacity = 40.0,
+                  .dissipation = 0.25,
+                  .peak_power = 4.5,
+                  .throttle_start_c = 46.0,
+                  .throttle_end_c = 56.0,
+                  .speed_floor = 0.75};
+  spec.compute = {.conv_ms_per_mmac = 1.01, .dense_ms_per_mmac = 22.7};
+  return spec;
+}
+
+DeviceSpec make_pixel2() {
+  DeviceSpec spec;
+  spec.model = PhoneModel::kPixel2;
+  spec.name = "Pixel2";
+  spec.soc = "Snapdragon 835";
+  spec.clusters = {{4, 2.35}, {4, 1.9}};
+  spec.big_little = true;
+  // Fastest overall in Table II; stays below its throttle point.
+  spec.thermal = {.ambient_c = 25.0,
+                  .heat_capacity = 35.0,
+                  .dissipation = 0.22,
+                  .peak_power = 4.5,
+                  .throttle_start_c = 47.0,
+                  .throttle_end_c = 57.0,
+                  .speed_floor = 0.75};
+  spec.compute = {.conv_ms_per_mmac = 1.03, .dense_ms_per_mmac = 12.0};
+  return spec;
+}
+
+}  // namespace
+
+const DeviceSpec& spec_of(PhoneModel model) {
+  static const DeviceSpec nexus6 = make_nexus6();
+  static const DeviceSpec nexus6p = make_nexus6p();
+  static const DeviceSpec mate10 = make_mate10();
+  static const DeviceSpec pixel2 = make_pixel2();
+  switch (model) {
+    case PhoneModel::kNexus6: return nexus6;
+    case PhoneModel::kNexus6P: return nexus6p;
+    case PhoneModel::kMate10: return mate10;
+    case PhoneModel::kPixel2: return pixel2;
+  }
+  throw std::invalid_argument("spec_of: unknown model");
+}
+
+const DeviceSpec& spec_by_name(const std::string& name) {
+  for (PhoneModel model : kAllPhoneModels) {
+    if (spec_of(model).name == name) return spec_of(model);
+  }
+  throw std::invalid_argument("spec_by_name: unknown device " + name);
+}
+
+const char* model_name(PhoneModel model) noexcept {
+  switch (model) {
+    case PhoneModel::kNexus6: return "Nexus6";
+    case PhoneModel::kNexus6P: return "Nexus6P";
+    case PhoneModel::kMate10: return "Mate10";
+    case PhoneModel::kPixel2: return "Pixel2";
+  }
+  return "?";
+}
+
+double mean_cpu_ghz(const DeviceSpec& spec) noexcept {
+  int cores = 0;
+  double sum = 0.0;
+  for (const CpuCluster& cluster : spec.clusters) {
+    cores += cluster.cores;
+    sum += cluster.ghz * cluster.cores;
+  }
+  return cores > 0 ? sum / cores : 0.0;
+}
+
+double max_cpu_ghz(const DeviceSpec& spec) noexcept {
+  double best = 0.0;
+  for (const CpuCluster& cluster : spec.clusters) best = std::max(best, cluster.ghz);
+  return best;
+}
+
+std::vector<PhoneModel> testbed(int index) {
+  using enum PhoneModel;
+  switch (index) {
+    case 1: return {kNexus6, kMate10, kPixel2};
+    case 2: return {kNexus6, kNexus6, kNexus6P, kNexus6P, kMate10, kPixel2};
+    case 3:
+      return {kNexus6, kNexus6, kNexus6, kNexus6, kNexus6P, kNexus6P,
+              kMate10, kMate10, kPixel2, kPixel2};
+    default: throw std::invalid_argument("testbed: index must be 1, 2 or 3");
+  }
+}
+
+}  // namespace fedsched::device

@@ -1,0 +1,68 @@
+#pragma once
+// Static hardware descriptions of the paper's benchmarking testbed (Table I)
+// plus the calibrated dynamic-model constants.
+//
+// Compute calibration: per-sample training time at full clocks is
+//   t_ms = conv_ms_per_mmac * conv_mmacs + dense_ms_per_mmac * dense_mmacs.
+// The two coefficients per device were solved from the paper's Table II
+// (3K-sample epochs, communication subtracted, thermal state accounted for),
+// so simulated epochs land on the measured numbers; tests/device and
+// bench/table2_epoch_time check this.
+
+#include <string>
+#include <vector>
+
+namespace fedsched::device {
+
+enum class PhoneModel { kNexus6, kNexus6P, kMate10, kPixel2 };
+
+inline constexpr PhoneModel kAllPhoneModels[] = {
+    PhoneModel::kNexus6, PhoneModel::kNexus6P, PhoneModel::kMate10,
+    PhoneModel::kPixel2};
+
+struct CpuCluster {
+  int cores = 0;
+  double ghz = 0.0;
+};
+
+struct ThermalParams {
+  double ambient_c = 25.0;
+  double heat_capacity = 30.0;     // J/K
+  double dissipation = 0.10;       // W/K
+  double peak_power = 5.0;         // W at full speed, intensity 1
+  double throttle_start_c = 45.0;  // governor begins reducing clocks
+  double throttle_end_c = 55.0;    // clocks reach speed_floor here
+  double speed_floor = 0.5;        // min relative speed under throttling
+};
+
+struct ComputeParams {
+  double conv_ms_per_mmac = 1.0;
+  double dense_ms_per_mmac = 10.0;
+};
+
+struct DeviceSpec {
+  PhoneModel model = PhoneModel::kNexus6;
+  std::string name;
+  std::string soc;
+  std::vector<CpuCluster> clusters;
+  bool big_little = false;
+  ThermalParams thermal;
+  ComputeParams compute;
+};
+
+[[nodiscard]] const DeviceSpec& spec_of(PhoneModel model);
+[[nodiscard]] const DeviceSpec& spec_by_name(const std::string& name);
+[[nodiscard]] const char* model_name(PhoneModel model) noexcept;
+
+/// Mean clock across all cores — the signal the Proportional baseline uses.
+[[nodiscard]] double mean_cpu_ghz(const DeviceSpec& spec) noexcept;
+/// Peak clock over all clusters (used to render speed as a frequency trace).
+[[nodiscard]] double max_cpu_ghz(const DeviceSpec& spec) noexcept;
+
+/// The paper's three testbed combinations (Section VII):
+///   I:   1x Nexus6, 1x Mate10, 1x Pixel2                (3 devices)
+///   II:  2x Nexus6, 2x Nexus6P, 1x Mate10, 1x Pixel2    (6 devices)
+///   III: 4x Nexus6, 2x Nexus6P, 2x Mate10, 2x Pixel2    (10 devices)
+[[nodiscard]] std::vector<PhoneModel> testbed(int index);
+
+}  // namespace fedsched::device

@@ -1,0 +1,34 @@
+#include "device/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fedsched::device {
+
+double governor_speed(const ThermalParams& params, double temp_c) noexcept {
+  if (temp_c <= params.throttle_start_c) return 1.0;
+  if (temp_c >= params.throttle_end_c) return params.speed_floor;
+  const double span = params.throttle_end_c - params.throttle_start_c;
+  const double frac = (temp_c - params.throttle_start_c) / span;
+  return 1.0 - frac * (1.0 - params.speed_floor);
+}
+
+void ThermalState::step(double dt_s, double power_w) noexcept {
+  // Sub-divide long steps so the explicit Euler update stays stable.
+  const double max_dt = 0.5 * params_.heat_capacity / std::max(params_.dissipation, 1e-9);
+  while (dt_s > 0.0) {
+    const double dt = std::min(dt_s, std::min(max_dt, 1.0));
+    const double flux = power_w - params_.dissipation * (temp_c_ - params_.ambient_c);
+    temp_c_ += flux / params_.heat_capacity * dt;
+    dt_s -= dt;
+  }
+  temp_c_ = std::max(temp_c_, params_.ambient_c);
+}
+
+void ThermalState::cool(double seconds) noexcept {
+  // Closed form: exponential decay toward ambient.
+  const double tau = params_.heat_capacity / std::max(params_.dissipation, 1e-9);
+  temp_c_ = params_.ambient_c + (temp_c_ - params_.ambient_c) * std::exp(-seconds / tau);
+}
+
+}  // namespace fedsched::device

@@ -1,0 +1,45 @@
+#pragma once
+// Lumped-parameter (RC) thermal model plus the frequency governor.
+//
+// Temperature follows  C * dT/dt = P(load) - k * (T - T_ambient).
+// The governor maps temperature to a relative speed factor in
+// [speed_floor, 1]: full speed below throttle_start_c, linear ramp down to
+// the floor at throttle_end_c. On big.LITTLE parts the floor represents the
+// big cluster being taken offline (Observation 2 / the Nexus6P case).
+
+#include "device/spec.hpp"
+
+namespace fedsched::device {
+
+/// Relative speed the governor allows at the given temperature.
+[[nodiscard]] double governor_speed(const ThermalParams& params, double temp_c) noexcept;
+
+class ThermalState {
+ public:
+  explicit ThermalState(const ThermalParams& params) noexcept
+      : params_(params), temp_c_(params.ambient_c) {}
+
+  [[nodiscard]] double temperature_c() const noexcept { return temp_c_; }
+  [[nodiscard]] double speed_factor() const noexcept {
+    return governor_speed(params_, temp_c_);
+  }
+
+  /// Integrate one step of dt seconds with the given heat input (watts).
+  void step(double dt_s, double power_w) noexcept;
+
+  /// Passive cooling for the given duration.
+  void cool(double seconds) noexcept;
+
+  void reset() noexcept { temp_c_ = params_.ambient_c; }
+
+  /// Steady-state temperature under constant power (no throttle feedback).
+  [[nodiscard]] double steady_state_c(double power_w) const noexcept {
+    return params_.ambient_c + power_w / params_.dissipation;
+  }
+
+ private:
+  ThermalParams params_;
+  double temp_c_;
+};
+
+}  // namespace fedsched::device

@@ -1,0 +1,118 @@
+#include "fl/async_runner.hpp"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "fl/trainer.hpp"
+
+namespace fedsched::fl {
+
+double AsyncRunResult::mean_staleness() const {
+  if (updates.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& u : updates) sum += static_cast<double>(u.staleness);
+  return sum / static_cast<double>(updates.size());
+}
+
+std::size_t AsyncRunResult::updates_from(std::size_t client) const {
+  std::size_t count = 0;
+  for (const auto& u : updates) count += (u.client == client);
+  return count;
+}
+
+AsyncRunner::AsyncRunner(const data::Dataset& train, const data::Dataset& test,
+                         nn::ModelSpec model_spec, device::ModelDesc device_model,
+                         std::vector<device::PhoneModel> phones,
+                         device::NetworkType network, AsyncConfig config)
+    : train_(train),
+      test_(test),
+      device_model_(std::move(device_model)),
+      phones_(std::move(phones)),
+      network_(network),
+      config_(config) {
+  if (phones_.empty()) throw std::invalid_argument("AsyncRunner: no devices");
+  common::Rng init_rng(config_.seed);
+  global_ = nn::build_model(model_spec, init_rng);
+  common::Rng worker_rng = init_rng.fork(1);
+  worker_ = nn::build_model(model_spec, worker_rng);
+}
+
+AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
+  if (partition.users() != phones_.size()) {
+    throw std::invalid_argument("AsyncRunner::run: partition/device count mismatch");
+  }
+  const std::size_t n = phones_.size();
+
+  std::vector<device::Device> devices;
+  devices.reserve(n);
+  for (device::PhoneModel phone : phones_) devices.emplace_back(phone, network_);
+  std::vector<nn::Sgd> optimizers(n, nn::Sgd(config_.sgd));
+  common::Rng rng(config_.seed ^ 0xA5A5A5A5ULL);
+
+  // Event = a client finishing its round-trip at a simulated instant.
+  struct Event {
+    double time_s;
+    std::size_t client;
+    bool operator>(const Event& other) const { return time_s > other.time_s; }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+
+  std::vector<float> global_params = global_.flat_params();
+  // Each in-flight client carries the parameters it pulled and the merge
+  // count at pull time (its update's staleness is measured against it).
+  std::vector<std::vector<float>> pulled(n, global_params);
+  std::vector<std::size_t> base_version(n, 0);
+  std::size_t version = 0;
+
+  // Kick off every client with non-empty data at t = 0.
+  for (std::size_t u = 0; u < n; ++u) {
+    if (partition.user_indices[u].empty()) continue;
+    const double duration = devices[u].comm_seconds(device_model_) +
+                            devices[u].train(device_model_,
+                                             partition.user_indices[u].size());
+    base_version[u] = version;
+    queue.push({duration, u});
+  }
+  if (queue.empty()) throw std::invalid_argument("AsyncRunner::run: empty partition");
+
+  AsyncRunResult result;
+  std::size_t step = 0;
+  while (!queue.empty() && queue.top().time_s <= config_.horizon_seconds) {
+    const Event event = queue.top();
+    queue.pop();
+    const std::size_t u = event.client;
+
+    // Train from the (possibly stale) parameters the client actually pulled.
+    worker_.set_flat_params(pulled[u]);
+    common::Rng client_rng = rng.fork(++step);
+    (void)train_epoch(worker_, optimizers[u], train_, partition.user_indices[u],
+                      config_.batch_size, client_rng);
+
+    const std::size_t staleness = version - base_version[u];
+    const double mix = config_.base_mix /
+                       std::pow(1.0 + static_cast<double>(staleness), config_.damping);
+    const auto local = worker_.flat_params();
+    for (std::size_t i = 0; i < global_params.size(); ++i) {
+      global_params[i] = static_cast<float>((1.0 - mix) * global_params[i] +
+                                            mix * local[i]);
+    }
+    ++version;
+    result.updates.push_back({event.time_s, u, staleness, mix});
+    result.elapsed_seconds = event.time_s;
+
+    // Client immediately pulls the fresh model and starts its next round.
+    const double duration = devices[u].comm_seconds(device_model_) +
+                            devices[u].train(device_model_,
+                                             partition.user_indices[u].size());
+    pulled[u] = global_params;
+    base_version[u] = version;
+    queue.push({event.time_s + duration, u});
+  }
+
+  global_.set_flat_params(global_params);
+  result.final_accuracy = global_.accuracy(test_.images(), test_.labels());
+  return result;
+}
+
+}  // namespace fedsched::fl

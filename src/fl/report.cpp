@@ -1,0 +1,59 @@
+#include "fl/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedsched::fl {
+
+common::Table round_table(const RunResult& result) {
+  common::Table table({"round", "round_s", "cumulative_s", "train_loss",
+                       "test_accuracy"});
+  for (const RoundRecord& record : result.rounds) {
+    table.add_row({static_cast<long long>(record.round), record.round_seconds,
+                   record.cumulative_seconds, record.mean_train_loss,
+                   record.test_accuracy});
+  }
+  return table;
+}
+
+std::string round_timeline(const RoundRecord& record,
+                           const std::vector<std::string>& client_names,
+                           std::size_t width) {
+  if (client_names.size() != record.client_seconds.size()) {
+    throw std::invalid_argument("round_timeline: name count mismatch");
+  }
+  if (width == 0) throw std::invalid_argument("round_timeline: zero width");
+  const double makespan = record.round_seconds;
+  std::size_t name_width = 0;
+  for (const auto& name : client_names) name_width = std::max(name_width, name.size());
+
+  std::ostringstream os;
+  os << "round " << record.round << " (" << makespan << " s)\n";
+  for (std::size_t u = 0; u < client_names.size(); ++u) {
+    const double t = record.client_seconds[u];
+    os << "  " << client_names[u]
+       << std::string(name_width - client_names[u].size(), ' ') << " |";
+    if (t <= 0.0 || makespan <= 0.0) {
+      os << " (idle)\n";
+      continue;
+    }
+    const auto bars = std::max<std::size_t>(
+        1, static_cast<std::size_t>(t / makespan * static_cast<double>(width)));
+    const bool straggler = t >= makespan - 1e-12;
+    os << std::string(bars, straggler ? '#' : '=') << ' ' << t << "s\n";
+  }
+  return os.str();
+}
+
+std::string convergence_csv(const RunResult& result) {
+  std::ostringstream os;
+  os << "cumulative_s,accuracy\n";
+  for (const RoundRecord& record : result.rounds) {
+    if (record.test_accuracy < 0.0) continue;
+    os << record.cumulative_seconds << ',' << record.test_accuracy << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fedsched::fl

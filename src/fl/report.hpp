@@ -1,0 +1,27 @@
+#pragma once
+// Human-readable reports over FL runs: a per-round table, a textual Gantt
+// timeline of client activity within a round, and CSV export of the
+// convergence curve.
+
+#include <string>
+
+#include "common/table.hpp"
+#include "fl/runner.hpp"
+
+namespace fedsched::fl {
+
+/// Per-round table: round, time, cumulative time, loss, accuracy.
+[[nodiscard]] common::Table round_table(const RunResult& result);
+
+/// Textual Gantt chart of one round: one bar per client, proportional to its
+/// busy time, '#' for the straggler. `width` is the bar length of the
+/// longest client.
+[[nodiscard]] std::string round_timeline(const RoundRecord& record,
+                                         const std::vector<std::string>& client_names,
+                                         std::size_t width = 50);
+
+/// Convergence curve (cumulative simulated seconds vs accuracy) as CSV rows;
+/// rounds without an accuracy sample are skipped.
+[[nodiscard]] std::string convergence_csv(const RunResult& result);
+
+}  // namespace fedsched::fl

@@ -1,0 +1,120 @@
+#include "fl/runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fl/trainer.hpp"
+
+namespace fedsched::fl {
+
+double RunResult::mean_round_seconds() const {
+  if (rounds.empty()) return 0.0;
+  double sum = 0.0;
+  for (const RoundRecord& r : rounds) sum += r.round_seconds;
+  return sum / static_cast<double>(rounds.size());
+}
+
+FedAvgRunner::FedAvgRunner(const data::Dataset& train, const data::Dataset& test,
+                           nn::ModelSpec model_spec, device::ModelDesc device_model,
+                           std::vector<device::PhoneModel> phones,
+                           device::NetworkType network, FlConfig config)
+    : train_(train),
+      test_(test),
+      device_model_(std::move(device_model)),
+      phones_(std::move(phones)),
+      network_(network),
+      config_(config) {
+  if (phones_.empty()) throw std::invalid_argument("FedAvgRunner: no devices");
+  common::Rng init_rng(config_.seed);
+  global_ = nn::build_model(model_spec, init_rng);
+  common::Rng worker_rng = init_rng.fork(1);
+  worker_ = nn::build_model(model_spec, worker_rng);  // same topology, scratch weights
+}
+
+RunResult FedAvgRunner::run(const data::Partition& partition) {
+  if (partition.users() != phones_.size()) {
+    throw std::invalid_argument("FedAvgRunner::run: partition/device count mismatch");
+  }
+  const std::size_t n_users = phones_.size();
+
+  std::vector<device::Device> devices;
+  devices.reserve(n_users);
+  for (device::PhoneModel phone : phones_) devices.emplace_back(phone, network_);
+
+  std::vector<nn::Sgd> optimizers(n_users, nn::Sgd(config_.sgd));
+  common::Rng rng(config_.seed ^ 0xF1F1F1F1ULL);
+
+  RunResult result;
+  std::vector<float> global_params = global_.flat_params();
+  std::vector<float> aggregate(global_params.size());
+
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    RoundRecord record;
+    record.round = round;
+    record.client_seconds.assign(n_users, 0.0);
+
+    std::fill(aggregate.begin(), aggregate.end(), 0.0f);
+    std::size_t total_samples = 0;
+    for (const auto& share : partition.user_indices) total_samples += share.size();
+    if (total_samples == 0) {
+      throw std::invalid_argument("FedAvgRunner::run: empty partition");
+    }
+
+    double loss_sum = 0.0;
+    std::size_t loss_users = 0;
+    for (std::size_t u = 0; u < n_users; ++u) {
+      const auto& share = partition.user_indices[u];
+      if (share.empty()) continue;
+
+      // Simulated wall-clock: model pull + local epochs + model push.
+      double elapsed = devices[u].comm_seconds(device_model_);
+      elapsed += devices[u].train(device_model_,
+                                  share.size() * config_.local_epochs);
+      record.client_seconds[u] = elapsed;
+
+      // Real training for the accuracy signal.
+      worker_.set_flat_params(global_params);
+      common::Rng client_rng = rng.fork(round * n_users + u);
+      EpochStats stats;
+      for (std::size_t e = 0; e < config_.local_epochs; ++e) {
+        stats = train_epoch(worker_, optimizers[u], train_, share, config_.batch_size,
+                            client_rng);
+      }
+      loss_sum += stats.mean_loss;
+      ++loss_users;
+
+      // FedAvg: weight by the client's sample count.
+      const float weight =
+          static_cast<float>(share.size()) / static_cast<float>(total_samples);
+      const auto local = worker_.flat_params();
+      for (std::size_t i = 0; i < aggregate.size(); ++i) {
+        aggregate[i] += weight * local[i];
+      }
+    }
+
+    global_params = aggregate;
+    global_.set_flat_params(global_params);
+
+    record.round_seconds =
+        *std::max_element(record.client_seconds.begin(), record.client_seconds.end());
+    record.mean_train_loss = loss_users ? loss_sum / static_cast<double>(loss_users) : 0.0;
+    result.total_seconds += record.round_seconds;
+    record.cumulative_seconds = result.total_seconds;
+    if (config_.evaluate_each_round) {
+      record.test_accuracy = global_.accuracy(test_.images(), test_.labels());
+    }
+    result.rounds.push_back(std::move(record));
+
+    if (config_.idle_between_rounds_s > 0.0) {
+      for (auto& dev : devices) dev.idle(config_.idle_between_rounds_s);
+    }
+  }
+
+  result.final_accuracy = global_.accuracy(test_.images(), test_.labels());
+  if (!result.rounds.empty() && config_.evaluate_each_round) {
+    result.rounds.back().test_accuracy = result.final_accuracy;
+  }
+  return result;
+}
+
+}  // namespace fedsched::fl

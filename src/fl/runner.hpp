@@ -1,0 +1,80 @@
+#pragma once
+// Synchronous FedAvg on the simulated mobile testbed.
+//
+// Each round: the server pushes the global model to every participating
+// client; clients run `local_epochs` of SGD on their local share (real
+// gradient computation through src/nn); the server averages the returned
+// parameters weighted by sample count. Wall-clock per round is the *maximum*
+// over participants of download + simulated-device compute + upload —
+// synchronous aggregation waits for the straggler, which is exactly the
+// quantity the paper's schedulers minimize. Test accuracy comes from the
+// actually-trained global model; time comes from the device simulators. The
+// two are decoupled deliberately (the paper does the same: profiles for
+// time, training for accuracy).
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/partition.hpp"
+#include "device/device.hpp"
+#include "nn/models.hpp"
+#include "nn/sgd.hpp"
+
+namespace fedsched::fl {
+
+struct FlConfig {
+  std::size_t rounds = 10;
+  std::size_t local_epochs = 1;
+  std::size_t batch_size = 20;   // the paper's mobile batch size
+  nn::SgdConfig sgd{.learning_rate = 0.02f, .momentum = 0.9f, .weight_decay = 0.0f};
+  std::uint64_t seed = 1;
+  /// Evaluate test accuracy every round (slower) or only at the end.
+  bool evaluate_each_round = false;
+  /// Idle time between rounds (devices cool down), seconds of simulated time.
+  double idle_between_rounds_s = 0.0;
+};
+
+struct RoundRecord {
+  std::size_t round = 0;
+  double round_seconds = 0.0;        // makespan of this round
+  double cumulative_seconds = 0.0;
+  double mean_train_loss = 0.0;
+  double test_accuracy = -1.0;       // -1 when not evaluated this round
+  std::vector<double> client_seconds;
+};
+
+struct RunResult {
+  std::vector<RoundRecord> rounds;
+  double final_accuracy = 0.0;
+  double total_seconds = 0.0;
+
+  [[nodiscard]] double mean_round_seconds() const;
+};
+
+class FedAvgRunner {
+ public:
+  /// `phones[u]` powers user u; partition.user_indices[u] is its local data.
+  FedAvgRunner(const data::Dataset& train, const data::Dataset& test,
+               nn::ModelSpec model_spec, device::ModelDesc device_model,
+               std::vector<device::PhoneModel> phones,
+               device::NetworkType network, FlConfig config);
+
+  /// Train to completion over the given partition.
+  [[nodiscard]] RunResult run(const data::Partition& partition);
+
+  /// The global model after the last run() (for inspection).
+  [[nodiscard]] nn::Model& global_model() noexcept { return global_; }
+
+ private:
+  const data::Dataset& train_;
+  const data::Dataset& test_;
+  device::ModelDesc device_model_;
+  std::vector<device::PhoneModel> phones_;
+  device::NetworkType network_;
+  FlConfig config_;
+  nn::Model global_;
+  nn::Model worker_;  // reused for every client's local training
+};
+
+}  // namespace fedsched::fl

@@ -1,0 +1,33 @@
+#pragma once
+// Local SGD training over a slice of a dataset — what one FL client runs per
+// round, and what the centralized baseline runs over the whole set.
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+#include "nn/sgd.hpp"
+
+namespace fedsched::fl {
+
+struct EpochStats {
+  double mean_loss = 0.0;
+  std::size_t batches = 0;
+  std::size_t samples = 0;
+};
+
+/// One epoch of mini-batch SGD over the rows of `ds` selected by `indices`
+/// (shuffled in place per epoch). Returns the mean training loss.
+EpochStats train_epoch(nn::Model& model, nn::Sgd& sgd, const data::Dataset& ds,
+                       std::span<const std::size_t> indices, std::size_t batch_size,
+                       common::Rng& rng);
+
+/// Epochs of centralized training over the full dataset; returns final-epoch
+/// stats.
+EpochStats train_centralized(nn::Model& model, nn::Sgd& sgd, const data::Dataset& ds,
+                             std::size_t epochs, std::size_t batch_size,
+                             common::Rng& rng);
+
+}  // namespace fedsched::fl

@@ -1,0 +1,46 @@
+#pragma once
+// Stateless layers: ReLU and MaxPool2d.
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+
+namespace fedsched::nn {
+
+class ReLU final : public Layer {
+ public:
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+  [[nodiscard]] std::size_t output_features(std::size_t input_features) const override {
+    return input_features;
+  }
+
+ private:
+  tensor::Tensor mask_;  // 1 where input > 0
+};
+
+/// Non-overlapping 2x2-style max pooling over [N, C*H*W] batches.
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(std::size_t channels, std::size_t in_h, std::size_t in_w,
+            std::size_t window);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t output_features(std::size_t input_features) const override;
+
+  [[nodiscard]] std::size_t out_h() const noexcept { return in_h_ / window_; }
+  [[nodiscard]] std::size_t out_w() const noexcept { return in_w_ / window_; }
+
+ private:
+  std::size_t channels_;
+  std::size_t in_h_;
+  std::size_t in_w_;
+  std::size_t window_;
+  std::vector<std::uint32_t> argmax_;  // flat input index per output element
+  std::size_t cached_batch_ = 0;
+};
+
+}  // namespace fedsched::nn

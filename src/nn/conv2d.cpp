@@ -1,0 +1,122 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsched::nn {
+
+using tensor::Tensor;
+namespace ops = tensor::ops;
+
+Conv2d::Conv2d(ops::Conv2dGeometry geometry, std::size_t out_channels, common::Rng& rng)
+    : geometry_(geometry),
+      out_channels_(out_channels),
+      weight_(Tensor::randn({out_channels, geometry.patch_size()}, rng,
+                            std::sqrt(2.0f / static_cast<float>(geometry.patch_size())))),
+      bias_({out_channels}),
+      grad_weight_({out_channels, geometry.patch_size()}),
+      grad_bias_({out_channels}),
+      columns_({geometry.patch_size(), geometry.out_h() * geometry.out_w()}) {
+  if (out_channels == 0) throw std::invalid_argument("Conv2d: zero out_channels");
+  if (geometry.kernel == 0 || geometry.stride == 0) {
+    throw std::invalid_argument("Conv2d: zero kernel/stride");
+  }
+  if (geometry.in_h + 2 * geometry.pad < geometry.kernel ||
+      geometry.in_w + 2 * geometry.pad < geometry.kernel) {
+    throw std::invalid_argument("Conv2d: kernel larger than padded input");
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool train) {
+  const std::size_t in_features = geometry_.in_channels * geometry_.in_h * geometry_.in_w;
+  if (input.rank() != 2 || input.dim(1) != in_features) {
+    throw std::invalid_argument("Conv2d::forward: bad input shape " +
+                                tensor::shape_to_string(input.shape()));
+  }
+  const std::size_t n = input.dim(0);
+  const std::size_t spatial = geometry_.out_h() * geometry_.out_w();
+  if (train) cached_input_ = input;
+
+  Tensor out({n, out_channels_ * spatial});
+  Tensor result({out_channels_, spatial});
+  for (std::size_t s = 0; s < n; ++s) {
+    ops::im2col(input.data().subspan(s * in_features, in_features), geometry_, columns_);
+    ops::matmul(weight_, columns_, result);
+    float* dst = out.raw() + s * out_channels_ * spatial;
+    const float* src = result.raw();
+    const float* pb = bias_.raw();
+    for (std::size_t c = 0; c < out_channels_; ++c) {
+      for (std::size_t p = 0; p < spatial; ++p) dst[c * spatial + p] = src[c * spatial + p] + pb[c];
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  if (cached_input_.numel() == 0) {
+    throw std::logic_error("Conv2d::backward before forward(train=true)");
+  }
+  const std::size_t n = cached_input_.dim(0);
+  const std::size_t spatial = geometry_.out_h() * geometry_.out_w();
+  const std::size_t in_features = geometry_.in_channels * geometry_.in_h * geometry_.in_w;
+  if (grad_output.rank() != 2 || grad_output.dim(0) != n ||
+      grad_output.dim(1) != out_channels_ * spatial) {
+    throw std::invalid_argument("Conv2d::backward: grad shape mismatch");
+  }
+
+  Tensor dx({n, in_features});
+  Tensor grad_mat({out_channels_, spatial});
+  Tensor dcols({geometry_.patch_size(), spatial});
+  Tensor dw({out_channels_, geometry_.patch_size()});
+  for (std::size_t s = 0; s < n; ++s) {
+    // Reconstruct the im2col matrix of this sample (cheaper than caching all).
+    ops::im2col(cached_input_.data().subspan(s * in_features, in_features), geometry_,
+                columns_);
+    const float* g = grad_output.raw() + s * out_channels_ * spatial;
+    std::copy(g, g + out_channels_ * spatial, grad_mat.raw());
+
+    // dW += dY * cols^T ; db += row sums of dY ; dcols = W^T dY.
+    ops::matmul_nt(grad_mat, columns_, dw);
+    grad_weight_ += dw;
+    float* pb = grad_bias_.raw();
+    for (std::size_t c = 0; c < out_channels_; ++c) {
+      const float* row = g + c * spatial;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < spatial; ++p) acc += row[p];
+      pb[c] += acc;
+    }
+    ops::matmul_tn(weight_, grad_mat, dcols);
+    auto img = dx.data().subspan(s * in_features, in_features);
+    ops::col2im(dcols, geometry_, img);
+  }
+  return dx;
+}
+
+std::vector<Param> Conv2d::params() {
+  return {{&weight_, &grad_weight_, ParamKind::kConv},
+          {&bias_, &grad_bias_, ParamKind::kConv}};
+}
+
+std::string Conv2d::name() const {
+  return "Conv2d(" + std::to_string(geometry_.in_channels) + "->" +
+         std::to_string(out_channels_) + ", k=" + std::to_string(geometry_.kernel) +
+         ", s=" + std::to_string(geometry_.stride) + ", p=" + std::to_string(geometry_.pad) +
+         ")";
+}
+
+std::size_t Conv2d::output_features(std::size_t input_features) const {
+  const std::size_t expected =
+      geometry_.in_channels * geometry_.in_h * geometry_.in_w;
+  if (input_features != expected) {
+    throw std::invalid_argument("Conv2d: feature mismatch");
+  }
+  return out_channels_ * geometry_.out_h() * geometry_.out_w();
+}
+
+double Conv2d::macs_per_sample() const {
+  return static_cast<double>(geometry_.patch_size()) *
+         static_cast<double>(out_channels_) *
+         static_cast<double>(geometry_.out_h() * geometry_.out_w());
+}
+
+}  // namespace fedsched::nn

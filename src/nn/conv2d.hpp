@@ -1,0 +1,37 @@
+#pragma once
+// 2-D convolution over [N, C*H*W] batches via im2col + GEMM.
+
+#include "nn/layer.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedsched::nn {
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(tensor::ops::Conv2dGeometry geometry, std::size_t out_channels,
+         common::Rng& rng);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::vector<Param> params() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t output_features(std::size_t input_features) const override;
+  [[nodiscard]] double macs_per_sample() const override;
+
+  [[nodiscard]] const tensor::ops::Conv2dGeometry& geometry() const noexcept {
+    return geometry_;
+  }
+  [[nodiscard]] std::size_t out_channels() const noexcept { return out_channels_; }
+
+ private:
+  tensor::ops::Conv2dGeometry geometry_;
+  std::size_t out_channels_;
+  tensor::Tensor weight_;       // [out_c, patch_size]
+  tensor::Tensor bias_;         // [out_c]
+  tensor::Tensor grad_weight_;
+  tensor::Tensor grad_bias_;
+  tensor::Tensor cached_input_;    // [N, C*H*W]
+  tensor::Tensor columns_;         // scratch [patch_size, out_h*out_w]
+};
+
+}  // namespace fedsched::nn

@@ -1,0 +1,33 @@
+#pragma once
+// Fully connected layer: y = x W^T + b.
+
+#include "nn/layer.hpp"
+
+namespace fedsched::nn {
+
+class Dense final : public Layer {
+ public:
+  /// He-style initialization scaled by fan-in.
+  Dense(std::size_t in_features, std::size_t out_features, common::Rng& rng);
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  [[nodiscard]] std::vector<Param> params() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t output_features(std::size_t input_features) const override;
+  [[nodiscard]] double macs_per_sample() const override;
+
+  [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
+  [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  tensor::Tensor weight_;       // [out, in]
+  tensor::Tensor bias_;         // [out]
+  tensor::Tensor grad_weight_;  // [out, in]
+  tensor::Tensor grad_bias_;    // [out]
+  tensor::Tensor cached_input_;  // [N, in] from the last training forward
+};
+
+}  // namespace fedsched::nn

@@ -1,0 +1,56 @@
+#pragma once
+// Layer interface for the from-scratch training stack.
+//
+// Batches travel as 2-D tensors [N, features]; convolutional layers carry
+// their own spatial geometry. Each layer caches what its backward pass needs
+// during forward(train=true).
+//
+// Parameters are tagged Conv or Dense because the paper's performance
+// profiler (Section IV-B) regresses training time against the two groups
+// separately — convolutions cost far more time per parameter.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace fedsched::nn {
+
+enum class ParamKind { kConv, kDense };
+
+/// Non-owning handle to one parameter tensor and its gradient.
+struct Param {
+  tensor::Tensor* value = nullptr;
+  tensor::Tensor* grad = nullptr;
+  ParamKind kind = ParamKind::kDense;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass; when train is true the layer may cache activations.
+  [[nodiscard]] virtual tensor::Tensor forward(const tensor::Tensor& input,
+                                               bool train) = 0;
+
+  /// Backward pass w.r.t. the most recent forward(train=true) input.
+  /// Accumulates into parameter gradients and returns grad w.r.t. input.
+  [[nodiscard]] virtual tensor::Tensor backward(const tensor::Tensor& grad_output) = 0;
+
+  /// Parameter handles (empty for stateless layers).
+  [[nodiscard]] virtual std::vector<Param> params() { return {}; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Output feature count given the input feature count.
+  [[nodiscard]] virtual std::size_t output_features(std::size_t input_features) const = 0;
+
+  /// Multiply-accumulates per sample in the forward pass (0 for stateless).
+  [[nodiscard]] virtual double macs_per_sample() const { return 0.0; }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace fedsched::nn

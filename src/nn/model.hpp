@@ -1,0 +1,61 @@
+#pragma once
+// Sequential model container with flat-vector parameter access (the FedAvg
+// aggregation format) and conv/dense parameter accounting for the profiler.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+
+namespace fedsched::nn {
+
+class Model {
+ public:
+  Model() = default;
+
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  void add(LayerPtr layer);
+
+  [[nodiscard]] std::size_t layer_count() const noexcept { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input, bool train = false);
+  /// Backpropagate loss gradient through every layer (after forward(train)).
+  void backward(const tensor::Tensor& grad_loss);
+
+  [[nodiscard]] std::vector<Param> params();
+
+  void zero_grads();
+
+  /// Concatenate all parameters into one flat vector (stable layer order).
+  [[nodiscard]] std::vector<float> flat_params() const;
+  /// Inverse of flat_params; size must match exactly.
+  void set_flat_params(std::span<const float> flat);
+  /// Flattened gradients in the same order.
+  [[nodiscard]] std::vector<float> flat_grads() const;
+
+  [[nodiscard]] std::size_t param_count() const noexcept;
+  [[nodiscard]] std::size_t param_count(ParamKind kind) const noexcept;
+  /// Forward MACs per sample, split by kind.
+  [[nodiscard]] double macs_per_sample(ParamKind kind) const noexcept;
+  [[nodiscard]] double macs_per_sample() const noexcept;
+
+  [[nodiscard]] std::string summary() const;
+
+  /// Fraction of rows whose argmax matches the label.
+  [[nodiscard]] double accuracy(const tensor::Tensor& inputs,
+                                std::span<const std::uint16_t> labels,
+                                std::size_t batch_size = 128);
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace fedsched::nn

@@ -1,0 +1,73 @@
+#include "nn/serialize.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace fedsched::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x46534D31;  // "FSM1"
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+}  // namespace
+
+std::uint64_t layout_fingerprint(Model& model) {
+  std::uint64_t h = 0x1234fedcULL;
+  for (const Param& p : model.params()) {
+    h = mix(h, static_cast<std::uint64_t>(p.kind));
+    h = mix(h, p.value->rank());
+    for (std::size_t d = 0; d < p.value->rank(); ++d) h = mix(h, p.value->dim(d));
+  }
+  return h;
+}
+
+void save_weights(Model& model, const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::binary);
+  if (!out) throw std::runtime_error("save_weights: cannot open " + path);
+
+  const auto flat = model.flat_params();
+  const std::uint32_t magic = kMagic;
+  const std::uint64_t fingerprint = layout_fingerprint(model);
+  const auto count = static_cast<std::uint64_t>(flat.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&fingerprint), sizeof(fingerprint));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(flat.data()),
+            static_cast<std::streamsize>(flat.size() * sizeof(float)));
+  if (!out) throw std::runtime_error("save_weights: write failed for " + path);
+}
+
+void load_weights(Model& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_weights: cannot open " + path);
+
+  std::uint32_t magic = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&fingerprint), sizeof(fingerprint));
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_weights: " + path + " is not a fedsched model");
+  }
+  if (fingerprint != layout_fingerprint(model)) {
+    throw std::runtime_error("load_weights: architecture mismatch for " + path);
+  }
+  if (count != model.param_count()) {
+    throw std::runtime_error("load_weights: parameter count mismatch for " + path);
+  }
+  std::vector<float> flat(count);
+  in.read(reinterpret_cast<char*>(flat.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (!in) throw std::runtime_error("load_weights: truncated file " + path);
+  model.set_flat_params(flat);
+}
+
+}  // namespace fedsched::nn

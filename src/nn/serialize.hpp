@@ -1,0 +1,27 @@
+#pragma once
+// Model weight persistence.
+//
+// A flat little-endian binary container for the Model's parameter vector —
+// the same format FedAvg ships over the (simulated) network, so a file is
+// exactly one "global model" snapshot. The header records the parameter
+// count and a layout checksum so loading into a mismatched architecture
+// fails loudly instead of silently scrambling weights.
+
+#include <cstdint>
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace fedsched::nn {
+
+/// Stable hash of the model's parameter layout (shapes + kinds, in order).
+[[nodiscard]] std::uint64_t layout_fingerprint(Model& model);
+
+/// Write the model's parameters to `path` (creates parent directories).
+void save_weights(Model& model, const std::string& path);
+
+/// Load parameters saved by save_weights into a model with the *same*
+/// architecture. Throws std::runtime_error on format or layout mismatch.
+void load_weights(Model& model, const std::string& path);
+
+}  // namespace fedsched::nn

@@ -1,0 +1,40 @@
+#include "nn/sgd.hpp"
+
+#include <stdexcept>
+
+namespace fedsched::nn {
+
+void Sgd::step(Model& model) {
+  auto params = model.params();
+  if (config_.momentum > 0.0f && velocity_.size() != params.size()) {
+    velocity_.clear();
+    velocity_.reserve(params.size());
+    for (const Param& p : params) velocity_.emplace_back(p.value->shape());
+  }
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Param& p = params[i];
+    if (!p.value->same_shape(*p.grad)) {
+      throw std::logic_error("Sgd::step: grad/param shape mismatch");
+    }
+    float* value = p.value->raw();
+    float* grad = p.grad->raw();
+    const std::size_t n = p.value->numel();
+    if (config_.momentum > 0.0f) {
+      float* vel = velocity_[i].raw();
+      for (std::size_t j = 0; j < n; ++j) {
+        const float g = grad[j] + config_.weight_decay * value[j];
+        vel[j] = config_.momentum * vel[j] + g;
+        value[j] -= config_.learning_rate * vel[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        const float g = grad[j] + config_.weight_decay * value[j];
+        value[j] -= config_.learning_rate * g;
+      }
+    }
+    p.grad->zero();
+  }
+}
+
+}  // namespace fedsched::nn

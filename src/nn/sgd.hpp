@@ -1,0 +1,31 @@
+#pragma once
+// Plain SGD with optional momentum — the optimizer FedAvg clients run.
+
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace fedsched::nn {
+
+struct SgdConfig {
+  float learning_rate = 0.05f;
+  float momentum = 0.0f;       // 0 disables the velocity buffers
+  float weight_decay = 0.0f;   // L2 penalty applied to weights
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig config) : config_(config) {}
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  void step(Model& model);
+
+  [[nodiscard]] const SgdConfig& config() const noexcept { return config_; }
+  void set_learning_rate(float lr) noexcept { config_.learning_rate = lr; }
+
+ private:
+  SgdConfig config_;
+  std::vector<tensor::Tensor> velocity_;  // one per parameter, lazily sized
+};
+
+}  // namespace fedsched::nn

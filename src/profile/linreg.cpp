@@ -1,0 +1,105 @@
+#include "profile/linreg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fedsched::profile {
+
+double LinearFit::predict(std::span<const double> x) const {
+  if (beta.empty()) throw std::logic_error("LinearFit::predict: empty fit");
+  if (x.size() + 1 == beta.size()) {
+    double y = beta[0];
+    for (std::size_t j = 0; j < x.size(); ++j) y += beta[j + 1] * x[j];
+    return y;
+  }
+  if (x.size() == beta.size()) {
+    double y = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) y += beta[j] * x[j];
+    return y;
+  }
+  throw std::invalid_argument("LinearFit::predict: predictor count mismatch");
+}
+
+std::vector<double> solve_dense(std::vector<std::vector<double>> A, std::vector<double> b) {
+  const std::size_t n = A.size();
+  if (n == 0 || b.size() != n) throw std::invalid_argument("solve_dense: bad dimensions");
+  for (const auto& row : A) {
+    if (row.size() != n) throw std::invalid_argument("solve_dense: non-square matrix");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(A[r][col]) > std::abs(A[pivot][col])) pivot = r;
+    }
+    if (std::abs(A[pivot][col]) < 1e-12) {
+      throw std::runtime_error("solve_dense: singular system");
+    }
+    std::swap(A[col], A[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = A[r][col] / A[col][col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) A[r][c] -= factor * A[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= A[i][c] * x[c];
+    x[i] = acc / A[i][i];
+  }
+  return x;
+}
+
+LinearFit fit_linear(const std::vector<std::vector<double>>& X, std::span<const double> y,
+                     bool intercept) {
+  const std::size_t n = X.size();
+  if (n == 0 || y.size() != n) throw std::invalid_argument("fit_linear: bad dimensions");
+  const std::size_t k_raw = X[0].size();
+  for (const auto& row : X) {
+    if (row.size() != k_raw) throw std::invalid_argument("fit_linear: ragged X");
+  }
+  const std::size_t k = k_raw + (intercept ? 1 : 0);
+  if (n < k) throw std::invalid_argument("fit_linear: fewer observations than coefficients");
+
+  // Normal equations: (Z^T Z) beta = Z^T y with Z = [1 | X] when intercept.
+  auto z = [&](std::size_t i, std::size_t j) -> double {
+    if (intercept) return j == 0 ? 1.0 : X[i][j - 1];
+    return X[i][j];
+  };
+  std::vector<std::vector<double>> ztz(k, std::vector<double>(k, 0.0));
+  std::vector<double> zty(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < k; ++a) {
+      const double za = z(i, a);
+      zty[a] += za * y[i];
+      for (std::size_t b2 = a; b2 < k; ++b2) ztz[a][b2] += za * z(i, b2);
+    }
+  }
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b2 = 0; b2 < a; ++b2) ztz[a][b2] = ztz[b2][a];
+  }
+
+  LinearFit fit;
+  fit.beta = solve_dense(std::move(ztz), std::move(zty));
+
+  double y_mean = 0.0;
+  for (double v : y) y_mean += v;
+  y_mean /= static_cast<double>(n);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double pred = intercept ? fit.beta[0] : 0.0;
+    for (std::size_t j = 0; j < k_raw; ++j) {
+      pred += fit.beta[j + (intercept ? 1 : 0)] * X[i][j];
+    }
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - y_mean) * (y[i] - y_mean);
+  }
+  fit.rmse = std::sqrt(ss_res / static_cast<double>(n));
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace fedsched::profile

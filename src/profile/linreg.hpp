@@ -1,0 +1,33 @@
+#pragma once
+// Ordinary least squares for small predictor counts (the paper's Eq. 1 uses
+// two predictors plus intercept). Solved via normal equations with partial
+// pivoting — ample for k <= ~20 well-scaled predictors.
+
+#include <span>
+#include <vector>
+
+namespace fedsched::profile {
+
+struct LinearFit {
+  /// beta[0] is the intercept when fitted with intercept=true; the remaining
+  /// entries follow the predictor order of X's columns.
+  std::vector<double> beta;
+  double r_squared = 0.0;
+  double rmse = 0.0;
+
+  /// Predict for one row of predictors (without intercept column).
+  [[nodiscard]] double predict(std::span<const double> x) const;
+};
+
+/// Fit y ~ X. Each row of X is one observation's predictors (no intercept
+/// column — it is added internally when intercept is true). Requires at least
+/// as many observations as coefficients and non-singular X^T X.
+[[nodiscard]] LinearFit fit_linear(const std::vector<std::vector<double>>& X,
+                                   std::span<const double> y, bool intercept = true);
+
+/// Solve the dense system A x = b in place (partial pivoting). Throws on
+/// (near-)singular A.
+[[nodiscard]] std::vector<double> solve_dense(std::vector<std::vector<double>> A,
+                                              std::vector<double> b);
+
+}  // namespace fedsched::profile

@@ -1,0 +1,86 @@
+#include "profile/profiler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedsched::profile {
+
+TwoStepProfiler TwoStepProfiler::build(device::PhoneModel phone,
+                                       const ProfilerConfig& config) {
+  if (config.data_sizes.empty()) {
+    throw std::invalid_argument("TwoStepProfiler: no data sizes");
+  }
+  const auto variants = device::profiler_sweep(config.sweep_size);
+
+  std::vector<StepOneFit> fits;
+  fits.reserve(config.data_sizes.size());
+  std::uint64_t measurement = 0;
+  for (std::size_t d : config.data_sizes) {
+    std::vector<std::vector<double>> predictors;
+    std::vector<double> times;
+    predictors.reserve(variants.size());
+    times.reserve(variants.size());
+    for (const auto& variant : variants) {
+      device::Device dev(phone);
+      dev.set_measurement_noise(config.measurement_noise, config.seed + measurement++);
+      times.push_back(dev.train(variant, d));
+      // Scale to "per million parameters" so the normal equations stay
+      // well-conditioned across the 0.1x..100x sweep.
+      predictors.push_back({static_cast<double>(variant.conv_params) / 1e6,
+                            static_cast<double>(variant.dense_params) / 1e6});
+    }
+    fits.push_back({d, fit_linear(predictors, times, /*intercept=*/true)});
+  }
+  return TwoStepProfiler(phone, std::move(fits));
+}
+
+std::vector<double> TwoStepProfiler::step_one_estimates(
+    const device::ModelDesc& model) const {
+  std::vector<double> estimates;
+  estimates.reserve(fits_.size());
+  const std::vector<double> x = {static_cast<double>(model.conv_params) / 1e6,
+                                 static_cast<double>(model.dense_params) / 1e6};
+  for (const auto& [size, fit] : fits_) {
+    estimates.push_back(std::max(0.0, fit.predict(x)));
+  }
+  return estimates;
+}
+
+LinearTimeModel TwoStepProfiler::predict(const device::ModelDesc& model) const {
+  const auto estimates = step_one_estimates(model);
+  std::vector<std::vector<double>> predictors;
+  predictors.reserve(fits_.size());
+  for (const auto& [size, fit] : fits_) {
+    predictors.push_back({static_cast<double>(size)});
+  }
+  const LinearFit line = fit_linear(predictors, estimates, /*intercept=*/true);
+  // A near-zero negative slope can fall out of noisy estimates; clamp.
+  return {line.beta[0], std::max(0.0, line.beta[1])};
+}
+
+InterpolatedTimeModel measure_profile(device::PhoneModel model,
+                                      const device::ModelDesc& desc,
+                                      const std::vector<std::size_t>& sizes,
+                                      double noise, std::uint64_t seed) {
+  if (sizes.empty()) throw std::invalid_argument("measure_profile: no sizes");
+  std::vector<std::size_t> sorted = sizes;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::vector<double> times;
+  times.reserve(sorted.size());
+  std::uint64_t measurement = 0;
+  for (std::size_t d : sorted) {
+    device::Device dev(model);
+    if (noise > 0.0) dev.set_measurement_noise(noise, seed + measurement++);
+    times.push_back(dev.train(desc, d));
+  }
+  // Noise can produce tiny monotonicity violations; repair upward so the
+  // profile satisfies Property 1.
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    times[i] = std::max(times[i], times[i - 1]);
+  }
+  return {std::move(sorted), std::move(times)};
+}
+
+}  // namespace fedsched::profile

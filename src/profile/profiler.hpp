@@ -1,0 +1,70 @@
+#pragma once
+// The paper's two-step performance profiler (Section IV-B).
+//
+// Step 1: for every probed data size d, train k architecture variants on the
+//         (simulated) device and regress time against conv / dense parameter
+//         counts:  y = b0 + b1 * conv_params + b2 * dense_params.
+// Step 2: for a target architecture, evaluate each step-1 hyperplane to get
+//         one time estimate per data size, then regress those estimates
+//         against d to obtain the final t(D) line.
+//
+// measure_profile() is the direct alternative: measure the target model at
+// the anchor sizes and interpolate — the high-fidelity profile a deployment
+// would store per device; it captures the thermal superlinearity the linear
+// fit misses (the "small gap" visible in Fig 4b).
+
+#include <cstdint>
+
+#include "device/device.hpp"
+#include "profile/linreg.hpp"
+#include "profile/time_model.hpp"
+
+namespace fedsched::profile {
+
+struct ProfilerConfig {
+  std::vector<std::size_t> data_sizes = {250, 500, 1000, 2000, 4000};
+  std::size_t sweep_size = 12;          // k architecture variants for step 1
+  double measurement_noise = 0.02;      // relative stddev on simulated timings
+  std::uint64_t seed = 2020;
+};
+
+struct StepOneFit {
+  std::size_t data_size = 0;
+  LinearFit fit;  // beta = {b0, b1 (per conv param), b2 (per dense param)}
+};
+
+class TwoStepProfiler {
+ public:
+  /// Run the offline profiling campaign on a (fresh) simulated device.
+  [[nodiscard]] static TwoStepProfiler build(device::PhoneModel model,
+                                             const ProfilerConfig& config = {});
+
+  /// Step-2 prediction: a linear epoch-time profile for the architecture.
+  [[nodiscard]] LinearTimeModel predict(const device::ModelDesc& model) const;
+
+  /// Step-1 time estimates for the architecture at each probed size.
+  [[nodiscard]] std::vector<double> step_one_estimates(
+      const device::ModelDesc& model) const;
+
+  [[nodiscard]] const std::vector<StepOneFit>& step_one() const noexcept {
+    return fits_;
+  }
+  [[nodiscard]] device::PhoneModel phone() const noexcept { return phone_; }
+
+ private:
+  TwoStepProfiler(device::PhoneModel phone, std::vector<StepOneFit> fits)
+      : phone_(phone), fits_(std::move(fits)) {}
+
+  device::PhoneModel phone_;
+  std::vector<StepOneFit> fits_;
+};
+
+/// Measure the target model directly at the anchor sizes (device reset to
+/// cold before each measurement, matching the paper's fully-charged, cooled
+/// testbed runs) and return the interpolated profile.
+[[nodiscard]] InterpolatedTimeModel measure_profile(
+    device::PhoneModel model, const device::ModelDesc& desc,
+    const std::vector<std::size_t>& sizes, double noise = 0.0,
+    std::uint64_t seed = 2020);
+
+}  // namespace fedsched::profile

@@ -1,0 +1,69 @@
+#include "profile/time_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedsched::profile {
+
+LinearTimeModel::LinearTimeModel(double intercept_s, double slope_s_per_sample)
+    : intercept_(intercept_s), slope_(slope_s_per_sample) {
+  if (slope_ < 0.0) {
+    throw std::invalid_argument("LinearTimeModel: negative slope violates Property 1");
+  }
+}
+
+double LinearTimeModel::epoch_seconds(std::size_t samples) const {
+  if (samples == 0) return 0.0;
+  return std::max(0.0, intercept_ + slope_ * static_cast<double>(samples));
+}
+
+InterpolatedTimeModel::InterpolatedTimeModel(std::vector<std::size_t> sizes,
+                                             std::vector<double> seconds)
+    : sizes_(std::move(sizes)), seconds_(std::move(seconds)) {
+  if (sizes_.empty() || sizes_.size() != seconds_.size()) {
+    throw std::invalid_argument("InterpolatedTimeModel: bad anchors");
+  }
+  for (std::size_t i = 1; i < sizes_.size(); ++i) {
+    if (sizes_[i] <= sizes_[i - 1]) {
+      throw std::invalid_argument("InterpolatedTimeModel: sizes not increasing");
+    }
+    if (seconds_[i] < seconds_[i - 1]) {
+      // Enforce Property 1: monotone cost in data size.
+      throw std::invalid_argument("InterpolatedTimeModel: times not monotone");
+    }
+  }
+  if (seconds_.front() < 0.0) {
+    throw std::invalid_argument("InterpolatedTimeModel: negative time");
+  }
+}
+
+double InterpolatedTimeModel::epoch_seconds(std::size_t samples) const {
+  if (samples == 0) return 0.0;
+  const double x = static_cast<double>(samples);
+  // Left of the first anchor: scale proportionally (through the origin).
+  if (samples <= sizes_.front()) {
+    return seconds_.front() * x / static_cast<double>(sizes_.front());
+  }
+  const auto it = std::lower_bound(sizes_.begin(), sizes_.end(), samples);
+  if (it == sizes_.end()) {
+    // Extrapolate with the last segment's slope (or the mean rate if only
+    // one anchor exists).
+    const std::size_t last = sizes_.size() - 1;
+    double slope;
+    if (sizes_.size() == 1) {
+      slope = seconds_[0] / static_cast<double>(sizes_[0]);
+    } else {
+      slope = (seconds_[last] - seconds_[last - 1]) /
+              static_cast<double>(sizes_[last] - sizes_[last - 1]);
+    }
+    return seconds_[last] + slope * (x - static_cast<double>(sizes_[last]));
+  }
+  const std::size_t hi = static_cast<std::size_t>(it - sizes_.begin());
+  if (sizes_[hi] == samples) return seconds_[hi];
+  const std::size_t lo = hi - 1;
+  const double frac = (x - static_cast<double>(sizes_[lo])) /
+                      static_cast<double>(sizes_[hi] - sizes_[lo]);
+  return seconds_[lo] + frac * (seconds_[hi] - seconds_[lo]);
+}
+
+}  // namespace fedsched::profile

@@ -1,0 +1,60 @@
+#pragma once
+// Per-device training-time profiles consumed by the schedulers.
+//
+// A TimeModel answers "how long does one local epoch over D samples take on
+// this device" — compute only; communication is an additive constant the
+// cost matrix supplies. Property 1 of the paper (non-decreasing in D) is
+// enforced on construction.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace fedsched::profile {
+
+class TimeModel {
+ public:
+  virtual ~TimeModel() = default;
+  /// Compute seconds for one epoch over `samples` samples.
+  [[nodiscard]] virtual double epoch_seconds(std::size_t samples) const = 0;
+};
+
+using TimeModelPtr = std::shared_ptr<const TimeModel>;
+
+/// t(D) = intercept + slope * D, clamped at >= 0. The output of the paper's
+/// two-step linear profiler (Fig 4b).
+class LinearTimeModel final : public TimeModel {
+ public:
+  LinearTimeModel(double intercept_s, double slope_s_per_sample);
+  [[nodiscard]] double epoch_seconds(std::size_t samples) const override;
+
+  [[nodiscard]] double intercept() const noexcept { return intercept_; }
+  [[nodiscard]] double slope() const noexcept { return slope_; }
+
+ private:
+  double intercept_;
+  double slope_;
+};
+
+/// Piecewise-linear interpolation through measured (size, seconds) anchors;
+/// extrapolates with the last segment's slope. Captures the superlinear
+/// thermal-throttling regime a single line misses.
+class InterpolatedTimeModel final : public TimeModel {
+ public:
+  /// anchors must be sorted by size, non-empty, with non-decreasing times.
+  InterpolatedTimeModel(std::vector<std::size_t> sizes, std::vector<double> seconds);
+  [[nodiscard]] double epoch_seconds(std::size_t samples) const override;
+
+  [[nodiscard]] const std::vector<std::size_t>& anchor_sizes() const noexcept {
+    return sizes_;
+  }
+  [[nodiscard]] const std::vector<double>& anchor_seconds() const noexcept {
+    return seconds_;
+  }
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::vector<double> seconds_;
+};
+
+}  // namespace fedsched::profile

@@ -1,0 +1,69 @@
+#include "sched/accuracy_cost.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace fedsched::sched {
+
+ClassCoverage::ClassCoverage(std::size_t total_classes) : covered_(total_classes, false) {
+  if (total_classes == 0) throw std::invalid_argument("ClassCoverage: zero classes");
+}
+
+bool ClassCoverage::covers(std::uint16_t cls) const {
+  if (cls >= covered_.size()) throw std::out_of_range("ClassCoverage: class out of range");
+  return covered_[cls];
+}
+
+bool ClassCoverage::intersects(const std::vector<std::uint16_t>& classes) const {
+  for (std::uint16_t c : classes) {
+    if (covers(c)) return true;
+  }
+  return false;
+}
+
+void ClassCoverage::add(const std::vector<std::uint16_t>& classes) {
+  for (std::uint16_t c : classes) {
+    if (c >= covered_.size()) throw std::out_of_range("ClassCoverage: class out of range");
+    if (!covered_[c]) {
+      covered_[c] = true;
+      ++count_;
+    }
+  }
+}
+
+double scaled_accuracy_cost(const AccuracyCostParams& params,
+                            const std::vector<std::uint16_t>& user_classes,
+                            const ClassCoverage& coverage,
+                            std::size_t assigned_shards) {
+  bool bonus_applies = false;
+  switch (params.bonus_mode) {
+    case BonusMode::kDisjointOnly:
+      bonus_applies = !user_classes.empty() && !coverage.intersects(user_classes);
+      break;
+    case BonusMode::kAnyNewClass:
+      bonus_applies = holds_new_class(user_classes, coverage);
+      break;
+  }
+  return scaled_accuracy_cost(params, user_classes, bonus_applies, assigned_shards);
+}
+
+double scaled_accuracy_cost(const AccuracyCostParams& params,
+                            const std::vector<std::uint16_t>& user_classes,
+                            bool bonus_applies, std::size_t assigned_shards) {
+  if (user_classes.empty()) return std::numeric_limits<double>::infinity();
+  const double base = params.alpha * static_cast<double>(params.testset_classes) /
+                      static_cast<double>(user_classes.size());
+  if (!bonus_applies) return base;
+  // α·F_j = α·K/|U_j| − β·D_u  (Eq. 6's second branch, pre-scaled by α).
+  return base - params.beta * static_cast<double>(assigned_shards);
+}
+
+bool holds_new_class(const std::vector<std::uint16_t>& user_classes,
+                     const ClassCoverage& coverage) {
+  for (std::uint16_t c : user_classes) {
+    if (!coverage.covers(c)) return true;
+  }
+  return false;
+}
+
+}  // namespace fedsched::sched

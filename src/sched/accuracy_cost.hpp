@@ -1,0 +1,76 @@
+#pragma once
+// The non-IID accuracy cost F_j (Eq. 6).
+//
+//   F_j = K / |U_j|                      if U ∩ U_j != ∅
+//   F_j = K / |U_j| - (β/α) · D_u        otherwise (entirely-new classes)
+//
+// Users with few classes are expensive (their gradients skew the average);
+// users whose classes are *all* unseen get a growing discount proportional
+// to the already-assigned data D_u, so the schedule actively recruits
+// coverage for missing classes (Section III-C's guideline).
+
+#include <cstdint>
+#include <vector>
+
+namespace fedsched::sched {
+
+/// Set of classes currently covered by the training set.
+class ClassCoverage {
+ public:
+  explicit ClassCoverage(std::size_t total_classes);
+
+  [[nodiscard]] std::size_t total_classes() const noexcept { return covered_.size(); }
+  [[nodiscard]] std::size_t covered_count() const noexcept { return count_; }
+  [[nodiscard]] bool covers(std::uint16_t cls) const;
+  /// True if any of the user's classes is already covered.
+  [[nodiscard]] bool intersects(const std::vector<std::uint16_t>& classes) const;
+  void add(const std::vector<std::uint16_t>& classes);
+
+ private:
+  std::vector<bool> covered_;
+  std::size_t count_ = 0;
+};
+
+/// When the beta recruitment bonus applies (Eq. 6's "otherwise" branch).
+///
+/// Both readings are ablated in bench/fig6_alpha_beta. Note the bonus is
+/// inherently *transient*: once the user joins, its classes enter the
+/// coverage U and the bonus vanishes — so beta buys admission (class
+/// coverage), not sustained data volume. The paper's own Table IV p3 column
+/// shows larger re-allocations than any reading of Eq. 6 produces; see
+/// EXPERIMENTS.md for the discussion.
+enum class BonusMode {
+  /// Literal Eq. 6: bonus only while U ∩ U_j == ∅ (fully disjoint user).
+  kDisjointOnly,
+  /// Motivation-faithful variant (Section III-C): bonus whenever the user
+  /// still holds at least one class absent from the coverage.
+  kAnyNewClass,
+};
+
+/// True when the user's classes contain at least one class missing from the
+/// coverage (the kAnyNewClass condition).
+[[nodiscard]] bool holds_new_class(const std::vector<std::uint16_t>& user_classes,
+                                   const ClassCoverage& coverage);
+
+struct AccuracyCostParams {
+  double alpha = 1000.0;  // weight of the accuracy cost in P2
+  double beta = 2.0;      // unseen-class recruitment bonus per assigned shard
+  std::size_t testset_classes = 10;  // K
+  BonusMode bonus_mode = BonusMode::kDisjointOnly;
+};
+
+/// α·F_j for a user with the given classes under the current coverage and
+/// assigned-shard count D_u. Users with no classes get +infinity (they can't
+/// contribute gradients).
+[[nodiscard]] double scaled_accuracy_cost(const AccuracyCostParams& params,
+                                          const std::vector<std::uint16_t>& user_classes,
+                                          const ClassCoverage& coverage,
+                                          std::size_t assigned_shards);
+
+/// Same, with the bonus decision supplied by the caller.
+[[nodiscard]] double scaled_accuracy_cost(const AccuracyCostParams& params,
+                                          const std::vector<std::uint16_t>& user_classes,
+                                          bool bonus_applies,
+                                          std::size_t assigned_shards);
+
+}  // namespace fedsched::sched

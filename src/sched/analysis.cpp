@@ -1,0 +1,105 @@
+#include "sched/analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedsched::sched {
+
+AssignmentAnalysis analyze(const std::vector<UserProfile>& users,
+                           const Assignment& assignment) {
+  const auto times = epoch_times(users, assignment);
+  AssignmentAnalysis analysis;
+  double sum = 0.0;
+  for (double t : times) {
+    if (t <= 0.0) continue;
+    ++analysis.participants;
+    sum += t;
+    analysis.makespan_seconds = std::max(analysis.makespan_seconds, t);
+  }
+  if (analysis.participants == 0) return analysis;
+  analysis.mean_seconds = sum / static_cast<double>(analysis.participants);
+  analysis.straggler_gap =
+      (analysis.makespan_seconds - analysis.mean_seconds) / analysis.mean_seconds;
+  analysis.utilization = analysis.mean_seconds / analysis.makespan_seconds;
+  return analysis;
+}
+
+namespace {
+
+/// Largest sample count user j can process within `budget_s` (monotone
+/// bisection over the time model; capped by the capacity in samples).
+std::size_t samples_within(const UserProfile& user, double budget_s,
+                           std::size_t hard_cap) {
+  if (user.epoch_seconds(1) > budget_s) return 0;
+  std::size_t lo = 1, hi = 2;
+  while (hi <= hard_cap && user.epoch_seconds(hi) <= budget_s) {
+    lo = hi;
+    hi *= 2;
+  }
+  hi = std::min(hi, hard_cap + 1);
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (user.epoch_seconds(mid) <= budget_s) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+double fractional_makespan_lower_bound(const std::vector<UserProfile>& users,
+                                       std::size_t total_samples,
+                                       std::size_t capacity_shard_size,
+                                       double tolerance_s) {
+  if (users.empty()) throw std::invalid_argument("lower_bound: no users");
+  if (capacity_shard_size == 0) {
+    throw std::invalid_argument("lower_bound: zero capacity shard size");
+  }
+  if (total_samples == 0) return 0.0;
+
+  auto feasible = [&](double t) {
+    std::size_t hosted = 0;
+    for (const UserProfile& user : users) {
+      // Convert the shard capacity into samples, saturating on overflow.
+      const std::size_t cap =
+          user.capacity_shards >= total_samples / capacity_shard_size + 1
+              ? total_samples
+              : std::min(total_samples, user.capacity_shards * capacity_shard_size);
+      hosted += samples_within(user, t, cap);
+      if (hosted >= total_samples) return true;
+    }
+    return false;
+  };
+
+  // Bracket: lo infeasible (or zero), hi feasible.
+  double hi = 1.0;
+  int doublings = 0;
+  while (!feasible(hi)) {
+    hi *= 2.0;
+    if (++doublings > 60) {
+      throw std::invalid_argument("lower_bound: capacities cannot host the dataset");
+    }
+  }
+  double lo = 0.0;
+  while (hi - lo > tolerance_s) {
+    const double mid = lo + (hi - lo) / 2.0;
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double optimality_gap(const std::vector<UserProfile>& users,
+                      const Assignment& assignment, std::size_t total_samples) {
+  const double bound = fractional_makespan_lower_bound(users, total_samples);
+  if (bound <= 0.0) return 0.0;
+  return makespan(users, assignment) / bound - 1.0;
+}
+
+}  // namespace fedsched::sched

@@ -1,0 +1,44 @@
+#pragma once
+// Assignment diagnostics: utilization, imbalance, and a fractional
+// lower bound on the achievable makespan.
+//
+// The lower bound treats data as continuously divisible (shard size 1) and
+// binary-searches the smallest time t such that the users' capacities at
+// threshold t can host the whole dataset:  sum_j max{D : T_j(D) <= t} >= D.
+// Any integral schedule is at least this slow, so
+//   makespan / lower_bound - 1
+// is a certified optimality gap — used by tests and the bench harnesses to
+// show Fed-LBAP sits within one shard of optimal.
+
+#include "sched/types.hpp"
+
+namespace fedsched::sched {
+
+struct AssignmentAnalysis {
+  double makespan_seconds = 0.0;
+  double mean_seconds = 0.0;          // over participants
+  double straggler_gap = 0.0;         // (max - mean) / mean
+  /// Mean busy-fraction of participants relative to the makespan: 1 means
+  /// perfectly level, small values mean most users idle while one straggles.
+  double utilization = 0.0;
+  std::size_t participants = 0;
+};
+
+[[nodiscard]] AssignmentAnalysis analyze(const std::vector<UserProfile>& users,
+                                         const Assignment& assignment);
+
+/// Fractional (sample-granular) lower bound on the makespan of distributing
+/// `total_samples` across the users. `capacity_shard_size` converts each
+/// user's capacity_shards into samples (pass the shard size the profile was
+/// built for; 1 when capacities are already in samples). Tolerance is on the
+/// returned time value.
+[[nodiscard]] double fractional_makespan_lower_bound(
+    const std::vector<UserProfile>& users, std::size_t total_samples,
+    std::size_t capacity_shard_size = 1, double tolerance_s = 1e-6);
+
+/// makespan / lower_bound - 1 (>= 0 up to tolerance).
+[[nodiscard]] double optimality_gap(const std::vector<UserProfile>& users,
+                                    const Assignment& assignment,
+                                    std::size_t total_samples);
+
+}  // namespace fedsched::sched

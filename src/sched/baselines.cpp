@@ -1,0 +1,96 @@
+#include "sched/baselines.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace fedsched::sched {
+
+const char* baseline_name(Baseline baseline) noexcept {
+  switch (baseline) {
+    case Baseline::kEqual: return "Equal";
+    case Baseline::kProportional: return "Prop.";
+    case Baseline::kRandom: return "Random";
+  }
+  return "?";
+}
+
+Assignment assign_equal(std::size_t users, std::size_t total_shards,
+                        std::size_t shard_size) {
+  if (users == 0) throw std::invalid_argument("assign_equal: no users");
+  Assignment a;
+  a.shard_size = shard_size;
+  a.shards_per_user.assign(users, total_shards / users);
+  for (std::size_t u = 0; u < total_shards % users; ++u) ++a.shards_per_user[u];
+  return a;
+}
+
+Assignment assign_proportional(const std::vector<UserProfile>& users,
+                               std::size_t total_shards, std::size_t shard_size) {
+  if (users.empty()) throw std::invalid_argument("assign_proportional: no users");
+  std::vector<double> weights;
+  weights.reserve(users.size());
+  for (const UserProfile& user : users) {
+    weights.push_back(device::mean_cpu_ghz(device::spec_of(user.phone)));
+  }
+  const double wsum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  Assignment a;
+  a.shard_size = shard_size;
+  a.shards_per_user.resize(users.size());
+  std::size_t assigned = 0;
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    a.shards_per_user[u] =
+        static_cast<std::size_t>(weights[u] / wsum * static_cast<double>(total_shards));
+    assigned += a.shards_per_user[u];
+  }
+  // Hand the rounding remainder to the nominally fastest devices.
+  std::vector<std::size_t> order(users.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return weights[x] > weights[y]; });
+  std::size_t i = 0;
+  while (assigned < total_shards) {
+    ++a.shards_per_user[order[i % order.size()]];
+    ++assigned;
+    ++i;
+  }
+  return a;
+}
+
+Assignment assign_random(std::size_t users, std::size_t total_shards,
+                         std::size_t shard_size, common::Rng& rng) {
+  if (users == 0) throw std::invalid_argument("assign_random: no users");
+  Assignment a;
+  a.shard_size = shard_size;
+  a.shards_per_user.assign(users, 0);
+  if (users == 1) {
+    a.shards_per_user[0] = total_shards;
+    return a;
+  }
+  // Stars and bars: choose users-1 cut points in [0, total_shards].
+  std::vector<std::size_t> cuts(users - 1);
+  for (auto& cut : cuts) cut = rng.uniform_int(total_shards + 1);
+  std::sort(cuts.begin(), cuts.end());
+  std::size_t prev = 0;
+  for (std::size_t u = 0; u < users - 1; ++u) {
+    a.shards_per_user[u] = cuts[u] - prev;
+    prev = cuts[u];
+  }
+  a.shards_per_user[users - 1] = total_shards - prev;
+  return a;
+}
+
+Assignment assign_baseline(Baseline baseline, const std::vector<UserProfile>& users,
+                           std::size_t total_shards, std::size_t shard_size,
+                           common::Rng& rng) {
+  switch (baseline) {
+    case Baseline::kEqual: return assign_equal(users.size(), total_shards, shard_size);
+    case Baseline::kProportional:
+      return assign_proportional(users, total_shards, shard_size);
+    case Baseline::kRandom:
+      return assign_random(users.size(), total_shards, shard_size, rng);
+  }
+  throw std::invalid_argument("assign_baseline: unknown baseline");
+}
+
+}  // namespace fedsched::sched

@@ -1,0 +1,34 @@
+#pragma once
+// The paper's comparison baselines (Section VII):
+//   Equal        — FedAvg's balanced split,
+//   Proportional — data proportional to mean CPU clock per core,
+//   Random       — a uniformly random composition of the shards.
+
+#include "common/rng.hpp"
+#include "sched/types.hpp"
+
+namespace fedsched::sched {
+
+enum class Baseline { kEqual, kProportional, kRandom };
+
+[[nodiscard]] const char* baseline_name(Baseline baseline) noexcept;
+
+[[nodiscard]] Assignment assign_equal(std::size_t users, std::size_t total_shards,
+                                      std::size_t shard_size);
+
+/// Weights each user by mean_cpu_ghz of its phone spec.
+[[nodiscard]] Assignment assign_proportional(const std::vector<UserProfile>& users,
+                                             std::size_t total_shards,
+                                             std::size_t shard_size);
+
+/// Uniformly random composition of total_shards into users parts (stars and
+/// bars via sorted cut points).
+[[nodiscard]] Assignment assign_random(std::size_t users, std::size_t total_shards,
+                                       std::size_t shard_size, common::Rng& rng);
+
+[[nodiscard]] Assignment assign_baseline(Baseline baseline,
+                                         const std::vector<UserProfile>& users,
+                                         std::size_t total_shards,
+                                         std::size_t shard_size, common::Rng& rng);
+
+}  // namespace fedsched::sched

@@ -1,0 +1,49 @@
+#include "sched/cost_matrix.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedsched::sched {
+
+CostMatrix::CostMatrix(const std::vector<UserProfile>& users, std::size_t total_shards,
+                       std::size_t shard_size)
+    : rows_(users.size()), cols_(total_shards), shard_size_(shard_size) {
+  if (rows_ == 0) throw std::invalid_argument("CostMatrix: no users");
+  if (cols_ == 0) throw std::invalid_argument("CostMatrix: no shards");
+  if (shard_size_ == 0) throw std::invalid_argument("CostMatrix: zero shard size");
+
+  values_.resize(rows_ * cols_);
+  capacity_.resize(rows_);
+  for (std::size_t j = 0; j < rows_; ++j) {
+    if (!users[j].time_model) throw std::invalid_argument("CostMatrix: null time model");
+    capacity_[j] = std::min(users[j].capacity_shards, cols_);
+    double prev = 0.0;
+    for (std::size_t k = 1; k <= cols_; ++k) {
+      double c = users[j].epoch_seconds(k * shard_size_);
+      // Guard Property 1 against non-monotone custom models.
+      c = std::max(c, prev);
+      values_[j * cols_ + (k - 1)] = c;
+      prev = c;
+    }
+  }
+  sorted_values_ = values_;
+  std::sort(sorted_values_.begin(), sorted_values_.end());
+}
+
+double CostMatrix::cost(std::size_t user, std::size_t shards) const {
+  if (user >= rows_) throw std::out_of_range("CostMatrix::cost: bad user");
+  if (shards == 0) return 0.0;
+  if (shards > cols_) throw std::out_of_range("CostMatrix::cost: bad shard count");
+  return values_[user * cols_ + (shards - 1)];
+}
+
+std::size_t CostMatrix::max_shards_within(std::size_t user, double threshold) const {
+  if (user >= rows_) throw std::out_of_range("CostMatrix::max_shards_within: bad user");
+  const double* row = values_.data() + user * cols_;
+  // Row is sorted ascending in k: binary search the last entry <= threshold.
+  const auto end = row + capacity_[user];
+  const auto it = std::upper_bound(row, end, threshold);
+  return static_cast<std::size_t>(it - row);
+}
+
+}  // namespace fedsched::sched

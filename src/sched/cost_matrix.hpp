@@ -1,0 +1,43 @@
+#pragma once
+// The n x s cost matrix of Fed-LBAP: C[j][k-1] = seconds for user j to run an
+// epoch over k shards (compute + comm). Rows are non-decreasing in k
+// (Property 1), which both algorithms rely on.
+
+#include <vector>
+
+#include "sched/types.hpp"
+
+namespace fedsched::sched {
+
+class CostMatrix {
+ public:
+  /// Build from user profiles for shard counts 1..total_shards.
+  CostMatrix(const std::vector<UserProfile>& users, std::size_t total_shards,
+             std::size_t shard_size);
+
+  [[nodiscard]] std::size_t users() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t shards() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t shard_size() const noexcept { return shard_size_; }
+
+  /// Cost of assigning k shards (k in 1..shards()) to user j. cost(j,0) = 0.
+  [[nodiscard]] double cost(std::size_t user, std::size_t shards) const;
+
+  /// Largest k with cost(j,k) <= threshold, capped at the user's capacity.
+  [[nodiscard]] std::size_t max_shards_within(std::size_t user,
+                                              double threshold) const;
+
+  /// All matrix values, ascending (the binary-search domain of Algorithm 1).
+  [[nodiscard]] const std::vector<double>& sorted_values() const noexcept {
+    return sorted_values_;
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t shard_size_;
+  std::vector<double> values_;         // row-major [rows_ x cols_]
+  std::vector<std::size_t> capacity_;  // per user, in shards (capped at cols_)
+  std::vector<double> sorted_values_;
+};
+
+}  // namespace fedsched::sched

@@ -1,0 +1,40 @@
+#pragma once
+// Fed-LBAP (Algorithm 1): joint data partitioning + assignment for IID data.
+//
+// Minimizes the per-epoch makespan  max_j (T_j^c(D_j) + T_j^u + T_j^d)
+// subject to sum_j D_j = D. Because every cost row is non-decreasing in the
+// shard count (Property 1), the optimal makespan is the smallest matrix value
+// c* whose per-user "budgets" A_j(c*) = max{k : C_jk <= c*} sum to at least
+// D (Property 2's relaxed matching). We binary-search c* over the sorted
+// matrix values and then trim the budgets down to exactly D shards, removing
+// shards from the currently-costliest users first so the final assignment is
+// makespan-optimal and average-lean.
+//
+// Complexity: O(ns log ns) for the sort, O(log(ns)) search iterations, each
+// O(n log s) — matching the paper's bound (O(n^2 log n) when s = n).
+
+#include "sched/cost_matrix.hpp"
+#include "sched/types.hpp"
+
+namespace fedsched::sched {
+
+struct LbapResult {
+  Assignment assignment;
+  double makespan_seconds = 0.0;   // the optimal threshold c*
+  std::size_t search_iterations = 0;
+};
+
+/// Solve over a prebuilt cost matrix. Throws if the total capacity across
+/// users cannot host `total_shards`.
+[[nodiscard]] LbapResult fed_lbap(const CostMatrix& matrix, std::size_t total_shards);
+
+/// Convenience: build the cost matrix from profiles and solve.
+[[nodiscard]] LbapResult fed_lbap(const std::vector<UserProfile>& users,
+                                  std::size_t total_shards, std::size_t shard_size);
+
+/// Exhaustive minimum-makespan search (O(s^n)); testing oracle for small
+/// instances only.
+[[nodiscard]] LbapResult lbap_bruteforce(const CostMatrix& matrix,
+                                         std::size_t total_shards);
+
+}  // namespace fedsched::sched

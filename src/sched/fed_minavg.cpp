@@ -1,0 +1,81 @@
+#include "sched/fed_minavg.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace fedsched::sched {
+
+MinAvgResult fed_minavg(const std::vector<UserProfile>& users, std::size_t total_shards,
+                        std::size_t shard_size, const MinAvgConfig& config) {
+  const std::size_t n = users.size();
+  if (n == 0) throw std::invalid_argument("fed_minavg: no users");
+  if (total_shards == 0) throw std::invalid_argument("fed_minavg: zero shards");
+  if (shard_size == 0) throw std::invalid_argument("fed_minavg: zero shard size");
+
+  std::size_t capacity_total = 0;
+  for (const UserProfile& user : users) {
+    if (!user.time_model) throw std::invalid_argument("fed_minavg: null time model");
+    capacity_total += std::min(user.capacity_shards, total_shards);
+  }
+  if (capacity_total < total_shards) {
+    throw std::invalid_argument("fed_minavg: capacities cannot host the dataset");
+  }
+
+  ClassCoverage coverage(config.cost.testset_classes);
+  std::vector<std::size_t> shards(n, 0);
+  std::vector<bool> open(n, false);
+  std::size_t assigned = 0;
+
+  // Marginal cost of giving user j its next shard under the current state.
+  auto candidate_cost = [&](std::size_t j) -> double {
+    if (shards[j] >= users[j].capacity_shards) {
+      return std::numeric_limits<double>::infinity();  // bin closed (line 14-15)
+    }
+    const double acc =
+        scaled_accuracy_cost(config.cost, users[j].classes, coverage, assigned);
+    if (acc == std::numeric_limits<double>::infinity()) return acc;
+    const std::size_t next_samples = (shards[j] + 1) * shard_size;
+    double time = users[j].time_model->epoch_seconds(next_samples);
+    if (config.include_comm) time += users[j].comm_seconds;
+    return time + acc;
+  };
+
+  MinAvgResult result;
+  while (assigned < total_shards) {
+    // Eq. 12: compare every open user's increment against every unopened
+    // user's opening cost; pick the global minimum. Recomputing costs keeps
+    // F_j consistent with the *current* coverage and D_u for all candidates
+    // (lines 10-13 of the pseudocode are the cached equivalent).
+    std::size_t best = n;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < n; ++j) {
+      const double c = candidate_cost(j);
+      if (c < best_cost) {
+        best_cost = c;
+        best = j;
+      }
+    }
+    if (best == n) {
+      throw std::runtime_error("fed_minavg: no assignable user (all closed or classless)");
+    }
+    ++shards[best];
+    ++assigned;
+    ++result.steps;
+    if (!open[best]) {
+      open[best] = true;
+      coverage.add(users[best].classes);  // line 16: U <- U ∪ U_j
+    }
+  }
+
+  result.assignment.shard_size = shard_size;
+  result.assignment.shards_per_user = std::move(shards);
+  const auto times = epoch_times(users, result.assignment);
+  for (double t : times) result.total_time_seconds += t;
+  result.makespan_seconds = times.empty() ? 0.0 : *std::max_element(times.begin(),
+                                                                    times.end());
+  result.covered_classes = coverage.covered_count();
+  return result;
+}
+
+}  // namespace fedsched::sched

@@ -1,0 +1,41 @@
+#pragma once
+// Fed-MinAvg (Algorithm 2): greedy min-average-cost assignment for non-IID
+// data — a bin-packing-with-item-fragmentation analogue where users are bins
+// whose opening cost blends computation time and the accuracy cost of Eq. 6.
+//
+// Shards are assigned one at a time to the candidate with the smallest
+//   T_j((l_j + 1) · d) [+ comm_j] + α · F_j
+// where unopened users are evaluated at one shard. Coverage U, assigned
+// total D_u and per-user costs evolve as in the paper's pseudocode; a user
+// hitting its capacity C_j is closed (cost = ∞). O(mn) for m shards, n users.
+
+#include "sched/accuracy_cost.hpp"
+#include "sched/types.hpp"
+
+namespace fedsched::sched {
+
+struct MinAvgConfig {
+  AccuracyCostParams cost;
+  /// Include per-round communication in the opening cost (the paper's P2
+  /// objective does; its Algorithm 2 pseudocode omits it for clarity).
+  bool include_comm = true;
+};
+
+struct MinAvgResult {
+  Assignment assignment;
+  /// Sum over selected users of epoch time (the P2 time term), seconds.
+  double total_time_seconds = 0.0;
+  /// Synchronous-round makespan of the produced assignment.
+  double makespan_seconds = 0.0;
+  /// Classes covered by the selected users, out of K.
+  std::size_t covered_classes = 0;
+  /// Greedy steps executed (== total shards assigned).
+  std::size_t steps = 0;
+};
+
+/// Users must carry their class sets; total capacity must host total_shards.
+[[nodiscard]] MinAvgResult fed_minavg(const std::vector<UserProfile>& users,
+                                      std::size_t total_shards, std::size_t shard_size,
+                                      const MinAvgConfig& config);
+
+}  // namespace fedsched::sched

@@ -1,0 +1,46 @@
+#include "sched/types.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fedsched::sched {
+
+std::size_t Assignment::total_shards() const noexcept {
+  std::size_t total = 0;
+  for (std::size_t k : shards_per_user) total += k;
+  return total;
+}
+
+std::vector<std::size_t> Assignment::sample_counts() const {
+  std::vector<std::size_t> counts(shards_per_user.size());
+  for (std::size_t u = 0; u < shards_per_user.size(); ++u) {
+    counts[u] = shards_per_user[u] * shard_size;
+  }
+  return counts;
+}
+
+std::size_t Assignment::participants() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t k : shards_per_user) n += (k > 0);
+  return n;
+}
+
+std::vector<double> epoch_times(const std::vector<UserProfile>& users,
+                                const Assignment& assignment) {
+  if (users.size() != assignment.users()) {
+    throw std::invalid_argument("epoch_times: user/assignment size mismatch");
+  }
+  std::vector<double> times(users.size(), 0.0);
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    times[u] = users[u].epoch_seconds(assignment.shards_per_user[u] *
+                                      assignment.shard_size);
+  }
+  return times;
+}
+
+double makespan(const std::vector<UserProfile>& users, const Assignment& assignment) {
+  const auto times = epoch_times(users, assignment);
+  return times.empty() ? 0.0 : *std::max_element(times.begin(), times.end());
+}
+
+}  // namespace fedsched::sched

@@ -1,0 +1,53 @@
+#pragma once
+// Shared scheduling types: user profiles and workload assignments.
+//
+// Data is assigned in *shards* (the paper's minimum granularity, e.g. 100
+// samples); schedulers output shard counts per user which data::partition
+// materializes into actual training samples.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "device/spec.hpp"
+#include "profile/time_model.hpp"
+
+namespace fedsched::sched {
+
+struct UserProfile {
+  std::string name;
+  device::PhoneModel phone = device::PhoneModel::kNexus6;
+  /// Compute-time profile (epoch seconds vs sample count).
+  profile::TimeModelPtr time_model;
+  /// Per-round model exchange time (T_u + T_d), seconds.
+  double comm_seconds = 0.0;
+  /// Capacity in shards (storage / battery bound, Eq. 9). Unlimited default.
+  std::size_t capacity_shards = std::numeric_limits<std::size_t>::max();
+  /// Classes present in the local data (non-IID scheduling only).
+  std::vector<std::uint16_t> classes;
+
+  [[nodiscard]] double epoch_seconds(std::size_t samples) const {
+    return time_model->epoch_seconds(samples) + (samples > 0 ? comm_seconds : 0.0);
+  }
+};
+
+struct Assignment {
+  std::vector<std::size_t> shards_per_user;
+  std::size_t shard_size = 1;
+
+  [[nodiscard]] std::size_t users() const noexcept { return shards_per_user.size(); }
+  [[nodiscard]] std::size_t total_shards() const noexcept;
+  [[nodiscard]] std::vector<std::size_t> sample_counts() const;
+  [[nodiscard]] std::size_t participants() const noexcept;  // users with > 0 shards
+};
+
+/// Per-user epoch times (compute + comm; zero when idle) under an assignment.
+[[nodiscard]] std::vector<double> epoch_times(const std::vector<UserProfile>& users,
+                                              const Assignment& assignment);
+
+/// The synchronous-round makespan: max over users of epoch time.
+[[nodiscard]] double makespan(const std::vector<UserProfile>& users,
+                              const Assignment& assignment);
+
+}  // namespace fedsched::sched

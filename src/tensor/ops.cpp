@@ -1,0 +1,175 @@
+#include "tensor/ops.hpp"
+
+#include <stdexcept>
+
+namespace fedsched::tensor::ops {
+
+namespace {
+void require(bool condition, const char* what) {
+  if (!condition) throw std::invalid_argument(what);
+}
+}  // namespace
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
+  require(a.rank() == 2 && b.rank() == 2 && out.rank() == 2, "matmul: rank != 2");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  require(b.dim(0) == k, "matmul: inner dims differ");
+  require(out.dim(0) == m && out.dim(1) == n, "matmul: bad output shape");
+
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  out.zero();
+  // i-k-j loop order keeps the innermost accesses contiguous in b and out.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* orow = po + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& out) {
+  require(a.rank() == 2 && b.rank() == 2 && out.rank() == 2, "matmul_tn: rank != 2");
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  require(b.dim(0) == k, "matmul_tn: inner dims differ");
+  require(out.dim(0) == m && out.dim(1) == n, "matmul_tn: bad output shape");
+
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  out.zero();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* orow = po + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aki * brow[j];
+    }
+  }
+}
+
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out) {
+  require(a.rank() == 2 && b.rank() == 2 && out.rank() == 2, "matmul_nt: rank != 2");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  require(b.dim(1) == k, "matmul_nt: inner dims differ");
+  require(out.dim(0) == m && out.dim(1) == n, "matmul_nt: bad output shape");
+
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  float* po = out.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* orow = po + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      orow[j] = acc;
+    }
+  }
+}
+
+void transpose(const Tensor& in, Tensor& out) {
+  require(in.rank() == 2 && out.rank() == 2, "transpose: rank != 2");
+  const std::size_t m = in.dim(0), n = in.dim(1);
+  require(out.dim(0) == n && out.dim(1) == m, "transpose: bad output shape");
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) out[j * m + i] = in[i * n + j];
+  }
+}
+
+void add_row_bias(Tensor& x, const Tensor& bias) {
+  require(x.rank() == 2 && bias.rank() == 1, "add_row_bias: bad ranks");
+  const std::size_t m = x.dim(0), n = x.dim(1);
+  require(bias.dim(0) == n, "add_row_bias: bias size mismatch");
+  float* px = x.raw();
+  const float* pb = bias.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = px + i * n;
+    for (std::size_t j = 0; j < n; ++j) row[j] += pb[j];
+  }
+}
+
+void sum_rows(const Tensor& grad, Tensor& grad_bias) {
+  require(grad.rank() == 2 && grad_bias.rank() == 1, "sum_rows: bad ranks");
+  const std::size_t m = grad.dim(0), n = grad.dim(1);
+  require(grad_bias.dim(0) == n, "sum_rows: size mismatch");
+  grad_bias.zero();
+  const float* pg = grad.raw();
+  float* pb = grad_bias.raw();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* row = pg + i * n;
+    for (std::size_t j = 0; j < n; ++j) pb[j] += row[j];
+  }
+}
+
+void im2col(std::span<const float> image, const Conv2dGeometry& g, Tensor& columns) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  require(image.size() == g.in_channels * g.in_h * g.in_w, "im2col: image size mismatch");
+  require(columns.rank() == 2 && columns.dim(0) == g.patch_size() &&
+              columns.dim(1) == oh * ow,
+          "im2col: bad columns shape");
+  float* pc = columns.raw();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    const float* plane = image.data() + c * g.in_h * g.in_w;
+    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        float* dst = pc + row * oh * ow;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          // Signed arithmetic: padding can take source coordinates negative.
+          const long long iy =
+              static_cast<long long>(oy * g.stride + ky) - static_cast<long long>(g.pad);
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const long long ix = static_cast<long long>(ox * g.stride + kx) -
+                                 static_cast<long long>(g.pad);
+            const bool inside = iy >= 0 && iy < static_cast<long long>(g.in_h) &&
+                                ix >= 0 && ix < static_cast<long long>(g.in_w);
+            dst[oy * ow + ox] =
+                inside ? plane[static_cast<std::size_t>(iy) * g.in_w +
+                               static_cast<std::size_t>(ix)]
+                       : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Tensor& columns, const Conv2dGeometry& g, std::span<float> image) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  require(image.size() == g.in_channels * g.in_h * g.in_w, "col2im: image size mismatch");
+  require(columns.rank() == 2 && columns.dim(0) == g.patch_size() &&
+              columns.dim(1) == oh * ow,
+          "col2im: bad columns shape");
+  const float* pc = columns.raw();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    float* plane = image.data() + c * g.in_h * g.in_w;
+    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const float* src = pc + row * oh * ow;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const long long iy =
+              static_cast<long long>(oy * g.stride + ky) - static_cast<long long>(g.pad);
+          if (iy < 0 || iy >= static_cast<long long>(g.in_h)) continue;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const long long ix = static_cast<long long>(ox * g.stride + kx) -
+                                 static_cast<long long>(g.pad);
+            if (ix < 0 || ix >= static_cast<long long>(g.in_w)) continue;
+            plane[static_cast<std::size_t>(iy) * g.in_w + static_cast<std::size_t>(ix)] +=
+                src[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fedsched::tensor::ops

@@ -1,0 +1,60 @@
+#pragma once
+// Dense kernels used by the nn layers: GEMM, im2col/col2im, reductions.
+//
+// All kernels take explicit output tensors (caller allocates) so the training
+// loop can reuse buffers across batches — important on the 512 MB heap the
+// paper's mobile app runs with, and it keeps per-batch cost flat, which the
+// performance profiler relies on.
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace fedsched::tensor::ops {
+
+/// out[m,n] = a[m,k] * b[k,n]. Shapes are validated.
+void matmul(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out[m,n] = a[k,m]^T * b[k,n].
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out[m,n] = a[m,k] * b[n,k]^T.
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out[n,m] = in[m,n]^T.
+void transpose(const Tensor& in, Tensor& out);
+
+/// Add bias[j] to every row of x[i,j] in place.
+void add_row_bias(Tensor& x, const Tensor& bias);
+
+/// grad_bias[j] = sum_i grad[i,j].
+void sum_rows(const Tensor& grad, Tensor& grad_bias);
+
+struct Conv2dGeometry {
+  std::size_t in_channels = 0;
+  std::size_t in_h = 0;
+  std::size_t in_w = 0;
+  std::size_t kernel = 0;   // square kernels only
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  [[nodiscard]] std::size_t out_h() const noexcept {
+    return (in_h + 2 * pad - kernel) / stride + 1;
+  }
+  [[nodiscard]] std::size_t out_w() const noexcept {
+    return (in_w + 2 * pad - kernel) / stride + 1;
+  }
+  /// Rows of the im2col matrix: one per (channel, ky, kx) triple.
+  [[nodiscard]] std::size_t patch_size() const noexcept {
+    return in_channels * kernel * kernel;
+  }
+};
+
+/// Unfold one image (C,H,W flattened) into a [patch_size, out_h*out_w] matrix.
+void im2col(std::span<const float> image, const Conv2dGeometry& geometry, Tensor& columns);
+
+/// Fold a [patch_size, out_h*out_w] matrix back, accumulating into the image.
+void col2im(const Tensor& columns, const Conv2dGeometry& geometry,
+            std::span<float> image);
+
+}  // namespace fedsched::tensor::ops

@@ -1,0 +1,66 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedsched::common {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST(Log, StreamsBuildMessages) {
+  const LogLevelGuard guard;
+  // Capture stderr around an emitted line.
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  log_info("test") << "value=" << 42 << " name=" << "x";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[INFO ]"), std::string::npos);
+  EXPECT_NE(out.find("[test]"), std::string::npos);
+  EXPECT_NE(out.find("value=42 name=x"), std::string::npos);
+}
+
+TEST(Log, BelowThresholdIsDropped) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  log_debug("test") << "hidden";
+  log_info("test") << "hidden";
+  log_warn("test") << "hidden";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Log, ErrorAlwaysPassesBelowOff) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  log_error("mod") << "visible";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[ERROR]"), std::string::npos);
+  EXPECT_NE(out.find("visible"), std::string::npos);
+}
+
+TEST(Log, OffSilencesEverything) {
+  const LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  log_error("mod") << "silenced";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace fedsched::common

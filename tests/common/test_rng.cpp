@@ -1,0 +1,168 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace fedsched::common {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, AdjacentSeedsDecorrelated) {
+  // splitmix64 seeding must break the similarity of seeds 7 and 8.
+  Rng a(7), b(8);
+  double mean_a = 0, mean_b = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    mean_a += a.uniform();
+    mean_b += b.uniform();
+  }
+  EXPECT_NEAR(mean_a / kN, 0.5, 0.02);
+  EXPECT_NEAR(mean_b / kN, 0.5, 0.02);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(5);
+  const auto first = rng();
+  rng.reseed(5);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 7.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(10));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(2));
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(8);
+  constexpr int kN = 50000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.gaussian();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(9);
+  constexpr int kN = 50000;
+  double sum = 0;
+  for (int i = 0; i < kN; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(10);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(11);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+  EXPECT_NE(v, shuffled);  // 50! makes identity astronomically unlikely
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(12);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t idx : unique) EXPECT_LT(idx, 100u);
+}
+
+TEST(Rng, SampleWholeRange) {
+  Rng rng(13);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleRejectsOversizedRequest) {
+  Rng rng(14);
+  EXPECT_THROW((void)rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng rng(15);
+  Rng child_a = rng.fork(0);
+  Rng child_b = rng.fork(1);
+  EXPECT_NE(child_a(), child_b());
+}
+
+TEST(WeightedChoice, ProportionalSelection) {
+  Rng rng(16);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) ++counts[weighted_choice(rng, weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.02);
+}
+
+TEST(WeightedChoice, RejectsInvalidWeights) {
+  Rng rng(17);
+  EXPECT_THROW((void)weighted_choice(rng, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)weighted_choice(rng, {1.0, -0.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedsched::common

@@ -1,0 +1,81 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fedsched::common {
+namespace {
+
+TEST(Table, AsciiAlignment) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("b"), 22.25});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.500"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, PrecisionControl) {
+  Table t({"x"});
+  t.set_precision(1);
+  t.add_row({3.14159});
+  EXPECT_NE(t.to_ascii().find("3.1"), std::string::npos);
+  EXPECT_EQ(t.to_ascii().find("3.14"), std::string::npos);
+}
+
+TEST(Table, RowWidthValidation) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeadersRejected) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, CellAccess) {
+  Table t({"a"});
+  t.add_row({static_cast<long long>(7)});
+  EXPECT_EQ(std::get<long long>(t.at(0, 0)), 7);
+  EXPECT_THROW((void)t.at(1, 0), std::out_of_range);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t({"k", "v"});
+  t.add_row({std::string("plain"), 1.0});
+  t.add_row({std::string("with,comma"), 2.0});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("k,v\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+}
+
+TEST(Table, WriteCsvCreatesDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() / "fedsched_table_test";
+  std::filesystem::remove_all(dir);
+  Table t({"a"});
+  t.add_row({1.0});
+  const auto path = dir / "nested" / "out.csv";
+  t.write_csv(path.string());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CsvEscape, QuotingRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+}  // namespace
+}  // namespace fedsched::common

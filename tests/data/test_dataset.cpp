@@ -1,0 +1,169 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synth.hpp"
+
+namespace fedsched::data {
+namespace {
+
+Dataset small() {
+  tensor::Tensor images({4, 6});
+  for (std::size_t i = 0; i < images.numel(); ++i) {
+    images[i] = static_cast<float>(i);
+  }
+  return {std::move(images), {0, 1, 1, 2}, 3, 1, 2, 3};
+}
+
+TEST(Dataset, BasicAccessors) {
+  const Dataset ds = small();
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds.classes(), 3u);
+  EXPECT_EQ(ds.features(), 6u);
+  EXPECT_EQ(ds.label(2), 1);
+  EXPECT_FALSE(ds.empty());
+}
+
+TEST(Dataset, ConstructorValidation) {
+  tensor::Tensor images({2, 6});
+  EXPECT_THROW(Dataset(images, {0}, 3, 1, 2, 3), std::invalid_argument);        // count
+  EXPECT_THROW(Dataset(images, {0, 5}, 3, 1, 2, 3), std::invalid_argument);     // label
+  EXPECT_THROW(Dataset(images, {0, 1}, 3, 1, 2, 2), std::invalid_argument);     // feat
+  tensor::Tensor bad({12});
+  EXPECT_THROW(Dataset(bad, {0, 1}, 3, 1, 2, 3), std::invalid_argument);        // rank
+}
+
+TEST(Dataset, SubsetCopiesRows) {
+  const Dataset ds = small();
+  const std::vector<std::size_t> idx = {3, 0};
+  const Dataset sub = ds.subset(idx);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.label(0), 2);
+  EXPECT_EQ(sub.label(1), 0);
+  EXPECT_EQ(sub.images().at({0, 0}), 18.0f);  // row 3 starts at 3*6
+  EXPECT_EQ(sub.images().at({1, 0}), 0.0f);
+}
+
+TEST(Dataset, SubsetBoundsChecked) {
+  const Dataset ds = small();
+  const std::vector<std::size_t> idx = {4};
+  EXPECT_THROW((void)ds.subset(idx), std::out_of_range);
+}
+
+TEST(Dataset, FillBatchReshapesOnDemand) {
+  const Dataset ds = small();
+  tensor::Tensor batch;
+  std::vector<std::uint16_t> labels;
+  const std::vector<std::size_t> idx = {1, 2, 3};
+  ds.fill_batch(idx, batch, labels);
+  EXPECT_EQ(batch.dim(0), 3u);
+  EXPECT_EQ(batch.dim(1), 6u);
+  EXPECT_EQ(labels, (std::vector<std::uint16_t>{1, 1, 2}));
+  EXPECT_EQ(batch.at({0, 0}), 6.0f);
+}
+
+TEST(Dataset, ClassHistogram) {
+  const Dataset ds = small();
+  EXPECT_EQ(ds.class_histogram(), (std::vector<std::size_t>{1, 2, 1}));
+  const std::vector<std::size_t> idx = {1, 2};
+  EXPECT_EQ(ds.class_histogram(idx), (std::vector<std::size_t>{0, 2, 0}));
+}
+
+TEST(Dataset, IndicesByClass) {
+  const Dataset ds = small();
+  const auto by_class = indices_by_class(ds);
+  ASSERT_EQ(by_class.size(), 3u);
+  EXPECT_EQ(by_class[1], (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(by_class[2], (std::vector<std::size_t>{3}));
+}
+
+TEST(Synth, DeterministicGeneration) {
+  const SynthConfig cfg = mnist_like();
+  const Dataset a = generate_balanced(cfg, 100, 7);
+  const Dataset b = generate_balanced(cfg, 100, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.images().numel(); ++i) {
+    EXPECT_EQ(a.images()[i], b.images()[i]);
+  }
+}
+
+TEST(Synth, SeedChangesSamples) {
+  const SynthConfig cfg = mnist_like();
+  const Dataset a = generate_balanced(cfg, 50, 1);
+  const Dataset b = generate_balanced(cfg, 50, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.images().numel(); ++i) {
+    any_diff |= (a.images()[i] != b.images()[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synth, CountsRespected) {
+  const SynthConfig cfg = mnist_like();
+  std::vector<std::size_t> counts(10, 0);
+  counts[3] = 7;
+  counts[9] = 2;
+  const Dataset ds = generate(cfg, counts, 11);
+  EXPECT_EQ(ds.size(), 9u);
+  EXPECT_EQ(ds.class_histogram()[3], 7u);
+  EXPECT_EQ(ds.class_histogram()[9], 2u);
+}
+
+TEST(Synth, CountsSizeValidated) {
+  const SynthConfig cfg = mnist_like();
+  EXPECT_THROW((void)generate(cfg, {1, 2}, 0), std::invalid_argument);
+}
+
+TEST(Synth, BalancedCountsSum) {
+  const auto counts = balanced_counts(103, 10);
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  EXPECT_EQ(total, 103u);
+  EXPECT_EQ(counts[0], 11u);
+  EXPECT_EQ(counts[9], 10u);
+}
+
+TEST(Synth, CifarLikeIsHarder) {
+  // CIFAR-like config has more channels and heavier noise by construction.
+  const SynthConfig mnist = mnist_like();
+  const SynthConfig cifar = cifar_like();
+  EXPECT_EQ(mnist.channels, 1u);
+  EXPECT_EQ(cifar.channels, 3u);
+  EXPECT_GT(cifar.noise, mnist.noise);
+  EXPECT_GT(cifar.background, mnist.background);
+}
+
+TEST(Synth, ClassesVisuallyDistinct) {
+  // Mean within-class distance should be clearly below mean between-class
+  // distance for the MNIST-like config — otherwise nothing is learnable.
+  const SynthConfig cfg = mnist_like();
+  const Dataset ds = generate_balanced(cfg, 200, 5);
+  const auto by_class = indices_by_class(ds);
+  auto dist = [&](std::size_t a, std::size_t b) {
+    double d = 0.0;
+    const std::size_t f = ds.features();
+    for (std::size_t i = 0; i < f; ++i) {
+      const double diff = ds.images()[a * f + i] - ds.images()[b * f + i];
+      d += diff * diff;
+    }
+    return d;
+  };
+  double within = 0.0;
+  int wn = 0;
+  double between = 0.0;
+  int bn = 0;
+  for (std::size_t c = 0; c < 10; ++c) {
+    for (std::size_t i = 1; i < std::min<std::size_t>(by_class[c].size(), 5); ++i) {
+      within += dist(by_class[c][0], by_class[c][i]);
+      ++wn;
+    }
+    for (std::size_t c2 = c + 1; c2 < 10; ++c2) {
+      between += dist(by_class[c][0], by_class[c2][0]);
+      ++bn;
+    }
+  }
+  EXPECT_LT(within / wn, between / bn);
+}
+
+}  // namespace
+}  // namespace fedsched::data

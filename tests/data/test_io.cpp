@@ -1,0 +1,100 @@
+#include "data/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/synth.hpp"
+
+namespace fedsched::data {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "fedsched_io_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, DatasetRoundTrip) {
+  const Dataset original = generate_balanced(cifar_like(), 60, 7);
+  save_dataset(original, path("ds.bin"));
+  const Dataset loaded = load_dataset(path("ds.bin"));
+
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.classes(), original.classes());
+  EXPECT_EQ(loaded.channels(), original.channels());
+  EXPECT_EQ(loaded.height(), original.height());
+  EXPECT_EQ(loaded.width(), original.width());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.label(i), original.label(i));
+  }
+  for (std::size_t i = 0; i < original.images().numel(); ++i) {
+    EXPECT_EQ(loaded.images()[i], original.images()[i]);
+  }
+}
+
+TEST_F(IoTest, DatasetCreatesParentDirs) {
+  const Dataset ds = generate_balanced(mnist_like(), 10, 1);
+  save_dataset(ds, path("nested/deeper/ds.bin"));
+  EXPECT_EQ(load_dataset(path("nested/deeper/ds.bin")).size(), 10u);
+}
+
+TEST_F(IoTest, DatasetRejectsGarbage) {
+  std::ofstream(path("junk.bin")) << "this is not a dataset";
+  EXPECT_THROW((void)load_dataset(path("junk.bin")), std::runtime_error);
+  EXPECT_THROW((void)load_dataset(path("missing.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, DatasetRejectsTruncation) {
+  const Dataset ds = generate_balanced(mnist_like(), 20, 2);
+  save_dataset(ds, path("full.bin"));
+  // Truncate the file to half its size.
+  const auto size = std::filesystem::file_size(path("full.bin"));
+  std::filesystem::resize_file(path("full.bin"), size / 2);
+  EXPECT_THROW((void)load_dataset(path("full.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, PartitionRoundTrip) {
+  Partition partition;
+  partition.user_indices = {{0, 5, 3}, {}, {7, 1}};
+  save_partition(partition, path("part.csv"));
+  const Partition loaded = load_partition(path("part.csv"), 10);
+  EXPECT_EQ(loaded.user_indices, partition.user_indices);
+}
+
+TEST_F(IoTest, PartitionValidatesIndices) {
+  Partition partition;
+  partition.user_indices = {{9}};
+  save_partition(partition, path("part.csv"));
+  EXPECT_THROW((void)load_partition(path("part.csv"), 5), std::runtime_error);
+  EXPECT_NO_THROW((void)load_partition(path("part.csv"), 10));
+}
+
+TEST_F(IoTest, PartitionRejectsMalformedFields) {
+  std::ofstream(path("bad.csv")) << "1,2x,3\n";
+  EXPECT_THROW((void)load_partition(path("bad.csv"), 10), std::runtime_error);
+}
+
+TEST_F(IoTest, PartitionEmptyUsersPreserved) {
+  Partition partition;
+  partition.user_indices = {{}, {1}, {}};
+  save_partition(partition, path("empty.csv"));
+  const Partition loaded = load_partition(path("empty.csv"), 5);
+  EXPECT_EQ(loaded.users(), 3u);
+  EXPECT_TRUE(loaded.user_indices[0].empty());
+  EXPECT_TRUE(loaded.user_indices[2].empty());
+}
+
+}  // namespace
+}  // namespace fedsched::data

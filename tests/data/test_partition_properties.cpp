@@ -1,0 +1,171 @@
+// Parameterized partition invariants: disjointness, conservation, class
+// restrictions, across user counts and distribution knobs.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <tuple>
+
+#include "common/stats.hpp"
+#include "data/partition.hpp"
+#include "data/synth.hpp"
+
+namespace fedsched::data {
+namespace {
+
+const Dataset& shared_dataset() {
+  static const Dataset ds = generate_balanced(mnist_like(), 800, 99);
+  return ds;
+}
+
+void expect_disjoint_and_valid(const Partition& p, std::size_t dataset_size) {
+  std::set<std::size_t> seen;
+  for (const auto& share : p.user_indices) {
+    for (std::size_t idx : share) {
+      EXPECT_LT(idx, dataset_size);
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    }
+  }
+}
+
+class UserCounts : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UserCounts, EqualIidInvariants) {
+  const std::size_t users = GetParam();
+  common::Rng rng(users);
+  const Partition p = partition_equal_iid(shared_dataset(), users, rng);
+  EXPECT_EQ(p.users(), users);
+  EXPECT_EQ(p.total(), shared_dataset().size());
+  expect_disjoint_and_valid(p, shared_dataset().size());
+  const auto sizes = p.sizes();
+  const auto [mn, mx] = std::minmax_element(sizes.begin(), sizes.end());
+  EXPECT_LE(*mx - *mn, 1u);  // equal up to rounding
+}
+
+TEST_P(UserCounts, NClassInvariants) {
+  const std::size_t users = GetParam();
+  common::Rng rng(users * 7 + 1);
+  const Partition p = partition_nclass(shared_dataset(), users, 3, rng);
+  expect_disjoint_and_valid(p, shared_dataset().size());
+  const auto sets = class_sets_of(p, shared_dataset());
+  for (const auto& classes : sets) EXPECT_LE(classes.size(), 3u);
+
+  // Every sample of a *covered* class is assigned; with fewer than 10/3
+  // users some classes are necessarily uncovered and their samples idle.
+  std::vector<bool> covered(shared_dataset().classes(), false);
+  for (const auto& share : p.user_indices) {
+    for (std::size_t idx : share) covered[shared_dataset().label(idx)] = true;
+  }
+  const auto full_hist = shared_dataset().class_histogram();
+  std::size_t expected_total = 0;
+  for (std::size_t c = 0; c < covered.size(); ++c) {
+    if (covered[c]) expected_total += full_hist[c];
+  }
+  EXPECT_EQ(p.total(), expected_total);
+  if (users * 3 >= shared_dataset().classes()) {
+    EXPECT_EQ(p.total(), shared_dataset().size());  // all classes have holders
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, UserCounts, ::testing::Values(1, 2, 3, 5, 8, 20));
+
+class ImbalanceRatios : public ::testing::TestWithParam<double> {};
+
+TEST_P(ImbalanceRatios, GaussianSizesMatchRequestedRatio) {
+  const double ratio = GetParam();
+  common::Rng rng(17);
+  // Average the realized ratio over draws; it should track the request.
+  double realized_sum = 0.0;
+  constexpr int kDraws = 20;
+  for (int draw = 0; draw < kDraws; ++draw) {
+    const auto sizes = gaussian_sizes(4000, 20, ratio, rng);
+    EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}), 4000u);
+    std::vector<double> xs(sizes.begin(), sizes.end());
+    realized_sum += common::stddev(xs) / common::mean(xs);
+  }
+  const double realized = realized_sum / kDraws;
+  if (ratio == 0.0) {
+    EXPECT_LT(realized, 0.02);
+  } else {
+    // Clipping at min_size biases large ratios downward; allow slack.
+    EXPECT_GT(realized, 0.5 * ratio);
+    EXPECT_LT(realized, 1.4 * ratio + 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, ImbalanceRatios,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.8));
+
+class ClassSetShapes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ClassSetShapes, RestrictionHolds) {
+  const std::size_t classes_per_user = GetParam();
+  common::Rng rng(classes_per_user * 13);
+  std::vector<std::vector<std::uint16_t>> sets(4);
+  for (auto& set : sets) {
+    for (std::size_t c : rng.sample_without_replacement(10, classes_per_user)) {
+      set.push_back(static_cast<std::uint16_t>(c));
+    }
+  }
+  const std::vector<std::size_t> sizes = {60, 40, 80, 20};
+  const Partition p = partition_by_class_sets(shared_dataset(), sets, sizes, rng);
+  expect_disjoint_and_valid(p, shared_dataset().size());
+  for (std::size_t u = 0; u < 4; ++u) {
+    const auto hist = shared_dataset().class_histogram(p.user_indices[u]);
+    for (std::size_t c = 0; c < hist.size(); ++c) {
+      const bool allowed = std::find(sets[u].begin(), sets[u].end(),
+                                     static_cast<std::uint16_t>(c)) != sets[u].end();
+      if (!allowed) {
+        EXPECT_EQ(hist[c], 0u);
+      }
+    }
+    // Shares stay roughly class-balanced within the allowed set.
+    std::size_t mn = shared_dataset().size(), mx = 0;
+    for (std::uint16_t c : sets[u]) {
+      mn = std::min(mn, hist[c]);
+      mx = std::max(mx, hist[c]);
+    }
+    EXPECT_LE(mx - mn, 1u + sizes[u] / classes_per_user / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SetSizes, ClassSetShapes, ::testing::Values(1, 2, 4, 7, 10));
+
+TEST(SynthSweep, EveryConfigProducesLearnableSeparation) {
+  // Between-class distance exceeds within-class distance for both presets and
+  // a custom config — guarding against regressions in the generator.
+  for (const SynthConfig& cfg :
+       {mnist_like(), cifar_like(),
+        SynthConfig{.name = "tiny", .classes = 4, .channels = 2, .height = 8,
+                    .width = 8, .blobs_per_class = 2, .noise = 0.5f,
+                    .background = 0.2f, .max_shift = 1, .prototype_seed = 5}}) {
+    const Dataset ds = generate_balanced(cfg, 40 * cfg.classes, 3);
+    const auto by_class = indices_by_class(ds);
+    const std::size_t f = ds.features();
+    auto mean_of = [&](const std::vector<std::size_t>& rows) {
+      std::vector<double> mean(f, 0.0);
+      for (std::size_t r : rows) {
+        for (std::size_t i = 0; i < f; ++i) mean[i] += ds.images()[r * f + i];
+      }
+      for (double& x : mean) x /= static_cast<double>(rows.size());
+      return mean;
+    };
+    std::vector<std::vector<double>> means;
+    for (const auto& rows : by_class) means.push_back(mean_of(rows));
+    double min_between = 1e300;
+    for (std::size_t a = 0; a < means.size(); ++a) {
+      for (std::size_t b = a + 1; b < means.size(); ++b) {
+        double d = 0.0;
+        for (std::size_t i = 0; i < f; ++i) {
+          d += (means[a][i] - means[b][i]) * (means[a][i] - means[b][i]);
+        }
+        min_between = std::min(min_between, d);
+      }
+    }
+    EXPECT_GT(min_between, 0.1) << cfg.name;
+  }
+}
+
+}  // namespace
+}  // namespace fedsched::data

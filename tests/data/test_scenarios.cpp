@@ -1,0 +1,108 @@
+#include "data/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace fedsched::data {
+namespace {
+
+TEST(Scenarios, TableIvShapes) {
+  EXPECT_EQ(scenario_s1().size(), 3u);
+  EXPECT_EQ(scenario_s2().size(), 6u);
+  EXPECT_EQ(scenario_s3().size(), 10u);
+  EXPECT_EQ(all_scenarios().size(), 3u);
+}
+
+TEST(Scenarios, S1MatchesTableIv) {
+  const Scenario s = scenario_s1();
+  EXPECT_EQ(s.users[0].device_model, "Nexus6");
+  EXPECT_EQ(s.users[0].classes, (std::vector<std::uint16_t>{0, 1, 2, 3, 4, 5, 6, 9}));
+  EXPECT_EQ(s.users[2].device_model, "Pixel2");
+  EXPECT_EQ(s.users[2].classes, (std::vector<std::uint16_t>{7, 8}));
+}
+
+TEST(Scenarios, S1Class7OnlyFromPixel2) {
+  // The paper highlights that class 7 in S(I) exists only at the outlier.
+  const Scenario s = scenario_s1();
+  int holders = 0;
+  for (const auto& user : s.users) {
+    holders += std::count(user.classes.begin(), user.classes.end(), 7);
+  }
+  EXPECT_EQ(holders, 1);
+}
+
+TEST(Scenarios, S2Class4OnlyFromMate10) {
+  const Scenario s = scenario_s2();
+  std::vector<std::string> holders;
+  for (const auto& user : s.users) {
+    if (std::count(user.classes.begin(), user.classes.end(), 4)) {
+      holders.push_back(user.device_model);
+    }
+  }
+  ASSERT_EQ(holders.size(), 1u);
+  EXPECT_EQ(holders[0], "Mate10");
+}
+
+TEST(Scenarios, AllClassesWithinRange) {
+  for (const Scenario& s : all_scenarios()) {
+    for (const auto& user : s.users) {
+      EXPECT_FALSE(user.classes.empty());
+      for (std::uint16_t c : user.classes) EXPECT_LT(c, 10);
+    }
+  }
+}
+
+TEST(Scenarios, ClassSetsAccessor) {
+  const auto sets = scenario_s2().class_sets();
+  EXPECT_EQ(sets.size(), 6u);
+  EXPECT_EQ(sets[3], (std::vector<std::uint16_t>{0}));
+}
+
+TEST(Outliers, SetupCoversNinePlusOne) {
+  common::Rng rng(1);
+  const OutlierSetup setup = make_outlier_setup(rng);
+  std::set<std::uint16_t> all;
+  for (const auto& user : setup.base_users) {
+    EXPECT_EQ(user.size(), 3u);
+    all.insert(user.begin(), user.end());
+  }
+  EXPECT_EQ(all.size(), 9u);               // disjoint 3+3+3
+  EXPECT_FALSE(all.count(setup.outlier_class));
+}
+
+TEST(Outliers, ModesShapeClassSets) {
+  common::Rng rng(2);
+  const OutlierSetup setup = make_outlier_setup(rng);
+
+  const auto missing = outlier_class_sets(setup, OutlierMode::kMissing);
+  EXPECT_EQ(missing.size(), 3u);
+
+  const auto separate = outlier_class_sets(setup, OutlierMode::kSeparate);
+  EXPECT_EQ(separate.size(), 4u);
+  EXPECT_EQ(separate.back(), (std::vector<std::uint16_t>{setup.outlier_class}));
+
+  const auto merge = outlier_class_sets(setup, OutlierMode::kMerge);
+  EXPECT_EQ(merge.size(), 3u);
+  EXPECT_EQ(merge.back().size(), 4u);
+  EXPECT_TRUE(std::count(merge.back().begin(), merge.back().end(),
+                         setup.outlier_class));
+}
+
+TEST(Outliers, ModeNames) {
+  EXPECT_STREQ(outlier_mode_name(OutlierMode::kMissing), "Missing");
+  EXPECT_STREQ(outlier_mode_name(OutlierMode::kSeparate), "Separate");
+  EXPECT_STREQ(outlier_mode_name(OutlierMode::kMerge), "Merge");
+}
+
+TEST(Outliers, Deterministic) {
+  common::Rng a(3), b(3);
+  const auto sa = make_outlier_setup(a);
+  const auto sb = make_outlier_setup(b);
+  EXPECT_EQ(sa.outlier_class, sb.outlier_class);
+  EXPECT_EQ(sa.base_users, sb.base_users);
+}
+
+}  // namespace
+}  // namespace fedsched::data

@@ -1,0 +1,134 @@
+#include "device/battery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "device/device.hpp"
+
+namespace fedsched::device {
+namespace {
+
+TEST(BatterySpecs, AllModelsHavePacks) {
+  for (PhoneModel model : kAllPhoneModels) {
+    const BatterySpec spec = battery_of(model);
+    EXPECT_GT(spec.capacity_wh, 5.0);
+    EXPECT_LT(spec.capacity_wh, 25.0);
+    EXPECT_GE(spec.reserve_fraction, 0.0);
+    EXPECT_LT(spec.reserve_fraction, 1.0);
+  }
+  // Mate10's 4000 mAh pack is the largest of the four.
+  EXPECT_GT(battery_of(PhoneModel::kMate10).capacity_wh,
+            battery_of(PhoneModel::kPixel2).capacity_wh);
+}
+
+TEST(TrainingEnergy, ZeroSamplesZeroEnergy) {
+  EXPECT_EQ(training_energy_wh(PhoneModel::kPixel2, lenet_desc(), 0), 0.0);
+}
+
+TEST(TrainingEnergy, MonotoneInSamples) {
+  double prev = 0.0;
+  for (std::size_t samples : {500u, 1000u, 2000u, 4000u}) {
+    const double e = training_energy_wh(PhoneModel::kNexus6, lenet_desc(), samples);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(TrainingEnergy, EnergyEqualsPowerIntegralOfTimeSimulation) {
+  // Un-throttled device at constant speed: E = P * t exactly.
+  Device dev(PhoneModel::kMate10);
+  const double t = dev.train(lenet_desc(), 2000);
+  ASSERT_DOUBLE_EQ(dev.speed_factor(), 1.0);  // Mate10 never throttles on LeNet
+  const double expected_wh =
+      spec_of(PhoneModel::kMate10).thermal.peak_power *
+      lenet_desc().power_intensity * t / 3600.0;
+  EXPECT_NEAR(training_energy_wh(PhoneModel::kMate10, lenet_desc(), 2000),
+              expected_wh, 1e-6);
+}
+
+TEST(TrainingEnergy, ThrottlingRaisesEnergyPerSample) {
+  // Nexus6P hot regime: slower AND longer -> more Wh per sample than cold.
+  const double e3k = training_energy_wh(PhoneModel::kNexus6P, lenet_desc(), 3000);
+  const double e6k = training_energy_wh(PhoneModel::kNexus6P, lenet_desc(), 6000);
+  EXPECT_GT(e6k / 6000.0, 1.05 * e3k / 3000.0);
+}
+
+TEST(CommEnergy, LteCostsMoreThanWifi) {
+  EXPECT_GT(comm_energy_wh(NetworkType::kLte, vgg6_desc()),
+            comm_energy_wh(NetworkType::kWifi, vgg6_desc()));
+  EXPECT_GT(comm_energy_wh(NetworkType::kWifi, vgg6_desc()),
+            comm_energy_wh(NetworkType::kWifi, lenet_desc()));
+}
+
+TEST(EnergyCapacity, BudgetTranslatesToSamples) {
+  const double one_k_wh =
+      training_energy_wh(PhoneModel::kPixel2, lenet_desc(), 1000) +
+      comm_energy_wh(NetworkType::kWifi, lenet_desc());
+  const std::size_t samples = max_samples_within_energy(
+      PhoneModel::kPixel2, lenet_desc(), NetworkType::kWifi, one_k_wh, 100);
+  EXPECT_GE(samples, 900u);
+  EXPECT_LE(samples, 1100u);
+}
+
+TEST(EnergyCapacity, TinyBudgetYieldsZero) {
+  EXPECT_EQ(max_samples_within_energy(PhoneModel::kNexus6, vgg6_desc(),
+                                      NetworkType::kLte, 1e-6, 100),
+            0u);
+}
+
+TEST(EnergyCapacity, MonotoneInBudget) {
+  std::size_t prev = 0;
+  for (double budget : {0.05, 0.2, 0.8, 3.0}) {
+    const std::size_t samples = max_samples_within_energy(
+        PhoneModel::kMate10, lenet_desc(), NetworkType::kWifi, budget, 50);
+    EXPECT_GE(samples, prev);
+    prev = samples;
+  }
+  EXPECT_GT(prev, 0u);
+}
+
+TEST(EnergyCapacity, ZeroShardSizeRejected) {
+  EXPECT_THROW((void)max_samples_within_energy(PhoneModel::kMate10, lenet_desc(),
+                                               NetworkType::kWifi, 1.0, 0),
+               std::invalid_argument);
+}
+
+TEST(Battery, DrainAndCharge) {
+  Battery battery({.capacity_wh = 10.0, .reserve_fraction = 0.2}, 1.0);
+  EXPECT_DOUBLE_EQ(battery.remaining_wh(), 10.0);
+  EXPECT_DOUBLE_EQ(battery.schedulable_wh(), 8.0);
+  EXPECT_DOUBLE_EQ(battery.drain(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(battery.state_of_charge(), 0.7);
+  battery.charge(1.0);
+  EXPECT_DOUBLE_EQ(battery.state_of_charge(), 0.8);
+  battery.charge(100.0);  // clamps at full
+  EXPECT_DOUBLE_EQ(battery.state_of_charge(), 1.0);
+}
+
+TEST(Battery, DrainClampsAtEmpty) {
+  Battery battery({.capacity_wh = 5.0, .reserve_fraction = 0.1}, 0.5);
+  EXPECT_DOUBLE_EQ(battery.drain(100.0), 2.5);
+  EXPECT_DOUBLE_EQ(battery.state_of_charge(), 0.0);
+  EXPECT_TRUE(battery.depleted());
+  EXPECT_DOUBLE_EQ(battery.schedulable_wh(), 0.0);
+}
+
+TEST(Battery, ReserveBlocksScheduling) {
+  Battery battery({.capacity_wh = 10.0, .reserve_fraction = 0.3}, 0.3);
+  EXPECT_TRUE(battery.depleted());
+  EXPECT_DOUBLE_EQ(battery.remaining_wh(), 3.0);  // reserve held back
+}
+
+TEST(Battery, Validation) {
+  EXPECT_THROW(Battery({.capacity_wh = 0.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(Battery({.capacity_wh = 10.0}, 1.5), std::invalid_argument);
+  EXPECT_THROW(Battery({.capacity_wh = 10.0}, -0.1), std::invalid_argument);
+}
+
+TEST(Battery, NegativeDrainIgnored) {
+  Battery battery({.capacity_wh = 10.0}, 0.5);
+  EXPECT_DOUBLE_EQ(battery.drain(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(battery.state_of_charge(), 0.5);
+}
+
+}  // namespace
+}  // namespace fedsched::device

@@ -1,0 +1,258 @@
+#include "device/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedsched::device {
+namespace {
+
+TEST(Specs, AllModelsResolvable) {
+  for (PhoneModel model : kAllPhoneModels) {
+    const DeviceSpec& spec = spec_of(model);
+    EXPECT_EQ(spec.model, model);
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.clusters.empty());
+    EXPECT_GT(spec.compute.conv_ms_per_mmac, 0.0);
+    EXPECT_GT(spec.compute.dense_ms_per_mmac, 0.0);
+    EXPECT_GT(spec.thermal.throttle_end_c, spec.thermal.throttle_start_c);
+    EXPECT_GT(spec.thermal.speed_floor, 0.0);
+    EXPECT_LE(spec.thermal.speed_floor, 1.0);
+  }
+}
+
+TEST(Specs, LookupByName) {
+  EXPECT_EQ(spec_by_name("Mate10").model, PhoneModel::kMate10);
+  EXPECT_THROW((void)spec_by_name("iPhone"), std::invalid_argument);
+}
+
+TEST(Specs, TableIClockSpeeds) {
+  // Table I of the paper.
+  EXPECT_DOUBLE_EQ(mean_cpu_ghz(spec_of(PhoneModel::kNexus6)), 2.7);
+  EXPECT_DOUBLE_EQ(mean_cpu_ghz(spec_of(PhoneModel::kNexus6P)), (1.55 + 2.0) / 2);
+  EXPECT_FALSE(spec_of(PhoneModel::kNexus6).big_little);
+  EXPECT_TRUE(spec_of(PhoneModel::kNexus6P).big_little);
+  EXPECT_DOUBLE_EQ(max_cpu_ghz(spec_of(PhoneModel::kPixel2)), 2.35);
+}
+
+TEST(Specs, Testbeds) {
+  EXPECT_EQ(testbed(1).size(), 3u);
+  EXPECT_EQ(testbed(2).size(), 6u);
+  EXPECT_EQ(testbed(3).size(), 10u);
+  EXPECT_THROW((void)testbed(0), std::invalid_argument);
+  EXPECT_THROW((void)testbed(4), std::invalid_argument);
+}
+
+TEST(ModelDescs, PaperParameterCounts) {
+  EXPECT_EQ(lenet_desc().total_params(), 205'000u);
+  EXPECT_EQ(vgg6_desc().total_params(), 5'450'000u);
+  EXPECT_DOUBLE_EQ(lenet_desc().size_mb, 2.5);
+  EXPECT_DOUBLE_EQ(vgg6_desc().size_mb, 65.4);
+  // VGG6 is conv-dominated, LeNet dense-dominated in parameters.
+  EXPECT_GT(vgg6_desc().conv_params, vgg6_desc().dense_params);
+  EXPECT_GT(lenet_desc().dense_params, lenet_desc().conv_params);
+}
+
+TEST(ModelDescs, LookupByName) {
+  EXPECT_EQ(desc_by_name("LeNet").name, "LeNet");
+  EXPECT_EQ(desc_by_name("VGG6").name, "VGG6");
+  EXPECT_THROW((void)desc_by_name("ResNet"), std::invalid_argument);
+}
+
+TEST(ModelDescs, ProfilerSweepSpansScales) {
+  const auto sweep = profiler_sweep(12);
+  EXPECT_EQ(sweep.size(), 12u);
+  EXPECT_GT(sweep.back().conv_mmacs, 100.0 * sweep.front().conv_mmacs);
+  EXPECT_THROW((void)profiler_sweep(2), std::invalid_argument);
+}
+
+TEST(Thermal, GovernorPiecewiseLinear) {
+  ThermalParams p;
+  p.throttle_start_c = 40.0;
+  p.throttle_end_c = 50.0;
+  p.speed_floor = 0.5;
+  EXPECT_DOUBLE_EQ(governor_speed(p, 25.0), 1.0);
+  EXPECT_DOUBLE_EQ(governor_speed(p, 40.0), 1.0);
+  EXPECT_DOUBLE_EQ(governor_speed(p, 45.0), 0.75);
+  EXPECT_DOUBLE_EQ(governor_speed(p, 50.0), 0.5);
+  EXPECT_DOUBLE_EQ(governor_speed(p, 80.0), 0.5);
+}
+
+TEST(Thermal, HeatsTowardSteadyState) {
+  ThermalParams p;  // defaults: C=30, k=0.1, ambient 25
+  ThermalState state(p);
+  EXPECT_DOUBLE_EQ(state.temperature_c(), 25.0);
+  state.step(3000.0, 2.0);  // ten time constants: effectively steady state
+  EXPECT_NEAR(state.temperature_c(), state.steady_state_c(2.0), 1.0);
+}
+
+TEST(Thermal, CoolsExponentially) {
+  ThermalParams p;
+  ThermalState state(p);
+  state.step(300.0, 4.0);
+  const double hot = state.temperature_c();
+  ASSERT_GT(hot, 30.0);
+  state.cool(1e6);
+  EXPECT_NEAR(state.temperature_c(), p.ambient_c, 1e-6);
+
+  // One time constant drops the excess temperature to ~37%.
+  state.reset();
+  state.step(300.0, 4.0);
+  const double excess = state.temperature_c() - p.ambient_c;
+  state.cool(p.heat_capacity / p.dissipation);
+  EXPECT_NEAR((state.temperature_c() - p.ambient_c) / excess, 0.3679, 0.01);
+}
+
+TEST(Thermal, NeverBelowAmbient) {
+  ThermalParams p;
+  ThermalState state(p);
+  state.step(100.0, 0.0);
+  EXPECT_GE(state.temperature_c(), p.ambient_c);
+}
+
+TEST(Network, PaperBandwidths) {
+  const LinkParams& wifi = link_of(NetworkType::kWifi);
+  const LinkParams& lte = link_of(NetworkType::kLte);
+  EXPECT_GT(wifi.uplink_mbps, 80.0);
+  EXPECT_DOUBLE_EQ(lte.uplink_mbps, 60.0);
+  EXPECT_DOUBLE_EQ(lte.downlink_mbps, 11.0);
+  EXPECT_STREQ(network_name(NetworkType::kWifi), "WiFi");
+  EXPECT_STREQ(network_name(NetworkType::kLte), "LTE");
+}
+
+TEST(Network, Vgg6LteCommMatchesTableII) {
+  // Paper: ~56s of comm per round for VGG6 over LTE (10.4% of 539s).
+  const double comm = round_comm_seconds(NetworkType::kLte, vgg6_desc());
+  EXPECT_NEAR(comm, 56.0, 4.0);
+  // LeNet over WiFi: ~0.5s (1.5% of 31s).
+  const double lenet = round_comm_seconds(NetworkType::kWifi, lenet_desc());
+  EXPECT_NEAR(lenet, 0.5, 0.2);
+}
+
+TEST(Device, ComputeTimeScalesWithWork) {
+  Device dev(PhoneModel::kPixel2);
+  const double t1 = dev.train(lenet_desc(), 100);
+  dev.reset();
+  const double t2 = dev.train(lenet_desc(), 200);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.05);  // Pixel2 does not throttle at this scale
+}
+
+TEST(Device, ZeroSamplesZeroTime) {
+  Device dev(PhoneModel::kNexus6);
+  EXPECT_EQ(dev.train(lenet_desc(), 0), 0.0);
+  EXPECT_EQ(dev.clock_s(), 0.0);
+}
+
+TEST(Device, TableIIEpochTimes) {
+  // The calibration contract: simulated 3K-sample epochs land within 10% of
+  // the paper's Table II measurements (compute only; WiFi comm is ~1%).
+  const struct {
+    PhoneModel phone;
+    const ModelDesc& model;
+    double paper_seconds;
+  } rows[] = {
+      {PhoneModel::kNexus6, lenet_desc(), 31},   {PhoneModel::kNexus6P, lenet_desc(), 69},
+      {PhoneModel::kMate10, lenet_desc(), 45},   {PhoneModel::kPixel2, lenet_desc(), 25},
+      {PhoneModel::kNexus6, vgg6_desc(), 495},   {PhoneModel::kNexus6P, vgg6_desc(), 540},
+      {PhoneModel::kMate10, vgg6_desc(), 359},   {PhoneModel::kPixel2, vgg6_desc(), 339},
+  };
+  for (const auto& row : rows) {
+    Device dev(row.phone);
+    const double t = dev.train(row.model, 3000) + dev.comm_seconds(row.model);
+    EXPECT_NEAR(t / row.paper_seconds, 1.0, 0.10)
+        << spec_of(row.phone).name << " " << row.model.name;
+  }
+}
+
+TEST(Device, Nexus6PThrottlesSuperlinearly) {
+  // Observation 2/4: the 6K epoch takes far more than twice the 3K epoch.
+  Device dev(PhoneModel::kNexus6P);
+  const double t3k = dev.train(lenet_desc(), 3000);
+  dev.reset();
+  const double t6k = dev.train(lenet_desc(), 6000);
+  EXPECT_GT(t6k, 2.5 * t3k);
+}
+
+TEST(Device, Mate10StaysLinear) {
+  Device dev(PhoneModel::kMate10);
+  const double t3k = dev.train(lenet_desc(), 3000);
+  dev.reset();
+  const double t6k = dev.train(lenet_desc(), 6000);
+  EXPECT_NEAR(t6k / t3k, 2.0, 0.05);
+}
+
+TEST(Device, IdleCoolsDown) {
+  Device dev(PhoneModel::kNexus6P);
+  (void)dev.train(vgg6_desc(), 2000);
+  const double hot = dev.temperature_c();
+  ASSERT_GT(hot, 30.0);
+  dev.idle(3600.0);
+  EXPECT_LT(dev.temperature_c(), hot);
+  EXPECT_NEAR(dev.temperature_c(), 25.0, 1.0);
+  EXPECT_GT(dev.clock_s(), 3600.0);
+}
+
+TEST(Device, TraceRecordsThrottling) {
+  Device dev(PhoneModel::kNexus6P);
+  std::vector<TracePoint> trace;
+  (void)dev.train_traced(vgg6_desc(), 4000, 5.0, trace);
+  ASSERT_GT(trace.size(), 10u);
+  EXPECT_DOUBLE_EQ(trace.front().speed, 1.0);
+  EXPECT_NEAR(trace.back().speed, spec_of(PhoneModel::kNexus6P).thermal.speed_floor,
+              0.01);
+  // Temperature is (weakly) increasing under constant load.
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].temp_c + 1e-9, trace[i - 1].temp_c);
+  }
+  // Frequency trace renders speed in GHz of the big cluster.
+  EXPECT_NEAR(trace.front().freq_ghz, 2.0, 1e-9);
+}
+
+TEST(Device, MeasurementNoiseIsDeterministic) {
+  Device a(PhoneModel::kPixel2), b(PhoneModel::kPixel2);
+  a.set_measurement_noise(0.05, 99);
+  b.set_measurement_noise(0.05, 99);
+  EXPECT_EQ(a.train(lenet_desc(), 500), b.train(lenet_desc(), 500));
+  Device c(PhoneModel::kPixel2);
+  c.set_measurement_noise(0.05, 100);
+  c.reset();
+  Device d(PhoneModel::kPixel2);
+  const double noisy = c.train(lenet_desc(), 500);
+  const double clean = d.train(lenet_desc(), 500);
+  EXPECT_NE(noisy, clean);
+  EXPECT_NEAR(noisy / clean, 1.0, 0.25);
+}
+
+TEST(Device, NegativeNoiseRejected) {
+  Device dev(PhoneModel::kNexus6);
+  EXPECT_THROW(dev.set_measurement_noise(-0.1, 1), std::invalid_argument);
+}
+
+TEST(Device, BaseSampleMsMatchesCoefficients) {
+  const auto& spec = spec_of(PhoneModel::kNexus6);
+  const double expected = spec.compute.conv_ms_per_mmac * lenet_desc().conv_mmacs +
+                          spec.compute.dense_ms_per_mmac * lenet_desc().dense_mmacs;
+  EXPECT_DOUBLE_EQ(base_sample_ms(spec.compute, lenet_desc()), expected);
+}
+
+TEST(Device, StragglerGapMatchesObservation4) {
+  // Observation 4 quantified from Table II's LeNet rows: the straggler
+  // (Nexus6P) needs ~62% extra time vs the mean at 3K samples and ~109%
+  // at 6K (throttled). Check the simulated gaps land on those shapes.
+  auto gap = [](const ModelDesc& model, std::size_t samples) {
+    double max = 0.0, sum = 0.0;
+    for (PhoneModel phone : kAllPhoneModels) {
+      Device dev(phone);
+      const double t = dev.train(model, samples) + dev.comm_seconds(model);
+      max = std::max(max, t);
+      sum += t;
+    }
+    const double mean = sum / 4.0;
+    return (max - mean) / mean;
+  };
+  EXPECT_NEAR(gap(lenet_desc(), 3000), 0.62, 0.15);
+  EXPECT_NEAR(gap(lenet_desc(), 6000), 1.09, 0.20);
+  EXPECT_GT(gap(vgg6_desc(), 6000), 0.15);
+}
+
+}  // namespace
+}  // namespace fedsched::device

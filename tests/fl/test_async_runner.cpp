@@ -1,0 +1,116 @@
+#include "fl/async_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/partition.hpp"
+#include "data/synth.hpp"
+
+namespace fedsched::fl {
+namespace {
+
+struct Fixture {
+  data::SynthConfig cfg = data::mnist_like();
+  data::Dataset train = data::generate_balanced(cfg, 300, 50);
+  data::Dataset test = data::generate_balanced(cfg, 120, 51);
+  std::vector<device::PhoneModel> phones = {device::PhoneModel::kNexus6P,
+                                            device::PhoneModel::kPixel2};
+  nn::ModelSpec spec;
+
+  AsyncConfig config(double horizon) const {
+    AsyncConfig c;
+    c.horizon_seconds = horizon;
+    c.seed = 77;
+    return c;
+  }
+
+  data::Partition equal_partition() const {
+    common::Rng rng(52);
+    return data::partition_equal_iid(train, phones.size(), rng);
+  }
+};
+
+TEST(AsyncRunner, FastClientUpdatesMoreOften) {
+  Fixture f;
+  AsyncRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                     device::NetworkType::kWifi, f.config(60.0));
+  const auto result = runner.run(f.equal_partition());
+  ASSERT_FALSE(result.updates.empty());
+  // Pixel2 (client 1) is ~3x faster than Nexus6P: it must land more updates.
+  EXPECT_GT(result.updates_from(1), result.updates_from(0));
+}
+
+TEST(AsyncRunner, UpdatesArriveInTimeOrder) {
+  Fixture f;
+  AsyncRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                     device::NetworkType::kWifi, f.config(40.0));
+  const auto result = runner.run(f.equal_partition());
+  for (std::size_t i = 1; i < result.updates.size(); ++i) {
+    EXPECT_GE(result.updates[i].time_s, result.updates[i - 1].time_s);
+  }
+  EXPECT_LE(result.elapsed_seconds, 40.0);
+}
+
+TEST(AsyncRunner, StalenessDampsMixWeight) {
+  Fixture f;
+  AsyncRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                     device::NetworkType::kWifi, f.config(80.0));
+  const auto result = runner.run(f.equal_partition());
+  for (const auto& update : result.updates) {
+    const double expected =
+        0.5 / (1.0 + static_cast<double>(update.staleness));
+    EXPECT_DOUBLE_EQ(update.mix_weight, expected);
+  }
+  // The straggler's updates must show positive staleness at some point.
+  bool any_stale = false;
+  for (const auto& update : result.updates) any_stale |= (update.staleness > 0);
+  EXPECT_TRUE(any_stale);
+}
+
+TEST(AsyncRunner, LearnsWithinHorizon) {
+  Fixture f;
+  AsyncRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                     device::NetworkType::kWifi, f.config(120.0));
+  const auto result = runner.run(f.equal_partition());
+  EXPECT_GT(result.final_accuracy, 0.7);
+}
+
+TEST(AsyncRunner, Deterministic) {
+  Fixture f;
+  const auto partition = f.equal_partition();
+  auto run_once = [&] {
+    AsyncRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                       device::NetworkType::kWifi, f.config(50.0));
+    return runner.run(partition);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.updates.size(), b.updates.size());
+}
+
+TEST(AsyncRunner, Validation) {
+  Fixture f;
+  EXPECT_THROW(AsyncRunner(f.train, f.test, f.spec, device::lenet_desc(), {},
+                           device::NetworkType::kWifi, f.config(10.0)),
+               std::invalid_argument);
+  AsyncRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                     device::NetworkType::kWifi, f.config(10.0));
+  data::Partition wrong;
+  wrong.user_indices.resize(1);
+  EXPECT_THROW((void)runner.run(wrong), std::invalid_argument);
+  data::Partition empty;
+  empty.user_indices.resize(2);
+  EXPECT_THROW((void)runner.run(empty), std::invalid_argument);
+}
+
+TEST(AsyncRunResult, Aggregates) {
+  AsyncRunResult result;
+  result.updates = {{1.0, 0, 0, 0.5}, {2.0, 1, 2, 0.25}, {3.0, 0, 1, 0.25}};
+  EXPECT_DOUBLE_EQ(result.mean_staleness(), 1.0);
+  EXPECT_EQ(result.updates_from(0), 2u);
+  EXPECT_EQ(result.updates_from(1), 1u);
+  EXPECT_EQ(AsyncRunResult{}.mean_staleness(), 0.0);
+}
+
+}  // namespace
+}  // namespace fedsched::fl

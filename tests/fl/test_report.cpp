@@ -1,0 +1,73 @@
+#include "fl/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedsched::fl {
+namespace {
+
+RunResult sample_result() {
+  RunResult result;
+  RoundRecord r0;
+  r0.round = 0;
+  r0.round_seconds = 10.0;
+  r0.cumulative_seconds = 10.0;
+  r0.mean_train_loss = 1.5;
+  r0.test_accuracy = 0.6;
+  r0.client_seconds = {10.0, 4.0, 0.0};
+  RoundRecord r1;
+  r1.round = 1;
+  r1.round_seconds = 8.0;
+  r1.cumulative_seconds = 18.0;
+  r1.mean_train_loss = 0.9;
+  r1.test_accuracy = -1.0;  // not evaluated
+  r1.client_seconds = {8.0, 3.5, 0.0};
+  result.rounds = {r0, r1};
+  result.total_seconds = 18.0;
+  result.final_accuracy = 0.8;
+  return result;
+}
+
+TEST(Report, RoundTableShape) {
+  const auto table = round_table(sample_result());
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.cols(), 5u);
+  EXPECT_EQ(std::get<long long>(table.at(1, 0)), 1);
+  EXPECT_NE(table.to_ascii().find("cumulative_s"), std::string::npos);
+}
+
+TEST(Report, TimelineMarksStragglerAndIdle) {
+  const auto result = sample_result();
+  const std::string timeline =
+      round_timeline(result.rounds[0], {"slow", "fast", "idle"}, 20);
+  EXPECT_NE(timeline.find("slow"), std::string::npos);
+  EXPECT_NE(timeline.find('#'), std::string::npos);    // straggler bar
+  EXPECT_NE(timeline.find('='), std::string::npos);    // normal bar
+  EXPECT_NE(timeline.find("(idle)"), std::string::npos);
+  // Straggler bar is the longest: 20 chars of '#'.
+  EXPECT_NE(timeline.find(std::string(20, '#')), std::string::npos);
+}
+
+TEST(Report, TimelineValidation) {
+  const auto result = sample_result();
+  EXPECT_THROW((void)round_timeline(result.rounds[0], {"a"}, 20),
+               std::invalid_argument);
+  EXPECT_THROW((void)round_timeline(result.rounds[0], {"a", "b", "c"}, 0),
+               std::invalid_argument);
+}
+
+TEST(Report, ConvergenceCsvSkipsUnevaluatedRounds) {
+  const std::string csv = convergence_csv(sample_result());
+  EXPECT_NE(csv.find("cumulative_s,accuracy\n"), std::string::npos);
+  EXPECT_NE(csv.find("10,0.6"), std::string::npos);
+  // Round 1 had no accuracy sample.
+  EXPECT_EQ(csv.find("18,"), std::string::npos);
+}
+
+TEST(Report, EmptyResult) {
+  const RunResult empty;
+  EXPECT_EQ(round_table(empty).rows(), 0u);
+  EXPECT_EQ(convergence_csv(empty), "cumulative_s,accuracy\n");
+}
+
+}  // namespace
+}  // namespace fedsched::fl

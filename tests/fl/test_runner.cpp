@@ -1,0 +1,161 @@
+#include "fl/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/partition.hpp"
+#include "data/synth.hpp"
+
+namespace fedsched::fl {
+namespace {
+
+struct Fixture {
+  data::SynthConfig cfg = data::mnist_like();
+  data::Dataset train = data::generate_balanced(cfg, 360, 10);
+  data::Dataset test = data::generate_balanced(cfg, 150, 11);
+  std::vector<device::PhoneModel> phones = {device::PhoneModel::kNexus6,
+                                            device::PhoneModel::kMate10,
+                                            device::PhoneModel::kPixel2};
+  nn::ModelSpec spec;  // scaled LeNet on 12x12
+
+  FlConfig fl_config() const {
+    FlConfig c;
+    c.rounds = 4;
+    c.batch_size = 20;
+    c.seed = 99;
+    return c;
+  }
+
+  data::Partition equal_partition(std::uint64_t seed = 1) const {
+    common::Rng rng(seed);
+    return data::partition_equal_iid(train, phones.size(), rng);
+  }
+};
+
+TEST(Runner, RoundRecordsAreConsistent) {
+  Fixture f;
+  FedAvgRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                      device::NetworkType::kWifi, f.fl_config());
+  const RunResult result = runner.run(f.equal_partition());
+  ASSERT_EQ(result.rounds.size(), 4u);
+  double cumulative = 0.0;
+  for (const auto& record : result.rounds) {
+    EXPECT_GT(record.round_seconds, 0.0);
+    cumulative += record.round_seconds;
+    EXPECT_NEAR(record.cumulative_seconds, cumulative, 1e-9);
+    // Makespan is the max client time.
+    double max_client = 0.0;
+    for (double t : record.client_seconds) max_client = std::max(max_client, t);
+    EXPECT_DOUBLE_EQ(record.round_seconds, max_client);
+  }
+  EXPECT_NEAR(result.total_seconds, cumulative, 1e-9);
+  EXPECT_GT(result.mean_round_seconds(), 0.0);
+}
+
+TEST(Runner, LearnsIidMnistLike) {
+  Fixture f;
+  FlConfig config = f.fl_config();
+  config.rounds = 10;
+  FedAvgRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                      device::NetworkType::kWifi, config);
+  const RunResult result = runner.run(f.equal_partition());
+  EXPECT_GT(result.final_accuracy, 0.85);
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  Fixture f;
+  const auto partition = f.equal_partition();
+  auto run_once = [&] {
+    FedAvgRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                        device::NetworkType::kWifi, f.fl_config());
+    return runner.run(partition);
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+}
+
+TEST(Runner, IdleUsersContributeNothing) {
+  Fixture f;
+  // All data on one device: round time equals that device's time.
+  data::Partition p;
+  p.user_indices.resize(3);
+  common::Rng rng(2);
+  const auto single = data::partition_with_sizes_iid(f.train, {300, 0, 0}, rng);
+  FedAvgRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                      device::NetworkType::kWifi, f.fl_config());
+  const RunResult result = runner.run(single);
+  for (const auto& record : result.rounds) {
+    EXPECT_GT(record.client_seconds[0], 0.0);
+    EXPECT_EQ(record.client_seconds[1], 0.0);
+    EXPECT_EQ(record.client_seconds[2], 0.0);
+  }
+  EXPECT_GT(result.final_accuracy, 0.5);  // still learns from the single client
+}
+
+TEST(Runner, RoundTimeTracksStraggler) {
+  Fixture f;
+  f.phones = {device::PhoneModel::kNexus6P, device::PhoneModel::kPixel2};
+  common::Rng rng(3);
+  // Balanced split: the Nexus6P is the straggler by construction.
+  const auto partition = data::partition_equal_iid(f.train, 2, rng);
+  FlConfig config = f.fl_config();
+  config.rounds = 1;
+  FedAvgRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                      device::NetworkType::kWifi, config);
+  const RunResult result = runner.run(partition);
+  const auto& record = result.rounds[0];
+  EXPECT_GT(record.client_seconds[0], record.client_seconds[1]);
+  EXPECT_DOUBLE_EQ(record.round_seconds, record.client_seconds[0]);
+}
+
+TEST(Runner, EvaluateEachRoundPopulatesAccuracy) {
+  Fixture f;
+  FlConfig config = f.fl_config();
+  config.rounds = 2;
+  config.evaluate_each_round = true;
+  FedAvgRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                      device::NetworkType::kWifi, config);
+  const RunResult result = runner.run(f.equal_partition());
+  for (const auto& record : result.rounds) EXPECT_GE(record.test_accuracy, 0.0);
+}
+
+TEST(Runner, PartitionSizeValidated) {
+  Fixture f;
+  FedAvgRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                      device::NetworkType::kWifi, f.fl_config());
+  data::Partition wrong;
+  wrong.user_indices.resize(2);
+  EXPECT_THROW((void)runner.run(wrong), std::invalid_argument);
+}
+
+TEST(Runner, EmptyPartitionRejected) {
+  Fixture f;
+  FedAvgRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                      device::NetworkType::kWifi, f.fl_config());
+  data::Partition empty;
+  empty.user_indices.resize(3);
+  EXPECT_THROW((void)runner.run(empty), std::invalid_argument);
+}
+
+TEST(Runner, NoDevicesRejected) {
+  Fixture f;
+  EXPECT_THROW(FedAvgRunner(f.train, f.test, f.spec, device::lenet_desc(), {},
+                            device::NetworkType::kWifi, f.fl_config()),
+               std::invalid_argument);
+}
+
+TEST(Runner, LteSlowerThanWifiForSameWork) {
+  Fixture f;
+  const auto partition = f.equal_partition();
+  FlConfig config = f.fl_config();
+  config.rounds = 1;
+  FedAvgRunner wifi(f.train, f.test, f.spec, device::vgg6_desc(), f.phones,
+                    device::NetworkType::kWifi, config);
+  FedAvgRunner lte(f.train, f.test, f.spec, device::vgg6_desc(), f.phones,
+                   device::NetworkType::kLte, config);
+  EXPECT_LT(wifi.run(partition).total_seconds, lte.run(partition).total_seconds);
+}
+
+}  // namespace
+}  // namespace fedsched::fl

@@ -1,0 +1,84 @@
+#include "fl/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "data/synth.hpp"
+#include "nn/models.hpp"
+
+namespace fedsched::fl {
+namespace {
+
+TEST(Trainer, EmptyIndicesNoop) {
+  common::Rng rng(1);
+  nn::Model model = nn::build_mlp(4, {}, 2, rng);
+  nn::Sgd sgd({.learning_rate = 0.1f});
+  data::Dataset ds = data::generate_balanced(data::mnist_like(), 20, 1);
+  const auto before = model.flat_params();
+  const auto stats = train_epoch(model, sgd, ds, {}, 8, rng);
+  EXPECT_EQ(stats.batches, 0u);
+  EXPECT_EQ(model.flat_params(), before);
+}
+
+TEST(Trainer, CountsBatchesAndSamples) {
+  common::Rng rng(2);
+  const data::SynthConfig cfg = data::mnist_like();
+  data::Dataset ds = data::generate_balanced(cfg, 50, 2);
+  nn::ModelSpec spec;  // LeNet on 12x12
+  nn::Model model = nn::build_model(spec, rng);
+  nn::Sgd sgd({.learning_rate = 0.05f});
+  std::vector<std::size_t> idx(ds.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  const auto stats = train_epoch(model, sgd, ds, idx, 20, rng);
+  EXPECT_EQ(stats.samples, 50u);
+  EXPECT_EQ(stats.batches, 3u);  // 20 + 20 + 10
+  EXPECT_GT(stats.mean_loss, 0.0);
+}
+
+TEST(Trainer, LossDecreasesOverEpochs) {
+  common::Rng rng(3);
+  const data::SynthConfig cfg = data::mnist_like();
+  data::Dataset ds = data::generate_balanced(cfg, 300, 3);
+  nn::ModelSpec spec;
+  nn::Model model = nn::build_model(spec, rng);
+  nn::Sgd sgd({.learning_rate = 0.02f, .momentum = 0.9f});
+  std::vector<std::size_t> idx(ds.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  const double first = train_epoch(model, sgd, ds, idx, 20, rng).mean_loss;
+  double last = first;
+  for (int e = 0; e < 4; ++e) last = train_epoch(model, sgd, ds, idx, 20, rng).mean_loss;
+  EXPECT_LT(last, 0.6 * first);
+}
+
+TEST(Trainer, CentralizedLearnsMnistLike) {
+  common::Rng rng(4);
+  const data::SynthConfig cfg = data::mnist_like();
+  data::Dataset train = data::generate_balanced(cfg, 600, 4);
+  data::Dataset test = data::generate_balanced(cfg, 200, 5);
+  nn::ModelSpec spec;
+  nn::Model model = nn::build_model(spec, rng);
+  nn::Sgd sgd({.learning_rate = 0.02f, .momentum = 0.9f});
+  (void)train_centralized(model, sgd, train, 4, 20, rng);
+  EXPECT_GT(model.accuracy(test.images(), test.labels()), 0.9);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  const data::SynthConfig cfg = data::mnist_like();
+  data::Dataset ds = data::generate_balanced(cfg, 100, 6);
+  auto run = [&] {
+    common::Rng rng(7);
+    nn::ModelSpec spec;
+    nn::Model model = nn::build_model(spec, rng);
+    nn::Sgd sgd({.learning_rate = 0.05f});
+    common::Rng train_rng(8);
+    std::vector<std::size_t> idx(ds.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    (void)train_epoch(model, sgd, ds, idx, 20, train_rng);
+    return model.flat_params();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace fedsched::fl

@@ -1,0 +1,223 @@
+#include "nn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.hpp"
+#include "nn/models.hpp"
+#include "nn/sgd.hpp"
+
+namespace fedsched::nn {
+namespace {
+
+using tensor::Tensor;
+
+Model tiny_mlp(common::Rng& rng) { return build_mlp(4, {8}, 3, rng); }
+
+TEST(Model, FlatParamsRoundTrip) {
+  common::Rng rng(1);
+  Model model = tiny_mlp(rng);
+  const auto flat = model.flat_params();
+  EXPECT_EQ(flat.size(), model.param_count());
+
+  std::vector<float> modified = flat;
+  for (float& x : modified) x += 1.0f;
+  model.set_flat_params(modified);
+  const auto readback = model.flat_params();
+  EXPECT_EQ(readback, modified);
+}
+
+TEST(Model, SetFlatParamsSizeValidated) {
+  common::Rng rng(2);
+  Model model = tiny_mlp(rng);
+  std::vector<float> wrong(model.param_count() + 1, 0.0f);
+  EXPECT_THROW(model.set_flat_params(wrong), std::invalid_argument);
+  wrong.resize(model.param_count() - 1);
+  EXPECT_THROW(model.set_flat_params(wrong), std::invalid_argument);
+}
+
+TEST(Model, SameParamsSameOutput) {
+  common::Rng rng1(3), rng2(4);
+  Model a = tiny_mlp(rng1);
+  Model b = tiny_mlp(rng2);
+  b.set_flat_params(a.flat_params());
+  common::Rng rng(5);
+  const Tensor x = Tensor::randn({3, 4}, rng);
+  const Tensor ya = a.forward(x, false);
+  const Tensor yb = b.forward(x, false);
+  for (std::size_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(Model, ZeroGradsClearsAll) {
+  common::Rng rng(6);
+  Model model = tiny_mlp(rng);
+  const Tensor x = Tensor::randn({2, 4}, rng);
+  const Tensor y = model.forward(x, true);
+  model.backward(y);
+  bool any_nonzero = false;
+  for (float g : model.flat_grads()) any_nonzero |= (g != 0.0f);
+  EXPECT_TRUE(any_nonzero);
+  model.zero_grads();
+  for (float g : model.flat_grads()) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(Model, ParamCountSplitsByKind) {
+  common::Rng rng(7);
+  ModelSpec spec;
+  spec.arch = Arch::kLeNet;
+  Model model = build_lenet(spec, rng);
+  const std::size_t conv = model.param_count(ParamKind::kConv);
+  const std::size_t dense = model.param_count(ParamKind::kDense);
+  EXPECT_GT(conv, 0u);
+  EXPECT_GT(dense, 0u);
+  EXPECT_EQ(conv + dense, model.param_count());
+  EXPECT_EQ(model.flat_params().size(), conv + dense);
+}
+
+TEST(Model, MacsSplitByKind) {
+  common::Rng rng(8);
+  ModelSpec spec;
+  spec.arch = Arch::kVgg6;
+  spec.in_channels = 3;
+  spec.in_h = 16;
+  spec.in_w = 16;
+  Model model = build_vgg6(spec, rng);
+  // VGG6 is conv-dominated by construction.
+  EXPECT_GT(model.macs_per_sample(ParamKind::kConv),
+            10.0 * model.macs_per_sample(ParamKind::kDense));
+}
+
+TEST(Model, AddRejectsNull) {
+  Model model;
+  EXPECT_THROW(model.add(nullptr), std::invalid_argument);
+}
+
+TEST(Model, SummaryMentionsLayers) {
+  common::Rng rng(9);
+  Model model = tiny_mlp(rng);
+  const std::string s = model.summary();
+  EXPECT_NE(s.find("Dense"), std::string::npos);
+  EXPECT_NE(s.find("ReLU"), std::string::npos);
+}
+
+TEST(Model, AccuracyPerfectAndChance) {
+  common::Rng rng(10);
+  Model model = tiny_mlp(rng);
+  const Tensor x = Tensor::randn({32, 4}, rng);
+  const Tensor logits = model.forward(x, false);
+  const auto preds = argmax_rows(logits);
+  // Labels equal to the model's own predictions -> accuracy 1.
+  EXPECT_DOUBLE_EQ(model.accuracy(x, preds), 1.0);
+  // Labels all shifted by one class -> accuracy 0.
+  std::vector<std::uint16_t> wrong(preds.begin(), preds.end());
+  for (auto& lbl : wrong) lbl = static_cast<std::uint16_t>((lbl + 1) % 3);
+  EXPECT_DOUBLE_EQ(model.accuracy(x, wrong), 0.0);
+}
+
+TEST(Sgd, SimpleStepMovesAgainstGradient) {
+  common::Rng rng(11);
+  Model model = tiny_mlp(rng);
+  const auto before = model.flat_params();
+  const Tensor x = Tensor::randn({4, 4}, rng);
+  const Tensor y = model.forward(x, true);
+  model.backward(y);  // gradient of 0.5*||y||^2
+  const auto grads = model.flat_grads();
+
+  Sgd sgd({.learning_rate = 0.1f, .momentum = 0.0f, .weight_decay = 0.0f});
+  sgd.step(model);
+  const auto after = model.flat_params();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(after[i], before[i] - 0.1f * grads[i], 1e-5);
+  }
+  // Gradients cleared by step.
+  for (float g : model.flat_grads()) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  common::Rng rng(12);
+  Model model = build_mlp(2, {}, 2, rng);
+  Sgd sgd({.learning_rate = 1.0f, .momentum = 0.5f, .weight_decay = 0.0f});
+  // Two identical steps: second update should be 1.5x the first.
+  auto params = model.params();
+  auto set_grad = [&] {
+    for (const Param& p : params) p.grad->fill(1.0f);
+  };
+  const auto p0 = model.flat_params();
+  set_grad();
+  sgd.step(model);
+  const auto p1 = model.flat_params();
+  set_grad();
+  sgd.step(model);
+  const auto p2 = model.flat_params();
+  const float first = p0[0] - p1[0];
+  const float second = p1[0] - p2[0];
+  EXPECT_NEAR(second, 1.5f * first, 1e-5);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  common::Rng rng(13);
+  Model model = build_mlp(2, {}, 2, rng);
+  Sgd sgd({.learning_rate = 0.1f, .momentum = 0.0f, .weight_decay = 0.5f});
+  const auto before = model.flat_params();
+  model.zero_grads();
+  sgd.step(model);  // zero gradient: pure decay
+  const auto after = model.flat_params();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(after[i], before[i] * (1.0f - 0.1f * 0.5f), 1e-5);
+  }
+}
+
+TEST(Models, LenetShapesPropagate) {
+  common::Rng rng(14);
+  ModelSpec spec;
+  spec.arch = Arch::kLeNet;
+  spec.in_channels = 1;
+  spec.in_h = 12;
+  spec.in_w = 12;
+  Model model = build_model(spec, rng);
+  common::Rng xrng(15);
+  const Tensor x = Tensor::randn({5, 144}, xrng);
+  const Tensor y = model.forward(x, false);
+  EXPECT_EQ(y.dim(0), 5u);
+  EXPECT_EQ(y.dim(1), 10u);
+}
+
+TEST(Models, Vgg6ShapesPropagate) {
+  common::Rng rng(16);
+  ModelSpec spec;
+  spec.arch = Arch::kVgg6;
+  spec.in_channels = 3;
+  spec.in_h = 16;
+  spec.in_w = 16;
+  spec.classes = 10;
+  Model model = build_model(spec, rng);
+  common::Rng xrng(17);
+  const Tensor x = Tensor::randn({2, 3 * 16 * 16}, xrng);
+  const Tensor y = model.forward(x, false);
+  EXPECT_EQ(y.dim(1), 10u);
+}
+
+TEST(Models, InputMustBeDivisibleByFour) {
+  common::Rng rng(18);
+  ModelSpec spec;
+  spec.in_h = 10;
+  spec.in_w = 10;
+  EXPECT_THROW((void)build_lenet(spec, rng), std::invalid_argument);
+  EXPECT_THROW((void)build_vgg6(spec, rng), std::invalid_argument);
+}
+
+TEST(Models, WidthScalesParameters) {
+  common::Rng rng(19);
+  ModelSpec narrow, wide;
+  wide.width = 2;
+  Model a = build_lenet(narrow, rng);
+  Model b = build_lenet(wide, rng);
+  EXPECT_GT(b.param_count(), 2 * a.param_count());
+}
+
+TEST(Models, ArchNames) {
+  EXPECT_STREQ(arch_name(Arch::kLeNet), "LeNet");
+  EXPECT_STREQ(arch_name(Arch::kVgg6), "VGG6");
+}
+
+}  // namespace
+}  // namespace fedsched::nn

@@ -1,0 +1,112 @@
+#include "profile/linreg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace fedsched::profile {
+namespace {
+
+TEST(SolveDense, KnownSystem) {
+  // 2x + y = 5 ; x - y = 1  ->  x = 2, y = 1.
+  const auto x = solve_dense({{2, 1}, {1, -1}}, {5, 1});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveDense, RequiresPivoting) {
+  // Leading zero forces a row swap.
+  const auto x = solve_dense({{0, 1}, {1, 0}}, {3, 4});
+  EXPECT_NEAR(x[0], 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveDense, SingularThrows) {
+  EXPECT_THROW((void)solve_dense({{1, 2}, {2, 4}}, {1, 2}), std::runtime_error);
+}
+
+TEST(SolveDense, DimensionValidation) {
+  EXPECT_THROW((void)solve_dense({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)solve_dense({{1, 2}}, {1}), std::invalid_argument);
+  EXPECT_THROW((void)solve_dense({{1, 2}, {3, 4}}, {1}), std::invalid_argument);
+}
+
+TEST(FitLinear, ExactLineRecovered) {
+  // y = 3 + 2x, no noise.
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (double x = 0; x < 10; ++x) {
+    X.push_back({x});
+    y.push_back(3.0 + 2.0 * x);
+  }
+  const LinearFit fit = fit_linear(X, y);
+  EXPECT_NEAR(fit.beta[0], 3.0, 1e-9);
+  EXPECT_NEAR(fit.beta[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.rmse, 0.0, 1e-9);
+}
+
+TEST(FitLinear, TwoPredictorPlane) {
+  // The paper's Eq. 1 shape: y = b0 + b1*x1 + b2*x2.
+  common::Rng rng(1);
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (int i = 0; i < 40; ++i) {
+    const double x1 = rng.uniform(0, 10), x2 = rng.uniform(0, 5);
+    X.push_back({x1, x2});
+    y.push_back(1.5 + 0.7 * x1 + 4.0 * x2);
+  }
+  const LinearFit fit = fit_linear(X, y);
+  EXPECT_NEAR(fit.beta[0], 1.5, 1e-6);
+  EXPECT_NEAR(fit.beta[1], 0.7, 1e-6);
+  EXPECT_NEAR(fit.beta[2], 4.0, 1e-6);
+}
+
+TEST(FitLinear, NoisyFitReasonable) {
+  common::Rng rng(2);
+  std::vector<std::vector<double>> X;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0, 100);
+    X.push_back({x});
+    y.push_back(10.0 + 0.5 * x + rng.gaussian(0.0, 2.0));
+  }
+  const LinearFit fit = fit_linear(X, y);
+  EXPECT_NEAR(fit.beta[1], 0.5, 0.05);
+  EXPECT_GT(fit.r_squared, 0.95);
+  EXPECT_NEAR(fit.rmse, 2.0, 0.5);
+}
+
+TEST(FitLinear, NoInterceptMode) {
+  std::vector<std::vector<double>> X = {{1}, {2}, {3}};
+  std::vector<double> y = {2, 4, 6};
+  const LinearFit fit = fit_linear(X, y, /*intercept=*/false);
+  ASSERT_EQ(fit.beta.size(), 1u);
+  EXPECT_NEAR(fit.beta[0], 2.0, 1e-9);
+}
+
+TEST(FitLinear, Validation) {
+  EXPECT_THROW((void)fit_linear({}, std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW((void)fit_linear({{1.0}}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  // Fewer observations than coefficients.
+  EXPECT_THROW((void)fit_linear({{1.0, 2.0}}, std::vector<double>{1.0}),
+               std::invalid_argument);
+  // Ragged X.
+  EXPECT_THROW((void)fit_linear({{1.0}, {1.0, 2.0}}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(LinearFit, PredictVariants) {
+  LinearFit fit;
+  fit.beta = {1.0, 2.0, 3.0};  // intercept + two slopes
+  const std::vector<double> x2 = {10.0, 100.0};
+  EXPECT_DOUBLE_EQ(fit.predict(x2), 1.0 + 20.0 + 300.0);
+  const std::vector<double> x3 = {1.0, 10.0, 100.0};  // matches beta size: no intercept
+  EXPECT_DOUBLE_EQ(fit.predict(x3), 1.0 + 20.0 + 300.0);
+  const std::vector<double> bad = {1.0};
+  EXPECT_THROW((void)fit.predict(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedsched::profile

@@ -1,0 +1,145 @@
+#include "profile/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "profile/time_model.hpp"
+
+namespace fedsched::profile {
+namespace {
+
+TEST(LinearTimeModel, EvaluatesLine) {
+  const LinearTimeModel m(2.0, 0.01);
+  EXPECT_DOUBLE_EQ(m.epoch_seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.epoch_seconds(100), 3.0);
+  EXPECT_DOUBLE_EQ(m.intercept(), 2.0);
+  EXPECT_DOUBLE_EQ(m.slope(), 0.01);
+}
+
+TEST(LinearTimeModel, NegativeClampedToZero) {
+  const LinearTimeModel m(-5.0, 0.01);
+  EXPECT_DOUBLE_EQ(m.epoch_seconds(100), 0.0);
+  EXPECT_DOUBLE_EQ(m.epoch_seconds(1000), 5.0);
+}
+
+TEST(LinearTimeModel, NegativeSlopeRejected) {
+  EXPECT_THROW(LinearTimeModel(0.0, -0.1), std::invalid_argument);
+}
+
+TEST(InterpolatedTimeModel, ExactAtAnchors) {
+  const InterpolatedTimeModel m({100, 200, 400}, {1.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(m.epoch_seconds(100), 1.0);
+  EXPECT_DOUBLE_EQ(m.epoch_seconds(200), 2.0);
+  EXPECT_DOUBLE_EQ(m.epoch_seconds(400), 5.0);
+}
+
+TEST(InterpolatedTimeModel, InterpolatesBetweenAnchors) {
+  const InterpolatedTimeModel m({100, 200}, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(m.epoch_seconds(150), 2.0);
+}
+
+TEST(InterpolatedTimeModel, ProportionalBelowFirstAnchor) {
+  const InterpolatedTimeModel m({100, 200}, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(m.epoch_seconds(50), 0.5);
+  EXPECT_DOUBLE_EQ(m.epoch_seconds(0), 0.0);
+}
+
+TEST(InterpolatedTimeModel, ExtrapolatesLastSlope) {
+  const InterpolatedTimeModel m({100, 200}, {1.0, 3.0});  // slope 0.02 on last seg
+  EXPECT_NEAR(m.epoch_seconds(300), 5.0, 1e-12);
+}
+
+TEST(InterpolatedTimeModel, SingleAnchorScales) {
+  const InterpolatedTimeModel m({100}, {2.0});
+  EXPECT_DOUBLE_EQ(m.epoch_seconds(50), 1.0);
+  EXPECT_DOUBLE_EQ(m.epoch_seconds(200), 4.0);
+}
+
+TEST(InterpolatedTimeModel, Validation) {
+  EXPECT_THROW(InterpolatedTimeModel({}, {}), std::invalid_argument);
+  EXPECT_THROW(InterpolatedTimeModel({100, 100}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(InterpolatedTimeModel({200, 100}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(InterpolatedTimeModel({100, 200}, {2, 1}), std::invalid_argument);
+  EXPECT_THROW(InterpolatedTimeModel({100}, {-1.0}), std::invalid_argument);
+}
+
+TEST(MeasureProfile, MonotoneAndAccurate) {
+  const auto profile = measure_profile(device::PhoneModel::kPixel2,
+                                       device::lenet_desc(), {250, 500, 1000, 2000});
+  const auto& times = profile.anchor_seconds();
+  for (std::size_t i = 1; i < times.size(); ++i) EXPECT_GE(times[i], times[i - 1]);
+
+  // Ground truth at an off-anchor size within a few percent (Pixel2 is in the
+  // linear regime here).
+  device::Device dev(device::PhoneModel::kPixel2);
+  const double truth = dev.train(device::lenet_desc(), 750);
+  EXPECT_NEAR(profile.epoch_seconds(750) / truth, 1.0, 0.05);
+}
+
+TEST(MeasureProfile, CapturesNexus6PSuperlinearity) {
+  const auto profile = measure_profile(device::PhoneModel::kNexus6P,
+                                       device::lenet_desc(), {1000, 2000, 4000, 6000});
+  // Per-sample rate at 6K must exceed the rate at 1K (thermal throttling).
+  const double rate_small = profile.epoch_seconds(1000) / 1000.0;
+  const double rate_large = profile.epoch_seconds(6000) / 6000.0;
+  EXPECT_GT(rate_large, 1.3 * rate_small);
+}
+
+TEST(MeasureProfile, NoiseRepairedToMonotone) {
+  const auto profile =
+      measure_profile(device::PhoneModel::kMate10, device::lenet_desc(),
+                      {100, 110, 120, 130, 140}, /*noise=*/0.3, /*seed=*/7);
+  const auto& times = profile.anchor_seconds();
+  for (std::size_t i = 1; i < times.size(); ++i) EXPECT_GE(times[i], times[i - 1]);
+}
+
+TEST(MeasureProfile, EmptySizesRejected) {
+  EXPECT_THROW((void)measure_profile(device::PhoneModel::kMate10,
+                                     device::lenet_desc(), {}),
+               std::invalid_argument);
+}
+
+TEST(TwoStepProfiler, StepOneFitsArePositiveAndLinear) {
+  ProfilerConfig config;
+  config.data_sizes = {200, 400, 800};
+  config.measurement_noise = 0.01;
+  const auto profiler = TwoStepProfiler::build(device::PhoneModel::kMate10, config);
+  ASSERT_EQ(profiler.step_one().size(), 3u);
+  for (const auto& [size, fit] : profiler.step_one()) {
+    // Time grows with both conv and dense parameters on every device.
+    EXPECT_GT(fit.beta[1], 0.0) << "conv coefficient at d=" << size;
+    EXPECT_GT(fit.beta[2], 0.0) << "dense coefficient at d=" << size;
+    EXPECT_GT(fit.r_squared, 0.9);
+  }
+}
+
+TEST(TwoStepProfiler, PredictsLeNetEpochTime) {
+  // Fig 4(b): the two-step prediction lands near ground truth for the
+  // (unseen) LeNet architecture in the un-throttled regime.
+  ProfilerConfig config;
+  config.data_sizes = {250, 500, 1000, 2000};
+  config.measurement_noise = 0.02;
+  const auto profiler = TwoStepProfiler::build(device::PhoneModel::kMate10, config);
+  const LinearTimeModel predicted = profiler.predict(device::lenet_desc());
+
+  device::Device dev(device::PhoneModel::kMate10);
+  const double truth = dev.train(device::lenet_desc(), 1500);
+  EXPECT_NEAR(predicted.epoch_seconds(1500) / truth, 1.0, 0.25);
+}
+
+TEST(TwoStepProfiler, StepOneEstimateCountMatchesSizes) {
+  ProfilerConfig config;
+  config.data_sizes = {100, 300};
+  const auto profiler = TwoStepProfiler::build(device::PhoneModel::kPixel2, config);
+  EXPECT_EQ(profiler.step_one_estimates(device::vgg6_desc()).size(), 2u);
+  EXPECT_EQ(profiler.phone(), device::PhoneModel::kPixel2);
+}
+
+TEST(TwoStepProfiler, EmptySizesRejected) {
+  ProfilerConfig config;
+  config.data_sizes = {};
+  EXPECT_THROW((void)TwoStepProfiler::build(device::PhoneModel::kPixel2, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedsched::profile

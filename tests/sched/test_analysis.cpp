@@ -1,0 +1,159 @@
+#include "sched/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "profile/time_model.hpp"
+#include "sched/baselines.hpp"
+#include "sched/fed_lbap.hpp"
+
+namespace fedsched::sched {
+namespace {
+
+using profile::LinearTimeModel;
+
+UserProfile linear_user(double slope, double intercept = 0.0, double comm = 0.0) {
+  UserProfile u;
+  u.name = "u";
+  u.time_model = std::make_shared<LinearTimeModel>(intercept, slope);
+  u.comm_seconds = comm;
+  return u;
+}
+
+TEST(Analyze, BasicQuantities) {
+  const std::vector<UserProfile> users = {linear_user(1.0), linear_user(2.0),
+                                          linear_user(3.0)};
+  Assignment a;
+  a.shard_size = 1;
+  a.shards_per_user = {4, 2, 0};  // times: 4, 4, idle
+  const auto analysis = analyze(users, a);
+  EXPECT_EQ(analysis.participants, 2u);
+  EXPECT_DOUBLE_EQ(analysis.makespan_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(analysis.mean_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(analysis.straggler_gap, 0.0);
+  EXPECT_DOUBLE_EQ(analysis.utilization, 1.0);
+}
+
+TEST(Analyze, UnbalancedAssignment) {
+  const std::vector<UserProfile> users = {linear_user(1.0), linear_user(1.0)};
+  Assignment a;
+  a.shard_size = 1;
+  a.shards_per_user = {9, 3};  // times 9 and 3: mean 6, gap 0.5, util 2/3
+  const auto analysis = analyze(users, a);
+  EXPECT_DOUBLE_EQ(analysis.straggler_gap, 0.5);
+  EXPECT_NEAR(analysis.utilization, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Analyze, EmptyAssignment) {
+  const std::vector<UserProfile> users = {linear_user(1.0)};
+  Assignment a;
+  a.shards_per_user = {0};
+  const auto analysis = analyze(users, a);
+  EXPECT_EQ(analysis.participants, 0u);
+  EXPECT_EQ(analysis.makespan_seconds, 0.0);
+}
+
+TEST(LowerBound, TwoEqualLinearUsers) {
+  // Two users at 1 s/sample: 10 samples split 5/5 -> bound 5 s.
+  const std::vector<UserProfile> users = {linear_user(1.0), linear_user(1.0)};
+  EXPECT_NEAR(fractional_makespan_lower_bound(users, 10), 5.0, 1e-3);
+}
+
+TEST(LowerBound, WeightedSplit) {
+  // Slopes 1 and 3: optimal continuous split of 12 equalizes t = 9.
+  const std::vector<UserProfile> users = {linear_user(1.0), linear_user(3.0)};
+  EXPECT_NEAR(fractional_makespan_lower_bound(users, 12), 9.0, 1e-3);
+}
+
+TEST(LowerBound, ZeroSamplesZeroBound) {
+  const std::vector<UserProfile> users = {linear_user(1.0)};
+  EXPECT_EQ(fractional_makespan_lower_bound(users, 0), 0.0);
+}
+
+TEST(LowerBound, RespectsCapacity) {
+  // Fast user capped at 2 samples: the slow one must host the rest.
+  auto fast = linear_user(0.1);
+  fast.capacity_shards = 2;
+  const std::vector<UserProfile> users = {fast, linear_user(2.0)};
+  // 10 samples: 2 on fast, 8 on slow -> bound ~16 s.
+  EXPECT_NEAR(fractional_makespan_lower_bound(users, 10), 16.0, 1e-3);
+}
+
+TEST(LowerBound, CapacityShardSizeConversion) {
+  auto user = linear_user(1.0);
+  user.capacity_shards = 3;  // profile built at shard size 10 -> 30 samples
+  const std::vector<UserProfile> users = {user, linear_user(1.0)};
+  // 40 samples: capped user hosts 30 at most; other hosts >= 10. Equal split
+  // 20/20 feasible -> bound 20.
+  EXPECT_NEAR(fractional_makespan_lower_bound(users, 40, 10), 20.0, 1e-3);
+}
+
+TEST(LowerBound, InfeasibleCapacitiesThrow) {
+  auto a = linear_user(1.0);
+  a.capacity_shards = 2;
+  auto b = linear_user(1.0);
+  b.capacity_shards = 2;
+  EXPECT_THROW((void)fractional_makespan_lower_bound({a, b}, 10),
+               std::invalid_argument);
+}
+
+TEST(LowerBound, Validation) {
+  EXPECT_THROW((void)fractional_makespan_lower_bound({}, 10), std::invalid_argument);
+  const std::vector<UserProfile> users = {linear_user(1.0)};
+  EXPECT_THROW((void)fractional_makespan_lower_bound(users, 10, 0),
+               std::invalid_argument);
+}
+
+// Property: Fed-LBAP's makespan is within one shard's worth of the
+// fractional lower bound on random linear instances.
+class LbapNearOptimal : public ::testing::TestWithParam<int> {};
+
+TEST_P(LbapNearOptimal, GapBoundedByShardGranularity) {
+  common::Rng rng(3100 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + rng.uniform_int(5);
+  std::vector<UserProfile> users;
+  double max_slope = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double slope = rng.uniform(0.2, 2.0);
+    max_slope = std::max(max_slope, slope);
+    users.push_back(linear_user(slope, rng.uniform(0.0, 1.0)));
+  }
+  const std::size_t shard_size = 10;
+  const std::size_t shards = 20 + rng.uniform_int(30);
+  const auto result = fed_lbap(users, shards, shard_size);
+  const double bound =
+      fractional_makespan_lower_bound(users, shards * shard_size);
+  EXPECT_GE(result.makespan_seconds, bound - 1e-6);
+  // Integrality can cost at most ~one shard on the critical user.
+  EXPECT_LE(result.makespan_seconds,
+            bound + max_slope * static_cast<double>(shard_size) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, LbapNearOptimal, ::testing::Range(0, 25));
+
+// Property: every baseline is at least as slow as the lower bound, and the
+// optimality gap is non-negative.
+class BaselinesAboveBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselinesAboveBound, GapNonNegative) {
+  common::Rng rng(4200 + static_cast<std::uint64_t>(GetParam()));
+  std::vector<UserProfile> users;
+  for (int j = 0; j < 4; ++j) {
+    auto u = linear_user(rng.uniform(0.3, 2.5), rng.uniform(0.0, 2.0));
+    u.phone = device::kAllPhoneModels[static_cast<std::size_t>(j) % 4];
+    users.push_back(std::move(u));
+  }
+  for (Baseline baseline :
+       {Baseline::kEqual, Baseline::kProportional, Baseline::kRandom}) {
+    const auto a = assign_baseline(baseline, users, 30, 10, rng);
+    EXPECT_GE(optimality_gap(users, a, 300), -1e-6)
+        << baseline_name(baseline);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, BaselinesAboveBound, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace fedsched::sched

@@ -1,0 +1,110 @@
+#include "sched/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "profile/time_model.hpp"
+
+namespace fedsched::sched {
+namespace {
+
+std::vector<UserProfile> testbed_users() {
+  std::vector<UserProfile> users;
+  for (device::PhoneModel phone :
+       {device::PhoneModel::kNexus6, device::PhoneModel::kNexus6P,
+        device::PhoneModel::kPixel2}) {
+    UserProfile u;
+    u.name = device::model_name(phone);
+    u.phone = phone;
+    u.time_model = std::make_shared<profile::LinearTimeModel>(0.0, 1.0);
+    users.push_back(std::move(u));
+  }
+  return users;
+}
+
+TEST(Baselines, Names) {
+  EXPECT_STREQ(baseline_name(Baseline::kEqual), "Equal");
+  EXPECT_STREQ(baseline_name(Baseline::kProportional), "Prop.");
+  EXPECT_STREQ(baseline_name(Baseline::kRandom), "Random");
+}
+
+TEST(AssignEqual, EvenWithRemainder) {
+  const Assignment a = assign_equal(3, 10, 5);
+  EXPECT_EQ(a.shards_per_user, (std::vector<std::size_t>{4, 3, 3}));
+  EXPECT_EQ(a.shard_size, 5u);
+  EXPECT_EQ(a.total_shards(), 10u);
+  EXPECT_EQ(a.sample_counts(), (std::vector<std::size_t>{20, 15, 15}));
+  EXPECT_THROW((void)assign_equal(0, 10, 5), std::invalid_argument);
+}
+
+TEST(AssignProportional, FollowsMeanClock) {
+  const auto users = testbed_users();
+  const Assignment a = assign_proportional(users, 100, 1);
+  EXPECT_EQ(a.total_shards(), 100u);
+  // Nexus6 (2.7 GHz mean) gets more than Nexus6P (1.775 GHz mean) — exactly
+  // the trap the paper identifies: nominal clocks mispredict real speed.
+  EXPECT_GT(a.shards_per_user[0], a.shards_per_user[1]);
+  EXPECT_THROW((void)assign_proportional({}, 10, 1), std::invalid_argument);
+}
+
+TEST(AssignRandom, SumsAndVaries) {
+  common::Rng rng(1);
+  const Assignment a = assign_random(5, 100, 1, rng);
+  EXPECT_EQ(a.total_shards(), 100u);
+  const Assignment b = assign_random(5, 100, 1, rng);
+  EXPECT_NE(a.shards_per_user, b.shards_per_user);
+  EXPECT_THROW((void)assign_random(0, 10, 1, rng), std::invalid_argument);
+}
+
+TEST(AssignRandom, SingleUserGetsAll) {
+  common::Rng rng(2);
+  const Assignment a = assign_random(1, 42, 1, rng);
+  EXPECT_EQ(a.shards_per_user[0], 42u);
+}
+
+TEST(AssignRandom, ZeroShardsAllowed) {
+  common::Rng rng(3);
+  const Assignment a = assign_random(3, 0, 1, rng);
+  EXPECT_EQ(a.total_shards(), 0u);
+}
+
+TEST(AssignBaseline, Dispatch) {
+  common::Rng rng(4);
+  const auto users = testbed_users();
+  for (Baseline b : {Baseline::kEqual, Baseline::kProportional, Baseline::kRandom}) {
+    const Assignment a = assign_baseline(b, users, 30, 2, rng);
+    EXPECT_EQ(a.total_shards(), 30u);
+    EXPECT_EQ(a.users(), 3u);
+  }
+}
+
+TEST(AssignmentStruct, Participants) {
+  Assignment a;
+  a.shards_per_user = {0, 3, 0, 1};
+  EXPECT_EQ(a.participants(), 2u);
+  EXPECT_EQ(a.users(), 4u);
+}
+
+TEST(EpochTimes, ZeroForIdleUsers) {
+  auto users = testbed_users();
+  users[0].comm_seconds = 100.0;
+  Assignment a;
+  a.shard_size = 10;
+  a.shards_per_user = {0, 2, 1};
+  const auto times = epoch_times(users, a);
+  EXPECT_EQ(times[0], 0.0);  // idle user pays no comm either
+  EXPECT_DOUBLE_EQ(times[1], 20.0);
+  EXPECT_DOUBLE_EQ(times[2], 10.0);
+  EXPECT_DOUBLE_EQ(makespan(users, a), 20.0);
+}
+
+TEST(EpochTimes, SizeMismatchThrows) {
+  const auto users = testbed_users();
+  Assignment a;
+  a.shards_per_user = {1, 2};
+  EXPECT_THROW((void)epoch_times(users, a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedsched::sched

@@ -1,0 +1,175 @@
+#include "sched/fed_lbap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace fedsched::sched {
+namespace {
+
+using profile::LinearTimeModel;
+
+UserProfile linear_user(const std::string& name, double slope, double intercept = 0.0,
+                        double comm = 0.0) {
+  UserProfile u;
+  u.name = name;
+  u.time_model = std::make_shared<LinearTimeModel>(intercept, slope);
+  u.comm_seconds = comm;
+  return u;
+}
+
+TEST(CostMatrix, ValuesAndSorting) {
+  const std::vector<UserProfile> users = {linear_user("a", 1.0), linear_user("b", 2.0)};
+  const CostMatrix m(users, 3, 10);  // 3 shards of 10 samples
+  EXPECT_EQ(m.users(), 2u);
+  EXPECT_EQ(m.shards(), 3u);
+  EXPECT_DOUBLE_EQ(m.cost(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(m.cost(0, 3), 30.0);
+  EXPECT_DOUBLE_EQ(m.cost(1, 2), 40.0);
+  EXPECT_DOUBLE_EQ(m.cost(1, 0), 0.0);
+  const auto& sorted = m.sorted_values();
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  EXPECT_EQ(sorted.size(), 6u);
+}
+
+TEST(CostMatrix, MaxShardsWithinThreshold) {
+  const std::vector<UserProfile> users = {linear_user("a", 1.0)};
+  const CostMatrix m(users, 5, 10);  // costs 10,20,30,40,50
+  EXPECT_EQ(m.max_shards_within(0, 9.0), 0u);
+  EXPECT_EQ(m.max_shards_within(0, 10.0), 1u);
+  EXPECT_EQ(m.max_shards_within(0, 35.0), 3u);
+  EXPECT_EQ(m.max_shards_within(0, 1000.0), 5u);
+}
+
+TEST(CostMatrix, CapacityCapsBudget) {
+  auto user = linear_user("a", 1.0);
+  user.capacity_shards = 2;
+  const CostMatrix m({user}, 5, 10);
+  EXPECT_EQ(m.max_shards_within(0, 1000.0), 2u);
+}
+
+TEST(CostMatrix, CommIsAdditiveConstant) {
+  const std::vector<UserProfile> users = {linear_user("a", 1.0, 0.0, 5.0)};
+  const CostMatrix m(users, 2, 10);
+  EXPECT_DOUBLE_EQ(m.cost(0, 1), 15.0);
+  EXPECT_DOUBLE_EQ(m.cost(0, 2), 25.0);
+}
+
+TEST(CostMatrix, Validation) {
+  const std::vector<UserProfile> none;
+  EXPECT_THROW(CostMatrix(none, 3, 10), std::invalid_argument);
+  const std::vector<UserProfile> users = {linear_user("a", 1.0)};
+  EXPECT_THROW(CostMatrix(users, 0, 10), std::invalid_argument);
+  EXPECT_THROW(CostMatrix(users, 3, 0), std::invalid_argument);
+  std::vector<UserProfile> null_model(1);
+  EXPECT_THROW(CostMatrix(null_model, 3, 10), std::invalid_argument);
+}
+
+TEST(FedLbap, TwoIdenticalUsersSplitEvenly) {
+  const std::vector<UserProfile> users = {linear_user("a", 1.0), linear_user("b", 1.0)};
+  const auto result = fed_lbap(users, 10, 1);
+  EXPECT_EQ(result.assignment.total_shards(), 10u);
+  EXPECT_EQ(result.assignment.shards_per_user[0], 5u);
+  EXPECT_EQ(result.assignment.shards_per_user[1], 5u);
+  EXPECT_DOUBLE_EQ(result.makespan_seconds, 5.0);
+}
+
+TEST(FedLbap, FastUserGetsMoreData) {
+  // User a is 3x faster: optimal split of 12 shards is 9/3 (makespan 9 each).
+  const std::vector<UserProfile> users = {linear_user("a", 1.0), linear_user("b", 3.0)};
+  const auto result = fed_lbap(users, 12, 1);
+  EXPECT_EQ(result.assignment.shards_per_user[0], 9u);
+  EXPECT_EQ(result.assignment.shards_per_user[1], 3u);
+  EXPECT_DOUBLE_EQ(result.makespan_seconds, 9.0);
+}
+
+TEST(FedLbap, HighCommUserExcluded) {
+  // b's comm cost alone exceeds a's full workload: b gets nothing.
+  const std::vector<UserProfile> users = {linear_user("a", 1.0),
+                                          linear_user("b", 1.0, 0.0, 100.0)};
+  const auto result = fed_lbap(users, 10, 1);
+  EXPECT_EQ(result.assignment.shards_per_user[0], 10u);
+  EXPECT_EQ(result.assignment.shards_per_user[1], 0u);
+  EXPECT_DOUBLE_EQ(result.makespan_seconds, 10.0);
+}
+
+TEST(FedLbap, RespectsCapacity) {
+  auto a = linear_user("a", 1.0);
+  a.capacity_shards = 3;
+  const std::vector<UserProfile> users = {a, linear_user("b", 10.0)};
+  const auto result = fed_lbap(users, 5, 1);
+  EXPECT_LE(result.assignment.shards_per_user[0], 3u);
+  EXPECT_EQ(result.assignment.total_shards(), 5u);
+}
+
+TEST(FedLbap, InfeasibleCapacityThrows) {
+  auto a = linear_user("a", 1.0);
+  a.capacity_shards = 2;
+  auto b = linear_user("b", 1.0);
+  b.capacity_shards = 2;
+  EXPECT_THROW((void)fed_lbap({a, b}, 5, 1), std::invalid_argument);
+}
+
+TEST(FedLbap, ZeroShardsRejected) {
+  const std::vector<UserProfile> users = {linear_user("a", 1.0)};
+  EXPECT_THROW((void)fed_lbap(users, 0, 1), std::invalid_argument);
+}
+
+TEST(FedLbap, SingleUserTakesAll) {
+  const std::vector<UserProfile> users = {linear_user("a", 2.0, 1.0)};
+  const auto result = fed_lbap(users, 7, 5);
+  EXPECT_EQ(result.assignment.shards_per_user[0], 7u);
+  EXPECT_DOUBLE_EQ(result.makespan_seconds, 1.0 + 2.0 * 35.0);
+}
+
+TEST(FedLbap, MakespanEqualsEvaluatedMakespan) {
+  const std::vector<UserProfile> users = {
+      linear_user("a", 1.0, 2.0), linear_user("b", 2.5, 0.0, 1.0),
+      linear_user("c", 0.5, 5.0)};
+  const auto result = fed_lbap(users, 30, 2);
+  EXPECT_NEAR(result.makespan_seconds, makespan(users, result.assignment), 1e-9);
+}
+
+// Property test: Fed-LBAP matches the exhaustive oracle on random instances.
+class FedLbapOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(FedLbapOptimality, MatchesBruteForce) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + rng.uniform_int(3);       // 2..4 users
+  const std::size_t shards = 4 + rng.uniform_int(6);  // 4..9 shards
+  std::vector<UserProfile> users;
+  for (std::size_t j = 0; j < n; ++j) {
+    users.push_back(linear_user("u" + std::to_string(j), rng.uniform(0.2, 3.0),
+                                rng.uniform(0.0, 2.0), rng.uniform(0.0, 1.0)));
+  }
+  const CostMatrix matrix(users, shards, 1);
+  const auto fast = fed_lbap(matrix, shards);
+  const auto oracle = lbap_bruteforce(matrix, shards);
+  EXPECT_NEAR(fast.makespan_seconds, oracle.makespan_seconds, 1e-9)
+      << "n=" << n << " shards=" << shards;
+  EXPECT_EQ(fast.assignment.total_shards(), shards);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, FedLbapOptimality, ::testing::Range(0, 40));
+
+// Property: makespan never increases when a faster user joins.
+class FedLbapMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(FedLbapMonotonicity, MoreUsersNeverHurt) {
+  common::Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  std::vector<UserProfile> users;
+  for (int j = 0; j < 3; ++j) {
+    users.push_back(linear_user("u" + std::to_string(j), rng.uniform(0.5, 2.0)));
+  }
+  const auto before = fed_lbap(users, 20, 1);
+  users.push_back(linear_user("extra", rng.uniform(0.5, 2.0)));
+  const auto after = fed_lbap(users, 20, 1);
+  EXPECT_LE(after.makespan_seconds, before.makespan_seconds + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, FedLbapMonotonicity, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace fedsched::sched

@@ -1,0 +1,265 @@
+#include "sched/fed_minavg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace fedsched::sched {
+namespace {
+
+using profile::LinearTimeModel;
+
+UserProfile user_with_classes(const std::string& name, double slope,
+                              std::vector<std::uint16_t> classes, double comm = 0.0) {
+  UserProfile u;
+  u.name = name;
+  u.time_model = std::make_shared<LinearTimeModel>(0.0, slope);
+  u.comm_seconds = comm;
+  u.classes = std::move(classes);
+  return u;
+}
+
+MinAvgConfig config(double alpha, double beta, std::size_t k = 10,
+                    bool include_comm = true) {
+  MinAvgConfig c;
+  c.cost.alpha = alpha;
+  c.cost.beta = beta;
+  c.cost.testset_classes = k;
+  c.include_comm = include_comm;
+  return c;
+}
+
+TEST(ClassCoverage, TracksAdditions) {
+  ClassCoverage cov(10);
+  EXPECT_EQ(cov.covered_count(), 0u);
+  EXPECT_FALSE(cov.covers(3));
+  cov.add({3, 5});
+  EXPECT_TRUE(cov.covers(3));
+  EXPECT_EQ(cov.covered_count(), 2u);
+  cov.add({3});  // idempotent
+  EXPECT_EQ(cov.covered_count(), 2u);
+  EXPECT_TRUE(cov.intersects({1, 5}));
+  EXPECT_FALSE(cov.intersects({0, 9}));
+  EXPECT_THROW((void)cov.covers(10), std::out_of_range);
+  EXPECT_THROW(ClassCoverage(0), std::invalid_argument);
+}
+
+TEST(AccuracyCost, Equation6Branches) {
+  AccuracyCostParams params{.alpha = 100.0, .beta = 2.0, .testset_classes = 10};
+  ClassCoverage cov(10);
+  cov.add({0, 1});
+
+  // Overlapping user: alpha * K / |U_j| with no bonus.
+  EXPECT_DOUBLE_EQ(scaled_accuracy_cost(params, {1, 2, 3, 4, 5}, cov, 50),
+                   100.0 * 10.0 / 5.0);
+  // Disjoint user: bonus beta * D_u subtracted.
+  EXPECT_DOUBLE_EQ(scaled_accuracy_cost(params, {7, 8}, cov, 50),
+                   100.0 * 10.0 / 2.0 - 2.0 * 50.0);
+  // Classless user: infinite.
+  EXPECT_TRUE(std::isinf(scaled_accuracy_cost(params, {}, cov, 0)));
+}
+
+TEST(AccuracyCost, AnyNewClassModeBroadensBonus) {
+  AccuracyCostParams params{.alpha = 100.0, .beta = 2.0, .testset_classes = 10};
+  params.bonus_mode = BonusMode::kAnyNewClass;
+  ClassCoverage cov(10);
+  cov.add({0, 1});
+  // Partially-overlapping user with one new class: bonus applies in this
+  // mode (but not in the literal-Eq.6 mode).
+  const double with_new = scaled_accuracy_cost(params, {1, 7}, cov, 50);
+  EXPECT_DOUBLE_EQ(with_new, 100.0 * 10.0 / 2.0 - 2.0 * 50.0);
+  params.bonus_mode = BonusMode::kDisjointOnly;
+  EXPECT_DOUBLE_EQ(scaled_accuracy_cost(params, {1, 7}, cov, 50), 100.0 * 10.0 / 2.0);
+  // Fully-covered user gets no bonus in either mode.
+  params.bonus_mode = BonusMode::kAnyNewClass;
+  EXPECT_DOUBLE_EQ(scaled_accuracy_cost(params, {0, 1}, cov, 50), 100.0 * 10.0 / 2.0);
+}
+
+TEST(FedMinAvg, AnyNewClassModeRecruitsOverlappingOutlier) {
+  // Outlier holds the only copy of class 9 but *overlaps* the main user via
+  // class 8, so the literal Eq. 6 bonus never applies to it; the any-new
+  // variant still recruits it and completes the coverage.
+  const std::vector<UserProfile> users = {
+      user_with_classes("main", 0.02, {0, 1, 2, 3, 4, 5, 6, 7, 8}),
+      user_with_classes("outlier", 0.05, {8, 9})};
+  auto cfg = config(100, 3);
+  cfg.cost.bonus_mode = BonusMode::kDisjointOnly;
+  const auto literal = fed_minavg(users, 200, 10, cfg);
+  EXPECT_EQ(literal.covered_classes, 9u);
+  cfg.cost.bonus_mode = BonusMode::kAnyNewClass;
+  const auto recruited = fed_minavg(users, 200, 10, cfg);
+  EXPECT_EQ(recruited.covered_classes, 10u);
+  EXPECT_GT(recruited.assignment.shards_per_user[1], 0u);
+}
+
+TEST(AccuracyCost, ExplicitBonusOverload) {
+  AccuracyCostParams params{.alpha = 100.0, .beta = 2.0, .testset_classes = 10};
+  EXPECT_DOUBLE_EQ(scaled_accuracy_cost(params, {0, 1}, /*bonus_applies=*/true, 30),
+                   100.0 * 10.0 / 2.0 - 2.0 * 30.0);
+  EXPECT_DOUBLE_EQ(scaled_accuracy_cost(params, {0, 1}, /*bonus_applies=*/false, 30),
+                   100.0 * 10.0 / 2.0);
+  EXPECT_TRUE(std::isinf(scaled_accuracy_cost(params, {}, true, 0)));
+}
+
+TEST(AccuracyCost, HoldsNewClass) {
+  ClassCoverage cov(10);
+  cov.add({0, 1, 2});
+  EXPECT_TRUE(holds_new_class({2, 3}, cov));
+  EXPECT_FALSE(holds_new_class({0, 1}, cov));
+  EXPECT_FALSE(holds_new_class({}, cov));
+}
+
+TEST(AccuracyCost, FewerClassesCostMore) {
+  AccuracyCostParams params{.alpha = 100.0, .beta = 0.0, .testset_classes = 10};
+  ClassCoverage cov(10);
+  cov.add({0});
+  const double one_class = scaled_accuracy_cost(params, {0}, cov, 0);
+  const double five_classes = scaled_accuracy_cost(params, {0, 1, 2, 3, 4}, cov, 0);
+  EXPECT_GT(one_class, five_classes);
+}
+
+TEST(FedMinAvg, AssignsAllShards) {
+  const std::vector<UserProfile> users = {
+      user_with_classes("a", 1.0, {0, 1, 2, 3, 4}),
+      user_with_classes("b", 1.0, {5, 6, 7, 8, 9})};
+  const auto result = fed_minavg(users, 20, 10, config(100, 0));
+  EXPECT_EQ(result.assignment.total_shards(), 20u);
+  EXPECT_EQ(result.steps, 20u);
+}
+
+TEST(FedMinAvg, CoverageCountsSelectedUsers) {
+  const std::vector<UserProfile> users = {
+      user_with_classes("a", 1.0, {0, 1, 2, 3, 4}),
+      user_with_classes("b", 1.0, {5, 6, 7, 8, 9})};
+  const auto result = fed_minavg(users, 10, 10, config(100, 0));
+  EXPECT_EQ(result.covered_classes, 10u);
+}
+
+TEST(FedMinAvg, FastUserPreferredWhenClassesEqual) {
+  const std::vector<UserProfile> users = {
+      user_with_classes("fast", 0.1, {0, 1, 2, 3, 4}),
+      user_with_classes("slow", 10.0, {5, 6, 7, 8, 9})};
+  const auto result = fed_minavg(users, 10, 10, config(0.0, 0.0));
+  // With alpha=0 the schedule is time-only: the fast user dominates.
+  EXPECT_GT(result.assignment.shards_per_user[0],
+            result.assignment.shards_per_user[1]);
+}
+
+TEST(FedMinAvg, LargeAlphaPenalizesFewClassUsers) {
+  // Fast but 1-class vs slow but 9-class; the 1-class user's classes overlap
+  // the other's, so it brings no new coverage.
+  const std::vector<UserProfile> users = {
+      user_with_classes("fast-skewed", 0.1, {0}),
+      user_with_classes("slow-broad", 1.0, {0, 1, 2, 3, 4, 5, 6, 7, 8})};
+  const auto small_alpha = fed_minavg(users, 10, 10, config(0.01, 0));
+  const auto large_alpha = fed_minavg(users, 10, 10, config(10000, 0));
+  EXPECT_GE(small_alpha.assignment.shards_per_user[0],
+            large_alpha.assignment.shards_per_user[0]);
+  // At huge alpha the skewed user is effectively excluded.
+  EXPECT_EQ(large_alpha.assignment.shards_per_user[0], 0u);
+}
+
+TEST(FedMinAvg, BetaRecruitsUnseenClassOutlier) {
+  // Outlier holds the only copy of class 9 but is slow; with beta=0 and high
+  // alpha it gets nothing, with beta>0 it is eventually recruited.
+  const std::vector<UserProfile> users = {
+      user_with_classes("main", 0.5, {0, 1, 2, 3, 4, 5, 6, 7, 8}),
+      user_with_classes("outlier", 5.0, {9})};
+  // Cost gap to overcome: alpha*(K/1 - K/9) ~= 17.8k, so the beta*D_u bonus
+  // must reach that within the 50-shard horizon -> beta = 500 crosses at ~36.
+  const auto no_beta = fed_minavg(users, 50, 10, config(2000, 0));
+  const auto with_beta = fed_minavg(users, 50, 10, config(2000, 500));
+  EXPECT_EQ(no_beta.assignment.shards_per_user[1], 0u);
+  EXPECT_GT(with_beta.assignment.shards_per_user[1], 0u);
+  EXPECT_EQ(with_beta.covered_classes, 10u);
+}
+
+TEST(FedMinAvg, CapacityClosesBin) {
+  auto a = user_with_classes("a", 0.1, {0, 1, 2, 3, 4});
+  a.capacity_shards = 3;
+  const std::vector<UserProfile> users = {a,
+                                          user_with_classes("b", 10.0, {5, 6, 7})};
+  const auto result = fed_minavg(users, 10, 10, config(0, 0));
+  EXPECT_EQ(result.assignment.shards_per_user[0], 3u);
+  EXPECT_EQ(result.assignment.shards_per_user[1], 7u);
+}
+
+TEST(FedMinAvg, InfeasibleCapacityThrows) {
+  auto a = user_with_classes("a", 1.0, {0});
+  a.capacity_shards = 2;
+  EXPECT_THROW((void)fed_minavg({a}, 5, 10, config(0, 0)), std::invalid_argument);
+}
+
+TEST(FedMinAvg, ClasslessUsersUnassignable) {
+  std::vector<UserProfile> users = {user_with_classes("empty", 1.0, {})};
+  EXPECT_THROW((void)fed_minavg(users, 3, 10, config(100, 0)), std::runtime_error);
+}
+
+TEST(FedMinAvg, Validation) {
+  const std::vector<UserProfile> none;
+  EXPECT_THROW((void)fed_minavg(none, 5, 10, config(0, 0)), std::invalid_argument);
+  const std::vector<UserProfile> users = {user_with_classes("a", 1.0, {0})};
+  EXPECT_THROW((void)fed_minavg(users, 0, 10, config(0, 0)), std::invalid_argument);
+  EXPECT_THROW((void)fed_minavg(users, 5, 0, config(0, 0)), std::invalid_argument);
+}
+
+TEST(FedMinAvg, CommInfluencesOpening) {
+  // Opening a user with huge comm cost is avoided when comm is included.
+  const std::vector<UserProfile> users = {
+      user_with_classes("cheap", 1.0, {0, 1, 2, 3, 4}, 0.0),
+      user_with_classes("pricey-link", 1.0, {5, 6, 7, 8, 9}, 1e6)};
+  const auto with_comm = fed_minavg(users, 10, 10, config(0, 0, 10, true));
+  EXPECT_EQ(with_comm.assignment.shards_per_user[1], 0u);
+  const auto without_comm = fed_minavg(users, 10, 10, config(0, 0, 10, false));
+  EXPECT_GT(without_comm.assignment.shards_per_user[1], 0u);
+}
+
+TEST(FedMinAvg, TotalTimeMatchesEpochTimes) {
+  const std::vector<UserProfile> users = {
+      user_with_classes("a", 1.0, {0, 1, 2}, 2.0),
+      user_with_classes("b", 2.0, {3, 4}, 1.0)};
+  const auto result = fed_minavg(users, 8, 5, config(10, 1));
+  const auto times = epoch_times(users, result.assignment);
+  double sum = 0.0;
+  for (double t : times) sum += t;
+  EXPECT_NEAR(result.total_time_seconds, sum, 1e-9);
+  EXPECT_NEAR(result.makespan_seconds, makespan(users, result.assignment), 1e-9);
+}
+
+// Property: the greedy step count is exactly the shard total, and no user
+// exceeds capacity, over random instances.
+class FedMinAvgInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(FedMinAvgInvariants, CapacityAndConservation) {
+  common::Rng rng(7000 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + rng.uniform_int(5);
+  std::vector<UserProfile> users;
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<std::uint16_t> classes;
+    const std::size_t k = 1 + rng.uniform_int(5);
+    for (std::size_t c : rng.sample_without_replacement(10, k)) {
+      classes.push_back(static_cast<std::uint16_t>(c));
+    }
+    auto u = user_with_classes("u" + std::to_string(j), rng.uniform(0.1, 3.0),
+                               std::move(classes), rng.uniform(0.0, 2.0));
+    u.capacity_shards = 5 + rng.uniform_int(20);
+    users.push_back(std::move(u));
+  }
+  std::size_t capacity = 0;
+  for (const auto& u : users) capacity += u.capacity_shards;
+  const std::size_t shards = std::min<std::size_t>(capacity, 20);
+  const auto result =
+      fed_minavg(users, shards, 10, config(rng.uniform(0, 5000), rng.uniform(0, 3)));
+  EXPECT_EQ(result.assignment.total_shards(), shards);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_LE(result.assignment.shards_per_user[j], users[j].capacity_shards);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, FedMinAvgInvariants, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace fedsched::sched

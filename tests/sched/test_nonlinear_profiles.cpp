@@ -1,0 +1,121 @@
+// Scheduling against *nonlinear* (thermal-shaped) time profiles — the regime
+// that motivates the whole paper. Uses convex interpolated profiles like the
+// Nexus6P's and checks both algorithms still behave.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "profile/time_model.hpp"
+#include "sched/analysis.hpp"
+#include "sched/baselines.hpp"
+#include "sched/fed_lbap.hpp"
+#include "sched/fed_minavg.hpp"
+
+namespace fedsched::sched {
+namespace {
+
+using profile::InterpolatedTimeModel;
+
+/// Convex "throttling" profile: cheap below the knee, expensive above.
+UserProfile throttling_user(const std::string& name, double base_rate,
+                            std::size_t knee, double hot_factor) {
+  UserProfile u;
+  u.name = name;
+  std::vector<std::size_t> sizes;
+  std::vector<double> times;
+  double t = 0.0;
+  std::size_t prev = 0;
+  for (std::size_t size : {knee / 2, knee, 2 * knee, 4 * knee, 8 * knee}) {
+    const double rate = size <= knee ? base_rate : base_rate * hot_factor;
+    t += rate * static_cast<double>(size - prev);
+    sizes.push_back(size);
+    times.push_back(t);
+    prev = size;
+  }
+  u.time_model = std::make_shared<InterpolatedTimeModel>(sizes, times);
+  return u;
+}
+
+UserProfile linear_user(const std::string& name, double slope) {
+  UserProfile u;
+  u.name = name;
+  u.time_model = std::make_shared<profile::LinearTimeModel>(0.0, slope);
+  return u;
+}
+
+TEST(NonlinearLbap, ShiftsLoadOffThrottlingUser) {
+  // "nexus6p": fast cold (0.5 s/sample below 100) but 4x slower hot;
+  // "mate10": steady 1.2 s/sample. For small totals the throttler should
+  // carry more; for large totals the steady device takes over.
+  const std::vector<UserProfile> users = {
+      throttling_user("nexus6p", 0.5, 100, 4.0), linear_user("mate10", 1.2)};
+
+  const auto small = fed_lbap(users, 100, 1);
+  EXPECT_GT(small.assignment.shards_per_user[0], small.assignment.shards_per_user[1]);
+
+  const auto large = fed_lbap(users, 1000, 1);
+  EXPECT_LT(large.assignment.shards_per_user[0], large.assignment.shards_per_user[1]);
+}
+
+TEST(NonlinearLbap, MatchesBruteForceOnConvexProfiles) {
+  common::Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<UserProfile> users;
+    const std::size_t n = 2 + rng.uniform_int(2);
+    for (std::size_t j = 0; j < n; ++j) {
+      users.push_back(throttling_user("u" + std::to_string(j),
+                                      rng.uniform(0.2, 1.5),
+                                      2 + rng.uniform_int(4),
+                                      rng.uniform(1.5, 5.0)));
+    }
+    const std::size_t shards = 6 + rng.uniform_int(5);
+    const CostMatrix matrix(users, shards, 1);
+    const auto fast = fed_lbap(matrix, shards);
+    const auto oracle = lbap_bruteforce(matrix, shards);
+    EXPECT_NEAR(fast.makespan_seconds, oracle.makespan_seconds, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(NonlinearLbap, BeatsEqualOnHeterogeneousThrottlers) {
+  const std::vector<UserProfile> users = {
+      throttling_user("hot1", 0.3, 50, 6.0), throttling_user("hot2", 0.4, 200, 2.0),
+      linear_user("steady", 0.9)};
+  const std::size_t shards = 600;
+  const auto lbap = fed_lbap(users, shards, 1);
+  const auto equal = assign_equal(users.size(), shards, 1);
+  EXPECT_LT(lbap.makespan_seconds, makespan(users, equal));
+  // And within a sane factor of the fractional bound.
+  EXPECT_LT(optimality_gap(users, lbap.assignment, shards), 0.05);
+}
+
+TEST(NonlinearMinAvg, TimeTermSeesThrottling) {
+  // With alpha = 0 Fed-MinAvg is pure greedy time equalization; the marginal
+  // cost of the throttled user jumps past its knee, diverting shards.
+  std::vector<UserProfile> users = {throttling_user("throttler", 0.5, 100, 4.0),
+                                    linear_user("steady", 1.2)};
+  users[0].classes = {0, 1, 2, 3, 4};
+  users[1].classes = {5, 6, 7, 8, 9};
+  MinAvgConfig config;
+  config.cost.alpha = 0.0;
+  config.cost.beta = 0.0;
+  const auto result = fed_minavg(users, 1000, 1, config);
+  EXPECT_LT(result.assignment.shards_per_user[0],
+            result.assignment.shards_per_user[1]);
+  EXPECT_EQ(result.assignment.total_shards(), 1000u);
+}
+
+TEST(NonlinearAnalysis, LowerBoundHandlesConvexity) {
+  const std::vector<UserProfile> users = {throttling_user("a", 0.5, 100, 4.0),
+                                          throttling_user("b", 0.7, 80, 3.0)};
+  const double bound = fractional_makespan_lower_bound(users, 500);
+  EXPECT_GT(bound, 0.0);
+  // The bound must not exceed what Fed-LBAP actually achieves.
+  const auto result = fed_lbap(users, 500, 1);
+  EXPECT_LE(bound, result.makespan_seconds + 1e-9);
+}
+
+}  // namespace
+}  // namespace fedsched::sched

@@ -1,0 +1,174 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace fedsched::tensor::ops {
+namespace {
+
+TEST(Matmul, SmallKnownProduct) {
+  const Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor out({2, 2});
+  matmul(a, b, out);
+  EXPECT_EQ(out.at({0, 0}), 58.0f);
+  EXPECT_EQ(out.at({0, 1}), 64.0f);
+  EXPECT_EQ(out.at({1, 0}), 139.0f);
+  EXPECT_EQ(out.at({1, 1}), 154.0f);
+}
+
+TEST(Matmul, ShapeValidation) {
+  const Tensor a({2, 3});
+  const Tensor b({4, 2});
+  Tensor out({2, 2});
+  EXPECT_THROW(matmul(a, b, out), std::invalid_argument);
+}
+
+TEST(Matmul, IdentityPreserves) {
+  common::Rng rng(1);
+  const Tensor a = Tensor::randn({5, 5}, rng);
+  Tensor eye({5, 5});
+  for (std::size_t i = 0; i < 5; ++i) eye.at({i, i}) = 1.0f;
+  Tensor out({5, 5});
+  matmul(a, eye, out);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_FLOAT_EQ(out[i], a[i]);
+}
+
+TEST(MatmulVariants, TnAndNtAgreeWithExplicitTranspose) {
+  common::Rng rng(2);
+  const Tensor a = Tensor::randn({4, 6}, rng);
+  const Tensor b = Tensor::randn({4, 5}, rng);
+
+  // matmul_tn(a, b) == a^T b.
+  Tensor at({6, 4});
+  transpose(a, at);
+  Tensor expected({6, 5});
+  matmul(at, b, expected);
+  Tensor got({6, 5});
+  matmul_tn(a, b, got);
+  for (std::size_t i = 0; i < expected.numel(); ++i) {
+    EXPECT_NEAR(got[i], expected[i], 1e-4);
+  }
+
+  // matmul_nt(a, c) == a c^T.
+  const Tensor c = Tensor::randn({5, 6}, rng);
+  Tensor ct({6, 5});
+  transpose(c, ct);
+  Tensor expected2({4, 5});
+  matmul(a, ct, expected2);
+  Tensor got2({4, 5});
+  matmul_nt(a, c, got2);
+  for (std::size_t i = 0; i < expected2.numel(); ++i) {
+    EXPECT_NEAR(got2[i], expected2[i], 1e-4);
+  }
+}
+
+TEST(Transpose, RoundTrip) {
+  common::Rng rng(3);
+  const Tensor a = Tensor::randn({3, 7}, rng);
+  Tensor t({7, 3}), back({3, 7});
+  transpose(a, t);
+  transpose(t, back);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_EQ(back[i], a[i]);
+}
+
+TEST(RowBias, AddAndSum) {
+  Tensor x({2, 3}, {0, 0, 0, 1, 1, 1});
+  const Tensor bias({3}, {10, 20, 30});
+  add_row_bias(x, bias);
+  EXPECT_EQ(x.at({0, 2}), 30.0f);
+  EXPECT_EQ(x.at({1, 0}), 11.0f);
+
+  Tensor sums({3});
+  sum_rows(x, sums);
+  EXPECT_EQ(sums.at({0}), 21.0f);
+  EXPECT_EQ(sums.at({1}), 41.0f);
+  EXPECT_EQ(sums.at({2}), 61.0f);
+}
+
+Conv2dGeometry square_geom(std::size_t c, std::size_t hw, std::size_t k,
+                           std::size_t pad, std::size_t stride = 1) {
+  Conv2dGeometry g;
+  g.in_channels = c;
+  g.in_h = hw;
+  g.in_w = hw;
+  g.kernel = k;
+  g.pad = pad;
+  g.stride = stride;
+  return g;
+}
+
+TEST(Conv2dGeometry, OutputDims) {
+  const auto g = square_geom(3, 8, 3, 1);
+  EXPECT_EQ(g.out_h(), 8u);
+  EXPECT_EQ(g.out_w(), 8u);
+  EXPECT_EQ(g.patch_size(), 27u);
+
+  const auto g2 = square_geom(1, 8, 2, 0, 2);
+  EXPECT_EQ(g2.out_h(), 4u);
+}
+
+TEST(Im2col, KnownPatchExtraction) {
+  // 1x3x3 image, 2x2 kernel, no pad: 4 patches of 4 entries.
+  const std::vector<float> image = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto g = square_geom(1, 3, 2, 0);
+  Tensor cols({g.patch_size(), g.out_h() * g.out_w()});
+  im2col(image, g, cols);
+  // Patch at (0,0): rows of cols are kernel positions (ky,kx).
+  EXPECT_EQ(cols.at({0, 0}), 1.0f);  // (0,0) of patch 0
+  EXPECT_EQ(cols.at({1, 0}), 2.0f);  // (0,1)
+  EXPECT_EQ(cols.at({2, 0}), 4.0f);  // (1,0)
+  EXPECT_EQ(cols.at({3, 0}), 5.0f);  // (1,1)
+  // Patch at (1,1) = bottom-right window.
+  EXPECT_EQ(cols.at({0, 3}), 5.0f);
+  EXPECT_EQ(cols.at({3, 3}), 9.0f);
+}
+
+TEST(Im2col, PaddingYieldsZeros) {
+  const std::vector<float> image = {1, 2, 3, 4};
+  const auto g = square_geom(1, 2, 3, 1);
+  Tensor cols({g.patch_size(), g.out_h() * g.out_w()});
+  im2col(image, g, cols);
+  // Top-left output's kernel position (0,0) reads the padded corner.
+  EXPECT_EQ(cols.at({0, 0}), 0.0f);
+  // Center kernel position (1,1) of output (0,0) reads pixel 1.
+  EXPECT_EQ(cols.at({4, 0}), 1.0f);
+}
+
+TEST(Col2im, AdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property used by
+  // the conv backward pass.
+  common::Rng rng(4);
+  const auto g = square_geom(2, 5, 3, 1);
+  const Tensor x = Tensor::randn({1, g.in_channels * g.in_h * g.in_w}, rng);
+  Tensor cols({g.patch_size(), g.out_h() * g.out_w()});
+  im2col(x.data(), g, cols);
+
+  const Tensor y = Tensor::randn(cols.shape(), rng);
+  Tensor back({1, g.in_channels * g.in_h * g.in_w});
+  auto img = back.data();
+  col2im(y, g, img);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i) {
+    lhs += static_cast<double>(cols[i]) * y[i];
+  }
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[i]) * back[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Im2col, SizeValidation) {
+  const auto g = square_geom(1, 3, 2, 0);
+  std::vector<float> wrong(5, 0.0f);
+  Tensor cols({g.patch_size(), g.out_h() * g.out_w()});
+  EXPECT_THROW(im2col(wrong, g, cols), std::invalid_argument);
+  Tensor bad_cols({2, 2});
+  std::vector<float> image(9, 0.0f);
+  EXPECT_THROW(im2col(image, g, bad_cols), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedsched::tensor::ops

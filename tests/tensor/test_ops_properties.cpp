@@ -1,0 +1,153 @@
+// Property tests for the tensor kernels over parameterized shape grids.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedsched::tensor::ops {
+namespace {
+
+/// Reference triple-loop product for validating the optimized kernels.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+      }
+      out[i * n + j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+class MatmulShapes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(MatmulShapes, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  common::Rng rng(m * 10007 + k * 101 + n);
+  const Tensor a = Tensor::randn({m, k}, rng);
+  const Tensor b = Tensor::randn({k, n}, rng);
+  const Tensor expected = naive_matmul(a, b);
+
+  Tensor out({m, n});
+  matmul(a, b, out);
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    EXPECT_NEAR(out[i], expected[i], 1e-3) << "matmul at " << i;
+  }
+
+  // The transposed variants must agree through explicit transposes.
+  Tensor at({k, m});
+  transpose(a, at);
+  Tensor out_tn({m, n});
+  matmul_tn(at, b, out_tn);
+  Tensor bt({n, k});
+  transpose(b, bt);
+  Tensor out_nt({m, n});
+  matmul_nt(a, bt, out_nt);
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    EXPECT_NEAR(out_tn[i], expected[i], 1e-3) << "matmul_tn at " << i;
+    EXPECT_NEAR(out_nt[i], expected[i], 1e-3) << "matmul_nt at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeGrid, MatmulShapes,
+    ::testing::Values(std::tuple{1u, 1u, 1u}, std::tuple{1u, 7u, 3u},
+                      std::tuple{5u, 1u, 5u}, std::tuple{4u, 4u, 4u},
+                      std::tuple{3u, 17u, 9u}, std::tuple{16u, 8u, 32u},
+                      std::tuple{31u, 13u, 7u}, std::tuple{20u, 20u, 1u}));
+
+struct ConvCase {
+  std::size_t channels, hw, kernel, pad, stride;
+};
+
+class ConvGeometries : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGeometries, Im2colCol2imAdjoint) {
+  const ConvCase c = GetParam();
+  Conv2dGeometry g;
+  g.in_channels = c.channels;
+  g.in_h = g.in_w = c.hw;
+  g.kernel = c.kernel;
+  g.pad = c.pad;
+  g.stride = c.stride;
+
+  common::Rng rng(c.channels * 1000 + c.hw * 10 + c.kernel);
+  const Tensor x = Tensor::randn({1, g.in_channels * g.in_h * g.in_w}, rng);
+  Tensor cols({g.patch_size(), g.out_h() * g.out_w()});
+  im2col(x.data(), g, cols);
+
+  const Tensor y = Tensor::randn(cols.shape(), rng);
+  Tensor back({1, g.in_channels * g.in_h * g.in_w});
+  auto img = back.data();
+  col2im(y, g, img);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i) {
+    lhs += static_cast<double>(cols[i]) * y[i];
+  }
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[i]) * back[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)));
+}
+
+TEST_P(ConvGeometries, Im2colPreservesEnergyWithoutPadding) {
+  const ConvCase c = GetParam();
+  if (c.pad != 0 || c.stride != c.kernel) GTEST_SKIP();  // only exact tilings
+  Conv2dGeometry g;
+  g.in_channels = c.channels;
+  g.in_h = g.in_w = c.hw;
+  g.kernel = c.kernel;
+  g.pad = 0;
+  g.stride = c.stride;
+  if ((g.in_h - g.kernel) % g.stride != 0) GTEST_SKIP();
+
+  common::Rng rng(11);
+  const Tensor x = Tensor::randn({1, g.in_channels * g.in_h * g.in_w}, rng);
+  Tensor cols({g.patch_size(), g.out_h() * g.out_w()});
+  im2col(x.data(), g, cols);
+  // Non-overlapping tiling: every input pixel appears exactly once.
+  double sum_x = 0.0, sum_cols = 0.0;
+  for (float v : x.data()) sum_x += v;
+  for (float v : cols.data()) sum_cols += v;
+  EXPECT_NEAR(sum_x, sum_cols, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeometryGrid, ConvGeometries,
+    ::testing::Values(ConvCase{1, 4, 2, 0, 2}, ConvCase{1, 6, 3, 1, 1},
+                      ConvCase{2, 5, 3, 1, 1}, ConvCase{3, 8, 3, 1, 2},
+                      ConvCase{4, 6, 2, 0, 2}, ConvCase{2, 7, 5, 2, 1},
+                      ConvCase{1, 9, 3, 0, 3}, ConvCase{8, 4, 4, 0, 4}));
+
+class TransposeShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(TransposeShapes, Involution) {
+  const auto [m, n] = GetParam();
+  common::Rng rng(m * 31 + n);
+  const Tensor a = Tensor::randn({m, n}, rng);
+  Tensor t({n, m}), back({m, n});
+  transpose(a, t);
+  transpose(t, back);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_EQ(back[i], a[i]);
+  // Spot-check the mapping itself.
+  EXPECT_EQ(t.at({n - 1, m - 1}), a.at({m - 1, n - 1}));
+  EXPECT_EQ(t.at({0, m - 1}), a.at({m - 1, 0}));
+}
+
+INSTANTIATE_TEST_SUITE_P(ShapeGrid, TransposeShapes,
+                         ::testing::Values(std::pair{1u, 1u}, std::pair{1u, 9u},
+                                           std::pair{9u, 1u}, std::pair{5u, 8u},
+                                           std::pair{16u, 16u}, std::pair{33u, 7u}));
+
+}  // namespace
+}  // namespace fedsched::tensor::ops

@@ -1,0 +1,115 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedsched::tensor {
+namespace {
+
+TEST(Shape, NumelAndToString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({}), 0u);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t.rank(), 2u);
+  for (float x : t.data()) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  const Tensor t({4}, 2.5f);
+  for (float x : t.data()) EXPECT_EQ(x, 2.5f);
+}
+
+TEST(Tensor, FromValues) {
+  const Tensor t({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at({0, 1}), 2.0f);
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+}
+
+TEST(Tensor, ValueCountValidated) {
+  EXPECT_THROW(Tensor({2, 2}, {1.0f, 2.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t({2, 3});
+  EXPECT_THROW((void)t.at({2, 0}), std::out_of_range);
+  EXPECT_THROW((void)t.at({0}), std::invalid_argument);
+}
+
+TEST(Tensor, RandnMoments) {
+  common::Rng rng(1);
+  const Tensor t = Tensor::randn({10000}, rng, 2.0f);
+  double sum = 0, sq = 0;
+  for (float x : t.data()) {
+    sum += x;
+    sq += static_cast<double>(x) * x;
+  }
+  const double mean = sum / 10000;
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(sq / 10000 - mean * mean, 4.0, 0.2);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  t.reshape({3, 2});
+  EXPECT_EQ(t.at({2, 1}), 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  Tensor a({3}, {1, 2, 3});
+  const Tensor b({3}, {10, 20, 30});
+  a += b;
+  EXPECT_EQ(a.at({1}), 22.0f);
+  a -= b;
+  EXPECT_EQ(a.at({1}), 2.0f);
+  a *= 3.0f;
+  EXPECT_EQ(a.at({2}), 9.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({2});
+  const Tensor b({3});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(a.add_scaled(b, 1.0f), std::invalid_argument);
+}
+
+TEST(Tensor, AddScaledAxpy) {
+  Tensor a({2}, {1, 1});
+  const Tensor b({2}, {2, 4});
+  a.add_scaled(b, 0.5f);
+  EXPECT_EQ(a.at({0}), 2.0f);
+  EXPECT_EQ(a.at({1}), 3.0f);
+}
+
+TEST(Tensor, SumAndAbsMax) {
+  const Tensor t({4}, {1, -5, 2, 0});
+  EXPECT_EQ(t.sum(), -2.0f);
+  EXPECT_EQ(t.abs_max(), 5.0f);
+}
+
+TEST(Tensor, BinaryOperators) {
+  const Tensor a({2}, {1, 2});
+  const Tensor b({2}, {3, 4});
+  const Tensor c = a + b;
+  EXPECT_EQ(c.at({1}), 6.0f);
+  const Tensor d = b - a;
+  EXPECT_EQ(d.at({0}), 2.0f);
+  const Tensor e = a * 2.0f;
+  EXPECT_EQ(e.at({1}), 4.0f);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t({3});
+  t.fill(7.0f);
+  EXPECT_EQ(t.sum(), 21.0f);
+  t.zero();
+  EXPECT_EQ(t.sum(), 0.0f);
+}
+
+}  // namespace
+}  // namespace fedsched::tensor
