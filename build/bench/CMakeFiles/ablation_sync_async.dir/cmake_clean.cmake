@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_async.dir/ablation_sync_async.cpp.o"
+  "CMakeFiles/ablation_sync_async.dir/ablation_sync_async.cpp.o.d"
+  "ablation_sync_async"
+  "ablation_sync_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

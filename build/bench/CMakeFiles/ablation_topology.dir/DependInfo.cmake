@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_topology.cpp" "bench/CMakeFiles/ablation_topology.dir/ablation_topology.cpp.o" "gcc" "bench/CMakeFiles/ablation_topology.dir/ablation_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_imbalance.dir/fig2_imbalance.cpp.o"
+  "CMakeFiles/fig2_imbalance.dir/fig2_imbalance.cpp.o.d"
+  "fig2_imbalance"
+  "fig2_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

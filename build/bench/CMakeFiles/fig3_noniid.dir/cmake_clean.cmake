@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_noniid.dir/fig3_noniid.cpp.o"
+  "CMakeFiles/fig3_noniid.dir/fig3_noniid.cpp.o.d"
+  "fig3_noniid"
+  "fig3_noniid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

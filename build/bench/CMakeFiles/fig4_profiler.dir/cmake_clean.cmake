@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_profiler.dir/fig4_profiler.cpp.o"
+  "CMakeFiles/fig4_profiler.dir/fig4_profiler.cpp.o.d"
+  "fig4_profiler"
+  "fig4_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_alpha_beta.dir/fig6_alpha_beta.cpp.o"
+  "CMakeFiles/fig6_alpha_beta.dir/fig6_alpha_beta.cpp.o.d"
+  "fig6_alpha_beta"
+  "fig6_alpha_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_alpha_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

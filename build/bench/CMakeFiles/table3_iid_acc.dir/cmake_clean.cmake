@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_iid_acc.dir/table3_iid_acc.cpp.o"
+  "CMakeFiles/table3_iid_acc.dir/table3_iid_acc.cpp.o.d"
+  "table3_iid_acc"
+  "table3_iid_acc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_iid_acc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_schedules.dir/table4_schedules.cpp.o"
+  "CMakeFiles/table4_schedules.dir/table4_schedules.cpp.o.d"
+  "table4_schedules"
+  "table4_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

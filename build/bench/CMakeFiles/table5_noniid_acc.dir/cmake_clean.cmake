@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_noniid_acc.dir/table5_noniid_acc.cpp.o"
+  "CMakeFiles/table5_noniid_acc.dir/table5_noniid_acc.cpp.o.d"
+  "table5_noniid_acc"
+  "table5_noniid_acc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_noniid_acc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fedsched_cli.dir/fedsched_cli.cpp.o"
+  "CMakeFiles/example_fedsched_cli.dir/fedsched_cli.cpp.o.d"
+  "fedsched_cli"
+  "fedsched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fedsched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

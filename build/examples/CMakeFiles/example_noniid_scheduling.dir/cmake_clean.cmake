@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_noniid_scheduling.dir/noniid_scheduling.cpp.o"
+  "CMakeFiles/example_noniid_scheduling.dir/noniid_scheduling.cpp.o.d"
+  "noniid_scheduling"
+  "noniid_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_noniid_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_straggler_analysis.dir/straggler_analysis.cpp.o"
+  "CMakeFiles/example_straggler_analysis.dir/straggler_analysis.cpp.o.d"
+  "straggler_analysis"
+  "straggler_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_straggler_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/examples/fedsched_cli" "help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_profile "/root/repo/build/examples/fedsched_cli" "profile" "--device" "Pixel2" "--model" "LeNet" "--sizes" "500,1000")
+set_tests_properties(cli_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_schedule "/root/repo/build/examples/fedsched_cli" "schedule" "--testbed" "1" "--model" "LeNet" "--samples" "6000" "--policy" "fed-lbap")
+set_tests_properties(cli_schedule PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_energy "/root/repo/build/examples/fedsched_cli" "energy" "--device" "Mate10" "--model" "LeNet" "--samples" "1000")
+set_tests_properties(cli_energy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_policy "/root/repo/build/examples/fedsched_cli" "schedule" "--testbed" "1" "--model" "LeNet" "--samples" "6000" "--policy" "bogus")
+set_tests_properties(cli_rejects_bad_policy PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_common.dir/common/log.cpp.o"
+  "CMakeFiles/fedsched_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/fedsched_common.dir/common/rng.cpp.o"
+  "CMakeFiles/fedsched_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/fedsched_common.dir/common/stats.cpp.o"
+  "CMakeFiles/fedsched_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/fedsched_common.dir/common/table.cpp.o"
+  "CMakeFiles/fedsched_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/fedsched_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/fedsched_common.dir/common/thread_pool.cpp.o.d"
+  "libfedsched_common.a"
+  "libfedsched_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

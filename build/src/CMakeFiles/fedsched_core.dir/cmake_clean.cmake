@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/fedsched_core.dir/core/experiment.cpp.o.d"
+  "libfedsched_core.a"
+  "libfedsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

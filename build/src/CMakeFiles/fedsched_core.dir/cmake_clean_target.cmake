@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfedsched_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/fedsched_data.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/fedsched_data.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/CMakeFiles/fedsched_data.dir/data/io.cpp.o" "gcc" "src/CMakeFiles/fedsched_data.dir/data/io.cpp.o.d"
+  "/root/repo/src/data/partition.cpp" "src/CMakeFiles/fedsched_data.dir/data/partition.cpp.o" "gcc" "src/CMakeFiles/fedsched_data.dir/data/partition.cpp.o.d"
+  "/root/repo/src/data/scenarios.cpp" "src/CMakeFiles/fedsched_data.dir/data/scenarios.cpp.o" "gcc" "src/CMakeFiles/fedsched_data.dir/data/scenarios.cpp.o.d"
+  "/root/repo/src/data/synth.cpp" "src/CMakeFiles/fedsched_data.dir/data/synth.cpp.o" "gcc" "src/CMakeFiles/fedsched_data.dir/data/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedsched_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_data.dir/data/dataset.cpp.o"
+  "CMakeFiles/fedsched_data.dir/data/dataset.cpp.o.d"
+  "CMakeFiles/fedsched_data.dir/data/io.cpp.o"
+  "CMakeFiles/fedsched_data.dir/data/io.cpp.o.d"
+  "CMakeFiles/fedsched_data.dir/data/partition.cpp.o"
+  "CMakeFiles/fedsched_data.dir/data/partition.cpp.o.d"
+  "CMakeFiles/fedsched_data.dir/data/scenarios.cpp.o"
+  "CMakeFiles/fedsched_data.dir/data/scenarios.cpp.o.d"
+  "CMakeFiles/fedsched_data.dir/data/synth.cpp.o"
+  "CMakeFiles/fedsched_data.dir/data/synth.cpp.o.d"
+  "libfedsched_data.a"
+  "libfedsched_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/battery.cpp" "src/CMakeFiles/fedsched_device.dir/device/battery.cpp.o" "gcc" "src/CMakeFiles/fedsched_device.dir/device/battery.cpp.o.d"
+  "/root/repo/src/device/device.cpp" "src/CMakeFiles/fedsched_device.dir/device/device.cpp.o" "gcc" "src/CMakeFiles/fedsched_device.dir/device/device.cpp.o.d"
+  "/root/repo/src/device/model_desc.cpp" "src/CMakeFiles/fedsched_device.dir/device/model_desc.cpp.o" "gcc" "src/CMakeFiles/fedsched_device.dir/device/model_desc.cpp.o.d"
+  "/root/repo/src/device/network.cpp" "src/CMakeFiles/fedsched_device.dir/device/network.cpp.o" "gcc" "src/CMakeFiles/fedsched_device.dir/device/network.cpp.o.d"
+  "/root/repo/src/device/spec.cpp" "src/CMakeFiles/fedsched_device.dir/device/spec.cpp.o" "gcc" "src/CMakeFiles/fedsched_device.dir/device/spec.cpp.o.d"
+  "/root/repo/src/device/thermal.cpp" "src/CMakeFiles/fedsched_device.dir/device/thermal.cpp.o" "gcc" "src/CMakeFiles/fedsched_device.dir/device/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_device.dir/device/battery.cpp.o"
+  "CMakeFiles/fedsched_device.dir/device/battery.cpp.o.d"
+  "CMakeFiles/fedsched_device.dir/device/device.cpp.o"
+  "CMakeFiles/fedsched_device.dir/device/device.cpp.o.d"
+  "CMakeFiles/fedsched_device.dir/device/model_desc.cpp.o"
+  "CMakeFiles/fedsched_device.dir/device/model_desc.cpp.o.d"
+  "CMakeFiles/fedsched_device.dir/device/network.cpp.o"
+  "CMakeFiles/fedsched_device.dir/device/network.cpp.o.d"
+  "CMakeFiles/fedsched_device.dir/device/spec.cpp.o"
+  "CMakeFiles/fedsched_device.dir/device/spec.cpp.o.d"
+  "CMakeFiles/fedsched_device.dir/device/thermal.cpp.o"
+  "CMakeFiles/fedsched_device.dir/device/thermal.cpp.o.d"
+  "libfedsched_device.a"
+  "libfedsched_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

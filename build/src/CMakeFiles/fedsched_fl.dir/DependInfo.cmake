@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/async_runner.cpp" "src/CMakeFiles/fedsched_fl.dir/fl/async_runner.cpp.o" "gcc" "src/CMakeFiles/fedsched_fl.dir/fl/async_runner.cpp.o.d"
+  "/root/repo/src/fl/gossip_runner.cpp" "src/CMakeFiles/fedsched_fl.dir/fl/gossip_runner.cpp.o" "gcc" "src/CMakeFiles/fedsched_fl.dir/fl/gossip_runner.cpp.o.d"
+  "/root/repo/src/fl/report.cpp" "src/CMakeFiles/fedsched_fl.dir/fl/report.cpp.o" "gcc" "src/CMakeFiles/fedsched_fl.dir/fl/report.cpp.o.d"
+  "/root/repo/src/fl/runner.cpp" "src/CMakeFiles/fedsched_fl.dir/fl/runner.cpp.o" "gcc" "src/CMakeFiles/fedsched_fl.dir/fl/runner.cpp.o.d"
+  "/root/repo/src/fl/trainer.cpp" "src/CMakeFiles/fedsched_fl.dir/fl/trainer.cpp.o" "gcc" "src/CMakeFiles/fedsched_fl.dir/fl/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

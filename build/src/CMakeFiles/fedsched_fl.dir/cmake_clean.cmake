@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_fl.dir/fl/async_runner.cpp.o"
+  "CMakeFiles/fedsched_fl.dir/fl/async_runner.cpp.o.d"
+  "CMakeFiles/fedsched_fl.dir/fl/gossip_runner.cpp.o"
+  "CMakeFiles/fedsched_fl.dir/fl/gossip_runner.cpp.o.d"
+  "CMakeFiles/fedsched_fl.dir/fl/report.cpp.o"
+  "CMakeFiles/fedsched_fl.dir/fl/report.cpp.o.d"
+  "CMakeFiles/fedsched_fl.dir/fl/runner.cpp.o"
+  "CMakeFiles/fedsched_fl.dir/fl/runner.cpp.o.d"
+  "CMakeFiles/fedsched_fl.dir/fl/trainer.cpp.o"
+  "CMakeFiles/fedsched_fl.dir/fl/trainer.cpp.o.d"
+  "libfedsched_fl.a"
+  "libfedsched_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/fedsched_nn.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/fedsched_nn.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/CMakeFiles/fedsched_nn.dir/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/fedsched_nn.dir/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/CMakeFiles/fedsched_nn.dir/nn/dense.cpp.o" "gcc" "src/CMakeFiles/fedsched_nn.dir/nn/dense.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/fedsched_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/fedsched_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/CMakeFiles/fedsched_nn.dir/nn/model.cpp.o" "gcc" "src/CMakeFiles/fedsched_nn.dir/nn/model.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/CMakeFiles/fedsched_nn.dir/nn/models.cpp.o" "gcc" "src/CMakeFiles/fedsched_nn.dir/nn/models.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/fedsched_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/fedsched_nn.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "src/CMakeFiles/fedsched_nn.dir/nn/sgd.cpp.o" "gcc" "src/CMakeFiles/fedsched_nn.dir/nn/sgd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedsched_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

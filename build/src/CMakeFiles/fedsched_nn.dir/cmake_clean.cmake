@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_nn.dir/nn/activations.cpp.o"
+  "CMakeFiles/fedsched_nn.dir/nn/activations.cpp.o.d"
+  "CMakeFiles/fedsched_nn.dir/nn/conv2d.cpp.o"
+  "CMakeFiles/fedsched_nn.dir/nn/conv2d.cpp.o.d"
+  "CMakeFiles/fedsched_nn.dir/nn/dense.cpp.o"
+  "CMakeFiles/fedsched_nn.dir/nn/dense.cpp.o.d"
+  "CMakeFiles/fedsched_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/fedsched_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/fedsched_nn.dir/nn/model.cpp.o"
+  "CMakeFiles/fedsched_nn.dir/nn/model.cpp.o.d"
+  "CMakeFiles/fedsched_nn.dir/nn/models.cpp.o"
+  "CMakeFiles/fedsched_nn.dir/nn/models.cpp.o.d"
+  "CMakeFiles/fedsched_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/fedsched_nn.dir/nn/serialize.cpp.o.d"
+  "CMakeFiles/fedsched_nn.dir/nn/sgd.cpp.o"
+  "CMakeFiles/fedsched_nn.dir/nn/sgd.cpp.o.d"
+  "libfedsched_nn.a"
+  "libfedsched_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/linreg.cpp" "src/CMakeFiles/fedsched_profile.dir/profile/linreg.cpp.o" "gcc" "src/CMakeFiles/fedsched_profile.dir/profile/linreg.cpp.o.d"
+  "/root/repo/src/profile/profiler.cpp" "src/CMakeFiles/fedsched_profile.dir/profile/profiler.cpp.o" "gcc" "src/CMakeFiles/fedsched_profile.dir/profile/profiler.cpp.o.d"
+  "/root/repo/src/profile/time_model.cpp" "src/CMakeFiles/fedsched_profile.dir/profile/time_model.cpp.o" "gcc" "src/CMakeFiles/fedsched_profile.dir/profile/time_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedsched_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

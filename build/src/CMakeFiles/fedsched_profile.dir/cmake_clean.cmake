@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_profile.dir/profile/linreg.cpp.o"
+  "CMakeFiles/fedsched_profile.dir/profile/linreg.cpp.o.d"
+  "CMakeFiles/fedsched_profile.dir/profile/profiler.cpp.o"
+  "CMakeFiles/fedsched_profile.dir/profile/profiler.cpp.o.d"
+  "CMakeFiles/fedsched_profile.dir/profile/time_model.cpp.o"
+  "CMakeFiles/fedsched_profile.dir/profile/time_model.cpp.o.d"
+  "libfedsched_profile.a"
+  "libfedsched_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/accuracy_cost.cpp" "src/CMakeFiles/fedsched_sched.dir/sched/accuracy_cost.cpp.o" "gcc" "src/CMakeFiles/fedsched_sched.dir/sched/accuracy_cost.cpp.o.d"
+  "/root/repo/src/sched/analysis.cpp" "src/CMakeFiles/fedsched_sched.dir/sched/analysis.cpp.o" "gcc" "src/CMakeFiles/fedsched_sched.dir/sched/analysis.cpp.o.d"
+  "/root/repo/src/sched/baselines.cpp" "src/CMakeFiles/fedsched_sched.dir/sched/baselines.cpp.o" "gcc" "src/CMakeFiles/fedsched_sched.dir/sched/baselines.cpp.o.d"
+  "/root/repo/src/sched/cost_matrix.cpp" "src/CMakeFiles/fedsched_sched.dir/sched/cost_matrix.cpp.o" "gcc" "src/CMakeFiles/fedsched_sched.dir/sched/cost_matrix.cpp.o.d"
+  "/root/repo/src/sched/fed_lbap.cpp" "src/CMakeFiles/fedsched_sched.dir/sched/fed_lbap.cpp.o" "gcc" "src/CMakeFiles/fedsched_sched.dir/sched/fed_lbap.cpp.o.d"
+  "/root/repo/src/sched/fed_minavg.cpp" "src/CMakeFiles/fedsched_sched.dir/sched/fed_minavg.cpp.o" "gcc" "src/CMakeFiles/fedsched_sched.dir/sched/fed_minavg.cpp.o.d"
+  "/root/repo/src/sched/types.cpp" "src/CMakeFiles/fedsched_sched.dir/sched/types.cpp.o" "gcc" "src/CMakeFiles/fedsched_sched.dir/sched/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedsched_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

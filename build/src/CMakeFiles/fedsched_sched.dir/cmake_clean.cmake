@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_sched.dir/sched/accuracy_cost.cpp.o"
+  "CMakeFiles/fedsched_sched.dir/sched/accuracy_cost.cpp.o.d"
+  "CMakeFiles/fedsched_sched.dir/sched/analysis.cpp.o"
+  "CMakeFiles/fedsched_sched.dir/sched/analysis.cpp.o.d"
+  "CMakeFiles/fedsched_sched.dir/sched/baselines.cpp.o"
+  "CMakeFiles/fedsched_sched.dir/sched/baselines.cpp.o.d"
+  "CMakeFiles/fedsched_sched.dir/sched/cost_matrix.cpp.o"
+  "CMakeFiles/fedsched_sched.dir/sched/cost_matrix.cpp.o.d"
+  "CMakeFiles/fedsched_sched.dir/sched/fed_lbap.cpp.o"
+  "CMakeFiles/fedsched_sched.dir/sched/fed_lbap.cpp.o.d"
+  "CMakeFiles/fedsched_sched.dir/sched/fed_minavg.cpp.o"
+  "CMakeFiles/fedsched_sched.dir/sched/fed_minavg.cpp.o.d"
+  "CMakeFiles/fedsched_sched.dir/sched/types.cpp.o"
+  "CMakeFiles/fedsched_sched.dir/sched/types.cpp.o.d"
+  "libfedsched_sched.a"
+  "libfedsched_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_tensor.dir/tensor/ops.cpp.o"
+  "CMakeFiles/fedsched_tensor.dir/tensor/ops.cpp.o.d"
+  "CMakeFiles/fedsched_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/fedsched_tensor.dir/tensor/tensor.cpp.o.d"
+  "libfedsched_tensor.a"
+  "libfedsched_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_test_common.dir/common/test_log.cpp.o"
+  "CMakeFiles/fedsched_test_common.dir/common/test_log.cpp.o.d"
+  "CMakeFiles/fedsched_test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/fedsched_test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/fedsched_test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/fedsched_test_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/fedsched_test_common.dir/common/test_table.cpp.o"
+  "CMakeFiles/fedsched_test_common.dir/common/test_table.cpp.o.d"
+  "CMakeFiles/fedsched_test_common.dir/common/test_thread_pool.cpp.o"
+  "CMakeFiles/fedsched_test_common.dir/common/test_thread_pool.cpp.o.d"
+  "fedsched_test_common"
+  "fedsched_test_common.pdb"
+  "fedsched_test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_test_data.dir/data/test_dataset.cpp.o"
+  "CMakeFiles/fedsched_test_data.dir/data/test_dataset.cpp.o.d"
+  "CMakeFiles/fedsched_test_data.dir/data/test_io.cpp.o"
+  "CMakeFiles/fedsched_test_data.dir/data/test_io.cpp.o.d"
+  "CMakeFiles/fedsched_test_data.dir/data/test_partition.cpp.o"
+  "CMakeFiles/fedsched_test_data.dir/data/test_partition.cpp.o.d"
+  "CMakeFiles/fedsched_test_data.dir/data/test_partition_properties.cpp.o"
+  "CMakeFiles/fedsched_test_data.dir/data/test_partition_properties.cpp.o.d"
+  "CMakeFiles/fedsched_test_data.dir/data/test_scenarios.cpp.o"
+  "CMakeFiles/fedsched_test_data.dir/data/test_scenarios.cpp.o.d"
+  "fedsched_test_data"
+  "fedsched_test_data.pdb"
+  "fedsched_test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

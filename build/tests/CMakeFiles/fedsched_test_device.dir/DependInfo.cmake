@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/device/test_battery.cpp" "tests/CMakeFiles/fedsched_test_device.dir/device/test_battery.cpp.o" "gcc" "tests/CMakeFiles/fedsched_test_device.dir/device/test_battery.cpp.o.d"
+  "/root/repo/tests/device/test_device.cpp" "tests/CMakeFiles/fedsched_test_device.dir/device/test_device.cpp.o" "gcc" "tests/CMakeFiles/fedsched_test_device.dir/device/test_device.cpp.o.d"
+  "/root/repo/tests/device/test_device_properties.cpp" "tests/CMakeFiles/fedsched_test_device.dir/device/test_device_properties.cpp.o" "gcc" "tests/CMakeFiles/fedsched_test_device.dir/device/test_device_properties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fedsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fedsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_test_device.dir/device/test_battery.cpp.o"
+  "CMakeFiles/fedsched_test_device.dir/device/test_battery.cpp.o.d"
+  "CMakeFiles/fedsched_test_device.dir/device/test_device.cpp.o"
+  "CMakeFiles/fedsched_test_device.dir/device/test_device.cpp.o.d"
+  "CMakeFiles/fedsched_test_device.dir/device/test_device_properties.cpp.o"
+  "CMakeFiles/fedsched_test_device.dir/device/test_device_properties.cpp.o.d"
+  "fedsched_test_device"
+  "fedsched_test_device.pdb"
+  "fedsched_test_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_test_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_test_fl.dir/fl/test_async_runner.cpp.o"
+  "CMakeFiles/fedsched_test_fl.dir/fl/test_async_runner.cpp.o.d"
+  "CMakeFiles/fedsched_test_fl.dir/fl/test_fedavg_properties.cpp.o"
+  "CMakeFiles/fedsched_test_fl.dir/fl/test_fedavg_properties.cpp.o.d"
+  "CMakeFiles/fedsched_test_fl.dir/fl/test_gossip_runner.cpp.o"
+  "CMakeFiles/fedsched_test_fl.dir/fl/test_gossip_runner.cpp.o.d"
+  "CMakeFiles/fedsched_test_fl.dir/fl/test_report.cpp.o"
+  "CMakeFiles/fedsched_test_fl.dir/fl/test_report.cpp.o.d"
+  "CMakeFiles/fedsched_test_fl.dir/fl/test_runner.cpp.o"
+  "CMakeFiles/fedsched_test_fl.dir/fl/test_runner.cpp.o.d"
+  "CMakeFiles/fedsched_test_fl.dir/fl/test_trainer.cpp.o"
+  "CMakeFiles/fedsched_test_fl.dir/fl/test_trainer.cpp.o.d"
+  "fedsched_test_fl"
+  "fedsched_test_fl.pdb"
+  "fedsched_test_fl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_test_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

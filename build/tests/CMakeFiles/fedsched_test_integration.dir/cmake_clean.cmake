@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_test_integration.dir/integration/test_end_to_end.cpp.o"
+  "CMakeFiles/fedsched_test_integration.dir/integration/test_end_to_end.cpp.o.d"
+  "CMakeFiles/fedsched_test_integration.dir/integration/test_reproduction_contract.cpp.o"
+  "CMakeFiles/fedsched_test_integration.dir/integration/test_reproduction_contract.cpp.o.d"
+  "fedsched_test_integration"
+  "fedsched_test_integration.pdb"
+  "fedsched_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_test_nn.dir/nn/test_gradcheck_sweep.cpp.o"
+  "CMakeFiles/fedsched_test_nn.dir/nn/test_gradcheck_sweep.cpp.o.d"
+  "CMakeFiles/fedsched_test_nn.dir/nn/test_layers.cpp.o"
+  "CMakeFiles/fedsched_test_nn.dir/nn/test_layers.cpp.o.d"
+  "CMakeFiles/fedsched_test_nn.dir/nn/test_model.cpp.o"
+  "CMakeFiles/fedsched_test_nn.dir/nn/test_model.cpp.o.d"
+  "CMakeFiles/fedsched_test_nn.dir/nn/test_serialize.cpp.o"
+  "CMakeFiles/fedsched_test_nn.dir/nn/test_serialize.cpp.o.d"
+  "fedsched_test_nn"
+  "fedsched_test_nn.pdb"
+  "fedsched_test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

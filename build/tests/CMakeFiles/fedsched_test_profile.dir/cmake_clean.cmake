@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_test_profile.dir/profile/test_linreg.cpp.o"
+  "CMakeFiles/fedsched_test_profile.dir/profile/test_linreg.cpp.o.d"
+  "CMakeFiles/fedsched_test_profile.dir/profile/test_profiler.cpp.o"
+  "CMakeFiles/fedsched_test_profile.dir/profile/test_profiler.cpp.o.d"
+  "CMakeFiles/fedsched_test_profile.dir/profile/test_profiler_sweep.cpp.o"
+  "CMakeFiles/fedsched_test_profile.dir/profile/test_profiler_sweep.cpp.o.d"
+  "fedsched_test_profile"
+  "fedsched_test_profile.pdb"
+  "fedsched_test_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_test_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

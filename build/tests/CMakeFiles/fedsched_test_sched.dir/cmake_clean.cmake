@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_test_sched.dir/sched/test_analysis.cpp.o"
+  "CMakeFiles/fedsched_test_sched.dir/sched/test_analysis.cpp.o.d"
+  "CMakeFiles/fedsched_test_sched.dir/sched/test_baselines.cpp.o"
+  "CMakeFiles/fedsched_test_sched.dir/sched/test_baselines.cpp.o.d"
+  "CMakeFiles/fedsched_test_sched.dir/sched/test_fed_lbap.cpp.o"
+  "CMakeFiles/fedsched_test_sched.dir/sched/test_fed_lbap.cpp.o.d"
+  "CMakeFiles/fedsched_test_sched.dir/sched/test_fed_minavg.cpp.o"
+  "CMakeFiles/fedsched_test_sched.dir/sched/test_fed_minavg.cpp.o.d"
+  "CMakeFiles/fedsched_test_sched.dir/sched/test_nonlinear_profiles.cpp.o"
+  "CMakeFiles/fedsched_test_sched.dir/sched/test_nonlinear_profiles.cpp.o.d"
+  "fedsched_test_sched"
+  "fedsched_test_sched.pdb"
+  "fedsched_test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fedsched_test_tensor.dir/tensor/test_ops.cpp.o"
+  "CMakeFiles/fedsched_test_tensor.dir/tensor/test_ops.cpp.o.d"
+  "CMakeFiles/fedsched_test_tensor.dir/tensor/test_ops_properties.cpp.o"
+  "CMakeFiles/fedsched_test_tensor.dir/tensor/test_ops_properties.cpp.o.d"
+  "CMakeFiles/fedsched_test_tensor.dir/tensor/test_tensor.cpp.o"
+  "CMakeFiles/fedsched_test_tensor.dir/tensor/test_tensor.cpp.o.d"
+  "fedsched_test_tensor"
+  "fedsched_test_tensor.pdb"
+  "fedsched_test_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fedsched_test_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

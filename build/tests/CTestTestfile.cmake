@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fedsched_test_common[1]_include.cmake")
+include("/root/repo/build/tests/fedsched_test_data[1]_include.cmake")
+include("/root/repo/build/tests/fedsched_test_device[1]_include.cmake")
+include("/root/repo/build/tests/fedsched_test_fl[1]_include.cmake")
+include("/root/repo/build/tests/fedsched_test_integration[1]_include.cmake")
+include("/root/repo/build/tests/fedsched_test_nn[1]_include.cmake")
+include("/root/repo/build/tests/fedsched_test_profile[1]_include.cmake")
+include("/root/repo/build/tests/fedsched_test_sched[1]_include.cmake")
+include("/root/repo/build/tests/fedsched_test_tensor[1]_include.cmake")
