@@ -83,6 +83,9 @@ struct AccuracyRunConfig {
   std::size_t test_samples = 400;
   std::size_t rounds = 8;
   std::uint64_t seed = 1;
+  /// Host threads per FL run (0 = hardware concurrency, 1 = serial).
+  /// Accuracy results are identical for every value.
+  std::size_t parallelism = 0;
 };
 
 inline double run_fl_accuracy(const DatasetCase& ds, nn::Arch arch,
@@ -109,6 +112,7 @@ inline double run_fl_accuracy(const DatasetCase& ds, nn::Arch arch,
   fl::FlConfig fl_config;
   fl_config.rounds = config.rounds;
   fl_config.seed = config.seed + 3;
+  fl_config.parallelism = config.parallelism;
   fl::FedAvgRunner runner(train, test, model_spec_for(ds, arch), desc_for(arch),
                           phones, device::NetworkType::kWifi, fl_config);
   return runner.run(partition).final_accuracy;

@@ -1,0 +1,82 @@
+// Host-side scaling of the parallel FL runners: wall-clock time of the same
+// FedAvg workload with the serial legacy path (parallelism=1) vs one worker
+// per hardware thread (parallelism=0). The two runs must produce identical
+// models — the determinism contract — so the table also reports whether the
+// final accuracies match bit-for-bit. On a multi-core host the parallel
+// column should win by roughly the core count once there are enough clients
+// to keep every lane busy.
+
+#include <thread>
+
+#include "bench_common.hpp"
+#include "bench_util.hpp"
+#include "common/stopwatch.hpp"
+#include "data/partition.hpp"
+#include "data/synth.hpp"
+
+namespace {
+
+using namespace fedsched;
+
+struct Workload {
+  std::size_t users = 8;
+  std::size_t samples_per_user = 120;
+  std::size_t rounds = 3;
+};
+
+struct Timed {
+  double wall_s = 0.0;
+  double accuracy = 0.0;
+};
+
+Timed run_once(const Workload& w, std::size_t parallelism) {
+  const auto cfg = data::mnist_like();
+  const data::Dataset train =
+      data::generate_balanced(cfg, w.users * w.samples_per_user, 21);
+  const data::Dataset test = data::generate_balanced(cfg, 200, 22);
+
+  // Heterogeneous fleet: cycle through the paper's testbed phones.
+  const device::PhoneModel models[] = {
+      device::PhoneModel::kNexus6, device::PhoneModel::kNexus6P,
+      device::PhoneModel::kMate10, device::PhoneModel::kPixel2};
+  std::vector<device::PhoneModel> phones;
+  for (std::size_t u = 0; u < w.users; ++u) phones.push_back(models[u % 4]);
+
+  common::Rng rng(23);
+  const auto partition = data::partition_equal_iid(train, w.users, rng);
+
+  fl::FlConfig config;
+  config.rounds = w.rounds;
+  config.seed = 24;
+  config.parallelism = parallelism;
+  fl::FedAvgRunner runner(train, test, nn::ModelSpec{}, device::lenet_desc(), phones,
+                          device::NetworkType::kWifi, config);
+  const common::Stopwatch watch;
+  const auto result = runner.run(partition);
+  return {watch.seconds(), result.final_accuracy};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = fedsched::bench::full_scale(argc, argv);
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  common::Table table({"users", "serial_s", "parallel_s", "speedup", "threads",
+                       "identical"});
+  table.set_precision(3);
+  for (std::size_t users : full ? std::vector<std::size_t>{8, 16, 32, 64}
+                                : std::vector<std::size_t>{8, 16}) {
+    Workload w;
+    w.users = users;
+    const Timed serial = run_once(w, 1);
+    const Timed parallel = run_once(w, 0);
+    table.add_row({static_cast<long long>(users), serial.wall_s, parallel.wall_s,
+                   serial.wall_s / parallel.wall_s, static_cast<long long>(hw),
+                   std::string(serial.accuracy == parallel.accuracy ? "yes" : "NO")});
+  }
+  fedsched::bench::emit("parallel_scaling",
+                        "FedAvg wall-clock, serial vs one worker per host thread",
+                        table);
+  return 0;
+}

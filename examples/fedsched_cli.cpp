@@ -198,6 +198,11 @@ int cmd_train(const Args& args) {
   config.rounds = static_cast<std::size_t>(args.get_int("rounds", 10));
   config.seed = seed + 3;
   config.evaluate_each_round = args.has("verbose");
+  // 0 = one worker per hardware thread, 1 = serial; any value trains the
+  // same model bit-for-bit (the runner's determinism contract).
+  const long parallel = args.get_int("parallel", 0);
+  if (parallel < 0) throw std::invalid_argument("--parallel must be >= 0");
+  config.parallelism = static_cast<std::size_t>(parallel);
   nn::ModelSpec spec;
   spec.arch = arch;
   spec.in_channels = ds_config.channels;
@@ -260,6 +265,7 @@ void usage() {
       "  simulate  --testbed <1|2|3> --model <..> --counts n1,n2,...\n"
       "  train     --dataset <mnist|cifar> --testbed <1|2|3> --rounds N\n"
       "            --samples N --policy <..> [--save path] [--verbose]\n"
+      "            [--parallel K]   (0 = all host threads, 1 = serial)\n"
       "  energy    --device <name> --model <..> --samples N [--network ..]\n";
 }
 

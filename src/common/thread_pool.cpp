@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace fedsched::common {
 
@@ -19,6 +20,27 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    const std::lock_guard lock(mutex_);
+    if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    const std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();
+  return true;
 }
 
 void ThreadPool::worker_loop() {
@@ -45,23 +67,79 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 void ThreadPool::parallel_for_blocks(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (begin >= end) return;
-  const std::size_t total = end - begin;
-  const std::size_t blocks = std::min(total, size());
-  if (blocks <= 1) {
-    fn(begin, end);
+  parallel_for_chunks(begin, end, size(),
+                      [&fn](std::size_t, std::size_t lo, std::size_t hi) { fn(lo, hi); });
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::chunk_bounds(
+    std::size_t begin, std::size_t end, std::size_t chunks, std::size_t c) noexcept {
+  const std::size_t total = end > begin ? end - begin : 0;
+  if (total == 0 || chunks == 0) return {begin, begin};
+  chunks = std::min(chunks, total);
+  const std::size_t base = total / chunks;
+  const std::size_t extra = total % chunks;
+  const std::size_t lo = begin + c * base + std::min(c, extra);
+  return {lo, lo + base + (c < extra ? 1 : 0)};
+}
+
+// Join state shared by the chunks of one parallel_for_chunks call.
+struct ThreadPool::ForkJoin {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t pending;
+  std::exception_ptr error;
+
+  explicit ForkJoin(std::size_t n) : pending(n) {}
+
+  void finish(std::exception_ptr e) {
+    const std::lock_guard lock(mutex);
+    if (e && !error) error = std::move(e);
+    if (--pending == 0) done_cv.notify_all();
+  }
+};
+
+void ThreadPool::parallel_for_chunks(std::size_t begin, std::size_t end,
+                                     std::size_t chunks, const ChunkFn& fn) {
+  if (begin >= end || chunks == 0) return;
+  chunks = std::min(chunks, end - begin);
+  if (chunks == 1) {
+    fn(0, begin, end);
     return;
   }
-  const std::size_t chunk = (total + blocks - 1) / blocks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(blocks);
-  for (std::size_t b = 0; b < blocks; ++b) {
-    const std::size_t lo = begin + b * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    futures.push_back(submit([lo, hi, &fn] { fn(lo, hi); }));
+
+  auto join = std::make_shared<ForkJoin>(chunks);
+  auto run_chunk = [&fn, begin, end, chunks, join](std::size_t c) {
+    std::exception_ptr error;
+    try {
+      const auto [lo, hi] = chunk_bounds(begin, end, chunks, c);
+      fn(c, lo, hi);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    join->finish(std::move(error));
+  };
+  for (std::size_t c = 1; c < chunks; ++c) {
+    enqueue([run_chunk, c] { run_chunk(c); });
   }
-  for (auto& fut : futures) fut.get();
+  run_chunk(0);
+
+  // Help drain the queue while joining: a task on this pool can safely call
+  // parallel_for on the same pool even when every worker is busy, because the
+  // joining thread keeps executing queued work instead of blocking. Once the
+  // queue is observed empty, the remaining chunks are running on other
+  // threads and will signal completion.
+  for (;;) {
+    {
+      const std::lock_guard lock(join->mutex);
+      if (join->pending == 0) break;
+    }
+    if (!try_run_one()) {
+      std::unique_lock lock(join->mutex);
+      join->done_cv.wait(lock, [&join] { return join->pending == 0; });
+      break;
+    }
+  }
+  if (join->error) std::rethrow_exception(join->error);
 }
 
 ThreadPool& global_pool() {

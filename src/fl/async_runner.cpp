@@ -3,6 +3,7 @@
 #include <cmath>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 
 #include "fl/trainer.hpp"
 
@@ -30,12 +31,11 @@ AsyncRunner::AsyncRunner(const data::Dataset& train, const data::Dataset& test,
       device_model_(std::move(device_model)),
       phones_(std::move(phones)),
       network_(network),
-      config_(config) {
+      config_(config),
+      executor_(model_spec, config.parallelism) {
   if (phones_.empty()) throw std::invalid_argument("AsyncRunner: no devices");
   common::Rng init_rng(config_.seed);
   global_ = nn::build_model(model_spec, init_rng);
-  common::Rng worker_rng = init_rng.fork(1);
-  worker_ = nn::build_model(model_spec, worker_rng);
 }
 
 AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
@@ -44,9 +44,6 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
   }
   const std::size_t n = phones_.size();
 
-  std::vector<device::Device> devices;
-  devices.reserve(n);
-  for (device::PhoneModel phone : phones_) devices.emplace_back(phone, network_);
   std::vector<nn::Sgd> optimizers(n, nn::Sgd(config_.sgd));
   common::Rng rng(config_.seed ^ 0xA5A5A5A5ULL);
 
@@ -56,58 +53,105 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
     std::size_t client;
     bool operator>(const Event& other) const { return time_s > other.time_s; }
   };
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+
+  // Phase 1 — simulate the merge timeline. Round-trip durations come from
+  // the device simulators alone (they never depend on trained parameters),
+  // so the full order of merges is known before any training happens. That
+  // order is what makes the parallel phase deterministic: merges are applied
+  // in timeline order no matter when their training finishes.
+  std::vector<Event> merges;
+  {
+    std::vector<device::Device> devices;
+    devices.reserve(n);
+    for (device::PhoneModel phone : phones_) devices.emplace_back(phone, network_);
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (partition.user_indices[u].empty()) continue;
+      const double duration = devices[u].comm_seconds(device_model_) +
+                              devices[u].train(device_model_,
+                                               partition.user_indices[u].size());
+      queue.push({duration, u});
+    }
+    if (queue.empty()) throw std::invalid_argument("AsyncRunner::run: empty partition");
+
+    while (!queue.empty() && queue.top().time_s <= config_.horizon_seconds) {
+      const Event event = queue.top();
+      queue.pop();
+      merges.push_back(event);
+      // Client immediately pulls the fresh model and starts its next round.
+      const double duration = devices[event.client].comm_seconds(device_model_) +
+                              devices[event.client].train(
+                                  device_model_,
+                                  partition.user_indices[event.client].size());
+      queue.push({event.time_s + duration, event.client});
+    }
+  }
+
+  // Per-client chain of merge indices: training for merge k may start as
+  // soon as the client's previous merge was applied.
+  const std::size_t n_merges = merges.size();
+  std::vector<std::size_t> next_merge(n_merges, n_merges);
+  std::vector<std::size_t> first_merge(n, n_merges);
+  {
+    std::vector<std::size_t> last_seen(n, n_merges);
+    for (std::size_t k = 0; k < n_merges; ++k) {
+      const std::size_t u = merges[k].client;
+      if (first_merge[u] == n_merges) {
+        first_merge[u] = k;
+      } else {
+        next_merge[last_seen[u]] = k;
+      }
+      last_seen[u] = k;
+    }
+  }
 
   std::vector<float> global_params = global_.flat_params();
-  // Each in-flight client carries the parameters it pulled and the merge
-  // count at pull time (its update's staleness is measured against it).
-  std::vector<std::vector<float>> pulled(n, global_params);
-  std::vector<std::size_t> base_version(n, 0);
-  std::size_t version = 0;
 
-  // Kick off every client with non-empty data at t = 0.
+  // Phase 2 — pipelined training. A client trains from the parameters it
+  // pulled at launch; merges that land while it is in flight do not affect
+  // it (that is exactly the staleness the runner models). So each training
+  // task is a pure function of its launch snapshot, and concurrently
+  // in-flight clients train in parallel while merges apply in timeline
+  // order. fork(k + 1) matches the serial stream: fork() never advances the
+  // parent, so the index alone determines the stream.
+  std::vector<std::vector<float>> locals(n_merges);
+  std::vector<std::future<void>> pending(n_merges);
+  auto launch = [&](std::size_t k, std::vector<float> pulled) {
+    const std::size_t u = merges[k].client;
+    common::Rng client_rng = rng.fork(k + 1);
+    pending[k] = executor_.submit(
+        [this, &partition, &optimizers, &locals, k, u, client_rng,
+         pulled = std::move(pulled)](nn::Model& worker) mutable {
+          worker.set_flat_params(pulled);
+          (void)train_epoch(worker, optimizers[u], train_, partition.user_indices[u],
+                            config_.batch_size, client_rng);
+          locals[k] = worker.flat_params();
+        });
+  };
   for (std::size_t u = 0; u < n; ++u) {
-    if (partition.user_indices[u].empty()) continue;
-    const double duration = devices[u].comm_seconds(device_model_) +
-                            devices[u].train(device_model_,
-                                             partition.user_indices[u].size());
-    base_version[u] = version;
-    queue.push({duration, u});
+    if (first_merge[u] < n_merges) launch(first_merge[u], global_params);
   }
-  if (queue.empty()) throw std::invalid_argument("AsyncRunner::run: empty partition");
 
   AsyncRunResult result;
-  std::size_t step = 0;
-  while (!queue.empty() && queue.top().time_s <= config_.horizon_seconds) {
-    const Event event = queue.top();
-    queue.pop();
-    const std::size_t u = event.client;
+  std::vector<std::size_t> base_version(n, 0);
+  for (std::size_t k = 0; k < n_merges; ++k) {
+    const std::size_t u = merges[k].client;
+    pending[k].get();
+    const std::vector<float> local = std::move(locals[k]);
 
-    // Train from the (possibly stale) parameters the client actually pulled.
-    worker_.set_flat_params(pulled[u]);
-    common::Rng client_rng = rng.fork(++step);
-    (void)train_epoch(worker_, optimizers[u], train_, partition.user_indices[u],
-                      config_.batch_size, client_rng);
-
-    const std::size_t staleness = version - base_version[u];
+    const std::size_t staleness = k - base_version[u];
     const double mix = config_.base_mix /
                        std::pow(1.0 + static_cast<double>(staleness), config_.damping);
-    const auto local = worker_.flat_params();
     for (std::size_t i = 0; i < global_params.size(); ++i) {
       global_params[i] = static_cast<float>((1.0 - mix) * global_params[i] +
                                             mix * local[i]);
     }
-    ++version;
-    result.updates.push_back({event.time_s, u, staleness, mix});
-    result.elapsed_seconds = event.time_s;
+    result.updates.push_back({merges[k].time_s, u, staleness, mix});
+    result.elapsed_seconds = merges[k].time_s;
+    base_version[u] = k + 1;
 
-    // Client immediately pulls the fresh model and starts its next round.
-    const double duration = devices[u].comm_seconds(device_model_) +
-                            devices[u].train(device_model_,
-                                             partition.user_indices[u].size());
-    pulled[u] = global_params;
-    base_version[u] = version;
-    queue.push({event.time_s + duration, u});
+    if (next_merge[k] < n_merges) launch(next_merge[k], global_params);
   }
 
   global_.set_flat_params(global_params);

@@ -27,6 +27,10 @@ struct AsyncConfig {
   /// Weight decays as base_mix / (1 + staleness)^damping.
   double damping = 1.0;
   std::uint64_t seed = 1;
+  /// Host threads training in-flight clients concurrently: 0 = hardware
+  /// concurrency, 1 = serial legacy path. Results are identical for every
+  /// value — the merge order is fixed by the simulated timeline.
+  std::size_t parallelism = 0;
 };
 
 struct AsyncUpdateRecord {
@@ -62,7 +66,7 @@ class AsyncRunner {
   device::NetworkType network_;
   AsyncConfig config_;
   nn::Model global_;
-  nn::Model worker_;
+  ClientExecutor executor_;  // per-lane worker models + pool
 };
 
 }  // namespace fedsched::fl

@@ -51,10 +51,9 @@ GossipRunner::GossipRunner(const data::Dataset& train, const data::Dataset& test
       device_model_(std::move(device_model)),
       phones_(std::move(phones)),
       network_(network),
-      config_(config) {
+      config_(config),
+      executor_(model_spec, config.parallelism) {
   if (phones_.empty()) throw std::invalid_argument("GossipRunner: no devices");
-  common::Rng rng(config_.seed);
-  worker_ = nn::build_model(model_spec_, rng);
 }
 
 GossipRunResult GossipRunner::run(const data::Partition& partition) {
@@ -80,18 +79,23 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
   std::vector<std::vector<float>> params(n, seed_model.flat_params());
 
   GossipRunResult result;
+  std::vector<double> client_loss(n, 0.0);
+  std::vector<char> has_loss(n, 0);
+  std::vector<common::Rng> client_rngs(n);
   for (std::size_t round = 0; round < config_.rounds; ++round) {
     RoundRecord record;
     record.round = round;
     record.client_seconds.assign(n, 0.0);
 
-    // 1. Local training on each client's own parameters.
-    double loss_sum = 0.0;
-    std::size_t loss_users = 0;
+    for (std::size_t u = 0; u < n; ++u) client_rngs[u] = rng.fork(round * n + u);
+    std::fill(has_loss.begin(), has_loss.end(), 0);
+
+    // 1. Local training on each client's own parameters — clients only
+    // write their own slots, so they run concurrently.
     std::vector<std::vector<float>> trained = params;
-    for (std::size_t u = 0; u < n; ++u) {
+    executor_.for_each_client(n, [&](std::size_t u, nn::Model& worker) {
       const auto& share = partition.user_indices[u];
-      if (share.empty()) continue;
+      if (share.empty()) return;
 
       // Time: one epoch + one upload + `degree` neighbor downloads.
       double elapsed = devices[u].train(device_model_, share.size());
@@ -101,18 +105,26 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
                  device::download_seconds(link, device_model_.size_mb);
       record.client_seconds[u] = elapsed;
 
-      worker_.set_flat_params(params[u]);
-      common::Rng client_rng = rng.fork(round * n + u);
-      const auto stats = train_epoch(worker_, optimizers[u], train_, share,
-                                     config_.batch_size, client_rng);
-      loss_sum += stats.mean_loss;
+      worker.set_flat_params(params[u]);
+      const auto stats = train_epoch(worker, optimizers[u], train_, share,
+                                     config_.batch_size, client_rngs[u]);
+      client_loss[u] = stats.mean_loss;
+      has_loss[u] = 1;
+      trained[u] = worker.flat_params();
+    });
+    double loss_sum = 0.0;
+    std::size_t loss_users = 0;
+    for (std::size_t u = 0; u < n; ++u) {
+      if (!has_loss[u]) continue;
+      loss_sum += client_loss[u];
       ++loss_users;
-      trained[u] = worker_.flat_params();
     }
 
     // 2. Gossip averaging over closed neighborhoods, weighted by data size.
+    // Every mixed[u] reads the frozen `trained` snapshot and sums its
+    // neighborhood in fixed order, so the mixing parallelizes per client.
     std::vector<std::vector<float>> mixed(n);
-    for (std::size_t u = 0; u < n; ++u) {
+    executor_.for_each_index(n, [&](std::size_t u) {
       double total_weight = static_cast<double>(partition.user_indices[u].size());
       std::vector<float> acc(trained[u].size(), 0.0f);
       auto accumulate = [&](std::size_t v, double w) {
@@ -128,11 +140,11 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
       }
       if (total_weight <= 0.0) {
         mixed[u] = trained[u];  // isolated, dataless client keeps its params
-        continue;
+        return;
       }
       for (float& x : acc) x /= static_cast<float>(total_weight);
       mixed[u] = std::move(acc);
-    }
+    });
     params = std::move(mixed);
 
     record.round_seconds =
@@ -143,25 +155,30 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
     result.rounds.push_back(std::move(record));
   }
 
-  // Final evaluation of every client's model + consensus gap.
+  // Final evaluation of every client's model + consensus gap. Each client's
+  // accuracy and pairwise-gap row is independent; the mean and max reduce
+  // serially in client order.
   result.client_accuracy.resize(n);
+  executor_.for_each_client(n, [&](std::size_t u, nn::Model& worker) {
+    worker.set_flat_params(params[u]);
+    result.client_accuracy[u] = worker.accuracy(test_.images(), test_.labels());
+  });
   double acc_sum = 0.0;
-  for (std::size_t u = 0; u < n; ++u) {
-    worker_.set_flat_params(params[u]);
-    result.client_accuracy[u] = worker_.accuracy(test_.images(), test_.labels());
-    acc_sum += result.client_accuracy[u];
-  }
+  for (std::size_t u = 0; u < n; ++u) acc_sum += result.client_accuracy[u];
   result.mean_accuracy = acc_sum / static_cast<double>(n);
-  for (std::size_t u = 0; u < n; ++u) {
+
+  std::vector<double> row_gap(n, 0.0);
+  executor_.for_each_index(n, [&](std::size_t u) {
     for (std::size_t v = u + 1; v < n; ++v) {
       double sq = 0.0;
       for (std::size_t i = 0; i < params[u].size(); ++i) {
         const double diff = params[u][i] - params[v][i];
         sq += diff * diff;
       }
-      result.consensus_gap = std::max(result.consensus_gap, std::sqrt(sq));
+      row_gap[u] = std::max(row_gap[u], std::sqrt(sq));
     }
-  }
+  });
+  for (double gap : row_gap) result.consensus_gap = std::max(result.consensus_gap, gap);
   return result;
 }
 

@@ -32,6 +32,9 @@ struct GossipConfig {
   nn::SgdConfig sgd{.learning_rate = 0.02f, .momentum = 0.9f, .weight_decay = 0.0f};
   Topology topology = Topology::kRing;
   std::uint64_t seed = 1;
+  /// Host threads training clients concurrently: 0 = hardware concurrency,
+  /// 1 = serial legacy path. Results are identical for every value.
+  std::size_t parallelism = 0;
 };
 
 struct GossipRunResult {
@@ -62,7 +65,7 @@ class GossipRunner {
   std::vector<device::PhoneModel> phones_;
   device::NetworkType network_;
   GossipConfig config_;
-  nn::Model worker_;
+  ClientExecutor executor_;  // per-lane worker models + pool
 };
 
 }  // namespace fedsched::fl

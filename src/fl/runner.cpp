@@ -23,12 +23,11 @@ FedAvgRunner::FedAvgRunner(const data::Dataset& train, const data::Dataset& test
       device_model_(std::move(device_model)),
       phones_(std::move(phones)),
       network_(network),
-      config_(config) {
+      config_(config),
+      executor_(model_spec, config.parallelism) {
   if (phones_.empty()) throw std::invalid_argument("FedAvgRunner: no devices");
   common::Rng init_rng(config_.seed);
   global_ = nn::build_model(model_spec, init_rng);
-  common::Rng worker_rng = init_rng.fork(1);
-  worker_ = nn::build_model(model_spec, worker_rng);  // same topology, scratch weights
 }
 
 RunResult FedAvgRunner::run(const data::Partition& partition) {
@@ -48,49 +47,75 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
   std::vector<float> global_params = global_.flat_params();
   std::vector<float> aggregate(global_params.size());
 
+  // Client-indexed slots the parallel section writes into; reduced in fixed
+  // client order below so every parallelism width gives identical results.
+  std::vector<std::vector<float>> locals(n_users);
+  std::vector<double> client_loss(n_users, 0.0);
+  std::vector<char> trained(n_users, 0);
+  std::vector<common::Rng> client_rngs(n_users);
+
   for (std::size_t round = 0; round < config_.rounds; ++round) {
     RoundRecord record;
     record.round = round;
     record.client_seconds.assign(n_users, 0.0);
 
-    std::fill(aggregate.begin(), aggregate.end(), 0.0f);
     std::size_t total_samples = 0;
     for (const auto& share : partition.user_indices) total_samples += share.size();
     if (total_samples == 0) {
       throw std::invalid_argument("FedAvgRunner::run: empty partition");
     }
 
-    double loss_sum = 0.0;
-    std::size_t loss_users = 0;
+    // Seed streams are forked serially; fork() is a pure function of the
+    // parent state, so the streams match the serial path exactly.
     for (std::size_t u = 0; u < n_users; ++u) {
-      const auto& share = partition.user_indices[u];
-      if (share.empty()) continue;
+      client_rngs[u] = rng.fork(round * n_users + u);
+    }
+    std::fill(trained.begin(), trained.end(), 0);
 
-      // Simulated wall-clock: model pull + local epochs + model push.
+    executor_.for_each_client(n_users, [&](std::size_t u, nn::Model& worker) {
+      const auto& share = partition.user_indices[u];
+      if (share.empty()) return;
+
+      // Simulated wall-clock: model pull + local epochs + model push. Each
+      // device is only ever advanced by its own client.
       double elapsed = devices[u].comm_seconds(device_model_);
       elapsed += devices[u].train(device_model_,
                                   share.size() * config_.local_epochs);
       record.client_seconds[u] = elapsed;
 
       // Real training for the accuracy signal.
-      worker_.set_flat_params(global_params);
-      common::Rng client_rng = rng.fork(round * n_users + u);
+      worker.set_flat_params(global_params);
       EpochStats stats;
       for (std::size_t e = 0; e < config_.local_epochs; ++e) {
-        stats = train_epoch(worker_, optimizers[u], train_, share, config_.batch_size,
-                            client_rng);
+        stats = train_epoch(worker, optimizers[u], train_, share, config_.batch_size,
+                            client_rngs[u]);
       }
-      loss_sum += stats.mean_loss;
-      ++loss_users;
+      client_loss[u] = stats.mean_loss;
+      trained[u] = 1;
+      locals[u] = worker.flat_params();
+    });
 
-      // FedAvg: weight by the client's sample count.
-      const float weight =
-          static_cast<float>(share.size()) / static_cast<float>(total_samples);
-      const auto local = worker_.flat_params();
-      for (std::size_t i = 0; i < aggregate.size(); ++i) {
-        aggregate[i] += weight * local[i];
-      }
+    double loss_sum = 0.0;
+    std::size_t loss_users = 0;
+    for (std::size_t u = 0; u < n_users; ++u) {
+      if (!trained[u]) continue;
+      loss_sum += client_loss[u];
+      ++loss_users;
     }
+
+    // FedAvg: weight by the client's sample count. Parallel over parameter
+    // blocks — each index sums clients in client order, so any blocking
+    // yields the same floats.
+    std::fill(aggregate.begin(), aggregate.end(), 0.0f);
+    executor_.for_each_block(aggregate.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t u = 0; u < n_users; ++u) {
+        if (!trained[u]) continue;
+        const float weight = static_cast<float>(partition.user_indices[u].size()) /
+                             static_cast<float>(total_samples);
+        const float* local = locals[u].data();
+        for (std::size_t i = lo; i < hi; ++i) aggregate[i] += weight * local[i];
+      }
+    });
 
     global_params = aggregate;
     global_.set_flat_params(global_params);

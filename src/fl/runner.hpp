@@ -11,6 +11,11 @@
 // actually-trained global model; time comes from the device simulators. The
 // two are decoupled deliberately (the paper does the same: profiles for
 // time, training for accuracy).
+//
+// Client training within a round runs in parallel on the host (see
+// fl/parallel.hpp): per-client results land in client-indexed slots and
+// reduce in fixed client order, so any `parallelism` width produces
+// bit-identical results.
 
 #include <cstdint>
 #include <vector>
@@ -18,6 +23,7 @@
 #include "data/dataset.hpp"
 #include "data/partition.hpp"
 #include "device/device.hpp"
+#include "fl/parallel.hpp"
 #include "nn/models.hpp"
 #include "nn/sgd.hpp"
 
@@ -33,6 +39,10 @@ struct FlConfig {
   bool evaluate_each_round = false;
   /// Idle time between rounds (devices cool down), seconds of simulated time.
   double idle_between_rounds_s = 0.0;
+  /// Host threads training clients concurrently: 0 = hardware concurrency,
+  /// 1 = serial legacy path. Results are identical for every value (the
+  /// determinism contract; see docs/API.md).
+  std::size_t parallelism = 0;
 };
 
 struct RoundRecord {
@@ -74,7 +84,7 @@ class FedAvgRunner {
   device::NetworkType network_;
   FlConfig config_;
   nn::Model global_;
-  nn::Model worker_;  // reused for every client's local training
+  ClientExecutor executor_;  // per-lane worker models + pool
 };
 
 }  // namespace fedsched::fl

@@ -8,6 +8,18 @@ namespace fedsched::nn {
 using tensor::Tensor;
 namespace ops = tensor::ops;
 
+namespace {
+
+/// Samples per chunk. Small enough that mobile batch sizes (20) produce
+/// several chunks, large enough that each chunk amortizes its scratch.
+constexpr std::size_t kSampleGrain = 8;
+
+/// Below this many MACs per pass the pool dispatch overhead dominates and
+/// chunks run inline on the caller (with identical boundaries and results).
+constexpr double kMinMacsForPool = 1.5e6;
+
+}  // namespace
+
 Conv2d::Conv2d(ops::Conv2dGeometry geometry, std::size_t out_channels, common::Rng& rng)
     : geometry_(geometry),
       out_channels_(out_channels),
@@ -15,8 +27,7 @@ Conv2d::Conv2d(ops::Conv2dGeometry geometry, std::size_t out_channels, common::R
                             std::sqrt(2.0f / static_cast<float>(geometry.patch_size())))),
       bias_({out_channels}),
       grad_weight_({out_channels, geometry.patch_size()}),
-      grad_bias_({out_channels}),
-      columns_({geometry.patch_size(), geometry.out_h() * geometry.out_w()}) {
+      grad_bias_({out_channels}) {
   if (out_channels == 0) throw std::invalid_argument("Conv2d: zero out_channels");
   if (geometry.kernel == 0 || geometry.stride == 0) {
     throw std::invalid_argument("Conv2d: zero kernel/stride");
@@ -24,6 +35,27 @@ Conv2d::Conv2d(ops::Conv2dGeometry geometry, std::size_t out_channels, common::R
   if (geometry.in_h + 2 * geometry.pad < geometry.kernel ||
       geometry.in_w + 2 * geometry.pad < geometry.kernel) {
     throw std::invalid_argument("Conv2d: kernel larger than padded input");
+  }
+}
+
+std::size_t Conv2d::sample_chunks(std::size_t n) noexcept {
+  return (n + kSampleGrain - 1) / kSampleGrain;
+}
+
+void Conv2d::dispatch_chunks(std::size_t n, const common::ThreadPool::ChunkFn& fn) const {
+  const std::size_t chunks = sample_chunks(n);
+  if (chunks <= 1) {
+    if (n > 0) fn(0, 0, n);
+    return;
+  }
+  const double macs = macs_per_sample() * static_cast<double>(n);
+  if (macs >= kMinMacsForPool && common::global_pool().size() > 1) {
+    common::global_pool().parallel_for_chunks(0, n, chunks, fn);
+    return;
+  }
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const auto [lo, hi] = common::ThreadPool::chunk_bounds(0, n, chunks, c);
+    fn(c, lo, hi);
   }
 }
 
@@ -38,17 +70,22 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   if (train) cached_input_ = input;
 
   Tensor out({n, out_channels_ * spatial});
-  Tensor result({out_channels_, spatial});
-  for (std::size_t s = 0; s < n; ++s) {
-    ops::im2col(input.data().subspan(s * in_features, in_features), geometry_, columns_);
-    ops::matmul(weight_, columns_, result);
-    float* dst = out.raw() + s * out_channels_ * spatial;
-    const float* src = result.raw();
-    const float* pb = bias_.raw();
-    for (std::size_t c = 0; c < out_channels_; ++c) {
-      for (std::size_t p = 0; p < spatial; ++p) dst[c * spatial + p] = src[c * spatial + p] + pb[c];
+  dispatch_chunks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    Tensor columns({geometry_.patch_size(), spatial});
+    Tensor result({out_channels_, spatial});
+    for (std::size_t s = lo; s < hi; ++s) {
+      ops::im2col(input.data().subspan(s * in_features, in_features), geometry_, columns);
+      ops::matmul(weight_, columns, result);
+      float* dst = out.raw() + s * out_channels_ * spatial;
+      const float* src = result.raw();
+      const float* pb = bias_.raw();
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        for (std::size_t p = 0; p < spatial; ++p) {
+          dst[c * spatial + p] = src[c * spatial + p] + pb[c];
+        }
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -65,29 +102,50 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   }
 
   Tensor dx({n, in_features});
-  Tensor grad_mat({out_channels_, spatial});
-  Tensor dcols({geometry_.patch_size(), spatial});
-  Tensor dw({out_channels_, geometry_.patch_size()});
-  for (std::size_t s = 0; s < n; ++s) {
-    // Reconstruct the im2col matrix of this sample (cheaper than caching all).
-    ops::im2col(cached_input_.data().subspan(s * in_features, in_features), geometry_,
-                columns_);
-    const float* g = grad_output.raw() + s * out_channels_ * spatial;
-    std::copy(g, g + out_channels_ * spatial, grad_mat.raw());
+  // Per-chunk weight/bias gradient partials: each chunk sums its own samples,
+  // then the partials reduce in chunk order. Since chunk boundaries depend
+  // only on n, the accumulation order is the same for any thread count.
+  const std::size_t chunks = sample_chunks(n);
+  std::vector<Tensor> dw_partial;
+  std::vector<Tensor> db_partial;
+  dw_partial.reserve(chunks);
+  db_partial.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    dw_partial.emplace_back(tensor::Shape{out_channels_, geometry_.patch_size()});
+    db_partial.emplace_back(tensor::Shape{out_channels_});
+  }
 
-    // dW += dY * cols^T ; db += row sums of dY ; dcols = W^T dY.
-    ops::matmul_nt(grad_mat, columns_, dw);
-    grad_weight_ += dw;
-    float* pb = grad_bias_.raw();
-    for (std::size_t c = 0; c < out_channels_; ++c) {
-      const float* row = g + c * spatial;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < spatial; ++p) acc += row[p];
-      pb[c] += acc;
+  dispatch_chunks(n, [&](std::size_t chunk, std::size_t lo, std::size_t hi) {
+    Tensor columns({geometry_.patch_size(), spatial});
+    Tensor grad_mat({out_channels_, spatial});
+    Tensor dcols({geometry_.patch_size(), spatial});
+    Tensor dw({out_channels_, geometry_.patch_size()});
+    for (std::size_t s = lo; s < hi; ++s) {
+      // Reconstruct the im2col matrix of this sample (cheaper than caching all).
+      ops::im2col(cached_input_.data().subspan(s * in_features, in_features), geometry_,
+                  columns);
+      const float* g = grad_output.raw() + s * out_channels_ * spatial;
+      std::copy(g, g + out_channels_ * spatial, grad_mat.raw());
+
+      // dW += dY * cols^T ; db += row sums of dY ; dcols = W^T dY.
+      ops::matmul_nt(grad_mat, columns, dw);
+      dw_partial[chunk] += dw;
+      float* pb = db_partial[chunk].raw();
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        const float* row = g + c * spatial;
+        float acc = 0.0f;
+        for (std::size_t p = 0; p < spatial; ++p) acc += row[p];
+        pb[c] += acc;
+      }
+      ops::matmul_tn(weight_, grad_mat, dcols);
+      auto img = dx.data().subspan(s * in_features, in_features);
+      ops::col2im(dcols, geometry_, img);
     }
-    ops::matmul_tn(weight_, grad_mat, dcols);
-    auto img = dx.data().subspan(s * in_features, in_features);
-    ops::col2im(dcols, geometry_, img);
+  });
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    grad_weight_ += dw_partial[c];
+    grad_bias_ += db_partial[c];
   }
   return dx;
 }

@@ -1,6 +1,13 @@
 #pragma once
 // 2-D convolution over [N, C*H*W] batches via im2col + GEMM.
+//
+// Both passes are split over samples into fixed-size chunks that may run on
+// the process-wide thread pool. Chunk boundaries depend only on the batch
+// size — never on thread count or scheduling — and the weight/bias gradient
+// partials reduce in chunk order, so results are bit-identical whether the
+// chunks run inline or concurrently.
 
+#include "common/thread_pool.hpp"
 #include "nn/layer.hpp"
 #include "tensor/ops.hpp"
 
@@ -24,6 +31,13 @@ class Conv2d final : public Layer {
   [[nodiscard]] std::size_t out_channels() const noexcept { return out_channels_; }
 
  private:
+  /// Number of sample chunks for a batch of n — a pure function of n.
+  [[nodiscard]] static std::size_t sample_chunks(std::size_t n) noexcept;
+  /// Run fn(chunk, lo, hi) over every chunk, on the global pool when the
+  /// batch is heavy enough to amortize dispatch. Either way the chunk
+  /// boundaries (and therefore all reductions) are identical.
+  void dispatch_chunks(std::size_t n, const common::ThreadPool::ChunkFn& fn) const;
+
   tensor::ops::Conv2dGeometry geometry_;
   std::size_t out_channels_;
   tensor::Tensor weight_;       // [out_c, patch_size]
@@ -31,7 +45,6 @@ class Conv2d final : public Layer {
   tensor::Tensor grad_weight_;
   tensor::Tensor grad_bias_;
   tensor::Tensor cached_input_;    // [N, C*H*W]
-  tensor::Tensor columns_;         // scratch [patch_size, out_h*out_w]
 };
 
 }  // namespace fedsched::nn

@@ -1,0 +1,178 @@
+// The determinism contract of the parallel runners: for a fixed seed and
+// partition, every `parallelism` width must produce bit-for-bit identical
+// results — same round times, same losses, same accuracies, same final
+// parameters. Client work lands in client-indexed slots and reduces in fixed
+// client order, so thread count must never leak into the science.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/partition.hpp"
+#include "data/synth.hpp"
+#include "fl/async_runner.hpp"
+#include "fl/gossip_runner.hpp"
+#include "fl/runner.hpp"
+
+namespace fedsched::fl {
+namespace {
+
+struct Fixture {
+  data::SynthConfig cfg = data::mnist_like();
+  data::Dataset train = data::generate_balanced(cfg, 300, 60);
+  data::Dataset test = data::generate_balanced(cfg, 100, 61);
+  // Five clients against four lanes: chunks are uneven on purpose.
+  std::vector<device::PhoneModel> phones = {
+      device::PhoneModel::kNexus6, device::PhoneModel::kNexus6P,
+      device::PhoneModel::kMate10, device::PhoneModel::kPixel2,
+      device::PhoneModel::kNexus6};
+  nn::ModelSpec spec;
+
+  data::Partition partition() const {
+    common::Rng rng(62);
+    return data::partition_equal_iid(train, phones.size(), rng);
+  }
+};
+
+void expect_identical_rounds(const std::vector<RoundRecord>& a,
+                             const std::vector<RoundRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    EXPECT_EQ(a[r].round, b[r].round);
+    EXPECT_EQ(a[r].round_seconds, b[r].round_seconds) << "round " << r;
+    EXPECT_EQ(a[r].cumulative_seconds, b[r].cumulative_seconds) << "round " << r;
+    EXPECT_EQ(a[r].mean_train_loss, b[r].mean_train_loss) << "round " << r;
+    EXPECT_EQ(a[r].test_accuracy, b[r].test_accuracy) << "round " << r;
+    ASSERT_EQ(a[r].client_seconds.size(), b[r].client_seconds.size());
+    for (std::size_t u = 0; u < a[r].client_seconds.size(); ++u) {
+      EXPECT_EQ(a[r].client_seconds[u], b[r].client_seconds[u])
+          << "round " << r << " client " << u;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, FedAvgSerialAndParallelBitIdentical) {
+  Fixture f;
+  const auto partition = f.partition();
+  auto run_width = [&](std::size_t parallelism) {
+    FlConfig config;
+    config.rounds = 3;
+    config.seed = 63;
+    config.evaluate_each_round = true;
+    config.parallelism = parallelism;
+    FedAvgRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                        device::NetworkType::kWifi, config);
+    RunResult result = runner.run(partition);
+    return std::pair(std::move(result), runner.global_model().flat_params());
+  };
+
+  const auto [serial, serial_params] = run_width(1);
+  const auto [parallel, parallel_params] = run_width(4);
+
+  expect_identical_rounds(serial.rounds, parallel.rounds);
+  EXPECT_EQ(serial.final_accuracy, parallel.final_accuracy);
+  EXPECT_EQ(serial.total_seconds, parallel.total_seconds);
+  ASSERT_EQ(serial_params.size(), parallel_params.size());
+  std::size_t mismatched = 0;
+  for (std::size_t i = 0; i < serial_params.size(); ++i) {
+    mismatched += (serial_params[i] != parallel_params[i]);
+  }
+  EXPECT_EQ(mismatched, 0u) << "final flat params differ";
+}
+
+TEST(ParallelDeterminism, FedAvgHardwareWidthMatchesToo) {
+  // parallelism = 0 (hardware concurrency, whatever this host has) must
+  // agree with the serial path as well.
+  Fixture f;
+  const auto partition = f.partition();
+  auto run_width = [&](std::size_t parallelism) {
+    FlConfig config;
+    config.rounds = 2;
+    config.seed = 64;
+    config.parallelism = parallelism;
+    FedAvgRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                        device::NetworkType::kWifi, config);
+    return runner.run(partition).final_accuracy;
+  };
+  EXPECT_EQ(run_width(1), run_width(0));
+}
+
+TEST(ParallelDeterminism, AsyncSerialAndParallelBitIdentical) {
+  Fixture f;
+  const auto partition = f.partition();
+  auto run_width = [&](std::size_t parallelism) {
+    AsyncConfig config;
+    config.horizon_seconds = 60.0;
+    config.seed = 65;
+    config.parallelism = parallelism;
+    AsyncRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                       device::NetworkType::kWifi, config);
+    return runner.run(partition);
+  };
+
+  const AsyncRunResult serial = run_width(1);
+  const AsyncRunResult parallel = run_width(4);
+
+  ASSERT_EQ(serial.updates.size(), parallel.updates.size());
+  ASSERT_FALSE(serial.updates.empty());
+  for (std::size_t k = 0; k < serial.updates.size(); ++k) {
+    EXPECT_EQ(serial.updates[k].time_s, parallel.updates[k].time_s) << "update " << k;
+    EXPECT_EQ(serial.updates[k].client, parallel.updates[k].client) << "update " << k;
+    EXPECT_EQ(serial.updates[k].staleness, parallel.updates[k].staleness)
+        << "update " << k;
+    EXPECT_EQ(serial.updates[k].mix_weight, parallel.updates[k].mix_weight)
+        << "update " << k;
+  }
+  EXPECT_EQ(serial.final_accuracy, parallel.final_accuracy);
+  EXPECT_EQ(serial.elapsed_seconds, parallel.elapsed_seconds);
+}
+
+TEST(ParallelDeterminism, GossipSerialAndParallelBitIdentical) {
+  Fixture f;
+  const auto partition = f.partition();
+  auto run_width = [&](std::size_t parallelism) {
+    GossipConfig config;
+    config.rounds = 3;
+    config.seed = 66;
+    config.topology = Topology::kRing;
+    config.parallelism = parallelism;
+    GossipRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                        device::NetworkType::kWifi, config);
+    return runner.run(partition);
+  };
+
+  const GossipRunResult serial = run_width(1);
+  const GossipRunResult parallel = run_width(4);
+
+  expect_identical_rounds(serial.rounds, parallel.rounds);
+  ASSERT_EQ(serial.client_accuracy.size(), parallel.client_accuracy.size());
+  for (std::size_t u = 0; u < serial.client_accuracy.size(); ++u) {
+    EXPECT_EQ(serial.client_accuracy[u], parallel.client_accuracy[u]) << "client " << u;
+  }
+  EXPECT_EQ(serial.mean_accuracy, parallel.mean_accuracy);
+  EXPECT_EQ(serial.consensus_gap, parallel.consensus_gap);
+  EXPECT_EQ(serial.total_seconds, parallel.total_seconds);
+}
+
+TEST(ParallelDeterminism, RepeatedParallelRunsIdentical) {
+  // Parallel runs must also be stable run-to-run (no scheduling leakage).
+  Fixture f;
+  const auto partition = f.partition();
+  auto run_once = [&] {
+    FlConfig config;
+    config.rounds = 2;
+    config.seed = 67;
+    config.parallelism = 3;
+    FedAvgRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                        device::NetworkType::kWifi, config);
+    return runner.run(partition);
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  expect_identical_rounds(a.rounds, b.rounds);
+}
+
+}  // namespace
+}  // namespace fedsched::fl

@@ -92,7 +92,13 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepCase{"lenet-rgb", Arch::kLeNet, 3, 8, 10, 1, 2},
                       SweepCase{"lenet-wide", Arch::kLeNet, 1, 12, 10, 2, 2},
                       SweepCase{"vgg6-mono", Arch::kVgg6, 1, 12, 4, 1, 2},
-                      SweepCase{"vgg6-rgb", Arch::kVgg6, 3, 8, 10, 1, 2}),
+                      SweepCase{"vgg6-rgb", Arch::kVgg6, 3, 8, 10, 1, 2},
+                      // Batches that do not divide evenly across Conv2d's
+                      // sample chunks (grain 8): 13 -> chunks of 7 and 6,
+                      // 9 -> chunks of 5 and 4. Exercises the uneven tail of
+                      // the parallel im2col/GEMM path.
+                      SweepCase{"lenet-batch13", Arch::kLeNet, 1, 8, 4, 1, 13},
+                      SweepCase{"vgg6-batch9", Arch::kVgg6, 1, 12, 4, 1, 9}),
     [](const auto& info) {
       std::string name = info.param.name;
       for (char& ch : name) {
