@@ -10,6 +10,7 @@
 //
 // Every subcommand prints an aligned table; `--help` lists the flags.
 
+#include <cmath>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -66,6 +67,31 @@ std::vector<std::size_t> parse_counts(const std::string& csv) {
   std::string field;
   while (std::getline(ss, field, ',')) counts.push_back(std::stoul(field));
   return counts;
+}
+
+// Shared --fault-* flags. Any non-zero hazard (or --fault-battery /
+// --fault-inject) switches the injector on; the default config is disabled
+// and leaves every run bit-for-bit identical to a fault-free build.
+fl::FaultConfig fault_config_from(const Args& args) {
+  fl::FaultConfig faults;
+  faults.dropout_prob = args.get_double("fault-dropout", 0.0);
+  faults.stall_prob = args.get_double("fault-stall", 0.0);
+  faults.stall_factor = args.get_double("fault-stall-factor", 4.0);
+  faults.transient_prob = args.get_double("fault-transient", 0.0);
+  faults.max_retries = static_cast<std::size_t>(args.get_int("fault-retries", 2));
+  faults.backoff_base_s = args.get_double("fault-backoff", 2.0);
+  faults.battery_enabled = args.has("fault-battery");
+  faults.battery_floor_soc = args.get_double("fault-battery-floor", 0.05);
+  faults.initial_soc_min = args.get_double("fault-soc-min", 1.0);
+  faults.initial_soc_max = args.get_double("fault-soc-max", 1.0);
+  faults.enabled = args.has("fault-inject") || faults.battery_enabled ||
+                   faults.dropout_prob > 0.0 || faults.stall_prob > 0.0 ||
+                   faults.transient_prob > 0.0;
+  return faults;
+}
+
+double deadline_from(const Args& args) {
+  return args.has("deadline") ? args.get_double("deadline", 0.0) : fl::kNoDeadline;
 }
 
 sched::Baseline baseline_from(const std::string& name) {
@@ -149,9 +175,27 @@ int cmd_simulate(const Args& args) {
     std::cerr << "--counts must list " << phones.size() << " sample counts\n";
     return 2;
   }
+  const auto faults = fault_config_from(args);
+  const double deadline = deadline_from(args);
+  const auto names = core::testbed_names(phones);
+  if (faults.enabled || std::isfinite(deadline)) {
+    const auto sim = core::simulate_epoch_faulty(
+        phones, model, device::NetworkType::kWifi, counts, faults, deadline,
+        static_cast<std::uint64_t>(args.get_int("seed", 1)));
+    common::Table table({"user", "samples", "epoch_s", "fault"});
+    for (std::size_t u = 0; u < phones.size(); ++u) {
+      table.add_row({names[u], static_cast<long long>(counts[u]),
+                     sim.epoch.client_seconds[u],
+                     std::string(fl::fault_name(sim.client_faults[u]))});
+    }
+    table.print(std::cout);
+    std::cout << "makespan: " << sim.epoch.makespan << " s   completed: "
+              << sim.completed << "   dropped: " << sim.dropped
+              << "   retries: " << sim.retries << "\n";
+    return 0;
+  }
   const auto sim = core::simulate_epoch(phones, model, device::NetworkType::kWifi,
                                         counts);
-  const auto names = core::testbed_names(phones);
   common::Table table({"user", "samples", "epoch_s"});
   for (std::size_t u = 0; u < phones.size(); ++u) {
     table.add_row({names[u], static_cast<long long>(counts[u]),
@@ -203,6 +247,8 @@ int cmd_train(const Args& args) {
   const long parallel = args.get_int("parallel", 0);
   if (parallel < 0) throw std::invalid_argument("--parallel must be >= 0");
   config.parallelism = static_cast<std::size_t>(parallel);
+  config.faults = fault_config_from(args);
+  config.deadline_s = deadline_from(args);
   nn::ModelSpec spec;
   spec.arch = arch;
   spec.in_channels = ds_config.channels;
@@ -216,6 +262,9 @@ int cmd_train(const Args& args) {
   if (args.has("verbose") && !result.rounds.empty()) {
     std::cout << '\n'
               << fl::round_timeline(result.rounds.back(), core::testbed_names(phones));
+  }
+  if (config.faults.enabled || std::isfinite(config.deadline_s)) {
+    std::cout << fl::fault_summary(result) << "\n";
   }
   std::cout << "final accuracy " << result.final_accuracy << " after "
             << result.total_seconds << " simulated seconds\n";
@@ -263,10 +312,24 @@ void usage() {
       "  schedule  --testbed <1|2|3> --model <..> --samples N --policy\n"
       "            <fed-lbap|fed-minavg|equal|prop|random> [--network wifi|lte]\n"
       "  simulate  --testbed <1|2|3> --model <..> --counts n1,n2,...\n"
+      "            [fault flags] [--deadline S] [--seed N]\n"
       "  train     --dataset <mnist|cifar> --testbed <1|2|3> --rounds N\n"
       "            --samples N --policy <..> [--save path] [--verbose]\n"
       "            [--parallel K]   (0 = all host threads, 1 = serial)\n"
-      "  energy    --device <name> --model <..> --samples N [--network ..]\n";
+      "            [fault flags] [--deadline S]\n"
+      "  energy    --device <name> --model <..> --samples N [--network ..]\n"
+      "fault flags (any non-zero hazard enables injection; all deterministic\n"
+      "per seed):\n"
+      "  --fault-dropout P        per-round client crash probability\n"
+      "  --fault-stall P          comm slowdown probability\n"
+      "  --fault-stall-factor F   comm slowdown multiplier (default 4)\n"
+      "  --fault-transient P      per-upload-attempt failure probability\n"
+      "  --fault-retries N        upload retries before giving up (default 2)\n"
+      "  --fault-backoff S        first retry backoff seconds (default 2)\n"
+      "  --fault-battery          enable battery drain & death at the floor\n"
+      "  --fault-battery-floor F  state-of-charge death floor (default 0.05)\n"
+      "  --fault-soc-min/-max F   initial state-of-charge range (default 1)\n"
+      "  --deadline S             round deadline in simulated seconds\n";
 }
 
 }  // namespace

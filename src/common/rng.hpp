@@ -125,7 +125,8 @@ class Rng {
                                                                     std::size_t k);
 
   /// Derive an independent child stream; stable given (seed path, index).
-  [[nodiscard]] Rng fork(std::uint64_t stream_index) noexcept {
+  /// Pure function of the current state — never advances the parent.
+  [[nodiscard]] Rng fork(std::uint64_t stream_index) const noexcept {
     std::uint64_t sm = state_[0] ^ (0x9E3779B97F4A7C15ULL * (stream_index + 1));
     return Rng(splitmix64(sm));
   }

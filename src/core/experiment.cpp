@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -90,6 +91,74 @@ EpochSimulation simulate_epoch(const std::vector<device::PhoneModel>& phones,
     ++active;
   }
   sim.mean = active ? sum / static_cast<double>(active) : 0.0;
+  return sim;
+}
+
+FaultyEpochSimulation simulate_epoch_faulty(
+    const std::vector<device::PhoneModel>& phones, const device::ModelDesc& model,
+    device::NetworkType network, const std::vector<std::size_t>& sample_counts,
+    const fl::FaultConfig& faults, double deadline_s, std::uint64_t seed) {
+  if (phones.size() != sample_counts.size()) {
+    throw std::invalid_argument("simulate_epoch_faulty: phones/counts size mismatch");
+  }
+  const fl::FaultInjector injector(faults, seed);
+  FaultyEpochSimulation sim;
+  sim.epoch.client_seconds.resize(phones.size(), 0.0);
+  sim.client_faults.resize(phones.size(), fl::FaultKind::kNone);
+
+  std::vector<device::Battery> batteries;
+  if (injector.battery_enabled()) {
+    batteries.reserve(phones.size());
+    for (std::size_t u = 0; u < phones.size(); ++u) {
+      batteries.emplace_back(device::battery_of(phones[u]), injector.initial_soc(u));
+    }
+  }
+
+  double sum = 0.0;
+  std::size_t active = 0;
+  double busiest = 0.0;
+  for (std::size_t u = 0; u < phones.size(); ++u) {
+    if (sample_counts[u] == 0) continue;
+    if (injector.battery_enabled() && batteries[u].dead(faults.battery_floor_soc)) {
+      sim.client_faults[u] = fl::FaultKind::kBatteryDead;
+      ++sim.dropped;
+      continue;
+    }
+    device::Device dev(phones[u], network);
+    const auto& link = device::link_of(network);
+    fl::RoundTimings timings;
+    timings.download_s = device::download_seconds(link, model.size_mb);
+    timings.upload_s = device::upload_seconds(link, model.size_mb);
+    timings.baseline_s = dev.comm_seconds(model);
+    timings.compute_s = dev.train(model, sample_counts[u]);
+    timings.baseline_s += timings.compute_s;
+
+    fl::FaultOutcome outcome = injector.evaluate(0, u, timings, deadline_s);
+    if (injector.battery_enabled()) {
+      batteries[u].drain(fl::round_energy_wh(device::spec_of(phones[u]), model,
+                                             timings.compute_s, network,
+                                             outcome.comm_scale));
+      if (batteries[u].dead(faults.battery_floor_soc)) {
+        outcome.completed = false;
+        outcome.kind = fl::FaultKind::kBatteryDead;
+      }
+    }
+    sim.client_faults[u] = outcome.kind;
+    sim.retries += outcome.retries;
+    sim.epoch.client_seconds[u] = outcome.elapsed_s;
+    busiest = std::max(busiest, outcome.elapsed_s);
+    sum += outcome.elapsed_s;
+    ++active;
+    if (outcome.completed) {
+      ++sim.completed;
+    } else {
+      ++sim.dropped;
+    }
+  }
+  sim.epoch.makespan = (sim.dropped > 0 && std::isfinite(deadline_s))
+                           ? deadline_s
+                           : busiest;
+  sim.epoch.mean = active ? sum / static_cast<double>(active) : 0.0;
   return sim;
 }
 

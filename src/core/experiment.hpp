@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "device/device.hpp"
+#include "fl/faults.hpp"
 #include "sched/types.hpp"
 
 namespace fedsched::core {
@@ -41,6 +42,26 @@ struct EpochSimulation {
 [[nodiscard]] EpochSimulation simulate_epoch(
     const std::vector<device::PhoneModel>& phones, const device::ModelDesc& model,
     device::NetworkType network, const std::vector<std::size_t>& sample_counts);
+
+struct FaultyEpochSimulation {
+  /// client_seconds charge each client's full busy time, including retry
+  /// backoff and time burned on failed rounds.
+  EpochSimulation epoch;
+  std::size_t completed = 0;
+  std::size_t dropped = 0;
+  std::size_t retries = 0;
+  std::vector<fl::FaultKind> client_faults;
+};
+
+/// simulate_epoch under a fault model: same device ground truth, but each
+/// client's round passes through a fl::FaultInjector seeded with `seed` (as
+/// round 0), and `deadline_s` caps the makespan when anyone drops. The
+/// fault-free config reproduces simulate_epoch exactly.
+[[nodiscard]] FaultyEpochSimulation simulate_epoch_faulty(
+    const std::vector<device::PhoneModel>& phones, const device::ModelDesc& model,
+    device::NetworkType network, const std::vector<std::size_t>& sample_counts,
+    const fl::FaultConfig& faults, double deadline_s = fl::kNoDeadline,
+    std::uint64_t seed = 1);
 
 /// Straggler gap: (max - mean) / mean over the participating clients.
 [[nodiscard]] double straggler_gap(const std::vector<double>& client_seconds);

@@ -56,6 +56,12 @@ class Battery {
   /// Energy available for scheduling: remaining minus the user's reserve.
   [[nodiscard]] double schedulable_wh() const noexcept;
   [[nodiscard]] bool depleted() const noexcept { return schedulable_wh() <= 0.0; }
+  /// Battery-death hook for fault injection: the device is dead once its
+  /// state of charge has fallen to or below `floor_soc` (the OS kills the
+  /// training app to preserve the remaining charge).
+  [[nodiscard]] bool dead(double floor_soc) const noexcept {
+    return soc_ <= floor_soc;
+  }
 
   /// Drain by `wh`; clamps at empty. Returns the energy actually drawn.
   double drain(double wh) noexcept;

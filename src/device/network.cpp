@@ -25,4 +25,9 @@ double round_comm_seconds(NetworkType type, const ModelDesc& model) noexcept {
   return upload_seconds(link, model.size_mb) + download_seconds(link, model.size_mb);
 }
 
+double round_comm_seconds(NetworkType type, const ModelDesc& model,
+                          double comm_scale) noexcept {
+  return comm_scale * round_comm_seconds(type, model);
+}
+
 }  // namespace fedsched::device

@@ -29,4 +29,9 @@ struct LinkParams {
 /// Full per-epoch exchange: download the global model, upload the update.
 [[nodiscard]] double round_comm_seconds(NetworkType type, const ModelDesc& model) noexcept;
 
+/// Same exchange over a degraded link: `comm_scale` multiplies the transfer
+/// time (the fault injector's network-stall hook; 1 = healthy link).
+[[nodiscard]] double round_comm_seconds(NetworkType type, const ModelDesc& model,
+                                        double comm_scale) noexcept;
+
 }  // namespace fedsched::device

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "device/battery.hpp"
 #include "fl/trainer.hpp"
 
 namespace fedsched::fl {
@@ -47,44 +48,102 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
   std::vector<nn::Sgd> optimizers(n, nn::Sgd(config_.sgd));
   common::Rng rng(config_.seed ^ 0xA5A5A5A5ULL);
 
-  // Event = a client finishing its round-trip at a simulated instant.
+  // Event = a client finishing (or abandoning) a round trip at a simulated
+  // instant. The comparator orders by time only, as before faults existed.
   struct Event {
     double time_s;
     std::size_t client;
+    bool ok = true;            // trip produced a mergeable update
+    std::size_t retries = 0;   // upload retries charged to this trip
+    bool killed = false;       // battery died during this trip (permanent)
     bool operator>(const Event& other) const { return time_s > other.time_s; }
   };
 
+  AsyncRunResult result;
+
   // Phase 1 — simulate the merge timeline. Round-trip durations come from
-  // the device simulators alone (they never depend on trained parameters),
-  // so the full order of merges is known before any training happens. That
-  // order is what makes the parallel phase deterministic: merges are applied
-  // in timeline order no matter when their training finishes.
+  // the device simulators and the fault injector alone (they never depend on
+  // trained parameters), so the full order of merges is known before any
+  // training happens. That order is what makes the parallel phase
+  // deterministic: merges are applied in timeline order no matter when their
+  // training finishes. Failed trips burn the client's clock but never merge.
   std::vector<Event> merges;
   {
     std::vector<device::Device> devices;
     devices.reserve(n);
     for (device::PhoneModel phone : phones_) devices.emplace_back(phone, network_);
 
+    const FaultInjector injector(config_.faults, config_.seed);
+    const double deadline = config_.deadline_s;
+    std::vector<device::Battery> batteries;
+    if (injector.battery_enabled()) {
+      batteries.reserve(n);
+      for (std::size_t u = 0; u < n; ++u) {
+        batteries.emplace_back(device::battery_of(phones_[u]), injector.initial_soc(u));
+      }
+    }
+    std::vector<std::size_t> trips(n, 0);
+
+    // One round trip of client u launched at `start_s`; the trip counter is
+    // the injector's stream index, so draws are stable per (client, trip).
+    auto attempt = [&](std::size_t u, double start_s) -> Event {
+      const auto& link = device::link_of(network_);
+      RoundTimings timings;
+      timings.download_s = device::download_seconds(link, device_model_.size_mb);
+      timings.upload_s = device::upload_seconds(link, device_model_.size_mb);
+      timings.baseline_s = devices[u].comm_seconds(device_model_);
+      timings.compute_s =
+          devices[u].train(device_model_, partition.user_indices[u].size());
+      timings.baseline_s += timings.compute_s;
+
+      FaultOutcome out = injector.evaluate(trips[u]++, u, timings, deadline);
+      Event event{0.0, u, out.completed, out.retries, false};
+      if (injector.battery_enabled()) {
+        batteries[u].drain(round_energy_wh(device::spec_of(phones_[u]), device_model_,
+                                           timings.compute_s, network_,
+                                           out.comm_scale));
+        if (batteries[u].dead(config_.faults.battery_floor_soc)) {
+          event.ok = false;
+          event.killed = true;
+        }
+      }
+      // A deadline-missed trip is abandoned at the deadline mark; every
+      // other outcome occupies the client for its full elapsed time.
+      const double consumed =
+          out.kind == FaultKind::kDeadlineMiss ? deadline : out.elapsed_s;
+      event.time_s = start_s + consumed;
+      return event;
+    };
+
     std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+    bool any_data = false;
     for (std::size_t u = 0; u < n; ++u) {
       if (partition.user_indices[u].empty()) continue;
-      const double duration = devices[u].comm_seconds(device_model_) +
-                              devices[u].train(device_model_,
-                                               partition.user_indices[u].size());
-      queue.push({duration, u});
+      any_data = true;
+      if (injector.battery_enabled() &&
+          batteries[u].dead(config_.faults.battery_floor_soc)) {
+        ++result.battery_deaths;  // dead on arrival: never participates
+        continue;
+      }
+      queue.push(attempt(u, 0.0));
     }
-    if (queue.empty()) throw std::invalid_argument("AsyncRunner::run: empty partition");
+    if (!any_data) throw std::invalid_argument("AsyncRunner::run: empty partition");
 
     while (!queue.empty() && queue.top().time_s <= config_.horizon_seconds) {
       const Event event = queue.top();
       queue.pop();
-      merges.push_back(event);
+      if (event.ok) {
+        merges.push_back(event);
+      } else {
+        ++result.dropped_updates;
+      }
+      result.retry_count += event.retries;
+      if (event.killed) {
+        ++result.battery_deaths;
+        continue;  // permanently out of the fleet
+      }
       // Client immediately pulls the fresh model and starts its next round.
-      const double duration = devices[event.client].comm_seconds(device_model_) +
-                              devices[event.client].train(
-                                  device_model_,
-                                  partition.user_indices[event.client].size());
-      queue.push({event.time_s + duration, event.client});
+      queue.push(attempt(event.client, event.time_s));
     }
   }
 
@@ -133,7 +192,6 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
     if (first_merge[u] < n_merges) launch(first_merge[u], global_params);
   }
 
-  AsyncRunResult result;
   std::vector<std::size_t> base_version(n, 0);
   for (std::size_t k = 0; k < n_merges; ++k) {
     const std::size_t u = merges[k].client;

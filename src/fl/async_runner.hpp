@@ -31,6 +31,11 @@ struct AsyncConfig {
   /// concurrency, 1 = serial legacy path. Results are identical for every
   /// value — the merge order is fixed by the simulated timeline.
   std::size_t parallelism = 0;
+  /// Per-update deadline (simulated seconds): a round trip still in flight
+  /// after this long is abandoned and the client re-pulls. Infinity = none.
+  double deadline_s = kNoDeadline;
+  /// Fault injection; failed trips burn simulated time but never merge.
+  FaultConfig faults;
 };
 
 struct AsyncUpdateRecord {
@@ -44,6 +49,11 @@ struct AsyncRunResult {
   std::vector<AsyncUpdateRecord> updates;
   double final_accuracy = 0.0;
   double elapsed_seconds = 0.0;
+  /// Fault bookkeeping: trips that burned simulated time but never merged,
+  /// upload retries charged to client clocks, and permanent battery deaths.
+  std::size_t dropped_updates = 0;
+  std::size_t retry_count = 0;
+  std::size_t battery_deaths = 0;
 
   [[nodiscard]] double mean_staleness() const;
   [[nodiscard]] std::size_t updates_from(std::size_t client) const;

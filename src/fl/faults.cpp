@@ -1,0 +1,137 @@
+#include "fl/faults.hpp"
+
+#include <stdexcept>
+
+#include "device/battery.hpp"
+
+namespace fedsched::fl {
+
+namespace {
+
+void check_prob(double p, const char* name) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string("FaultConfig: ") + name +
+                                " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void FaultConfig::validate() const {
+  check_prob(dropout_prob, "dropout_prob");
+  check_prob(stall_prob, "stall_prob");
+  check_prob(transient_prob, "transient_prob");
+  check_prob(battery_floor_soc, "battery_floor_soc");
+  check_prob(initial_soc_min, "initial_soc_min");
+  check_prob(initial_soc_max, "initial_soc_max");
+  if (stall_factor < 1.0) {
+    throw std::invalid_argument("FaultConfig: stall_factor must be >= 1");
+  }
+  if (backoff_base_s < 0.0) {
+    throw std::invalid_argument("FaultConfig: backoff_base_s must be >= 0");
+  }
+  if (initial_soc_min > initial_soc_max) {
+    throw std::invalid_argument("FaultConfig: initial_soc_min > initial_soc_max");
+  }
+  if (max_retries > 62) {
+    throw std::invalid_argument("FaultConfig: max_retries too large (backoff overflow)");
+  }
+}
+
+const char* fault_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "ok";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kBatteryDead: return "battery";
+    case FaultKind::kRetriesExhausted: return "retries";
+    case FaultKind::kDeadlineMiss: return "deadline";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(FaultConfig config, std::uint64_t run_seed)
+    : config_(config),
+      fault_base_(run_seed ^ 0xFA171FA171FA171FULL),
+      soc_base_(run_seed ^ 0x50C50C50C50C50CULL) {
+  config_.validate();
+}
+
+double FaultInjector::initial_soc(std::size_t client) const {
+  if (!battery_enabled()) return 1.0;
+  common::Rng stream = soc_base_.fork(client);
+  return stream.uniform(config_.initial_soc_min, config_.initial_soc_max);
+}
+
+FaultOutcome FaultInjector::evaluate(std::size_t round, std::size_t client,
+                                     const RoundTimings& timings,
+                                     double deadline_s) const {
+  FaultOutcome out;
+  if (!config_.enabled) {
+    out.elapsed_s = timings.baseline_s;
+    if (out.elapsed_s > deadline_s) {
+      out.completed = false;
+      out.kind = FaultKind::kDeadlineMiss;
+    }
+    return out;
+  }
+
+  // One private stream per (round, client); the draw order below is part of
+  // the fault model's definition (crash, stall, then upload attempts).
+  common::Rng stream = fault_base_.fork(round).fork(client);
+  const bool crashed = stream.bernoulli(config_.dropout_prob);
+  const bool stalled = stream.bernoulli(config_.stall_prob);
+  const double scale = stalled ? config_.stall_factor : 1.0;
+  out.comm_scale = scale;
+
+  if (crashed) {
+    out.kind = FaultKind::kCrash;
+    out.completed = false;
+    out.elapsed_s = scale * timings.download_s + timings.compute_s;
+    return out;
+  }
+
+  bool uploaded = false;
+  double extra_s = 0.0;  // retry uploads + backoff waits beyond the baseline
+  for (std::size_t attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      extra_s += config_.backoff_base_s *
+                 static_cast<double>(std::uint64_t{1} << (attempt - 1));
+      extra_s += scale * timings.upload_s;
+      ++out.retries;
+    }
+    if (!stream.bernoulli(config_.transient_prob)) {
+      uploaded = true;
+      break;
+    }
+  }
+
+  if (!stalled && out.retries == 0 && uploaded) {
+    // Nothing triggered: return the runner's own composition so enabling
+    // faults with zero probabilities is bit-identical to disabling them.
+    out.elapsed_s = timings.baseline_s;
+  } else {
+    out.elapsed_s = scale * timings.download_s + timings.compute_s +
+                    scale * timings.upload_s + extra_s;
+  }
+
+  if (!uploaded) {
+    out.kind = FaultKind::kRetriesExhausted;
+    out.completed = false;
+    return out;
+  }
+  if (out.elapsed_s > deadline_s) {
+    out.kind = FaultKind::kDeadlineMiss;
+    out.completed = false;
+  }
+  return out;
+}
+
+double round_energy_wh(const device::DeviceSpec& spec, const device::ModelDesc& model,
+                       double compute_s, device::NetworkType network,
+                       double comm_scale) {
+  const double compute_wh =
+      spec.thermal.peak_power * model.power_intensity * compute_s / 3600.0;
+  return compute_wh + comm_scale * comm_energy_wh(network, model);
+}
+
+}  // namespace fedsched::fl

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "device/battery.hpp"
 #include "fl/trainer.hpp"
 
 namespace fedsched::fl {
@@ -72,6 +73,16 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
   std::vector<nn::Sgd> optimizers(n, nn::Sgd(config_.sgd));
   common::Rng rng(config_.seed ^ 0x5151515151ULL);
 
+  const FaultInjector injector(config_.faults, config_.seed);
+  const double deadline = config_.deadline_s;
+  std::vector<device::Battery> batteries;
+  if (injector.battery_enabled()) {
+    batteries.reserve(n);
+    for (std::size_t u = 0; u < n; ++u) {
+      batteries.emplace_back(device::battery_of(phones_[u]), injector.initial_soc(u));
+    }
+  }
+
   // Every client starts from the same initialization (a shared seed model,
   // as decentralized training assumes).
   common::Rng init_rng(config_.seed);
@@ -82,6 +93,7 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
   std::vector<double> client_loss(n, 0.0);
   std::vector<char> has_loss(n, 0);
   std::vector<common::Rng> client_rngs(n);
+  std::vector<FaultOutcome> outcomes(n);
   for (std::size_t round = 0; round < config_.rounds; ++round) {
     RoundRecord record;
     record.round = round;
@@ -89,6 +101,7 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
 
     for (std::size_t u = 0; u < n; ++u) client_rngs[u] = rng.fork(round * n + u);
     std::fill(has_loss.begin(), has_loss.end(), 0);
+    std::fill(outcomes.begin(), outcomes.end(), FaultOutcome{});
 
     // 1. Local training on each client's own parameters — clients only
     // write their own slots, so they run concurrently.
@@ -97,13 +110,36 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
       const auto& share = partition.user_indices[u];
       if (share.empty()) return;
 
+      if (injector.battery_enabled() &&
+          batteries[u].dead(config_.faults.battery_floor_soc)) {
+        outcomes[u] = {.kind = FaultKind::kBatteryDead, .completed = false};
+        return;
+      }
+
       // Time: one epoch + one upload + `degree` neighbor downloads.
-      double elapsed = devices[u].train(device_model_, share.size());
       const auto& link = device::link_of(network_);
-      elapsed += device::upload_seconds(link, device_model_.size_mb);
-      elapsed += static_cast<double>(neighbors[u].size()) *
-                 device::download_seconds(link, device_model_.size_mb);
-      record.client_seconds[u] = elapsed;
+      RoundTimings timings;
+      timings.upload_s = device::upload_seconds(link, device_model_.size_mb);
+      timings.download_s = static_cast<double>(neighbors[u].size()) *
+                           device::download_seconds(link, device_model_.size_mb);
+      timings.compute_s = devices[u].train(device_model_, share.size());
+      timings.baseline_s = timings.compute_s;
+      timings.baseline_s += timings.upload_s;
+      timings.baseline_s += timings.download_s;
+
+      FaultOutcome outcome = injector.evaluate(round, u, timings, deadline);
+      if (injector.battery_enabled()) {
+        batteries[u].drain(round_energy_wh(device::spec_of(phones_[u]), device_model_,
+                                           timings.compute_s, network_,
+                                           outcome.comm_scale));
+        if (batteries[u].dead(config_.faults.battery_floor_soc)) {
+          outcome.completed = false;
+          outcome.kind = FaultKind::kBatteryDead;
+        }
+      }
+      record.client_seconds[u] = outcome.elapsed_s;
+      outcomes[u] = outcome;
+      if (!outcome.completed) return;  // update lost; keeps pre-round params
 
       worker.set_flat_params(params[u]);
       const auto stats = train_epoch(worker, optimizers[u], train_, share,
@@ -120,11 +156,33 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
       ++loss_users;
     }
 
+    // Fault bookkeeping: `online[u]` = the client exchanged models this
+    // round. Dataless clients are online (they mix neighbors but weigh 0);
+    // dropped participants are not — neighbors renormalize without them.
+    record.client_faults.resize(n);
+    std::vector<char> online(n, 1);
+    for (std::size_t u = 0; u < n; ++u) {
+      record.client_faults[u] = outcomes[u].kind;
+      record.retry_count += outcomes[u].retries;
+      if (partition.user_indices[u].empty()) continue;
+      if (has_loss[u]) {
+        ++record.completed_clients;
+      } else {
+        ++record.dropped_clients;
+        online[u] = 0;
+      }
+    }
+    record.skipped = record.completed_clients == 0;
+
     // 2. Gossip averaging over closed neighborhoods, weighted by data size.
     // Every mixed[u] reads the frozen `trained` snapshot and sums its
     // neighborhood in fixed order, so the mixing parallelizes per client.
     std::vector<std::vector<float>> mixed(n);
     executor_.for_each_index(n, [&](std::size_t u) {
+      if (!online[u]) {
+        mixed[u] = params[u];  // offline: local training and exchanges lost
+        return;
+      }
       double total_weight = static_cast<double>(partition.user_indices[u].size());
       std::vector<float> acc(trained[u].size(), 0.0f);
       auto accumulate = [&](std::size_t v, double w) {
@@ -134,6 +192,7 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
       };
       accumulate(u, static_cast<double>(partition.user_indices[u].size()));
       for (std::size_t v : neighbors[u]) {
+        if (!online[v]) continue;  // dropped neighbor never sent its model
         const double w = static_cast<double>(partition.user_indices[v].size());
         total_weight += w;
         accumulate(v, w);
@@ -147,8 +206,11 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
     });
     params = std::move(mixed);
 
-    record.round_seconds =
+    const double busiest =
         *std::max_element(record.client_seconds.begin(), record.client_seconds.end());
+    record.round_seconds = (record.dropped_clients > 0 && std::isfinite(deadline))
+                               ? deadline
+                               : busiest;
     record.mean_train_loss = loss_users ? loss_sum / static_cast<double>(loss_users) : 0.0;
     result.total_seconds += record.round_seconds;
     record.cumulative_seconds = result.total_seconds;

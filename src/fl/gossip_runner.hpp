@@ -35,6 +35,12 @@ struct GossipConfig {
   /// Host threads training clients concurrently: 0 = hardware concurrency,
   /// 1 = serial legacy path. Results are identical for every value.
   std::size_t parallelism = 0;
+  /// Round deadline (simulated seconds): clients that miss it are excluded
+  /// from this round's mixing. Infinity = wait for everyone.
+  double deadline_s = kNoDeadline;
+  /// Fault injection; a dropped client neither shares its update nor mixes
+  /// its neighbors' — it keeps its pre-round parameters.
+  FaultConfig faults;
 };
 
 struct GossipRunResult {

@@ -1,6 +1,7 @@
 #include "fl/report.hpp"
 
 #include <algorithm>
+#include <array>
 #include <sstream>
 #include <stdexcept>
 
@@ -8,13 +9,45 @@ namespace fedsched::fl {
 
 common::Table round_table(const RunResult& result) {
   common::Table table({"round", "round_s", "cumulative_s", "train_loss",
-                       "test_accuracy"});
+                       "test_accuracy", "completed", "dropped", "retries"});
   for (const RoundRecord& record : result.rounds) {
     table.add_row({static_cast<long long>(record.round), record.round_seconds,
                    record.cumulative_seconds, record.mean_train_loss,
-                   record.test_accuracy});
+                   record.test_accuracy,
+                   static_cast<long long>(record.completed_clients),
+                   static_cast<long long>(record.dropped_clients),
+                   static_cast<long long>(record.retry_count)});
   }
   return table;
+}
+
+std::string fault_summary(const RunResult& result) {
+  std::size_t completed = 0, dropped = 0, retries = 0, skipped = 0;
+  std::array<std::size_t, 5> by_kind{};
+  for (const RoundRecord& record : result.rounds) {
+    completed += record.completed_clients;
+    dropped += record.dropped_clients;
+    retries += record.retry_count;
+    skipped += record.skipped;
+    for (FaultKind kind : record.client_faults) {
+      by_kind[static_cast<std::size_t>(kind)]++;
+    }
+  }
+  std::ostringstream os;
+  os << "faults: " << completed << " completed, " << dropped << " dropped, "
+     << retries << " retries, " << skipped << " skipped rounds";
+  const std::array<FaultKind, 4> kinds = {FaultKind::kCrash, FaultKind::kBatteryDead,
+                                          FaultKind::kRetriesExhausted,
+                                          FaultKind::kDeadlineMiss};
+  bool any = false;
+  for (FaultKind kind : kinds) {
+    const std::size_t count = by_kind[static_cast<std::size_t>(kind)];
+    if (count == 0) continue;
+    os << (any ? ", " : " (") << fault_name(kind) << '=' << count;
+    any = true;
+  }
+  if (any) os << ')';
+  return os.str();
 }
 
 std::string round_timeline(const RoundRecord& record,

@@ -10,8 +10,13 @@
 
 namespace fedsched::fl {
 
-/// Per-round table: round, time, cumulative time, loss, accuracy.
+/// Per-round table: round, time, cumulative time, loss, accuracy, plus fault
+/// counters (completed / dropped clients and upload retries).
 [[nodiscard]] common::Table round_table(const RunResult& result);
+
+/// One-line rollup of fault activity across the run: total completed and
+/// dropped client-rounds, retries, skipped rounds, and a per-kind breakdown.
+[[nodiscard]] std::string fault_summary(const RunResult& result);
 
 /// Textual Gantt chart of one round: one bar per client, proportional to its
 /// busy time, '#' for the straggler. `width` is the bar length of the

@@ -1,8 +1,10 @@
 #include "fl/runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "device/battery.hpp"
 #include "fl/trainer.hpp"
 
 namespace fedsched::fl {
@@ -43,6 +45,19 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
   std::vector<nn::Sgd> optimizers(n_users, nn::Sgd(config_.sgd));
   common::Rng rng(config_.seed ^ 0xF1F1F1F1ULL);
 
+  // Faults and deadlines. The injector's draws are pure functions of
+  // (round, client), and batteries are client-indexed, so the fault path
+  // keeps the parallelism determinism contract.
+  const FaultInjector injector(config_.faults, config_.seed);
+  const double deadline = config_.deadline_s;
+  std::vector<device::Battery> batteries;
+  if (injector.battery_enabled()) {
+    batteries.reserve(n_users);
+    for (std::size_t u = 0; u < n_users; ++u) {
+      batteries.emplace_back(device::battery_of(phones_[u]), injector.initial_soc(u));
+    }
+  }
+
   RunResult result;
   std::vector<float> global_params = global_.flat_params();
   std::vector<float> aggregate(global_params.size());
@@ -53,6 +68,7 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
   std::vector<double> client_loss(n_users, 0.0);
   std::vector<char> trained(n_users, 0);
   std::vector<common::Rng> client_rngs(n_users);
+  std::vector<FaultOutcome> outcomes(n_users);
 
   for (std::size_t round = 0; round < config_.rounds; ++round) {
     RoundRecord record;
@@ -71,17 +87,44 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
       client_rngs[u] = rng.fork(round * n_users + u);
     }
     std::fill(trained.begin(), trained.end(), 0);
+    std::fill(outcomes.begin(), outcomes.end(), FaultOutcome{});
 
     executor_.for_each_client(n_users, [&](std::size_t u, nn::Model& worker) {
       const auto& share = partition.user_indices[u];
       if (share.empty()) return;
 
+      // A battery at the floor killed the client before the round started.
+      if (injector.battery_enabled() &&
+          batteries[u].dead(config_.faults.battery_floor_soc)) {
+        outcomes[u] = {.kind = FaultKind::kBatteryDead, .completed = false};
+        return;
+      }
+
       // Simulated wall-clock: model pull + local epochs + model push. Each
       // device is only ever advanced by its own client.
-      double elapsed = devices[u].comm_seconds(device_model_);
-      elapsed += devices[u].train(device_model_,
-                                  share.size() * config_.local_epochs);
-      record.client_seconds[u] = elapsed;
+      const auto& link = device::link_of(network_);
+      RoundTimings timings;
+      timings.download_s = device::download_seconds(link, device_model_.size_mb);
+      timings.upload_s = device::upload_seconds(link, device_model_.size_mb);
+      timings.baseline_s = devices[u].comm_seconds(device_model_);
+      timings.compute_s = devices[u].train(device_model_,
+                                           share.size() * config_.local_epochs);
+      timings.baseline_s += timings.compute_s;
+
+      FaultOutcome outcome = injector.evaluate(round, u, timings, deadline);
+      if (injector.battery_enabled()) {
+        batteries[u].drain(round_energy_wh(device::spec_of(phones_[u]), device_model_,
+                                           timings.compute_s, network_,
+                                           outcome.comm_scale));
+        // Hitting the floor mid-round kills the upload too.
+        if (batteries[u].dead(config_.faults.battery_floor_soc)) {
+          outcome.completed = false;
+          outcome.kind = FaultKind::kBatteryDead;
+        }
+      }
+      record.client_seconds[u] = outcome.elapsed_s;
+      outcomes[u] = outcome;
+      if (!outcome.completed) return;  // update lost; local training discarded
 
       // Real training for the accuracy signal.
       worker.set_flat_params(global_params);
@@ -103,25 +146,50 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
       ++loss_users;
     }
 
-    // FedAvg: weight by the client's sample count. Parallel over parameter
-    // blocks — each index sums clients in client order, so any blocking
-    // yields the same floats.
-    std::fill(aggregate.begin(), aggregate.end(), 0.0f);
-    executor_.for_each_block(aggregate.size(), [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t u = 0; u < n_users; ++u) {
-        if (!trained[u]) continue;
-        const float weight = static_cast<float>(partition.user_indices[u].size()) /
-                             static_cast<float>(total_samples);
-        const float* local = locals[u].data();
-        for (std::size_t i = lo; i < hi; ++i) aggregate[i] += weight * local[i];
+    // Fault bookkeeping. Survivor sample counts drive the aggregation
+    // weights; with no faults they sum to total_samples exactly.
+    record.client_faults.resize(n_users);
+    std::size_t survivor_samples = 0;
+    for (std::size_t u = 0; u < n_users; ++u) {
+      record.client_faults[u] = outcomes[u].kind;
+      record.retry_count += outcomes[u].retries;
+      if (trained[u]) {
+        ++record.completed_clients;
+        survivor_samples += partition.user_indices[u].size();
+      } else if (!partition.user_indices[u].empty()) {
+        ++record.dropped_clients;
       }
-    });
+    }
 
-    global_params = aggregate;
-    global_.set_flat_params(global_params);
+    if (record.completed_clients == 0) {
+      // Zero survivors: skip the round, keep the global model.
+      record.skipped = true;
+    } else {
+      // FedAvg: weight by the client's share of the *surviving* sample
+      // count. Parallel over parameter blocks — each index sums clients in
+      // client order, so any blocking yields the same floats.
+      std::fill(aggregate.begin(), aggregate.end(), 0.0f);
+      executor_.for_each_block(aggregate.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t u = 0; u < n_users; ++u) {
+          if (!trained[u]) continue;
+          const float weight = static_cast<float>(partition.user_indices[u].size()) /
+                               static_cast<float>(survivor_samples);
+          const float* local = locals[u].data();
+          for (std::size_t i = lo; i < hi; ++i) aggregate[i] += weight * local[i];
+        }
+      });
 
-    record.round_seconds =
+      global_params = aggregate;
+      global_.set_flat_params(global_params);
+    }
+
+    // With drops under a finite deadline the server holds the round open
+    // until the deadline; otherwise the straggler's finish closes it.
+    const double busiest =
         *std::max_element(record.client_seconds.begin(), record.client_seconds.end());
+    record.round_seconds = (record.dropped_clients > 0 && std::isfinite(deadline))
+                               ? deadline
+                               : busiest;
     record.mean_train_loss = loss_users ? loss_sum / static_cast<double>(loss_users) : 0.0;
     result.total_seconds += record.round_seconds;
     record.cumulative_seconds = result.total_seconds;

@@ -23,6 +23,7 @@
 #include "data/dataset.hpp"
 #include "data/partition.hpp"
 #include "device/device.hpp"
+#include "fl/faults.hpp"
 #include "fl/parallel.hpp"
 #include "nn/models.hpp"
 #include "nn/sgd.hpp"
@@ -43,15 +44,29 @@ struct FlConfig {
   /// 1 = serial legacy path. Results are identical for every value (the
   /// determinism contract; see docs/API.md).
   std::size_t parallelism = 0;
+  /// Round deadline (simulated seconds): the server aggregates whatever
+  /// arrived by then and drops the rest. Infinity = wait for everyone.
+  double deadline_s = kNoDeadline;
+  /// Fault injection (crash / battery death / network stall / transient
+  /// upload failures). Disabled by default — see docs/API.md "Fault model".
+  FaultConfig faults;
 };
 
 struct RoundRecord {
   std::size_t round = 0;
-  double round_seconds = 0.0;        // makespan of this round
+  double round_seconds = 0.0;        // makespan (deadline when clients dropped)
   double cumulative_seconds = 0.0;
   double mean_train_loss = 0.0;
   double test_accuracy = -1.0;       // -1 when not evaluated this round
   std::vector<double> client_seconds;
+  /// Fault/deadline bookkeeping. Without faults every participant completes.
+  std::size_t completed_clients = 0;
+  std::size_t dropped_clients = 0;
+  std::size_t retry_count = 0;
+  /// True when zero clients survived: aggregation skipped, model unchanged.
+  bool skipped = false;
+  /// Per-client fault verdict this round (kNone for survivors and idle users).
+  std::vector<FaultKind> client_faults;
 };
 
 struct RunResult {

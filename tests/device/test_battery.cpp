@@ -124,6 +124,35 @@ TEST(Battery, Validation) {
   EXPECT_THROW(Battery({.capacity_wh = 10.0}, -0.1), std::invalid_argument);
 }
 
+TEST(Battery, DrainToZeroCrossesDeathFloor) {
+  // A sequence of round drains walks the state of charge monotonically down
+  // to exactly zero, crossing any death floor on the way.
+  Battery battery({.capacity_wh = 10.0, .reserve_fraction = 0.0}, 1.0);
+  double prev = battery.state_of_charge();
+  bool crossed_floor = false;
+  for (int round = 0; round < 40; ++round) {
+    battery.drain(0.3);
+    EXPECT_LE(battery.state_of_charge(), prev);
+    prev = battery.state_of_charge();
+    if (battery.dead(0.05)) crossed_floor = true;
+  }
+  EXPECT_TRUE(crossed_floor);
+  EXPECT_DOUBLE_EQ(battery.state_of_charge(), 0.0);
+  EXPECT_TRUE(battery.depleted());
+}
+
+TEST(Battery, DeadFloorHook) {
+  // dead(floor) is the fault model's death test: at or below the floor.
+  Battery battery({.capacity_wh = 10.0, .reserve_fraction = 0.0}, 0.10);
+  EXPECT_FALSE(battery.dead(0.05));
+  EXPECT_TRUE(battery.dead(0.10));   // boundary counts as dead
+  battery.drain(0.6);                // soc 0.04
+  EXPECT_TRUE(battery.dead(0.05));
+  EXPECT_FALSE(battery.dead(0.0));   // still above hard-zero
+  battery.drain(100.0);
+  EXPECT_TRUE(battery.dead(0.0));    // fully drained dies even at floor 0
+}
+
 TEST(Battery, NegativeDrainIgnored) {
   Battery battery({.capacity_wh = 10.0}, 0.5);
   EXPECT_DOUBLE_EQ(battery.drain(-5.0), 0.0);

@@ -127,6 +127,14 @@ TEST(Network, Vgg6LteCommMatchesTableII) {
   EXPECT_NEAR(lenet, 0.5, 0.2);
 }
 
+TEST(Network, DegradedLinkScalesCommLinearly) {
+  // The fault model's stalls multiply exchange time by a constant factor.
+  const double base = round_comm_seconds(NetworkType::kWifi, vgg6_desc());
+  EXPECT_DOUBLE_EQ(round_comm_seconds(NetworkType::kWifi, vgg6_desc(), 1.0), base);
+  EXPECT_DOUBLE_EQ(round_comm_seconds(NetworkType::kWifi, vgg6_desc(), 4.0),
+                   4.0 * base);
+}
+
 TEST(Device, ComputeTimeScalesWithWork) {
   Device dev(PhoneModel::kPixel2);
   const double t1 = dev.train(lenet_desc(), 100);

@@ -14,6 +14,10 @@ RunResult sample_result() {
   r0.mean_train_loss = 1.5;
   r0.test_accuracy = 0.6;
   r0.client_seconds = {10.0, 4.0, 0.0};
+  r0.completed_clients = 2;
+  r0.dropped_clients = 1;
+  r0.retry_count = 3;
+  r0.client_faults = {FaultKind::kNone, FaultKind::kNone, FaultKind::kCrash};
   RoundRecord r1;
   r1.round = 1;
   r1.round_seconds = 8.0;
@@ -30,9 +34,28 @@ RunResult sample_result() {
 TEST(Report, RoundTableShape) {
   const auto table = round_table(sample_result());
   EXPECT_EQ(table.rows(), 2u);
-  EXPECT_EQ(table.cols(), 5u);
+  EXPECT_EQ(table.cols(), 8u);
   EXPECT_EQ(std::get<long long>(table.at(1, 0)), 1);
   EXPECT_NE(table.to_ascii().find("cumulative_s"), std::string::npos);
+  // Fault columns ride along: completed / dropped / retries per round.
+  EXPECT_NE(table.to_ascii().find("dropped"), std::string::npos);
+  EXPECT_EQ(std::get<long long>(table.at(0, 5)), 2);
+  EXPECT_EQ(std::get<long long>(table.at(0, 6)), 1);
+  EXPECT_EQ(std::get<long long>(table.at(0, 7)), 3);
+}
+
+TEST(Report, FaultSummaryRollsUpKinds) {
+  const std::string summary = fault_summary(sample_result());
+  EXPECT_NE(summary.find("2 completed"), std::string::npos);
+  EXPECT_NE(summary.find("1 dropped"), std::string::npos);
+  EXPECT_NE(summary.find("3 retries"), std::string::npos);
+  EXPECT_NE(summary.find("crash=1"), std::string::npos);
+}
+
+TEST(Report, FaultSummaryCleanRun) {
+  const std::string summary = fault_summary(RunResult{});
+  EXPECT_NE(summary.find("0 dropped"), std::string::npos);
+  EXPECT_EQ(summary.find("crash"), std::string::npos);
 }
 
 TEST(Report, TimelineMarksStragglerAndIdle) {

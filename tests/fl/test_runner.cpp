@@ -51,6 +51,12 @@ TEST(Runner, RoundRecordsAreConsistent) {
   EXPECT_GT(result.mean_round_seconds(), 0.0);
 }
 
+TEST(Runner, MeanRoundSecondsOfEmptyResultIsZero) {
+  // Regression: a RunResult with no rounds must not divide by zero.
+  const RunResult empty;
+  EXPECT_EQ(empty.mean_round_seconds(), 0.0);
+}
+
 TEST(Runner, LearnsIidMnistLike) {
   Fixture f;
   FlConfig config = f.fl_config();

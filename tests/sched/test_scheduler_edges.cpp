@@ -1,0 +1,123 @@
+// Degenerate scheduling shapes: single user, more users than shards,
+// infeasible capacities, and classless users. The schedulers must either
+// produce a valid assignment or throw the documented exception — never
+// crash, hang, or silently emit a partial assignment.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sched/fed_lbap.hpp"
+#include "sched/fed_minavg.hpp"
+
+namespace fedsched::sched {
+namespace {
+
+using profile::LinearTimeModel;
+
+UserProfile linear_user(const std::string& name, double slope,
+                        std::vector<std::uint16_t> classes = {},
+                        double comm = 0.0) {
+  UserProfile u;
+  u.name = name;
+  u.time_model = std::make_shared<LinearTimeModel>(0.0, slope);
+  u.comm_seconds = comm;
+  u.classes = std::move(classes);
+  return u;
+}
+
+TEST(FedLbapEdges, SingleUserTakesEverything) {
+  const std::vector<UserProfile> users = {linear_user("only", 2.0)};
+  const auto result = fed_lbap(users, 10, 5);
+  ASSERT_EQ(result.assignment.shards_per_user.size(), 1u);
+  EXPECT_EQ(result.assignment.shards_per_user[0], 10u);
+  // 10 shards * 5 samples * 2 s/sample.
+  EXPECT_DOUBLE_EQ(result.makespan_seconds, 100.0);
+}
+
+TEST(FedLbapEdges, MoreUsersThanShards) {
+  // 5 users, 2 shards: a valid assignment leaves most users idle.
+  std::vector<UserProfile> users;
+  for (int i = 0; i < 5; ++i) {
+    users.push_back(linear_user("u" + std::to_string(i), 1.0 + i));
+  }
+  const auto result = fed_lbap(users, 2, 10);
+  EXPECT_EQ(result.assignment.total_shards(), 2u);
+  EXPECT_LE(result.assignment.participants(), 2u);
+  EXPECT_GT(result.makespan_seconds, 0.0);
+}
+
+TEST(FedLbapEdges, InfeasibleCapacityThrows) {
+  std::vector<UserProfile> users = {linear_user("a", 1.0), linear_user("b", 1.0)};
+  users[0].capacity_shards = 2;
+  users[1].capacity_shards = 3;
+  // 10 shards cannot fit into 2 + 3: documented failure, not a silent
+  // partial assignment.
+  EXPECT_THROW((void)fed_lbap(users, 10, 5), std::invalid_argument);
+}
+
+TEST(FedLbapEdges, TightCapacityStillFeasible) {
+  std::vector<UserProfile> users = {linear_user("a", 1.0), linear_user("b", 1.0)};
+  users[0].capacity_shards = 4;
+  users[1].capacity_shards = 6;
+  const auto result = fed_lbap(users, 10, 5);
+  EXPECT_EQ(result.assignment.total_shards(), 10u);
+  EXPECT_LE(result.assignment.shards_per_user[0], 4u);
+  EXPECT_LE(result.assignment.shards_per_user[1], 6u);
+}
+
+TEST(FedLbapEdges, ZeroShardsThrows) {
+  const std::vector<UserProfile> users = {linear_user("a", 1.0)};
+  EXPECT_THROW((void)fed_lbap(users, 0, 5), std::invalid_argument);
+}
+
+TEST(FedMinAvgEdges, ClasslessUserIsSkipped) {
+  // A user with no classes has infinite accuracy cost (it cannot contribute
+  // gradients); every shard must land on the classful user.
+  std::vector<UserProfile> users = {
+      linear_user("classful", 1.0, {0, 1, 2}),
+      linear_user("classless", 0.1),  // faster, but unassignable
+  };
+  const auto result = fed_minavg(users, 6, 10, {});
+  EXPECT_EQ(result.assignment.shards_per_user[0], 6u);
+  EXPECT_EQ(result.assignment.shards_per_user[1], 0u);
+}
+
+TEST(FedMinAvgEdges, AllClasslessThrowsDocumentedError) {
+  const std::vector<UserProfile> users = {linear_user("a", 1.0),
+                                          linear_user("b", 2.0)};
+  EXPECT_THROW((void)fed_minavg(users, 4, 10, {}), std::runtime_error);
+}
+
+TEST(FedMinAvgEdges, SingleUserTakesEverything) {
+  const std::vector<UserProfile> users = {linear_user("only", 1.0, {0, 1})};
+  const auto result = fed_minavg(users, 7, 10, {});
+  EXPECT_EQ(result.assignment.shards_per_user[0], 7u);
+  EXPECT_EQ(result.covered_classes, 2u);
+}
+
+TEST(FedMinAvgEdges, CapacityClosedBinsThrowWhenNothingAssignable) {
+  // One classful user whose bin closes after 2 shards, one classless user
+  // with room: after the bin closes no candidate remains.
+  std::vector<UserProfile> users = {
+      linear_user("classful", 1.0, {0, 1}),
+      linear_user("classless", 1.0),
+  };
+  users[0].capacity_shards = 2;
+  EXPECT_THROW((void)fed_minavg(users, 4, 10, {}), std::runtime_error);
+}
+
+TEST(FedMinAvgEdges, InfeasibleTotalCapacityThrows) {
+  std::vector<UserProfile> users = {linear_user("a", 1.0, {0})};
+  users[0].capacity_shards = 3;
+  EXPECT_THROW((void)fed_minavg(users, 4, 10, {}), std::invalid_argument);
+}
+
+TEST(FedMinAvgEdges, ZeroShardsAndNoUsersThrow) {
+  const std::vector<UserProfile> users = {linear_user("a", 1.0, {0})};
+  EXPECT_THROW((void)fed_minavg(users, 0, 10, {}), std::invalid_argument);
+  EXPECT_THROW((void)fed_minavg({}, 4, 10, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedsched::sched
