@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "common/table.hpp"
+#include "obs/trace.hpp"
 
 namespace fedsched::bench {
 
@@ -26,6 +27,12 @@ inline void emit(const std::string& experiment_id, const std::string& caption,
   table.print(std::cout);
   std::cout << '\n';
   table.write_csv("bench_out/" + experiment_id + ".csv");
+}
+
+/// JSONL sink for machine-readable bench records: bench_out/<id>.jsonl.
+/// One obs event per record; CI parses every line back as JSON.
+inline obs::TraceWriter jsonl_writer(const std::string& experiment_id) {
+  return obs::TraceWriter::to_file("bench_out/" + experiment_id + ".jsonl");
 }
 
 }  // namespace fedsched::bench

@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
   common::Table table({"users", "serial_s", "parallel_s", "speedup", "threads",
                        "identical"});
   table.set_precision(3);
+  obs::TraceWriter jsonl = fedsched::bench::jsonl_writer("parallel_scaling");
   for (std::size_t users : full ? std::vector<std::size_t>{8, 16, 32, 64}
                                 : std::vector<std::size_t>{8, 16}) {
     Workload w;
@@ -74,6 +75,16 @@ int main(int argc, char** argv) {
     table.add_row({static_cast<long long>(users), serial.wall_s, parallel.wall_s,
                    serial.wall_s / parallel.wall_s, static_cast<long long>(hw),
                    std::string(serial.accuracy == parallel.accuracy ? "yes" : "NO")});
+
+    common::JsonObject ev;
+    ev.field("ev", "scaling_point")
+        .field("users", users)
+        .field("serial_s", serial.wall_s)
+        .field("parallel_s", parallel.wall_s)
+        .field("speedup", serial.wall_s / parallel.wall_s)
+        .field("threads", hw)
+        .field("identical", serial.accuracy == parallel.accuracy);
+    jsonl.write(ev);
   }
   fedsched::bench::emit("parallel_scaling",
                         "FedAvg wall-clock, serial vs one worker per host thread",

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   (void)fedsched::bench::full_scale(argc, argv);  // always paper scale: cheap
   common::Table table({"model", "device", "3K WiFi", "3K LTE", "6K WiFi", "6K LTE",
                        "paper 3K WiFi", "paper 6K WiFi"});
+  obs::TraceWriter jsonl = fedsched::bench::jsonl_writer("table2");
 
   for (const PaperRow& row : kPaper) {
     const device::ModelDesc& model = device::desc_by_name(row.model);
@@ -56,6 +57,17 @@ int main(int argc, char** argv) {
         const double compute = dev.train(model, samples);
         const double comm = dev.comm_seconds(model);
         cells.emplace_back(cell(compute + comm, comm));
+
+        common::JsonObject ev;
+        ev.field("ev", "epoch_time")
+            .field("model", row.model)
+            .field("device", device::model_name(row.phone))
+            .field("network", net == device::NetworkType::kWifi ? "wifi" : "lte")
+            .field("samples", samples)
+            .field("compute_s", compute)
+            .field("comm_s", comm)
+            .field("total_s", compute + comm);
+        jsonl.write(ev);
       }
     }
     cells.emplace_back(std::to_string(static_cast<int>(row.paper[0])));

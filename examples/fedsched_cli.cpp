@@ -94,6 +94,13 @@ double deadline_from(const Args& args) {
   return args.has("deadline") ? args.get_double("deadline", 0.0) : fl::kNoDeadline;
 }
 
+// --trace-out FILE: JSONL run trace. The default writer is the null sink, so
+// commands pass it unconditionally and results stay bit-identical without it.
+obs::TraceWriter trace_from(const Args& args) {
+  if (!args.has("trace-out")) return {};
+  return obs::TraceWriter::to_file(args.get("trace-out", "trace.jsonl"));
+}
+
 sched::Baseline baseline_from(const std::string& name) {
   if (name == "equal") return sched::Baseline::kEqual;
   if (name == "prop") return sched::Baseline::kProportional;
@@ -129,9 +136,10 @@ int cmd_schedule(const Args& args) {
                            : device::NetworkType::kWifi;
 
   const auto users = core::build_profiles(phones, model, network, total);
+  obs::TraceWriter trace = trace_from(args);
   sched::Assignment assignment;
   if (policy == "fed-lbap") {
-    assignment = sched::fed_lbap(users, total / shard, shard).assignment;
+    assignment = sched::fed_lbap(users, total / shard, shard, &trace).assignment;
   } else if (policy == "fed-minavg") {
     auto with_classes = users;
     common::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
@@ -146,7 +154,8 @@ int cmd_schedule(const Args& args) {
     config.cost.alpha = args.get_double("alpha", 1000.0);
     config.cost.beta = args.get_double("beta", 2.0);
     assignment =
-        sched::fed_minavg(with_classes, total / shard, shard, config).assignment;
+        sched::fed_minavg(with_classes, total / shard, shard, config, &trace)
+            .assignment;
   } else {
     common::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
     assignment =
@@ -179,9 +188,10 @@ int cmd_simulate(const Args& args) {
   const double deadline = deadline_from(args);
   const auto names = core::testbed_names(phones);
   if (faults.enabled || std::isfinite(deadline)) {
+    obs::TraceWriter trace = trace_from(args);
     const auto sim = core::simulate_epoch_faulty(
         phones, model, device::NetworkType::kWifi, counts, faults, deadline,
-        static_cast<std::uint64_t>(args.get_int("seed", 1)));
+        static_cast<std::uint64_t>(args.get_int("seed", 1)), &trace);
     common::Table table({"user", "samples", "epoch_s", "fault"});
     for (std::size_t u = 0; u < phones.size(); ++u) {
       table.add_row({names[u], static_cast<long long>(counts[u]),
@@ -221,13 +231,16 @@ int cmd_train(const Args& args) {
   const auto train = data::generate_balanced(ds_config, samples, seed);
   const auto test = data::generate_balanced(ds_config, samples / 3, seed + 1);
 
+  obs::TraceWriter trace = trace_from(args);
+  obs::MetricsRegistry metrics;
+
   // Schedule at full simulator scale, materialize proportionally.
   const auto users = core::build_profiles(phones, desc, device::NetworkType::kWifi,
                                           60'000);
   sched::Assignment assignment;
   common::Rng rng(seed + 2);
   if (policy == "fed-lbap") {
-    assignment = sched::fed_lbap(users, 600, 100).assignment;
+    assignment = sched::fed_lbap(users, 600, 100, &trace).assignment;
   } else {
     assignment = sched::assign_baseline(baseline_from(policy), users, 600, 100, rng);
   }
@@ -249,6 +262,8 @@ int cmd_train(const Args& args) {
   config.parallelism = static_cast<std::size_t>(parallel);
   config.faults = fault_config_from(args);
   config.deadline_s = deadline_from(args);
+  config.trace = &trace;
+  if (args.has("metrics-out")) config.metrics = &metrics;
   nn::ModelSpec spec;
   spec.arch = arch;
   spec.in_channels = ds_config.channels;
@@ -272,6 +287,15 @@ int cmd_train(const Args& args) {
   if (args.has("save")) {
     nn::save_weights(runner.global_model(), args.get("save", "model.bin"));
     std::cout << "saved global model to " << args.get("save", "model.bin") << "\n";
+  }
+  if (trace.enabled()) {
+    std::cout << "wrote " << trace.events_written() << " trace events to "
+              << args.get("trace-out", "trace.jsonl") << "\n";
+  }
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out", "metrics.json");
+    metrics.write_json(path);
+    std::cout << "wrote metrics to " << path << "\n";
   }
   return 0;
 }
@@ -311,12 +335,14 @@ void usage() {
       "  profile   --device <name> --model <LeNet|VGG6> [--sizes a,b,c]\n"
       "  schedule  --testbed <1|2|3> --model <..> --samples N --policy\n"
       "            <fed-lbap|fed-minavg|equal|prop|random> [--network wifi|lte]\n"
+      "            [--trace-out FILE]\n"
       "  simulate  --testbed <1|2|3> --model <..> --counts n1,n2,...\n"
-      "            [fault flags] [--deadline S] [--seed N]\n"
+      "            [fault flags] [--deadline S] [--seed N] [--trace-out FILE]\n"
       "  train     --dataset <mnist|cifar> --testbed <1|2|3> --rounds N\n"
       "            --samples N --policy <..> [--save path] [--verbose]\n"
       "            [--parallel K]   (0 = all host threads, 1 = serial)\n"
       "            [fault flags] [--deadline S]\n"
+      "            [--trace-out FILE] [--metrics-out FILE]\n"
       "  energy    --device <name> --model <..> --samples N [--network ..]\n"
       "fault flags (any non-zero hazard enables injection; all deterministic\n"
       "per seed):\n"
@@ -329,7 +355,10 @@ void usage() {
       "  --fault-battery          enable battery drain & death at the floor\n"
       "  --fault-battery-floor F  state-of-charge death floor (default 0.05)\n"
       "  --fault-soc-min/-max F   initial state-of-charge range (default 1)\n"
-      "  --deadline S             round deadline in simulated seconds\n";
+      "  --deadline S             round deadline in simulated seconds\n"
+      "observability (simulated time only; byte-identical at any --parallel):\n"
+      "  --trace-out FILE         stream JSONL run-trace events to FILE\n"
+      "  --metrics-out FILE       write the metrics registry as JSON to FILE\n";
 }
 
 }  // namespace

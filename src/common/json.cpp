@@ -1,0 +1,106 @@
+#include "common/json.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace fedsched::common {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;  // 32 bytes always fit the shortest form of a double
+  return std::string(buf, end);
+}
+
+void JsonObject::key(std::string_view k) {
+  if (!body_.empty()) body_ += ',';
+  body_ += json_quote(k);
+  body_ += ':';
+}
+
+JsonObject& JsonObject::field(std::string_view k, double value) {
+  key(k);
+  body_ += json_number(value);
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view k, bool value) {
+  key(k);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view k, std::string_view value) {
+  key(k);
+  body_ += json_quote(value);
+  return *this;
+}
+
+JsonObject& JsonObject::field_int(std::string_view k, long long value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::field_uint(std::string_view k, unsigned long long value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view k, std::span<const double> values) {
+  key(k);
+  body_ += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) body_ += ',';
+    body_ += json_number(values[i]);
+  }
+  body_ += ']';
+  return *this;
+}
+
+JsonObject& JsonObject::field(std::string_view k, std::span<const std::size_t> values) {
+  key(k);
+  body_ += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) body_ += ',';
+    body_ += std::to_string(values[i]);
+  }
+  body_ += ']';
+  return *this;
+}
+
+JsonObject& JsonObject::field_raw(std::string_view k, std::string_view json) {
+  key(k);
+  body_ += json;
+  return *this;
+}
+
+}  // namespace fedsched::common

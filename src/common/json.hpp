@@ -1,0 +1,59 @@
+#pragma once
+// Minimal dependency-free JSON emission for the observability layer.
+//
+// JsonObject is an ordered streaming builder: fields render in insertion
+// order, numbers through std::to_chars (locale-independent, shortest
+// round-trip form), so the same values always produce the same bytes — the
+// property the JSONL trace bit-identity contract rests on. Non-finite
+// doubles render as null (JSON has no Inf/NaN literals).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace fedsched::common {
+
+/// `s` as a quoted JSON string token (escapes quotes, backslashes, control
+/// characters; non-ASCII bytes pass through untouched).
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Shortest round-trip decimal form of `v`; "null" for NaN / ±Inf.
+[[nodiscard]] std::string json_number(double v);
+
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view key, double value);
+  JsonObject& field(std::string_view key, bool value);
+  JsonObject& field(std::string_view key, std::string_view value);
+  JsonObject& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonObject& field(std::string_view key, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      return field_int(key, static_cast<long long>(value));
+    } else {
+      return field_uint(key, static_cast<unsigned long long>(value));
+    }
+  }
+  JsonObject& field(std::string_view key, std::span<const double> values);
+  JsonObject& field(std::string_view key, std::span<const std::size_t> values);
+  /// Splice a pre-rendered JSON value (object, array, ...) verbatim.
+  JsonObject& field_raw(std::string_view key, std::string_view json);
+
+  /// The object rendered as `{...}` (valid for an empty object too).
+  [[nodiscard]] std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  JsonObject& field_int(std::string_view key, long long value);
+  JsonObject& field_uint(std::string_view key, unsigned long long value);
+  void key(std::string_view k);
+
+  std::string body_;
+};
+
+}  // namespace fedsched::common

@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "common/json.hpp"
 #include "device/battery.hpp"
 #include "profile/profiler.hpp"
 
@@ -97,10 +98,12 @@ EpochSimulation simulate_epoch(const std::vector<device::PhoneModel>& phones,
 FaultyEpochSimulation simulate_epoch_faulty(
     const std::vector<device::PhoneModel>& phones, const device::ModelDesc& model,
     device::NetworkType network, const std::vector<std::size_t>& sample_counts,
-    const fl::FaultConfig& faults, double deadline_s, std::uint64_t seed) {
+    const fl::FaultConfig& faults, double deadline_s, std::uint64_t seed,
+    obs::TraceWriter* trace) {
   if (phones.size() != sample_counts.size()) {
     throw std::invalid_argument("simulate_epoch_faulty: phones/counts size mismatch");
   }
+  const bool tracing = trace != nullptr && trace->enabled();
   const fl::FaultInjector injector(faults, seed);
   FaultyEpochSimulation sim;
   sim.epoch.client_seconds.resize(phones.size(), 0.0);
@@ -122,6 +125,17 @@ FaultyEpochSimulation simulate_epoch_faulty(
     if (injector.battery_enabled() && batteries[u].dead(faults.battery_floor_soc)) {
       sim.client_faults[u] = fl::FaultKind::kBatteryDead;
       ++sim.dropped;
+      if (tracing) {
+        common::JsonObject ev;
+        ev.field("ev", "epoch_client")
+            .field("client", u)
+            .field("samples", sample_counts[u])
+            .field("elapsed_s", 0.0)
+            .field("retries", std::size_t{0})
+            .field("fault", fl::fault_name(fl::FaultKind::kBatteryDead))
+            .field("completed", false);
+        trace->write(ev);
+      }
       continue;
     }
     device::Device dev(phones[u], network);
@@ -154,11 +168,35 @@ FaultyEpochSimulation simulate_epoch_faulty(
     } else {
       ++sim.dropped;
     }
+    if (tracing) {
+      common::JsonObject ev;
+      ev.field("ev", "epoch_client")
+          .field("client", u)
+          .field("samples", sample_counts[u])
+          .field("download_s", timings.download_s)
+          .field("compute_s", timings.compute_s)
+          .field("upload_s", timings.upload_s)
+          .field("elapsed_s", outcome.elapsed_s)
+          .field("retries", outcome.retries)
+          .field("fault", fl::fault_name(outcome.kind))
+          .field("completed", outcome.completed);
+      trace->write(ev);
+    }
   }
   sim.epoch.makespan = (sim.dropped > 0 && std::isfinite(deadline_s))
                            ? deadline_s
                            : busiest;
   sim.epoch.mean = active ? sum / static_cast<double>(active) : 0.0;
+  if (tracing) {
+    common::JsonObject ev;
+    ev.field("ev", "epoch_end")
+        .field("makespan_s", sim.epoch.makespan)
+        .field("mean_s", sim.epoch.mean)
+        .field("completed", sim.completed)
+        .field("dropped", sim.dropped)
+        .field("retries", sim.retries);
+    trace->write(ev);
+  }
   return sim;
 }
 

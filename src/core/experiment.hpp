@@ -10,6 +10,7 @@
 
 #include "device/device.hpp"
 #include "fl/faults.hpp"
+#include "obs/trace.hpp"
 #include "sched/types.hpp"
 
 namespace fedsched::core {
@@ -56,12 +57,14 @@ struct FaultyEpochSimulation {
 /// simulate_epoch under a fault model: same device ground truth, but each
 /// client's round passes through a fl::FaultInjector seeded with `seed` (as
 /// round 0), and `deadline_s` caps the makespan when anyone drops. The
-/// fault-free config reproduces simulate_epoch exactly.
+/// fault-free config reproduces simulate_epoch exactly. A non-null `trace`
+/// receives one `epoch_client` event per participating client (client order)
+/// and a closing `epoch_end` event.
 [[nodiscard]] FaultyEpochSimulation simulate_epoch_faulty(
     const std::vector<device::PhoneModel>& phones, const device::ModelDesc& model,
     device::NetworkType network, const std::vector<std::size_t>& sample_counts,
     const fl::FaultConfig& faults, double deadline_s = fl::kNoDeadline,
-    std::uint64_t seed = 1);
+    std::uint64_t seed = 1, obs::TraceWriter* trace = nullptr);
 
 /// Straggler gap: (max - mean) / mean over the participating clients.
 [[nodiscard]] double straggler_gap(const std::vector<double>& client_seconds);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "device/battery.hpp"
+#include "fl/report.hpp"
 #include "fl/trainer.hpp"
 
 namespace fedsched::fl {
@@ -61,6 +62,23 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
 
   AsyncRunResult result;
 
+  // Observability: phase 1 below is serial whatever the parallelism knob
+  // says, and phase 2 merges apply in timeline order, so every event stream
+  // is byte-identical at every width.
+  obs::TraceWriter null_trace;
+  obs::TraceWriter& trace = config_.trace ? *config_.trace : null_trace;
+  if (trace.enabled()) {
+    common::JsonObject ev;
+    ev.field("ev", "run_start")
+        .field("runner", "async")
+        .field("clients", n)
+        .field("horizon_s", config_.horizon_seconds)
+        .field("seed", config_.seed)
+        .field("deadline_s", config_.deadline_s)
+        .field("faults", config_.faults.enabled);
+    trace.write(ev);
+  }
+
   // Phase 1 — simulate the merge timeline. Round-trip durations come from
   // the device simulators and the fault injector alone (they never depend on
   // trained parameters), so the full order of merges is known before any
@@ -96,8 +114,14 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
           devices[u].train(device_model_, partition.user_indices[u].size());
       timings.baseline_s += timings.compute_s;
 
-      FaultOutcome out = injector.evaluate(trips[u]++, u, timings, deadline);
+      const std::size_t trip = trips[u]++;
+      FaultOutcome out = injector.evaluate(trip, u, timings, deadline);
       Event event{0.0, u, out.completed, out.retries, false};
+      // A deadline-missed trip is abandoned at the deadline mark; every
+      // other outcome (battery death included) occupies the client for its
+      // full elapsed time.
+      const double consumed =
+          out.kind == FaultKind::kDeadlineMiss ? deadline : out.elapsed_s;
       if (injector.battery_enabled()) {
         batteries[u].drain(round_energy_wh(device::spec_of(phones_[u]), device_model_,
                                            timings.compute_s, network_,
@@ -105,13 +129,25 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
         if (batteries[u].dead(config_.faults.battery_floor_soc)) {
           event.ok = false;
           event.killed = true;
+          out.completed = false;
+          out.kind = FaultKind::kBatteryDead;
         }
       }
-      // A deadline-missed trip is abandoned at the deadline mark; every
-      // other outcome occupies the client for its full elapsed time.
-      const double consumed =
-          out.kind == FaultKind::kDeadlineMiss ? deadline : out.elapsed_s;
       event.time_s = start_s + consumed;
+
+      if (trace.enabled()) {
+        trace_client_trip(trace, trip, u, timings, out);
+        const device::TracePoint point{
+            .time_s = devices[u].clock_s(),
+            .temp_c = devices[u].temperature_c(),
+            .speed = devices[u].speed_factor(),
+            .freq_ghz = devices[u].speed_factor() *
+                        device::max_cpu_ghz(devices[u].spec())};
+        trace_device_snapshot(trace, trip, u, point,
+                              injector.battery_enabled()
+                                  ? batteries[u].state_of_charge()
+                                  : -1.0);
+      }
       return event;
     };
 
@@ -209,11 +245,34 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
     result.elapsed_seconds = merges[k].time_s;
     base_version[u] = k + 1;
 
+    if (trace.enabled()) {
+      common::JsonObject ev;
+      ev.field("ev", "merge")
+          .field("time_s", merges[k].time_s)
+          .field("client", u)
+          .field("staleness", staleness)
+          .field("mix", mix);
+      trace.write(ev);
+    }
+
     if (next_merge[k] < n_merges) launch(next_merge[k], global_params);
   }
 
   global_.set_flat_params(global_params);
   result.final_accuracy = global_.accuracy(test_.images(), test_.labels());
+  if (trace.enabled()) {
+    common::JsonObject ev;
+    ev.field("ev", "run_end")
+        .field("final_accuracy", result.final_accuracy)
+        .field("total_seconds", result.elapsed_seconds)
+        .field("merged", result.updates.size())
+        .field("dropped", result.dropped_updates)
+        .field("retries", result.retry_count)
+        .field("battery_deaths", result.battery_deaths);
+    trace.write(ev);
+    trace.flush();
+  }
+  if (config_.metrics) record_run_metrics(*config_.metrics, result);
   return result;
 }
 

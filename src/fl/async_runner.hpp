@@ -36,6 +36,9 @@ struct AsyncConfig {
   double deadline_s = kNoDeadline;
   /// Fault injection; failed trips burn simulated time but never merge.
   FaultConfig faults;
+  /// Observability sinks (non-owning; may be null) — see FlConfig.
+  obs::TraceWriter* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct AsyncUpdateRecord {

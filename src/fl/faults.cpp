@@ -45,6 +45,7 @@ const char* fault_name(FaultKind kind) noexcept {
     case FaultKind::kBatteryDead: return "battery";
     case FaultKind::kRetriesExhausted: return "retries";
     case FaultKind::kDeadlineMiss: return "deadline";
+    case FaultKind::kFaultKindCount: break;  // sentinel, not a real kind
   }
   return "?";
 }

@@ -70,7 +70,13 @@ enum class FaultKind : std::uint8_t {
   kBatteryDead,       // battery hit the floor (permanent)
   kRetriesExhausted,  // transient failures ate all retries
   kDeadlineMiss,      // finished, but after the round deadline
+  kFaultKindCount,    // sentinel — keep last; sizes per-kind arrays
 };
+
+/// Number of real FaultKind values (the sentinel excluded). Size any
+/// per-kind array from this so growing the enum cannot index out of bounds.
+inline constexpr std::size_t kFaultKindCount =
+    static_cast<std::size_t>(FaultKind::kFaultKindCount);
 
 [[nodiscard]] const char* fault_name(FaultKind kind) noexcept;
 

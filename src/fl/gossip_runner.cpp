@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "device/battery.hpp"
+#include "fl/report.hpp"
 #include "fl/trainer.hpp"
 
 namespace fedsched::fl {
@@ -94,14 +95,25 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
   std::vector<char> has_loss(n, 0);
   std::vector<common::Rng> client_rngs(n);
   std::vector<FaultOutcome> outcomes(n);
+  std::vector<RoundTimings> trip_timings(n);
+
+  // Observability: emitted only from the serial sections, in client order
+  // (see FedAvgRunner::run for the width-invariance argument).
+  obs::TraceWriter null_trace;
+  obs::TraceWriter& trace = config_.trace ? *config_.trace : null_trace;
+  trace_run_start(trace, "gossip", n, config_.rounds, config_.seed,
+                  config_.deadline_s, config_.faults.enabled);
+
   for (std::size_t round = 0; round < config_.rounds; ++round) {
     RoundRecord record;
     record.round = round;
     record.client_seconds.assign(n, 0.0);
+    trace_round_start(trace, round);
 
     for (std::size_t u = 0; u < n; ++u) client_rngs[u] = rng.fork(round * n + u);
     std::fill(has_loss.begin(), has_loss.end(), 0);
     std::fill(outcomes.begin(), outcomes.end(), FaultOutcome{});
+    std::fill(trip_timings.begin(), trip_timings.end(), RoundTimings{});
 
     // 1. Local training on each client's own parameters — clients only
     // write their own slots, so they run concurrently.
@@ -126,6 +138,7 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
       timings.baseline_s = timings.compute_s;
       timings.baseline_s += timings.upload_s;
       timings.baseline_s += timings.download_s;
+      trip_timings[u] = timings;
 
       FaultOutcome outcome = injector.evaluate(round, u, timings, deadline);
       if (injector.battery_enabled()) {
@@ -154,6 +167,23 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
       if (!has_loss[u]) continue;
       loss_sum += client_loss[u];
       ++loss_users;
+    }
+
+    if (trace.enabled()) {
+      for (std::size_t u = 0; u < n; ++u) {
+        if (partition.user_indices[u].empty()) continue;
+        trace_client_trip(trace, round, u, trip_timings[u], outcomes[u]);
+        const device::TracePoint point{
+            .time_s = devices[u].clock_s(),
+            .temp_c = devices[u].temperature_c(),
+            .speed = devices[u].speed_factor(),
+            .freq_ghz = devices[u].speed_factor() *
+                        device::max_cpu_ghz(devices[u].spec())};
+        trace_device_snapshot(trace, round, u, point,
+                              injector.battery_enabled()
+                                  ? batteries[u].state_of_charge()
+                                  : -1.0);
+      }
     }
 
     // Fault bookkeeping: `online[u]` = the client exchanged models this
@@ -214,6 +244,7 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
     record.mean_train_loss = loss_users ? loss_sum / static_cast<double>(loss_users) : 0.0;
     result.total_seconds += record.round_seconds;
     record.cumulative_seconds = result.total_seconds;
+    trace_round_end(trace, record);
     result.rounds.push_back(std::move(record));
   }
 
@@ -241,6 +272,10 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
     }
   });
   for (double gap : row_gap) result.consensus_gap = std::max(result.consensus_gap, gap);
+  trace_run_end(trace, result.mean_accuracy, result.total_seconds,
+                result.rounds.size());
+  trace.flush();
+  if (config_.metrics) record_run_metrics(*config_.metrics, result);
   return result;
 }
 

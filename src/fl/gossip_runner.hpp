@@ -41,6 +41,9 @@ struct GossipConfig {
   /// Fault injection; a dropped client neither shares its update nor mixes
   /// its neighbors' — it keeps its pre-round parameters.
   FaultConfig faults;
+  /// Observability sinks (non-owning; may be null) — see FlConfig.
+  obs::TraceWriter* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct GossipRunResult {

@@ -23,7 +23,7 @@ common::Table round_table(const RunResult& result) {
 
 std::string fault_summary(const RunResult& result) {
   std::size_t completed = 0, dropped = 0, retries = 0, skipped = 0;
-  std::array<std::size_t, 5> by_kind{};
+  std::array<std::size_t, kFaultKindCount> by_kind{};
   for (const RoundRecord& record : result.rounds) {
     completed += record.completed_clients;
     dropped += record.dropped_clients;
@@ -39,6 +39,10 @@ std::string fault_summary(const RunResult& result) {
   const std::array<FaultKind, 4> kinds = {FaultKind::kCrash, FaultKind::kBatteryDead,
                                           FaultKind::kRetriesExhausted,
                                           FaultKind::kDeadlineMiss};
+  // Every kind except kNone must appear in the rollup: grow `kinds` when the
+  // enum grows.
+  static_assert(kinds.size() + 1 == kFaultKindCount,
+                "fault_summary: per-kind rollup out of sync with FaultKind");
   bool any = false;
   for (FaultKind kind : kinds) {
     const std::size_t count = by_kind[static_cast<std::size_t>(kind)];
@@ -71,8 +75,18 @@ std::string round_timeline(const RoundRecord& record,
       os << " (idle)\n";
       continue;
     }
-    const auto bars = std::max<std::size_t>(
-        1, static_cast<std::size_t>(t / makespan * static_cast<double>(width)));
+    // A deadline-dropped client stays busy past the recorded makespan (the
+    // deadline), so the proportional bar must clamp to the width budget.
+    const auto bars = std::min(
+        width, std::max<std::size_t>(
+                   1, static_cast<std::size_t>(t / makespan *
+                                               static_cast<double>(width))));
+    const FaultKind fault = u < record.client_faults.size() ? record.client_faults[u]
+                                                            : FaultKind::kNone;
+    if (fault != FaultKind::kNone) {
+      os << std::string(bars, 'x') << ' ' << t << "s " << fault_name(fault) << "\n";
+      continue;
+    }
     const bool straggler = t >= makespan - 1e-12;
     os << std::string(bars, straggler ? '#' : '=') << ' ' << t << "s\n";
   }
@@ -87,6 +101,134 @@ std::string convergence_csv(const RunResult& result) {
     os << record.cumulative_seconds << ',' << record.test_accuracy << '\n';
   }
   return os.str();
+}
+
+void trace_run_start(obs::TraceWriter& trace, std::string_view runner,
+                     std::size_t clients, std::size_t rounds, std::uint64_t seed,
+                     double deadline_s, bool faults_enabled) {
+  if (!trace.enabled()) return;
+  common::JsonObject ev;
+  ev.field("ev", "run_start")
+      .field("runner", runner)
+      .field("clients", clients)
+      .field("rounds", rounds)
+      .field("seed", seed)
+      .field("deadline_s", deadline_s)
+      .field("faults", faults_enabled);
+  trace.write(ev);
+}
+
+void trace_round_start(obs::TraceWriter& trace, std::size_t round) {
+  if (!trace.enabled()) return;
+  common::JsonObject ev;
+  ev.field("ev", "round_start").field("round", round);
+  trace.write(ev);
+}
+
+void trace_client_trip(obs::TraceWriter& trace, std::size_t round, std::size_t client,
+                       const RoundTimings& timings, const FaultOutcome& outcome) {
+  if (!trace.enabled()) return;
+  common::JsonObject ev;
+  ev.field("ev", "client_trip")
+      .field("round", round)
+      .field("client", client)
+      .field("download_s", timings.download_s)
+      .field("compute_s", timings.compute_s)
+      .field("upload_s", timings.upload_s)
+      .field("elapsed_s", outcome.elapsed_s)
+      .field("retries", outcome.retries)
+      .field("fault", fault_name(outcome.kind))
+      .field("completed", outcome.completed);
+  trace.write(ev);
+}
+
+void trace_device_snapshot(obs::TraceWriter& trace, std::size_t round,
+                           std::size_t client, const device::TracePoint& point,
+                           double battery_soc) {
+  if (!trace.enabled()) return;
+  common::JsonObject ev;
+  ev.field("ev", "device")
+      .field("round", round)
+      .field("client", client)
+      .field("time_s", point.time_s)
+      .field("temp_c", point.temp_c)
+      .field("speed", point.speed)
+      .field("freq_ghz", point.freq_ghz);
+  if (battery_soc >= 0.0) ev.field("soc", battery_soc);
+  trace.write(ev);
+}
+
+void trace_round_end(obs::TraceWriter& trace, const RoundRecord& record) {
+  if (!trace.enabled()) return;
+  common::JsonObject ev;
+  ev.field("ev", "round_end")
+      .field("round", record.round)
+      .field("round_s", record.round_seconds)
+      .field("cumulative_s", record.cumulative_seconds)
+      .field("train_loss", record.mean_train_loss);
+  if (record.test_accuracy >= 0.0) ev.field("test_accuracy", record.test_accuracy);
+  ev.field("completed", record.completed_clients)
+      .field("dropped", record.dropped_clients)
+      .field("retries", record.retry_count)
+      .field("skipped", record.skipped);
+  trace.write(ev);
+}
+
+void trace_run_end(obs::TraceWriter& trace, double final_accuracy,
+                   double total_seconds, std::size_t rounds) {
+  if (!trace.enabled()) return;
+  common::JsonObject ev;
+  ev.field("ev", "run_end")
+      .field("final_accuracy", final_accuracy)
+      .field("total_seconds", total_seconds)
+      .field("rounds", rounds);
+  trace.write(ev);
+}
+
+namespace {
+
+void record_round_metrics(obs::MetricsRegistry& metrics,
+                          const std::vector<RoundRecord>& rounds) {
+  for (const RoundRecord& record : rounds) {
+    metrics.add("fl.rounds");
+    metrics.add("fl.clients_completed", record.completed_clients);
+    metrics.add("fl.clients_dropped", record.dropped_clients);
+    metrics.add("fl.upload_retries", record.retry_count);
+    if (record.skipped) metrics.add("fl.rounds_skipped");
+    metrics.observe("fl.round_seconds", record.round_seconds);
+    metrics.observe("fl.train_loss", record.mean_train_loss);
+    for (double t : record.client_seconds) {
+      if (t > 0.0) metrics.observe("fl.client_seconds", t);
+    }
+  }
+}
+
+}  // namespace
+
+void record_run_metrics(obs::MetricsRegistry& metrics, const RunResult& result) {
+  record_round_metrics(metrics, result.rounds);
+  metrics.set_gauge("fl.final_accuracy", result.final_accuracy);
+  metrics.set_gauge("fl.total_seconds", result.total_seconds);
+}
+
+void record_run_metrics(obs::MetricsRegistry& metrics, const GossipRunResult& result) {
+  record_round_metrics(metrics, result.rounds);
+  metrics.set_gauge("fl.final_accuracy", result.mean_accuracy);
+  metrics.set_gauge("fl.consensus_gap", result.consensus_gap);
+  metrics.set_gauge("fl.total_seconds", result.total_seconds);
+}
+
+void record_run_metrics(obs::MetricsRegistry& metrics, const AsyncRunResult& result) {
+  metrics.add("fl.merged_updates", result.updates.size());
+  metrics.add("fl.dropped_updates", result.dropped_updates);
+  metrics.add("fl.upload_retries", result.retry_count);
+  metrics.add("fl.battery_deaths", result.battery_deaths);
+  for (const AsyncUpdateRecord& update : result.updates) {
+    metrics.observe("fl.staleness", static_cast<double>(update.staleness));
+    metrics.observe("fl.mix_weight", update.mix_weight);
+  }
+  metrics.set_gauge("fl.final_accuracy", result.final_accuracy);
+  metrics.set_gauge("fl.total_seconds", result.elapsed_seconds);
 }
 
 }  // namespace fedsched::fl

@@ -1,12 +1,20 @@
 #pragma once
-// Human-readable reports over FL runs: a per-round table, a textual Gantt
-// timeline of client activity within a round, and CSV export of the
-// convergence curve.
+// Reports over FL runs. Human-readable: a per-round table, a textual Gantt
+// timeline of client activity within a round, a fault rollup, and CSV export
+// of the convergence curve. Machine-readable: JSONL trace events
+// (obs::TraceWriter) and run metrics (obs::MetricsRegistry) shared by all
+// three runners — see docs/API.md "Structured observability" for the event
+// schema.
 
 #include <string>
+#include <string_view>
 
 #include "common/table.hpp"
+#include "fl/async_runner.hpp"
+#include "fl/gossip_runner.hpp"
 #include "fl/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fedsched::fl {
 
@@ -19,8 +27,10 @@ namespace fedsched::fl {
 [[nodiscard]] std::string fault_summary(const RunResult& result);
 
 /// Textual Gantt chart of one round: one bar per client, proportional to its
-/// busy time, '#' for the straggler. `width` is the bar length of the
-/// longest client.
+/// busy time and never longer than `width`, '#' for the straggler. Clients
+/// that dropped (any non-kNone fault) render with 'x' bars and their fault
+/// name — under a finite deadline their busy time can exceed the recorded
+/// makespan, which is why bars clamp.
 [[nodiscard]] std::string round_timeline(const RoundRecord& record,
                                          const std::vector<std::string>& client_names,
                                          std::size_t width = 50);
@@ -28,5 +38,54 @@ namespace fedsched::fl {
 /// Convergence curve (cumulative simulated seconds vs accuracy) as CSV rows;
 /// rounds without an accuracy sample are skipped.
 [[nodiscard]] std::string convergence_csv(const RunResult& result);
+
+// --- JSONL trace events -------------------------------------------------
+//
+// Every emitter is a no-op on a disabled writer. All payloads are simulated
+// time only; callers must emit from serial code in fixed client order so the
+// trace is byte-identical at every `parallelism` width.
+
+/// `run_start`: runner name, fleet size, round budget, seed, deadline,
+/// whether fault injection is live.
+void trace_run_start(obs::TraceWriter& trace, std::string_view runner,
+                     std::size_t clients, std::size_t rounds, std::uint64_t seed,
+                     double deadline_s, bool faults_enabled);
+
+/// `round_start`: emitted before any client trip of the round.
+void trace_round_start(obs::TraceWriter& trace, std::size_t round);
+
+/// `client_trip`: per-(round, client) timing split (download / compute /
+/// upload / total busy), retries, fault verdict. The async runner passes its
+/// per-client trip counter as `round`.
+void trace_client_trip(obs::TraceWriter& trace, std::size_t round, std::size_t client,
+                       const RoundTimings& timings, const FaultOutcome& outcome);
+
+/// `device`: thermal/clock snapshot of one client's device after its trip
+/// (the TracePoint hook of device/device.hpp). `battery_soc` < 0 omits the
+/// soc field (fleet without battery tracking).
+void trace_device_snapshot(obs::TraceWriter& trace, std::size_t round,
+                           std::size_t client, const device::TracePoint& point,
+                           double battery_soc = -1.0);
+
+/// `round_end`: the full RoundRecord (accuracy omitted when not evaluated).
+void trace_round_end(obs::TraceWriter& trace, const RoundRecord& record);
+
+/// `run_end`: final accuracy + total simulated seconds + rounds executed.
+void trace_run_end(obs::TraceWriter& trace, double final_accuracy,
+                   double total_seconds, std::size_t rounds);
+
+// --- metrics ------------------------------------------------------------
+
+/// Fold a finished synchronous run into the registry: fl.* counters
+/// (rounds, completions, drops, retries, skips), round/client-second and
+/// loss histograms, final accuracy / total seconds gauges.
+void record_run_metrics(obs::MetricsRegistry& metrics, const RunResult& result);
+
+/// Gossip flavour: per-round counters plus mean accuracy / consensus gap.
+void record_run_metrics(obs::MetricsRegistry& metrics, const GossipRunResult& result);
+
+/// Async flavour: merge/drop/retry/battery counters, staleness and mix
+/// histograms, final accuracy / elapsed gauges.
+void record_run_metrics(obs::MetricsRegistry& metrics, const AsyncRunResult& result);
 
 }  // namespace fedsched::fl

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "device/battery.hpp"
+#include "fl/report.hpp"
 #include "fl/trainer.hpp"
 
 namespace fedsched::fl {
@@ -69,11 +70,21 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
   std::vector<char> trained(n_users, 0);
   std::vector<common::Rng> client_rngs(n_users);
   std::vector<FaultOutcome> outcomes(n_users);
+  std::vector<RoundTimings> trip_timings(n_users);
+
+  // Null-safe observability sinks: every emitter no-ops on a disabled
+  // writer, and all emission happens in the serial sections in fixed client
+  // order — the trace is byte-identical at every parallelism width.
+  obs::TraceWriter null_trace;
+  obs::TraceWriter& trace = config_.trace ? *config_.trace : null_trace;
+  trace_run_start(trace, "fedavg", n_users, config_.rounds, config_.seed,
+                  config_.deadline_s, config_.faults.enabled);
 
   for (std::size_t round = 0; round < config_.rounds; ++round) {
     RoundRecord record;
     record.round = round;
     record.client_seconds.assign(n_users, 0.0);
+    trace_round_start(trace, round);
 
     std::size_t total_samples = 0;
     for (const auto& share : partition.user_indices) total_samples += share.size();
@@ -88,6 +99,7 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
     }
     std::fill(trained.begin(), trained.end(), 0);
     std::fill(outcomes.begin(), outcomes.end(), FaultOutcome{});
+    std::fill(trip_timings.begin(), trip_timings.end(), RoundTimings{});
 
     executor_.for_each_client(n_users, [&](std::size_t u, nn::Model& worker) {
       const auto& share = partition.user_indices[u];
@@ -110,6 +122,7 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
       timings.compute_s = devices[u].train(device_model_,
                                            share.size() * config_.local_epochs);
       timings.baseline_s += timings.compute_s;
+      trip_timings[u] = timings;
 
       FaultOutcome outcome = injector.evaluate(round, u, timings, deadline);
       if (injector.battery_enabled()) {
@@ -144,6 +157,23 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
       if (!trained[u]) continue;
       loss_sum += client_loss[u];
       ++loss_users;
+    }
+
+    if (trace.enabled()) {
+      for (std::size_t u = 0; u < n_users; ++u) {
+        if (partition.user_indices[u].empty()) continue;
+        trace_client_trip(trace, round, u, trip_timings[u], outcomes[u]);
+        const device::TracePoint point{
+            .time_s = devices[u].clock_s(),
+            .temp_c = devices[u].temperature_c(),
+            .speed = devices[u].speed_factor(),
+            .freq_ghz = devices[u].speed_factor() *
+                        device::max_cpu_ghz(devices[u].spec())};
+        trace_device_snapshot(trace, round, u, point,
+                              injector.battery_enabled()
+                                  ? batteries[u].state_of_charge()
+                                  : -1.0);
+      }
     }
 
     // Fault bookkeeping. Survivor sample counts drive the aggregation
@@ -196,6 +226,7 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
     if (config_.evaluate_each_round) {
       record.test_accuracy = global_.accuracy(test_.images(), test_.labels());
     }
+    trace_round_end(trace, record);
     result.rounds.push_back(std::move(record));
 
     if (config_.idle_between_rounds_s > 0.0) {
@@ -207,6 +238,10 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
   if (!result.rounds.empty() && config_.evaluate_each_round) {
     result.rounds.back().test_accuracy = result.final_accuracy;
   }
+  trace_run_end(trace, result.final_accuracy, result.total_seconds,
+                result.rounds.size());
+  trace.flush();
+  if (config_.metrics) record_run_metrics(*config_.metrics, result);
   return result;
 }
 

@@ -28,6 +28,11 @@
 #include "nn/models.hpp"
 #include "nn/sgd.hpp"
 
+namespace fedsched::obs {
+class MetricsRegistry;
+class TraceWriter;
+}  // namespace fedsched::obs
+
 namespace fedsched::fl {
 
 struct FlConfig {
@@ -50,6 +55,13 @@ struct FlConfig {
   /// Fault injection (crash / battery death / network stall / transient
   /// upload failures). Disabled by default — see docs/API.md "Fault model".
   FaultConfig faults;
+  /// Structured observability sinks (non-owning; may be null). Traces carry
+  /// simulated time only and are emitted from serial sections in fixed
+  /// client order, so they are byte-identical at every `parallelism` width;
+  /// a null/disabled sink leaves the run bit-identical to a build without
+  /// tracing. See docs/API.md "Structured observability".
+  obs::TraceWriter* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct RoundRecord {

@@ -1,0 +1,89 @@
+#include "obs/metrics.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/json.hpp"
+
+namespace fedsched::obs {
+
+void MetricsRegistry::add(std::string_view counter, std::uint64_t delta) {
+  auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(counter), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::observe(std::string_view histogram, double sample) {
+  auto it = histograms_.find(histogram);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(histogram), common::RunningStats{}).first;
+  }
+  it->second.add(sample);
+}
+
+const common::RunningStats* MetricsRegistry::histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsRegistry::to_json() const {
+  common::JsonObject counters;
+  for (const auto& [name, value] : counters_) counters.field(name, value);
+  common::JsonObject gauges;
+  for (const auto& [name, value] : gauges_) gauges.field(name, value);
+  common::JsonObject histograms;
+  for (const auto& [name, stats] : histograms_) {
+    common::JsonObject h;
+    h.field("count", stats.count())
+        .field("mean", stats.mean())
+        .field("stddev", stats.stddev())
+        .field("min", stats.min())
+        .field("max", stats.max())
+        .field("sum", stats.sum());
+    histograms.field_raw(name, h.str());
+  }
+  common::JsonObject doc;
+  doc.field_raw("counters", counters.str())
+      .field_raw("gauges", gauges.str())
+      .field_raw("histograms", histograms.str());
+  return doc.str();
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::trunc);
+  if (!out) throw std::runtime_error("MetricsRegistry: cannot open " + path);
+  out << to_json() << '\n';
+}
+
+}  // namespace fedsched::obs

@@ -1,0 +1,58 @@
+#pragma once
+// MetricsRegistry — named counters, gauges and histograms for run telemetry.
+//
+// Counters accumulate monotonically (client completions, retries), gauges
+// hold the latest value (final accuracy), histograms feed samples into a
+// common::RunningStats (round makespans, per-client busy seconds). The
+// registry serializes to one deterministic JSON document: names render
+// sorted, numbers through common/json.hpp, so equal runs produce equal
+// bytes.
+//
+// Not thread-safe: update from one thread (the runners only record from
+// their serial bookkeeping sections).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/stats.hpp"
+
+namespace fedsched::obs {
+
+class MetricsRegistry {
+ public:
+  /// Add `delta` to a counter, creating it at zero first.
+  void add(std::string_view counter, std::uint64_t delta = 1);
+  /// Current counter value; 0 for a name never added to.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+
+  void set_gauge(std::string_view name, double value);
+  /// Latest gauge value; 0.0 for a name never set.
+  [[nodiscard]] double gauge(std::string_view name) const;
+
+  /// Feed one sample into a histogram, creating it empty first.
+  void observe(std::string_view histogram, double sample);
+  /// The accumulator behind a histogram; nullptr for a name never observed.
+  [[nodiscard]] const common::RunningStats* histogram(std::string_view name) const;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  void clear();
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,stddev,
+  /// min,max,sum}}} with names sorted — deterministic for equal contents.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path` (parent directories created); throws
+  /// std::runtime_error when the file cannot be opened.
+  void write_json(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, common::RunningStats, std::less<>> histograms_;
+};
+
+}  // namespace fedsched::obs

@@ -1,0 +1,30 @@
+#include "obs/trace.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace fedsched::obs {
+
+TraceWriter TraceWriter::to_file(const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  auto file = std::make_unique<std::ofstream>(p, std::ios::trunc);
+  if (!*file) throw std::runtime_error("TraceWriter: cannot open " + path);
+  TraceWriter writer;
+  writer.out_ = file.get();
+  writer.owned_ = std::move(file);
+  return writer;
+}
+
+void TraceWriter::write(const common::JsonObject& event) {
+  if (!out_) return;
+  *out_ << event.str() << '\n';
+  ++events_;
+}
+
+void TraceWriter::flush() {
+  if (out_) out_->flush();
+}
+
+}  // namespace fedsched::obs

@@ -1,0 +1,59 @@
+#pragma once
+// JSONL run traces — the machine-readable counterpart of fl/report.hpp.
+//
+// A TraceWriter streams one JSON object per line to a sink (file or caller
+// stream). The default-constructed writer is the *null sink*: enabled() is
+// false and every write is a no-op, so code paths can emit unconditionally —
+// a runner handed no writer behaves bit-identically to one built without
+// tracing at all (the disabled-sink guarantee, mirroring the disabled-faults
+// guarantee of fl/faults.hpp).
+//
+// Determinism contract: producers record *simulated* time only — never host
+// wall-clock — and emit from serial code in a fixed order, so a trace is
+// byte-identical at every `parallelism` width and across reruns with equal
+// seeds (tests/fl/test_obs_runners.cpp pins this).
+//
+// Not thread-safe: emit from one thread (the runners only trace from their
+// serial bookkeeping sections).
+
+#include <cstddef>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace fedsched::obs {
+
+class TraceWriter {
+ public:
+  /// Null sink: disabled, every write() is a no-op.
+  TraceWriter() = default;
+
+  /// Stream sink; the stream must outlive the writer.
+  explicit TraceWriter(std::ostream& os) : out_(&os) {}
+
+  TraceWriter(TraceWriter&&) noexcept = default;
+  TraceWriter& operator=(TraceWriter&&) noexcept = default;
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// File sink at `path` (parent directories created); throws
+  /// std::runtime_error when the file cannot be opened.
+  [[nodiscard]] static TraceWriter to_file(const std::string& path);
+
+  [[nodiscard]] bool enabled() const noexcept { return out_ != nullptr; }
+  [[nodiscard]] std::size_t events_written() const noexcept { return events_; }
+
+  /// Emit `event` as one JSONL line. No-op on the null sink.
+  void write(const common::JsonObject& event);
+
+  void flush();
+
+ private:
+  std::unique_ptr<std::ostream> owned_;  // set only by to_file()
+  std::ostream* out_ = nullptr;
+  std::size_t events_ = 0;
+};
+
+}  // namespace fedsched::obs

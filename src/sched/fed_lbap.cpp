@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/json.hpp"
+
 namespace fedsched::sched {
 
 namespace {
@@ -19,9 +21,26 @@ std::size_t total_budget(const CostMatrix& matrix, double threshold, std::size_t
   return total;
 }
 
+void trace_decision(obs::TraceWriter* trace, const CostMatrix& matrix,
+                    std::size_t total_shards, const LbapResult& result) {
+  if (trace == nullptr || !trace->enabled()) return;
+  common::JsonObject ev;
+  ev.field("ev", "sched_lbap")
+      .field("users", matrix.users())
+      .field("total_shards", total_shards)
+      .field("threshold_s", result.threshold_seconds)
+      .field("iterations", result.search_iterations)
+      .field("trimmed", result.trimmed_shards)
+      .field("makespan_s", result.makespan_seconds)
+      .field("shards", std::span<const std::size_t>(
+                           result.assignment.shards_per_user));
+  trace->write(ev);
+}
+
 }  // namespace
 
-LbapResult fed_lbap(const CostMatrix& matrix, std::size_t total_shards) {
+LbapResult fed_lbap(const CostMatrix& matrix, std::size_t total_shards,
+                    obs::TraceWriter* trace) {
   if (total_shards == 0) throw std::invalid_argument("fed_lbap: zero shards");
   if (total_shards > matrix.shards()) {
     throw std::invalid_argument("fed_lbap: matrix smaller than requested shards");
@@ -48,10 +67,13 @@ LbapResult fed_lbap(const CostMatrix& matrix, std::size_t total_shards) {
   const double threshold = values[lo];
 
   // Materialize budgets, then trim the surplus. Any trim keeps the makespan
-  // <= c*; trimming from the user whose current marginal cost is largest
-  // additionally minimizes the average load.
+  // <= c*; removing the shard with the largest *marginal* cost
+  // C_jk − C_j(k−1) additionally minimizes the total (hence average) load.
+  // Comparing total row cost instead would repeatedly shave the slowest user
+  // even when its last shard is cheap, inflating the sum.
   LbapResult result;
   result.search_iterations = iterations;
+  result.threshold_seconds = threshold;
   result.assignment.shard_size = matrix.shard_size();
   auto& shards = result.assignment.shards_per_user;
   shards.resize(matrix.users());
@@ -62,18 +84,21 @@ LbapResult fed_lbap(const CostMatrix& matrix, std::size_t total_shards) {
   }
   while (assigned > total_shards) {
     std::size_t worst = matrix.users();
-    double worst_cost = -1.0;
+    double worst_marginal = -1.0;
     for (std::size_t j = 0; j < matrix.users(); ++j) {
       if (shards[j] == 0) continue;
-      const double c = matrix.cost(j, shards[j]);
-      if (c > worst_cost) {
-        worst_cost = c;
+      const double marginal =
+          matrix.cost(j, shards[j]) -
+          (shards[j] > 1 ? matrix.cost(j, shards[j] - 1) : 0.0);
+      if (marginal > worst_marginal) {
+        worst_marginal = marginal;
         worst = j;
       }
     }
     // assigned > total_shards >= 1 guarantees a non-empty user exists.
     --shards[worst];
     --assigned;
+    ++result.trimmed_shards;
   }
 
   double actual = 0.0;
@@ -81,13 +106,14 @@ LbapResult fed_lbap(const CostMatrix& matrix, std::size_t total_shards) {
     if (shards[j] > 0) actual = std::max(actual, matrix.cost(j, shards[j]));
   }
   result.makespan_seconds = actual;
+  trace_decision(trace, matrix, total_shards, result);
   return result;
 }
 
 LbapResult fed_lbap(const std::vector<UserProfile>& users, std::size_t total_shards,
-                    std::size_t shard_size) {
+                    std::size_t shard_size, obs::TraceWriter* trace) {
   const CostMatrix matrix(users, total_shards, shard_size);
-  return fed_lbap(matrix, total_shards);
+  return fed_lbap(matrix, total_shards, trace);
 }
 
 LbapResult lbap_bruteforce(const CostMatrix& matrix, std::size_t total_shards) {
@@ -123,6 +149,7 @@ LbapResult lbap_bruteforce(const CostMatrix& matrix, std::size_t total_shards) {
   result.assignment.shard_size = matrix.shard_size();
   result.assignment.shards_per_user = std::move(best);
   result.makespan_seconds = best_makespan;
+  result.threshold_seconds = best_makespan;
   return result;
 }
 

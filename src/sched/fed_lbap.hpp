@@ -7,12 +7,13 @@
 // c* whose per-user "budgets" A_j(c*) = max{k : C_jk <= c*} sum to at least
 // D (Property 2's relaxed matching). We binary-search c* over the sorted
 // matrix values and then trim the budgets down to exactly D shards, removing
-// shards from the currently-costliest users first so the final assignment is
-// makespan-optimal and average-lean.
+// the shard with the largest *marginal* cost C_jk − C_j(k−1) first so the
+// final assignment is makespan-optimal and average-lean.
 //
 // Complexity: O(ns log ns) for the sort, O(log(ns)) search iterations, each
 // O(n log s) — matching the paper's bound (O(n^2 log n) when s = n).
 
+#include "obs/trace.hpp"
 #include "sched/cost_matrix.hpp"
 #include "sched/types.hpp"
 
@@ -20,17 +21,25 @@ namespace fedsched::sched {
 
 struct LbapResult {
   Assignment assignment;
-  double makespan_seconds = 0.0;   // the optimal threshold c*
+  double makespan_seconds = 0.0;   // max user cost of the final assignment
+  /// The binary-searched threshold c* — an upper bound on every user's cost
+  /// (makespan_seconds <= threshold_seconds; equal before trimming).
+  double threshold_seconds = 0.0;
   std::size_t search_iterations = 0;
+  /// Surplus shards removed by the trim loop after the search.
+  std::size_t trimmed_shards = 0;
 };
 
 /// Solve over a prebuilt cost matrix. Throws if the total capacity across
-/// users cannot host `total_shards`.
-[[nodiscard]] LbapResult fed_lbap(const CostMatrix& matrix, std::size_t total_shards);
+/// users cannot host `total_shards`. A non-null `trace` receives one
+/// `sched_lbap` decision event (threshold, iterations, trim count, shards).
+[[nodiscard]] LbapResult fed_lbap(const CostMatrix& matrix, std::size_t total_shards,
+                                  obs::TraceWriter* trace = nullptr);
 
 /// Convenience: build the cost matrix from profiles and solve.
 [[nodiscard]] LbapResult fed_lbap(const std::vector<UserProfile>& users,
-                                  std::size_t total_shards, std::size_t shard_size);
+                                  std::size_t total_shards, std::size_t shard_size,
+                                  obs::TraceWriter* trace = nullptr);
 
 /// Exhaustive minimum-makespan search (O(s^n)); testing oracle for small
 /// instances only.

@@ -4,10 +4,13 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/json.hpp"
+
 namespace fedsched::sched {
 
 MinAvgResult fed_minavg(const std::vector<UserProfile>& users, std::size_t total_shards,
-                        std::size_t shard_size, const MinAvgConfig& config) {
+                        std::size_t shard_size, const MinAvgConfig& config,
+                        obs::TraceWriter* trace) {
   const std::size_t n = users.size();
   if (n == 0) throw std::invalid_argument("fed_minavg: no users");
   if (total_shards == 0) throw std::invalid_argument("fed_minavg: zero shards");
@@ -62,6 +65,7 @@ MinAvgResult fed_minavg(const std::vector<UserProfile>& users, std::size_t total
     ++shards[best];
     ++assigned;
     ++result.steps;
+    result.step_costs.push_back(best_cost);
     if (!open[best]) {
       open[best] = true;
       coverage.add(users[best].classes);  // line 16: U <- U ∪ U_j
@@ -75,6 +79,20 @@ MinAvgResult fed_minavg(const std::vector<UserProfile>& users, std::size_t total
   result.makespan_seconds = times.empty() ? 0.0 : *std::max_element(times.begin(),
                                                                     times.end());
   result.covered_classes = coverage.covered_count();
+  if (trace != nullptr && trace->enabled()) {
+    common::JsonObject ev;
+    ev.field("ev", "sched_minavg")
+        .field("users", n)
+        .field("total_shards", total_shards)
+        .field("steps", result.steps)
+        .field("covered_classes", result.covered_classes)
+        .field("total_time_s", result.total_time_seconds)
+        .field("makespan_s", result.makespan_seconds)
+        .field("step_costs", std::span<const double>(result.step_costs))
+        .field("shards", std::span<const std::size_t>(
+                             result.assignment.shards_per_user));
+    trace->write(ev);
+  }
   return result;
 }
 

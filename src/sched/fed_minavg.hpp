@@ -9,6 +9,7 @@
 // total D_u and per-user costs evolve as in the paper's pseudocode; a user
 // hitting its capacity C_j is closed (cost = ∞). O(mn) for m shards, n users.
 
+#include "obs/trace.hpp"
 #include "sched/accuracy_cost.hpp"
 #include "sched/types.hpp"
 
@@ -31,11 +32,18 @@ struct MinAvgResult {
   std::size_t covered_classes = 0;
   /// Greedy steps executed (== total shards assigned).
   std::size_t steps = 0;
+  /// Winning marginal cost of each greedy step, in assignment order — the
+  /// quantity Algorithm 2 minimizes at every iteration (non-decreasing only
+  /// when coverage is complete; openings can drop it).
+  std::vector<double> step_costs;
 };
 
 /// Users must carry their class sets; total capacity must host total_shards.
+/// A non-null `trace` receives one `sched_minavg` decision event (steps,
+/// coverage, step costs, shards).
 [[nodiscard]] MinAvgResult fed_minavg(const std::vector<UserProfile>& users,
                                       std::size_t total_shards, std::size_t shard_size,
-                                      const MinAvgConfig& config);
+                                      const MinAvgConfig& config,
+                                      obs::TraceWriter* trace = nullptr);
 
 }  // namespace fedsched::sched

@@ -1,0 +1,67 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace fedsched::common {
+namespace {
+
+TEST(Json, QuoteEscapesControlAndSpecials) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(json_quote(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST(Json, NumberShortestRoundTrip) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(-2.25), "-2.25");
+  // 0.1 has no exact binary form; shortest round-trip is the literal.
+  EXPECT_EQ(json_number(0.1), "0.1");
+}
+
+TEST(Json, NonFiniteRendersNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  JsonObject obj;
+  obj.field("b", 2).field("a", 1.5).field("ok", true).field("name", "x");
+  EXPECT_EQ(obj.str(), "{\"b\":2,\"a\":1.5,\"ok\":true,\"name\":\"x\"}");
+}
+
+TEST(Json, IntegralFieldsKeepFullPrecision) {
+  // 2^63 is representable as uint64 but not exactly as double.
+  JsonObject obj;
+  obj.field("u", std::uint64_t{9223372036854775808ULL}).field("i", -42);
+  EXPECT_EQ(obj.str(), "{\"u\":9223372036854775808,\"i\":-42}");
+}
+
+TEST(Json, ArrayFields) {
+  const double xs[] = {1.5, 2.0};
+  const std::size_t ks[] = {3, 4};
+  JsonObject obj;
+  obj.field("xs", std::span<const double>(xs))
+      .field("ks", std::span<const std::size_t>(ks))
+      .field("empty", std::span<const double>{});
+  EXPECT_EQ(obj.str(), "{\"xs\":[1.5,2],\"ks\":[3,4],\"empty\":[]}");
+}
+
+TEST(Json, RawSplice) {
+  JsonObject inner;
+  inner.field("k", 1);
+  JsonObject outer;
+  outer.field_raw("nested", inner.str());
+  EXPECT_EQ(outer.str(), "{\"nested\":{\"k\":1}}");
+}
+
+TEST(Json, EmptyObject) { EXPECT_EQ(JsonObject{}.str(), "{}"); }
+
+}  // namespace
+}  // namespace fedsched::common

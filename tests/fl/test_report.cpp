@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 namespace fedsched::fl {
 namespace {
 
@@ -68,6 +70,35 @@ TEST(Report, TimelineMarksStragglerAndIdle) {
   EXPECT_NE(timeline.find("(idle)"), std::string::npos);
   // Straggler bar is the longest: 20 chars of '#'.
   EXPECT_NE(timeline.find(std::string(20, '#')), std::string::npos);
+}
+
+TEST(Report, TimelineClampsDeadlineTruncatedRound) {
+  // Regression: under a missed deadline the round's makespan is recorded as
+  // the deadline, but the dropped client stayed busy *longer* than that —
+  // the proportional bar must clamp to `width` instead of overflowing.
+  RoundRecord record;
+  record.round = 0;
+  record.round_seconds = 100.0;  // the deadline
+  record.cumulative_seconds = 100.0;
+  record.client_seconds = {40.0, 250.0};  // dropped client: 2.5x the makespan
+  record.completed_clients = 1;
+  record.dropped_clients = 1;
+  record.client_faults = {FaultKind::kNone, FaultKind::kDeadlineMiss};
+
+  const std::size_t width = 20;
+  const std::string timeline = round_timeline(record, {"ok", "late"}, width);
+  std::istringstream lines(timeline);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::size_t bars = 0;
+    for (char c : line) bars += (c == '=' || c == '#' || c == 'x');
+    EXPECT_LE(bars, width) << line;
+  }
+  // The dropped client renders with the fault glyph and its fault name, not
+  // as a straggler bar.
+  EXPECT_NE(timeline.find(std::string(width, 'x')), std::string::npos);
+  EXPECT_NE(timeline.find("deadline"), std::string::npos);
+  EXPECT_EQ(timeline.find('#'), std::string::npos);  // no one *at* makespan
 }
 
 TEST(Report, TimelineValidation) {

@@ -1,0 +1,92 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fedsched::obs {
+namespace {
+
+TEST(ObsMetrics, CountersAccumulate) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.counter("missing"), 0u);
+  reg.add("hits");
+  reg.add("hits", 4);
+  EXPECT_EQ(reg.counter("hits"), 5u);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(ObsMetrics, GaugesHoldLatest) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.gauge("missing"), 0.0);
+  reg.set_gauge("acc", 0.25);
+  reg.set_gauge("acc", 0.75);
+  EXPECT_EQ(reg.gauge("acc"), 0.75);
+}
+
+TEST(ObsMetrics, HistogramsFeedRunningStats) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.histogram("missing"), nullptr);
+  reg.observe("lat", 1.0);
+  reg.observe("lat", 3.0);
+  const auto* stats = reg.histogram("lat");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->count(), 2u);
+  EXPECT_DOUBLE_EQ(stats->mean(), 2.0);
+}
+
+TEST(ObsMetrics, ToJsonSortedAndDeterministic) {
+  MetricsRegistry reg;
+  // Insert out of order: map iteration sorts the rendered names.
+  reg.add("z.count", 2);
+  reg.add("a.count", 1);
+  reg.set_gauge("g", 1.5);
+  reg.observe("h", 2.0);
+  const std::string json = reg.to_json();
+  EXPECT_LT(json.find("\"a.count\""), json.find("\"z.count\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+
+  MetricsRegistry again;
+  again.observe("h", 2.0);
+  again.set_gauge("g", 1.5);
+  again.add("a.count", 1);
+  again.add("z.count", 2);
+  EXPECT_EQ(json, again.to_json());  // equal contents -> equal bytes
+}
+
+TEST(ObsMetrics, ClearEmpties) {
+  MetricsRegistry reg;
+  reg.add("c");
+  reg.set_gauge("g", 1.0);
+  reg.observe("h", 1.0);
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.to_json(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(ObsMetrics, WriteJsonCreatesParentDirs) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "fedsched_obs_metrics_test" / "nested";
+  const auto path = dir / "metrics.json";
+  std::filesystem::remove_all(dir.parent_path());
+
+  MetricsRegistry reg;
+  reg.add("c", 7);
+  reg.write_json(path.string());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), reg.to_json() + "\n");
+  std::filesystem::remove_all(dir.parent_path());
+}
+
+}  // namespace
+}  // namespace fedsched::obs

@@ -1,0 +1,159 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fl/report.hpp"
+
+namespace fedsched::obs {
+namespace {
+
+using fl::FaultKind;
+using fl::FaultOutcome;
+using fl::RoundRecord;
+using fl::RoundTimings;
+
+TEST(ObsTrace, NullSinkIsDisabledNoOp) {
+  TraceWriter null;
+  EXPECT_FALSE(null.enabled());
+  common::JsonObject ev;
+  ev.field("ev", "x");
+  null.write(ev);
+  null.flush();
+  EXPECT_EQ(null.events_written(), 0u);
+}
+
+TEST(ObsTrace, StreamSinkWritesOneLinePerEvent) {
+  std::ostringstream os;
+  TraceWriter trace(os);
+  EXPECT_TRUE(trace.enabled());
+  common::JsonObject a;
+  a.field("n", 1);
+  common::JsonObject b;
+  b.field("n", 2);
+  trace.write(a);
+  trace.write(b);
+  EXPECT_EQ(trace.events_written(), 2u);
+  EXPECT_EQ(os.str(), "{\"n\":1}\n{\"n\":2}\n");
+}
+
+TEST(ObsTrace, ToFileCreatesParentDirs) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "fedsched_obs_trace_test" / "deep";
+  const auto path = dir / "run.jsonl";
+  std::filesystem::remove_all(dir.parent_path());
+  {
+    TraceWriter trace = TraceWriter::to_file(path.string());
+    ASSERT_TRUE(trace.enabled());
+    common::JsonObject ev;
+    ev.field("ok", true);
+    trace.write(ev);
+    trace.flush();
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "{\"ok\":true}");
+  std::filesystem::remove_all(dir.parent_path());
+}
+
+TEST(ObsTrace, ToFileThrowsOnUnopenablePath) {
+  EXPECT_THROW((void)TraceWriter::to_file("/proc/definitely/not/writable/x.jsonl"),
+               std::runtime_error);
+}
+
+// Golden schema: the exact bytes each fl event emits. Values are exactly
+// representable doubles, so these strings are platform-stable; any field
+// rename, reorder or format change must update docs/API.md alongside this.
+TEST(ObsTrace, GoldenEventSchema) {
+  std::ostringstream os;
+  TraceWriter trace(os);
+
+  fl::trace_run_start(trace, "fedavg", 3, 2, 7, 120.5, true);
+  fl::trace_round_start(trace, 1);
+
+  RoundTimings timings;
+  timings.download_s = 1.5;
+  timings.compute_s = 10.25;
+  timings.upload_s = 2.5;
+  FaultOutcome outcome;
+  outcome.kind = FaultKind::kDeadlineMiss;
+  outcome.completed = false;
+  outcome.elapsed_s = 14.25;
+  outcome.retries = 2;
+  fl::trace_client_trip(trace, 1, 0, timings, outcome);
+
+  const device::TracePoint point{
+      .time_s = 30.5, .temp_c = 41.25, .speed = 0.75, .freq_ghz = 1.5};
+  fl::trace_device_snapshot(trace, 1, 0, point, 0.5);
+
+  RoundRecord record;
+  record.round = 1;
+  record.round_seconds = 120.5;
+  record.cumulative_seconds = 241.0;
+  record.mean_train_loss = 1.5;
+  record.test_accuracy = 0.625;
+  record.completed_clients = 2;
+  record.dropped_clients = 1;
+  record.retry_count = 2;
+  fl::trace_round_end(trace, record);
+  fl::trace_run_end(trace, 0.625, 241.0, 2);
+
+  const std::string expected =
+      "{\"ev\":\"run_start\",\"runner\":\"fedavg\",\"clients\":3,\"rounds\":2,"
+      "\"seed\":7,\"deadline_s\":120.5,\"faults\":true}\n"
+      "{\"ev\":\"round_start\",\"round\":1}\n"
+      "{\"ev\":\"client_trip\",\"round\":1,\"client\":0,\"download_s\":1.5,"
+      "\"compute_s\":10.25,\"upload_s\":2.5,\"elapsed_s\":14.25,\"retries\":2,"
+      "\"fault\":\"deadline\",\"completed\":false}\n"
+      "{\"ev\":\"device\",\"round\":1,\"client\":0,\"time_s\":30.5,"
+      "\"temp_c\":41.25,\"speed\":0.75,\"freq_ghz\":1.5,\"soc\":0.5}\n"
+      "{\"ev\":\"round_end\",\"round\":1,\"round_s\":120.5,\"cumulative_s\":241,"
+      "\"train_loss\":1.5,\"test_accuracy\":0.625,\"completed\":2,\"dropped\":1,"
+      "\"retries\":2,\"skipped\":false}\n"
+      "{\"ev\":\"run_end\",\"final_accuracy\":0.625,\"total_seconds\":241,"
+      "\"rounds\":2}\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(ObsTrace, OptionalFieldsOmitted) {
+  std::ostringstream os;
+  TraceWriter trace(os);
+  // An infinite deadline renders as null; a negative soc / unevaluated
+  // accuracy omit their fields entirely.
+  fl::trace_run_start(trace, "gossip", 1, 1, 1, fl::kNoDeadline, false);
+  fl::trace_device_snapshot(trace, 0, 0,
+                            device::TracePoint{.time_s = 1.5,
+                                               .temp_c = 25.0,
+                                               .speed = 1.0,
+                                               .freq_ghz = 2.5},
+                            -1.0);
+  RoundRecord record;
+  record.round = 0;
+  record.test_accuracy = -1.0;  // not evaluated
+  fl::trace_round_end(trace, record);
+
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"deadline_s\":null"), std::string::npos);
+  EXPECT_EQ(out.find("\"soc\""), std::string::npos);
+  EXPECT_EQ(out.find("\"test_accuracy\""), std::string::npos);
+}
+
+TEST(ObsTrace, MoveTransfersSink) {
+  std::ostringstream os;
+  TraceWriter a(os);
+  common::JsonObject ev;
+  ev.field("n", 1);
+  a.write(ev);
+  TraceWriter b = std::move(a);
+  EXPECT_TRUE(b.enabled());
+  b.write(ev);
+  EXPECT_EQ(b.events_written(), 2u);
+  EXPECT_EQ(os.str(), "{\"n\":1}\n{\"n\":1}\n");
+}
+
+}  // namespace
+}  // namespace fedsched::obs

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 
 #include "common/rng.hpp"
 
@@ -132,6 +133,39 @@ TEST(FedLbap, MakespanEqualsEvaluatedMakespan) {
   EXPECT_NEAR(result.makespan_seconds, makespan(users, result.assignment), 1e-9);
 }
 
+TEST(FedLbap, SurplusTrimsByMarginalCost) {
+  // At the searched threshold c* = 4 the budgets over-assign: a can host 2
+  // shards (costs 2, 4) and b can host 1 (comm 3.5 + 0.5 = 4). Both rows
+  // total 4 s, so trimming by *total* cost would shave a (first tie wins)
+  // and keep b's expensive opening; the marginal rule removes b's shard
+  // (marginal 4 vs a's 2), halving the average load at the same makespan.
+  const std::vector<UserProfile> users = {linear_user("a", 2.0),
+                                          linear_user("b", 0.5, 0.0, 3.5)};
+  const CostMatrix matrix(users, 2, 1);
+  const auto result = fed_lbap(matrix, 2);
+  EXPECT_DOUBLE_EQ(result.threshold_seconds, 4.0);
+  EXPECT_EQ(result.trimmed_shards, 1u);
+  EXPECT_EQ(result.assignment.shards_per_user[0], 2u);
+  EXPECT_EQ(result.assignment.shards_per_user[1], 0u);
+  EXPECT_DOUBLE_EQ(result.makespan_seconds, 4.0);
+}
+
+TEST(FedLbap, EmitsSchedulerDecisionEvent) {
+  const std::vector<UserProfile> users = {linear_user("a", 1.0), linear_user("b", 1.0)};
+  std::ostringstream os;
+  obs::TraceWriter trace(os);
+  const auto result = fed_lbap(users, 10, 1, &trace);
+  EXPECT_EQ(trace.events_written(), 1u);
+  const std::string line = os.str();
+  EXPECT_NE(line.find("\"ev\":\"sched_lbap\""), std::string::npos);
+  EXPECT_NE(line.find("\"threshold_s\":"), std::string::npos);
+  EXPECT_NE(line.find("\"shards\":[5,5]"), std::string::npos);
+  // A null sink changes nothing about the result itself.
+  const auto untraced = fed_lbap(users, 10, 1);
+  EXPECT_EQ(untraced.assignment.shards_per_user, result.assignment.shards_per_user);
+  EXPECT_EQ(untraced.makespan_seconds, result.makespan_seconds);
+}
+
 // Property test: Fed-LBAP matches the exhaustive oracle on random instances.
 class FedLbapOptimality : public ::testing::TestWithParam<int> {};
 
@@ -150,6 +184,16 @@ TEST_P(FedLbapOptimality, MatchesBruteForce) {
   EXPECT_NEAR(fast.makespan_seconds, oracle.makespan_seconds, 1e-9)
       << "n=" << n << " shards=" << shards;
   EXPECT_EQ(fast.assignment.total_shards(), shards);
+  // Trim invariants: the final makespan never exceeds the searched
+  // threshold, and the mean per-user load of the trimmed assignment can
+  // never beat the optimal makespan (it averages loads bounded by it).
+  EXPECT_LE(fast.makespan_seconds, fast.threshold_seconds + 1e-9);
+  double load_sum = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t k = fast.assignment.shards_per_user[j];
+    if (k > 0) load_sum += matrix.cost(j, k);
+  }
+  EXPECT_LE(load_sum / static_cast<double>(n), oracle.makespan_seconds + 1e-9);
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, FedLbapOptimality, ::testing::Range(0, 40));
