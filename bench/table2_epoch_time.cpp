@@ -3,11 +3,14 @@
 // in parentheses. Regenerated from the device simulator; compare against the
 // paper's measured values quoted in the comments.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <numeric>
 
 #include "bench_util.hpp"
 #include "core/fedsched.hpp"
+#include "fl/trainer.hpp"
 
 namespace {
 
@@ -35,6 +38,49 @@ std::string cell(double total_s, double comm_s) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.0f(%.1f%%)", total_s, 100.0 * comm_s / total_s);
   return buf;
+}
+
+/// Host seconds for one real train_epoch (400 MNIST-like samples, batch 20)
+/// under the given kernel policy. Grounds the device simulator's *simulated*
+/// epoch times against what the host kernels actually achieve.
+double host_epoch_seconds(tensor::ops::KernelPolicy policy) {
+  common::Rng rng(20);
+  nn::ModelSpec spec;
+  spec.kernels = policy;
+  nn::Model model = nn::build_model(spec, rng);
+  nn::Sgd sgd({.learning_rate = 0.02f, .momentum = 0.9f});
+  const auto ds = data::generate_balanced(data::mnist_like(), 400, 21);
+  std::vector<std::size_t> idx(ds.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  common::Rng trng(22);
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)fl::train_epoch(model, sgd, ds, idx, 20, trng);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Emits one kernel_calibration event per policy plus the blocked/reference
+/// host speedup, so the JSONL stream records which kernel family produced
+/// this run's calibration.
+void emit_kernel_calibration(obs::TraceWriter& jsonl) {
+  const double reference_s =
+      host_epoch_seconds(tensor::ops::KernelPolicy::kReference);
+  const double blocked_s = host_epoch_seconds(tensor::ops::KernelPolicy::kBlocked);
+  for (const auto policy : {tensor::ops::KernelPolicy::kReference,
+                            tensor::ops::KernelPolicy::kBlocked}) {
+    common::JsonObject ev;
+    ev.field("ev", "kernel_calibration")
+        .field("model", "LeNet")
+        .field("samples", 400)
+        .field("batch", 20)
+        .field("kernels", tensor::ops::kernel_policy_name(policy))
+        .field("host_epoch_s",
+               policy == tensor::ops::KernelPolicy::kBlocked ? blocked_s : reference_s)
+        .field("host_speedup", reference_s / blocked_s);
+    jsonl.write(ev);
+  }
+  std::printf("host kernel calibration: LeNet epoch %.3fs blocked / %.3fs reference"
+              " (%.2fx)\n\n",
+              blocked_s, reference_s, reference_s / blocked_s);
 }
 
 }  // namespace
@@ -75,6 +121,7 @@ int main(int argc, char** argv) {
     table.add_row(std::move(cells));
   }
 
+  emit_kernel_calibration(jsonl);
   fedsched::bench::emit("table2", "per-epoch training time, simulated vs paper", table);
   return 0;
 }

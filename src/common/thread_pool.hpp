@@ -76,6 +76,15 @@ class ThreadPool {
   [[nodiscard]] static std::pair<std::size_t, std::size_t> chunk_bounds(
       std::size_t begin, std::size_t end, std::size_t chunks, std::size_t c) noexcept;
 
+  /// Chunk count that gives every chunk at most `grain` items: a pure
+  /// function of (count, grain), never of the pool — the fixed-chunking
+  /// building block behind the determinism contract (Conv2d sample chunks,
+  /// the blocked GEMM's column panels).
+  [[nodiscard]] static std::size_t grain_chunks(std::size_t count,
+                                                std::size_t grain) noexcept {
+    return grain == 0 ? count : (count + grain - 1) / grain;
+  }
+
  private:
   struct ForkJoin;
 

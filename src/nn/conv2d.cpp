@@ -1,5 +1,6 @@
 #include "nn/conv2d.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -18,11 +19,19 @@ constexpr std::size_t kSampleGrain = 8;
 /// chunks run inline on the caller (with identical boundaries and results).
 constexpr double kMinMacsForPool = 1.5e6;
 
+/// Reallocate `t` only when the shape actually changes; otherwise reuse the
+/// storage (every consumer fully overwrites it).
+void ensure_shape(Tensor& t, tensor::Shape shape) {
+  if (t.shape() != shape) t = Tensor(std::move(shape));
+}
+
 }  // namespace
 
-Conv2d::Conv2d(ops::Conv2dGeometry geometry, std::size_t out_channels, common::Rng& rng)
+Conv2d::Conv2d(ops::Conv2dGeometry geometry, std::size_t out_channels,
+               common::Rng& rng, ops::KernelPolicy policy)
     : geometry_(geometry),
       out_channels_(out_channels),
+      policy_(policy),
       weight_(Tensor::randn({out_channels, geometry.patch_size()}, rng,
                             std::sqrt(2.0f / static_cast<float>(geometry.patch_size())))),
       bias_({out_channels}),
@@ -39,7 +48,7 @@ Conv2d::Conv2d(ops::Conv2dGeometry geometry, std::size_t out_channels, common::R
 }
 
 std::size_t Conv2d::sample_chunks(std::size_t n) noexcept {
-  return (n + kSampleGrain - 1) / kSampleGrain;
+  return common::ThreadPool::grain_chunks(n, kSampleGrain);
 }
 
 void Conv2d::dispatch_chunks(std::size_t n, const common::ThreadPool::ChunkFn& fn) const {
@@ -65,9 +74,125 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
     throw std::invalid_argument("Conv2d::forward: bad input shape " +
                                 tensor::shape_to_string(input.shape()));
   }
+  if (train) cached_input_ = input;
+  return policy_ == ops::KernelPolicy::kBlocked ? forward_blocked(input, train)
+                                                : forward_reference(input, train);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  if (cached_input_.numel() == 0) {
+    throw std::logic_error("Conv2d::backward before forward(train=true)");
+  }
+  const std::size_t n = cached_input_.dim(0);
+  const std::size_t spatial = geometry_.out_h() * geometry_.out_w();
+  if (grad_output.rank() != 2 || grad_output.dim(0) != n ||
+      grad_output.dim(1) != out_channels_ * spatial) {
+    throw std::invalid_argument("Conv2d::backward: grad shape mismatch");
+  }
+  return policy_ == ops::KernelPolicy::kBlocked ? backward_blocked(grad_output)
+                                                : backward_reference(grad_output);
+}
+
+void Conv2d::unfold_batch(const Tensor& input) {
+  const std::size_t in_features = geometry_.in_channels * geometry_.in_h * geometry_.in_w;
   const std::size_t n = input.dim(0);
   const std::size_t spatial = geometry_.out_h() * geometry_.out_w();
-  if (train) cached_input_ = input;
+  ensure_shape(columns_, {geometry_.patch_size(), n * spatial});
+  dispatch_chunks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      ops::im2col_batch_sample(input.data().subspan(s * in_features, in_features),
+                               geometry_, n, s, columns_);
+    }
+  });
+}
+
+Tensor Conv2d::forward_blocked(const Tensor& input, bool train) {
+  const std::size_t n = input.dim(0);
+  const std::size_t spatial = geometry_.out_h() * geometry_.out_w();
+
+  // One unfold, one GEMM, one bias+scatter — each phase chunked with fixed
+  // boundaries (samples here, output-column panels inside the GEMM).
+  unfold_batch(input);
+  columns_cached_ = train;
+
+  ensure_shape(gemm_out_, {out_channels_, n * spatial});
+  ops::matmul(weight_, columns_, gemm_out_, gemm_ws_);
+
+  Tensor out({n, out_channels_ * spatial});
+  dispatch_chunks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    const float* src = gemm_out_.raw();
+    const float* pb = bias_.raw();
+    for (std::size_t s = lo; s < hi; ++s) {
+      float* dst = out.raw() + s * out_channels_ * spatial;
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        const float* row = src + c * n * spatial + s * spatial;
+        const float bc = pb[c];
+        for (std::size_t p = 0; p < spatial; ++p) dst[c * spatial + p] = row[p] + bc;
+      }
+    }
+  });
+  return out;
+}
+
+Tensor Conv2d::backward_blocked(const Tensor& grad_output) {
+  const std::size_t n = cached_input_.dim(0);
+  const std::size_t spatial = geometry_.out_h() * geometry_.out_w();
+  const std::size_t in_features = geometry_.in_channels * geometry_.in_h * geometry_.in_w;
+  const std::size_t ns = n * spatial;
+
+  // Batch columns: reuse the forward cache when it is still valid, otherwise
+  // re-unfold from the cached input (same bits — same kernel, same input).
+  if (!columns_cached_ || columns_.dim(1) != ns) unfold_batch(cached_input_);
+  columns_cached_ = false;
+
+  // Gather dY from [N, out_c*spatial] into the GEMM layout [out_c, N*spatial].
+  ensure_shape(grad_mat_, {out_channels_, ns});
+  dispatch_chunks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    float* dst = grad_mat_.raw();
+    for (std::size_t s = lo; s < hi; ++s) {
+      const float* src = grad_output.raw() + s * out_channels_ * spatial;
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        std::copy_n(src + c * spatial, spatial, dst + c * ns + s * spatial);
+      }
+    }
+  });
+
+  // dW += dY cols^T — one GEMM over the whole batch; the k-accumulation runs
+  // in fixed column order, so the result is width-invariant.
+  Tensor dw({out_channels_, geometry_.patch_size()});
+  ops::matmul_nt(grad_mat_, columns_, dw, gemm_ws_);
+  grad_weight_ += dw;
+
+  // db += row sums of dY (serial: out_c is tiny, order fixed).
+  {
+    float* pb = grad_bias_.raw();
+    const float* g = grad_mat_.raw();
+    for (std::size_t c = 0; c < out_channels_; ++c) {
+      const float* row = g + c * ns;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < ns; ++p) acc += row[p];
+      pb[c] += acc;
+    }
+  }
+
+  // dcols = W^T dY — the second batch-level GEMM — then fold per sample.
+  ensure_shape(grad_cols_, {geometry_.patch_size(), ns});
+  ops::matmul_tn(weight_, grad_mat_, grad_cols_, gemm_ws_);
+
+  Tensor dx({n, in_features});
+  dispatch_chunks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      auto img = dx.data().subspan(s * in_features, in_features);
+      ops::col2im_batch_sample(grad_cols_, geometry_, n, s, img);
+    }
+  });
+  return dx;
+}
+
+Tensor Conv2d::forward_reference(const Tensor& input, bool) {
+  const std::size_t in_features = geometry_.in_channels * geometry_.in_h * geometry_.in_w;
+  const std::size_t n = input.dim(0);
+  const std::size_t spatial = geometry_.out_h() * geometry_.out_w();
 
   Tensor out({n, out_channels_ * spatial});
   dispatch_chunks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
@@ -75,7 +200,7 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
     Tensor result({out_channels_, spatial});
     for (std::size_t s = lo; s < hi; ++s) {
       ops::im2col(input.data().subspan(s * in_features, in_features), geometry_, columns);
-      ops::matmul(weight_, columns, result);
+      ops::matmul_ref(weight_, columns, result);
       float* dst = out.raw() + s * out_channels_ * spatial;
       const float* src = result.raw();
       const float* pb = bias_.raw();
@@ -89,17 +214,10 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   return out;
 }
 
-Tensor Conv2d::backward(const Tensor& grad_output) {
-  if (cached_input_.numel() == 0) {
-    throw std::logic_error("Conv2d::backward before forward(train=true)");
-  }
+Tensor Conv2d::backward_reference(const Tensor& grad_output) {
   const std::size_t n = cached_input_.dim(0);
   const std::size_t spatial = geometry_.out_h() * geometry_.out_w();
   const std::size_t in_features = geometry_.in_channels * geometry_.in_h * geometry_.in_w;
-  if (grad_output.rank() != 2 || grad_output.dim(0) != n ||
-      grad_output.dim(1) != out_channels_ * spatial) {
-    throw std::invalid_argument("Conv2d::backward: grad shape mismatch");
-  }
 
   Tensor dx({n, in_features});
   // Per-chunk weight/bias gradient partials: each chunk sums its own samples,
@@ -128,7 +246,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
       std::copy(g, g + out_channels_ * spatial, grad_mat.raw());
 
       // dW += dY * cols^T ; db += row sums of dY ; dcols = W^T dY.
-      ops::matmul_nt(grad_mat, columns, dw);
+      ops::matmul_nt_ref(grad_mat, columns, dw);
       dw_partial[chunk] += dw;
       float* pb = db_partial[chunk].raw();
       for (std::size_t c = 0; c < out_channels_; ++c) {
@@ -137,7 +255,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
         for (std::size_t p = 0; p < spatial; ++p) acc += row[p];
         pb[c] += acc;
       }
-      ops::matmul_tn(weight_, grad_mat, dcols);
+      ops::matmul_tn_ref(weight_, grad_mat, dcols);
       auto img = dx.data().subspan(s * in_features, in_features);
       ops::col2im(dcols, geometry_, img);
     }

@@ -1,11 +1,21 @@
 #pragma once
 // 2-D convolution over [N, C*H*W] batches via im2col + GEMM.
 //
-// Both passes are split over samples into fixed-size chunks that may run on
-// the process-wide thread pool. Chunk boundaries depend only on the batch
-// size — never on thread count or scheduling — and the weight/bias gradient
-// partials reduce in chunk order, so results are bit-identical whether the
-// chunks run inline or concurrently.
+// Two kernel policies (tensor::ops::KernelPolicy):
+//
+//  - kBlocked (default): the whole minibatch is unfolded once into a single
+//    [patch_size, N * out_h * out_w] matrix, so each pass is ONE large
+//    blocked GEMM instead of N small ones. The unfold/scatter phases split
+//    over samples into fixed-size chunks; the GEMM splits over output-column
+//    panels with fixed boundaries (tensor/gemm.hpp). forward(train=true)
+//    caches the batch columns so backward skips the re-unfold.
+//  - kReference: the original per-sample naive path, kept as the
+//    differential-testing oracle.
+//
+// Either way every chunk boundary depends only on the batch size — never on
+// thread count or scheduling — and all gradient reductions run in a fixed
+// order, so results are bit-identical whether the chunks run inline or
+// concurrently.
 
 #include "common/thread_pool.hpp"
 #include "nn/layer.hpp"
@@ -16,7 +26,8 @@ namespace fedsched::nn {
 class Conv2d final : public Layer {
  public:
   Conv2d(tensor::ops::Conv2dGeometry geometry, std::size_t out_channels,
-         common::Rng& rng);
+         common::Rng& rng,
+         tensor::ops::KernelPolicy policy = tensor::ops::KernelPolicy::kBlocked);
 
   [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
   [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output) override;
@@ -29,6 +40,12 @@ class Conv2d final : public Layer {
     return geometry_;
   }
   [[nodiscard]] std::size_t out_channels() const noexcept { return out_channels_; }
+  [[nodiscard]] tensor::ops::KernelPolicy policy() const noexcept { return policy_; }
+
+  /// Discard the batch columns cached by the last forward(train=true); the
+  /// next backward re-unfolds from the cached input instead. Test hook for
+  /// asserting the cached and recomputed paths agree bitwise.
+  void drop_column_cache() noexcept { columns_cached_ = false; }
 
  private:
   /// Number of sample chunks for a batch of n — a pure function of n.
@@ -38,13 +55,30 @@ class Conv2d final : public Layer {
   /// boundaries (and therefore all reductions) are identical.
   void dispatch_chunks(std::size_t n, const common::ThreadPool::ChunkFn& fn) const;
 
+  /// Unfold `input` into columns_ ([patch, n*spatial]), chunked over samples.
+  void unfold_batch(const tensor::Tensor& input);
+
+  [[nodiscard]] tensor::Tensor forward_blocked(const tensor::Tensor& input, bool train);
+  [[nodiscard]] tensor::Tensor forward_reference(const tensor::Tensor& input, bool train);
+  [[nodiscard]] tensor::Tensor backward_blocked(const tensor::Tensor& grad_output);
+  [[nodiscard]] tensor::Tensor backward_reference(const tensor::Tensor& grad_output);
+
   tensor::ops::Conv2dGeometry geometry_;
   std::size_t out_channels_;
+  tensor::ops::KernelPolicy policy_;
   tensor::Tensor weight_;       // [out_c, patch_size]
   tensor::Tensor bias_;         // [out_c]
   tensor::Tensor grad_weight_;
   tensor::Tensor grad_bias_;
   tensor::Tensor cached_input_;    // [N, C*H*W]
+
+  // Blocked-path scratch, reused across batches (caller-allocates contract).
+  tensor::Tensor columns_;      // [patch, N*spatial] batch-level im2col
+  tensor::Tensor gemm_out_;     // [out_c, N*spatial] forward product
+  tensor::Tensor grad_cols_;    // [patch, N*spatial] W^T dY
+  tensor::Tensor grad_mat_;     // [out_c, N*spatial] gathered dY
+  tensor::ops::GemmWorkspace gemm_ws_;
+  bool columns_cached_ = false;  // columns_ holds the last train-forward batch
 };
 
 }  // namespace fedsched::nn

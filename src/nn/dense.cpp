@@ -8,10 +8,13 @@
 namespace fedsched::nn {
 
 using tensor::Tensor;
+namespace ops = tensor::ops;
 
-Dense::Dense(std::size_t in_features, std::size_t out_features, common::Rng& rng)
+Dense::Dense(std::size_t in_features, std::size_t out_features, common::Rng& rng,
+             ops::KernelPolicy policy)
     : in_(in_features),
       out_(out_features),
+      policy_(policy),
       weight_(Tensor::randn({out_features, in_features}, rng,
                             std::sqrt(2.0f / static_cast<float>(in_features)))),
       bias_({out_features}),
@@ -29,8 +32,12 @@ Tensor Dense::forward(const Tensor& input, bool train) {
   }
   if (train) cached_input_ = input;
   Tensor out({input.dim(0), out_});
-  tensor::ops::matmul_nt(input, weight_, out);
-  tensor::ops::add_row_bias(out, bias_);
+  if (policy_ == ops::KernelPolicy::kBlocked) {
+    ops::matmul_nt(input, weight_, out, gemm_ws_);
+  } else {
+    ops::matmul_nt_ref(input, weight_, out);
+  }
+  ops::add_row_bias(out, bias_);
   return out;
 }
 
@@ -44,13 +51,18 @@ Tensor Dense::backward(const Tensor& grad_output) {
   }
   // dW = dY^T X ; db = column sums of dY ; dX = dY W.
   Tensor dw({out_, in_});
-  tensor::ops::matmul_tn(grad_output, cached_input_, dw);
+  Tensor dx({n, in_});
+  if (policy_ == ops::KernelPolicy::kBlocked) {
+    ops::matmul_tn(grad_output, cached_input_, dw, gemm_ws_);
+    ops::matmul(grad_output, weight_, dx, gemm_ws_);
+  } else {
+    ops::matmul_tn_ref(grad_output, cached_input_, dw);
+    ops::matmul_ref(grad_output, weight_, dx);
+  }
   grad_weight_ += dw;
   Tensor db({out_});
-  tensor::ops::sum_rows(grad_output, db);
+  ops::sum_rows(grad_output, db);
   grad_bias_ += db;
-  Tensor dx({n, in_});
-  tensor::ops::matmul(grad_output, weight_, dx);
   return dx;
 }
 

@@ -1,14 +1,21 @@
 #pragma once
 // Fully connected layer: y = x W^T + b.
+//
+// The KernelPolicy selects between the blocked GEMM engine (default) and the
+// naive reference kernels; both produce width-invariant bits (see
+// tensor/ops.hpp). The layer owns a GemmWorkspace so steady-state training
+// packs into reused buffers.
 
 #include "nn/layer.hpp"
+#include "tensor/ops.hpp"
 
 namespace fedsched::nn {
 
 class Dense final : public Layer {
  public:
   /// He-style initialization scaled by fan-in.
-  Dense(std::size_t in_features, std::size_t out_features, common::Rng& rng);
+  Dense(std::size_t in_features, std::size_t out_features, common::Rng& rng,
+        tensor::ops::KernelPolicy policy = tensor::ops::KernelPolicy::kBlocked);
 
   [[nodiscard]] tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
   [[nodiscard]] tensor::Tensor backward(const tensor::Tensor& grad_output) override;
@@ -19,15 +26,18 @@ class Dense final : public Layer {
 
   [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
   [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
+  [[nodiscard]] tensor::ops::KernelPolicy policy() const noexcept { return policy_; }
 
  private:
   std::size_t in_;
   std::size_t out_;
+  tensor::ops::KernelPolicy policy_;
   tensor::Tensor weight_;       // [out, in]
   tensor::Tensor bias_;         // [out]
   tensor::Tensor grad_weight_;  // [out, in]
   tensor::Tensor grad_bias_;    // [out]
   tensor::Tensor cached_input_;  // [N, in] from the last training forward
+  tensor::ops::GemmWorkspace gemm_ws_;  // packing buffers, reused per batch
 };
 
 }  // namespace fedsched::nn

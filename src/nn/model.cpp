@@ -112,7 +112,7 @@ std::string Model::summary() const {
   std::ostringstream os;
   os << "Model(" << layers_.size() << " layers, " << param_count() << " params: "
      << param_count(ParamKind::kConv) << " conv / " << param_count(ParamKind::kDense)
-     << " dense)\n";
+     << " dense, " << tensor::ops::kernel_policy_name(kernels_) << " kernels)\n";
   for (const auto& layer : layers_) os << "  " << layer->name() << '\n';
   return os.str();
 }

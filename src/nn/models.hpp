@@ -23,6 +23,8 @@ struct ModelSpec {
   std::size_t classes = 10;
   /// Multiplies every channel/hidden width (>=1). 1 is the scaled default.
   std::size_t width = 1;
+  /// Kernel family every Conv2d/Dense layer runs on (blocked = production).
+  tensor::ops::KernelPolicy kernels = tensor::ops::KernelPolicy::kBlocked;
 };
 
 [[nodiscard]] Model build_model(const ModelSpec& spec, common::Rng& rng);
@@ -35,9 +37,10 @@ struct ModelSpec {
 [[nodiscard]] Model build_vgg6(const ModelSpec& spec, common::Rng& rng);
 
 /// Plain MLP used by unit tests and the profiler's architecture sweep.
-[[nodiscard]] Model build_mlp(std::size_t in_features,
-                              const std::vector<std::size_t>& hidden,
-                              std::size_t classes, common::Rng& rng);
+[[nodiscard]] Model build_mlp(
+    std::size_t in_features, const std::vector<std::size_t>& hidden,
+    std::size_t classes, common::Rng& rng,
+    tensor::ops::KernelPolicy kernels = tensor::ops::KernelPolicy::kBlocked);
 
 [[nodiscard]] const char* arch_name(Arch arch) noexcept;
 

@@ -2,19 +2,160 @@
 
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
+
 namespace fedsched::tensor::ops {
 
 namespace {
 void require(bool condition, const char* what) {
   if (!condition) throw std::invalid_argument(what);
 }
+
+struct GemmDims {
+  std::size_t m, k, n;
+};
+
+GemmDims check_nn(const Tensor& a, const Tensor& b, const Tensor& out,
+                  const char* who) {
+  require(a.rank() == 2 && b.rank() == 2 && out.rank() == 2, who);
+  const GemmDims d{a.dim(0), a.dim(1), b.dim(1)};
+  require(b.dim(0) == d.k, who);
+  require(out.dim(0) == d.m && out.dim(1) == d.n, who);
+  return d;
+}
+
+GemmDims check_tn(const Tensor& a, const Tensor& b, const Tensor& out,
+                  const char* who) {
+  require(a.rank() == 2 && b.rank() == 2 && out.rank() == 2, who);
+  const GemmDims d{a.dim(1), a.dim(0), b.dim(1)};
+  require(b.dim(0) == d.k, who);
+  require(out.dim(0) == d.m && out.dim(1) == d.n, who);
+  return d;
+}
+
+GemmDims check_nt(const Tensor& a, const Tensor& b, const Tensor& out,
+                  const char* who) {
+  require(a.rank() == 2 && b.rank() == 2 && out.rank() == 2, who);
+  const GemmDims d{a.dim(0), a.dim(1), b.dim(0)};
+  require(b.dim(1) == d.k, who);
+  require(out.dim(0) == d.m && out.dim(1) == d.n, who);
+  return d;
+}
+
+/// Unfold one image into `columns` with an arbitrary destination row stride
+/// and column offset — shared by the per-sample and batch-level paths.
+void im2col_into(std::span<const float> image, const Conv2dGeometry& g, float* pc,
+                 std::size_t row_stride, std::size_t col_offset) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    const float* plane = image.data() + c * g.in_h * g.in_w;
+    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        float* dst = pc + row * row_stride + col_offset;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          // Signed arithmetic: padding can take source coordinates negative.
+          const long long iy =
+              static_cast<long long>(oy * g.stride + ky) - static_cast<long long>(g.pad);
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const long long ix = static_cast<long long>(ox * g.stride + kx) -
+                                 static_cast<long long>(g.pad);
+            const bool inside = iy >= 0 && iy < static_cast<long long>(g.in_h) &&
+                                ix >= 0 && ix < static_cast<long long>(g.in_w);
+            dst[oy * ow + ox] =
+                inside ? plane[static_cast<std::size_t>(iy) * g.in_w +
+                               static_cast<std::size_t>(ix)]
+                       : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Fold one image's column slice back, accumulating — the adjoint of
+/// im2col_into with the same stride/offset addressing.
+void col2im_from(const float* pc, const Conv2dGeometry& g, std::span<float> image,
+                 std::size_t row_stride, std::size_t col_offset) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    float* plane = image.data() + c * g.in_h * g.in_w;
+    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const float* src = pc + row * row_stride + col_offset;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const long long iy =
+              static_cast<long long>(oy * g.stride + ky) - static_cast<long long>(g.pad);
+          if (iy < 0 || iy >= static_cast<long long>(g.in_h)) continue;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const long long ix = static_cast<long long>(ox * g.stride + kx) -
+                                 static_cast<long long>(g.pad);
+            if (ix < 0 || ix >= static_cast<long long>(g.in_w)) continue;
+            plane[static_cast<std::size_t>(iy) * g.in_w + static_cast<std::size_t>(ix)] +=
+                src[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
+const char* kernel_policy_name(KernelPolicy policy) noexcept {
+  switch (policy) {
+    case KernelPolicy::kReference: return "reference";
+    case KernelPolicy::kBlocked: return "blocked";
+  }
+  return "?";
+}
+
+// --- blocked GEMM family -----------------------------------------------------
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out, GemmWorkspace& ws) {
+  const GemmDims d = check_nn(a, b, out, "matmul: bad shapes");
+  gemm::gemm(d.m, d.n, d.k, a.raw(), d.k, 1, b.raw(), d.n, 1, out.raw(), &ws,
+             &common::global_pool());
+}
+
 void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
-  require(a.rank() == 2 && b.rank() == 2 && out.rank() == 2, "matmul: rank != 2");
-  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  require(b.dim(0) == k, "matmul: inner dims differ");
-  require(out.dim(0) == m && out.dim(1) == n, "matmul: bad output shape");
+  const GemmDims d = check_nn(a, b, out, "matmul: bad shapes");
+  gemm::gemm(d.m, d.n, d.k, a.raw(), d.k, 1, b.raw(), d.n, 1, out.raw(), nullptr,
+             &common::global_pool());
+}
+
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& out, GemmWorkspace& ws) {
+  const GemmDims d = check_tn(a, b, out, "matmul_tn: bad shapes");
+  // op(A) = A^T: element (i, kk) of the product operand is a[kk * m + i].
+  gemm::gemm(d.m, d.n, d.k, a.raw(), 1, d.m, b.raw(), d.n, 1, out.raw(), &ws,
+             &common::global_pool());
+}
+
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& out) {
+  const GemmDims d = check_tn(a, b, out, "matmul_tn: bad shapes");
+  gemm::gemm(d.m, d.n, d.k, a.raw(), 1, d.m, b.raw(), d.n, 1, out.raw(), nullptr,
+             &common::global_pool());
+}
+
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out, GemmWorkspace& ws) {
+  const GemmDims d = check_nt(a, b, out, "matmul_nt: bad shapes");
+  // op(B) = B^T: element (kk, j) of the product operand is b[j * k + kk].
+  gemm::gemm(d.m, d.n, d.k, a.raw(), d.k, 1, b.raw(), 1, d.k, out.raw(), &ws,
+             &common::global_pool());
+}
+
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out) {
+  const GemmDims d = check_nt(a, b, out, "matmul_nt: bad shapes");
+  gemm::gemm(d.m, d.n, d.k, a.raw(), d.k, 1, b.raw(), 1, d.k, out.raw(), nullptr,
+             &common::global_pool());
+}
+
+// --- naive reference family --------------------------------------------------
+
+void matmul_ref(const Tensor& a, const Tensor& b, Tensor& out) {
+  const GemmDims d = check_nn(a, b, out, "matmul_ref: bad shapes");
+  const std::size_t m = d.m, k = d.k, n = d.n;
 
   const float* pa = a.raw();
   const float* pb = b.raw();
@@ -32,11 +173,9 @@ void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
   }
 }
 
-void matmul_tn(const Tensor& a, const Tensor& b, Tensor& out) {
-  require(a.rank() == 2 && b.rank() == 2 && out.rank() == 2, "matmul_tn: rank != 2");
-  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  require(b.dim(0) == k, "matmul_tn: inner dims differ");
-  require(out.dim(0) == m && out.dim(1) == n, "matmul_tn: bad output shape");
+void matmul_tn_ref(const Tensor& a, const Tensor& b, Tensor& out) {
+  const GemmDims d = check_tn(a, b, out, "matmul_tn_ref: bad shapes");
+  const std::size_t m = d.m, k = d.k, n = d.n;
 
   const float* pa = a.raw();
   const float* pb = b.raw();
@@ -54,11 +193,9 @@ void matmul_tn(const Tensor& a, const Tensor& b, Tensor& out) {
   }
 }
 
-void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out) {
-  require(a.rank() == 2 && b.rank() == 2 && out.rank() == 2, "matmul_nt: rank != 2");
-  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  require(b.dim(1) == k, "matmul_nt: inner dims differ");
-  require(out.dim(0) == m && out.dim(1) == n, "matmul_nt: bad output shape");
+void matmul_nt_ref(const Tensor& a, const Tensor& b, Tensor& out) {
+  const GemmDims d = check_nt(a, b, out, "matmul_nt_ref: bad shapes");
+  const std::size_t m = d.m, k = d.k, n = d.n;
 
   const float* pa = a.raw();
   const float* pb = b.raw();
@@ -74,6 +211,8 @@ void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out) {
     }
   }
 }
+
+// --- misc kernels ------------------------------------------------------------
 
 void transpose(const Tensor& in, Tensor& out) {
   require(in.rank() == 2 && out.rank() == 2, "transpose: rank != 2");
@@ -109,37 +248,15 @@ void sum_rows(const Tensor& grad, Tensor& grad_bias) {
   }
 }
 
+// --- im2col / col2im ---------------------------------------------------------
+
 void im2col(std::span<const float> image, const Conv2dGeometry& g, Tensor& columns) {
   const std::size_t oh = g.out_h(), ow = g.out_w();
   require(image.size() == g.in_channels * g.in_h * g.in_w, "im2col: image size mismatch");
   require(columns.rank() == 2 && columns.dim(0) == g.patch_size() &&
               columns.dim(1) == oh * ow,
           "im2col: bad columns shape");
-  float* pc = columns.raw();
-  std::size_t row = 0;
-  for (std::size_t c = 0; c < g.in_channels; ++c) {
-    const float* plane = image.data() + c * g.in_h * g.in_w;
-    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
-      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
-        float* dst = pc + row * oh * ow;
-        for (std::size_t oy = 0; oy < oh; ++oy) {
-          // Signed arithmetic: padding can take source coordinates negative.
-          const long long iy =
-              static_cast<long long>(oy * g.stride + ky) - static_cast<long long>(g.pad);
-          for (std::size_t ox = 0; ox < ow; ++ox) {
-            const long long ix = static_cast<long long>(ox * g.stride + kx) -
-                                 static_cast<long long>(g.pad);
-            const bool inside = iy >= 0 && iy < static_cast<long long>(g.in_h) &&
-                                ix >= 0 && ix < static_cast<long long>(g.in_w);
-            dst[oy * ow + ox] =
-                inside ? plane[static_cast<std::size_t>(iy) * g.in_w +
-                               static_cast<std::size_t>(ix)]
-                       : 0.0f;
-          }
-        }
-      }
-    }
-  }
+  im2col_into(image, g, columns.raw(), oh * ow, 0);
 }
 
 void col2im(const Tensor& columns, const Conv2dGeometry& g, std::span<float> image) {
@@ -148,28 +265,42 @@ void col2im(const Tensor& columns, const Conv2dGeometry& g, std::span<float> ima
   require(columns.rank() == 2 && columns.dim(0) == g.patch_size() &&
               columns.dim(1) == oh * ow,
           "col2im: bad columns shape");
-  const float* pc = columns.raw();
-  std::size_t row = 0;
-  for (std::size_t c = 0; c < g.in_channels; ++c) {
-    float* plane = image.data() + c * g.in_h * g.in_w;
-    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
-      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
-        const float* src = pc + row * oh * ow;
-        for (std::size_t oy = 0; oy < oh; ++oy) {
-          const long long iy =
-              static_cast<long long>(oy * g.stride + ky) - static_cast<long long>(g.pad);
-          if (iy < 0 || iy >= static_cast<long long>(g.in_h)) continue;
-          for (std::size_t ox = 0; ox < ow; ++ox) {
-            const long long ix = static_cast<long long>(ox * g.stride + kx) -
-                                 static_cast<long long>(g.pad);
-            if (ix < 0 || ix >= static_cast<long long>(g.in_w)) continue;
-            plane[static_cast<std::size_t>(iy) * g.in_w + static_cast<std::size_t>(ix)] +=
-                src[oy * ow + ox];
-          }
-        }
-      }
-    }
+  col2im_from(columns.raw(), g, image, oh * ow, 0);
+}
+
+void im2col_batch_sample(std::span<const float> image, const Conv2dGeometry& g,
+                         std::size_t batch_n, std::size_t sample, Tensor& columns) {
+  const std::size_t spatial = g.out_h() * g.out_w();
+  require(image.size() == g.in_channels * g.in_h * g.in_w,
+          "im2col_batch_sample: image size mismatch");
+  require(sample < batch_n, "im2col_batch_sample: sample out of range");
+  require(columns.rank() == 2 && columns.dim(0) == g.patch_size() &&
+              columns.dim(1) == batch_n * spatial,
+          "im2col_batch_sample: bad columns shape");
+  im2col_into(image, g, columns.raw(), batch_n * spatial, sample * spatial);
+}
+
+void im2col_batch(const Tensor& batch, const Conv2dGeometry& g, Tensor& columns) {
+  const std::size_t features = g.in_channels * g.in_h * g.in_w;
+  require(batch.rank() == 2 && batch.dim(1) == features,
+          "im2col_batch: bad batch shape");
+  const std::size_t n = batch.dim(0);
+  for (std::size_t s = 0; s < n; ++s) {
+    im2col_batch_sample(batch.data().subspan(s * features, features), g, n, s, columns);
   }
+}
+
+void col2im_batch_sample(const Tensor& columns, const Conv2dGeometry& g,
+                         std::size_t batch_n, std::size_t sample,
+                         std::span<float> image) {
+  const std::size_t spatial = g.out_h() * g.out_w();
+  require(image.size() == g.in_channels * g.in_h * g.in_w,
+          "col2im_batch_sample: image size mismatch");
+  require(sample < batch_n, "col2im_batch_sample: sample out of range");
+  require(columns.rank() == 2 && columns.dim(0) == g.patch_size() &&
+              columns.dim(1) == batch_n * spatial,
+          "col2im_batch_sample: bad columns shape");
+  col2im_from(columns.raw(), g, image, batch_n * spatial, sample * spatial);
 }
 
 }  // namespace fedsched::tensor::ops

@@ -5,21 +5,55 @@
 // loop can reuse buffers across batches — important on the 512 MB heap the
 // paper's mobile app runs with, and it keeps per-batch cost flat, which the
 // performance profiler relies on.
+//
+// Two GEMM families live here:
+//   - matmul / matmul_tn / matmul_nt: the cache-blocked, register-tiled
+//     engine (tensor/gemm.hpp). Bit-identical run-to-run at any thread-pool
+//     width (fixed column chunking, no cross-chunk reductions).
+//   - matmul_ref / matmul_tn_ref / matmul_nt_ref: the naive triple-loop
+//     kernels, kept as the differential-testing oracle and as the
+//     KernelPolicy::kReference path of the nn layers.
+// Blocked and reference kernels agree within a few ULPs (bitwise whenever
+// k <= gemm::kKc, which covers every layer in this repo); the bound is pinned
+// by tests/tensor/test_gemm_differential.cpp.
 
 #include <cstddef>
+#include <span>
 
+#include "tensor/gemm.hpp"
 #include "tensor/tensor.hpp"
 
 namespace fedsched::tensor::ops {
 
-/// out[m,n] = a[m,k] * b[k,n]. Shapes are validated.
+/// Selects the kernel family a layer runs on: kBlocked is the production
+/// path; kReference keeps the naive loops for differential testing and
+/// debugging. Plumbed through nn::ModelSpec / nn::Model construction.
+enum class KernelPolicy { kReference, kBlocked };
+
+[[nodiscard]] const char* kernel_policy_name(KernelPolicy policy) noexcept;
+
+/// Reusable GEMM packing buffers (see tensor/gemm.hpp). Layers own one per
+/// instance and pass it to every call, making steady-state training
+/// allocation-free inside the GEMMs.
+using GemmWorkspace = gemm::Workspace;
+
+/// out[m,n] = a[m,k] * b[k,n]. Shapes are validated. Blocked engine; the
+/// workspace overload reuses caller-owned packing buffers.
 void matmul(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul(const Tensor& a, const Tensor& b, Tensor& out, GemmWorkspace& ws);
 
 /// out[m,n] = a[k,m]^T * b[k,n].
 void matmul_tn(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& out, GemmWorkspace& ws);
 
 /// out[m,n] = a[m,k] * b[n,k]^T.
 void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out, GemmWorkspace& ws);
+
+/// Naive reference kernels (identical contracts to the blocked variants).
+void matmul_ref(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_tn_ref(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_nt_ref(const Tensor& a, const Tensor& b, Tensor& out);
 
 /// out[n,m] = in[m,n]^T.
 void transpose(const Tensor& in, Tensor& out);
@@ -56,5 +90,26 @@ void im2col(std::span<const float> image, const Conv2dGeometry& geometry, Tensor
 /// Fold a [patch_size, out_h*out_w] matrix back, accumulating into the image.
 void col2im(const Tensor& columns, const Conv2dGeometry& geometry,
             std::span<float> image);
+
+// Batch-level unfold: the whole minibatch becomes ONE
+// [patch_size, batch * out_h * out_w] matrix (sample s owns the contiguous
+// column range [s * out_h * out_w, (s+1) * out_h * out_w)), so a Conv2d pass
+// is a single large GEMM instead of `batch` small ones. The per-sample
+// entry points write disjoint column ranges, making them safe to dispatch
+// over fixed sample chunks on a thread pool.
+
+/// Unfold sample `sample` of batch[batch_n, C*H*W] into its column slice of
+/// columns[patch_size, batch_n * out_h*out_w].
+void im2col_batch_sample(std::span<const float> image, const Conv2dGeometry& geometry,
+                         std::size_t batch_n, std::size_t sample, Tensor& columns);
+
+/// Unfold every sample (serial convenience wrapper over im2col_batch_sample).
+void im2col_batch(const Tensor& batch, const Conv2dGeometry& geometry, Tensor& columns);
+
+/// Fold sample `sample`'s column slice of columns[patch_size, batch_n * oh*ow]
+/// back, accumulating into that sample's image (C*H*W flattened).
+void col2im_batch_sample(const Tensor& columns, const Conv2dGeometry& geometry,
+                         std::size_t batch_n, std::size_t sample,
+                         std::span<float> image);
 
 }  // namespace fedsched::tensor::ops

@@ -80,6 +80,40 @@ TEST(ParallelDeterminism, FedAvgSerialAndParallelBitIdentical) {
   EXPECT_EQ(mismatched, 0u) << "final flat params differ";
 }
 
+TEST(ParallelDeterminism, FedAvgReferenceKernels1v4BitIdentical) {
+  // The default ModelSpec builds blocked kernels, so every other test in this
+  // file already pins the 1-vs-4 contract for the blocked GEMM path. This
+  // case pins the same contract for KernelPolicy::kReference: the naive
+  // per-sample kernels must be equally width-invariant (their chunk-ordered
+  // partial reductions are fixed functions of the batch, not the pool).
+  Fixture f;
+  f.spec.kernels = tensor::ops::KernelPolicy::kReference;
+  const auto partition = f.partition();
+  auto run_width = [&](std::size_t parallelism) {
+    FlConfig config;
+    config.rounds = 3;
+    config.seed = 63;
+    config.evaluate_each_round = true;
+    config.parallelism = parallelism;
+    FedAvgRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                        device::NetworkType::kWifi, config);
+    RunResult result = runner.run(partition);
+    return std::pair(std::move(result), runner.global_model().flat_params());
+  };
+
+  const auto [serial, serial_params] = run_width(1);
+  const auto [parallel, parallel_params] = run_width(4);
+
+  expect_identical_rounds(serial.rounds, parallel.rounds);
+  EXPECT_EQ(serial.final_accuracy, parallel.final_accuracy);
+  ASSERT_EQ(serial_params.size(), parallel_params.size());
+  std::size_t mismatched = 0;
+  for (std::size_t i = 0; i < serial_params.size(); ++i) {
+    mismatched += (serial_params[i] != parallel_params[i]);
+  }
+  EXPECT_EQ(mismatched, 0u) << "final flat params differ (reference kernels)";
+}
+
 TEST(ParallelDeterminism, FedAvgHardwareWidthMatchesToo) {
   // parallelism = 0 (hardware concurrency, whatever this host has) must
   // agree with the serial path as well.

@@ -21,7 +21,13 @@ struct SweepCase {
   std::size_t channels, hw, classes, width, batch;
 };
 
-class ModelGradcheck : public ::testing::TestWithParam<SweepCase> {};
+using KernelPolicy = tensor::ops::KernelPolicy;
+
+// Every architecture case runs under BOTH kernel policies: the blocked
+// production path and the naive reference path must each pass the same
+// finite-difference check independently (not merely agree with each other).
+class ModelGradcheck
+    : public ::testing::TestWithParam<std::tuple<SweepCase, KernelPolicy>> {};
 
 /// Loss of the model on a fixed batch (for finite differencing).
 double batch_loss(Model& model, const Tensor& x,
@@ -31,7 +37,7 @@ double batch_loss(Model& model, const Tensor& x,
 }
 
 TEST_P(ModelGradcheck, BackwardMatchesFiniteDifferences) {
-  const SweepCase c = GetParam();
+  const auto [c, policy] = GetParam();
   common::Rng rng(std::hash<std::string_view>{}(c.name));
   ModelSpec spec;
   spec.arch = c.arch;
@@ -39,7 +45,9 @@ TEST_P(ModelGradcheck, BackwardMatchesFiniteDifferences) {
   spec.in_h = spec.in_w = c.hw;
   spec.classes = c.classes;
   spec.width = c.width;
+  spec.kernels = policy;
   Model model = build_model(spec, rng);
+  ASSERT_EQ(model.kernels(), policy);
 
   const Tensor x = Tensor::randn({c.batch, c.channels * c.hw * c.hw}, rng);
   std::vector<std::uint16_t> labels(c.batch);
@@ -88,22 +96,26 @@ TEST_P(ModelGradcheck, BackwardMatchesFiniteDifferences) {
 
 INSTANTIATE_TEST_SUITE_P(
     Architectures, ModelGradcheck,
-    ::testing::Values(SweepCase{"lenet-mono", Arch::kLeNet, 1, 8, 4, 1, 3},
-                      SweepCase{"lenet-rgb", Arch::kLeNet, 3, 8, 10, 1, 2},
-                      SweepCase{"lenet-wide", Arch::kLeNet, 1, 12, 10, 2, 2},
-                      SweepCase{"vgg6-mono", Arch::kVgg6, 1, 12, 4, 1, 2},
-                      SweepCase{"vgg6-rgb", Arch::kVgg6, 3, 8, 10, 1, 2},
-                      // Batches that do not divide evenly across Conv2d's
-                      // sample chunks (grain 8): 13 -> chunks of 7 and 6,
-                      // 9 -> chunks of 5 and 4. Exercises the uneven tail of
-                      // the parallel im2col/GEMM path.
-                      SweepCase{"lenet-batch13", Arch::kLeNet, 1, 8, 4, 1, 13},
-                      SweepCase{"vgg6-batch9", Arch::kVgg6, 1, 12, 4, 1, 9}),
+    ::testing::Combine(
+        ::testing::Values(SweepCase{"lenet-mono", Arch::kLeNet, 1, 8, 4, 1, 3},
+                          SweepCase{"lenet-rgb", Arch::kLeNet, 3, 8, 10, 1, 2},
+                          SweepCase{"lenet-wide", Arch::kLeNet, 1, 12, 10, 2, 2},
+                          SweepCase{"vgg6-mono", Arch::kVgg6, 1, 12, 4, 1, 2},
+                          SweepCase{"vgg6-rgb", Arch::kVgg6, 3, 8, 10, 1, 2},
+                          // Batches that do not divide evenly across Conv2d's
+                          // sample chunks (grain 8): 13 -> chunks of 7 and 6,
+                          // 9 -> chunks of 5 and 4. Exercises the uneven tail
+                          // of the parallel im2col/GEMM path.
+                          SweepCase{"lenet-batch13", Arch::kLeNet, 1, 8, 4, 1, 13},
+                          SweepCase{"vgg6-batch9", Arch::kVgg6, 1, 12, 4, 1, 9}),
+        ::testing::Values(KernelPolicy::kBlocked, KernelPolicy::kReference)),
     [](const auto& info) {
-      std::string name = info.param.name;
+      std::string name = std::get<0>(info.param).name;
       for (char& ch : name) {
         if (ch == '-') ch = '_';
       }
+      name += '_';
+      name += tensor::ops::kernel_policy_name(std::get<1>(info.param));
       return name;
     });
 

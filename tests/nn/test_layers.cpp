@@ -190,6 +190,93 @@ TEST(Conv2d, MacsScaleWithGeometry) {
   EXPECT_DOUBLE_EQ(large.macs_per_sample() / small.macs_per_sample(), 4.0);
 }
 
+TEST(Conv2d, CachedColumnsMatchRecomputedBackward) {
+  // forward(train=true) caches the batch-level im2col matrix; backward
+  // normally consumes the cache instead of re-unfolding the input. The cache
+  // is an optimization only: dropping it (forcing backward to re-run im2col)
+  // must produce bit-identical gradients.
+  common::Rng rng(13);
+  const Tensor x = Tensor::randn({5, 2 * 6 * 6}, rng);
+
+  auto grads_with_cache = [&](bool drop) {
+    common::Rng layer_rng(14);  // identical weights both runs
+    Conv2d layer(geom(2, 6, 3, 1), 4, layer_rng);
+    const Tensor out = layer.forward(x, /*train=*/true);
+    if (drop) layer.drop_column_cache();
+    const Tensor dx = layer.backward(objective_grad(out));
+    std::vector<float> flat(dx.data().begin(), dx.data().end());
+    for (const Param& p : layer.params()) {
+      flat.insert(flat.end(), p.grad->data().begin(), p.grad->data().end());
+    }
+    return flat;
+  };
+
+  const auto cached = grads_with_cache(false);
+  const auto recomputed = grads_with_cache(true);
+  ASSERT_EQ(cached.size(), recomputed.size());
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    ASSERT_EQ(cached[i], recomputed[i]) << "grad element " << i;
+  }
+}
+
+TEST(Conv2d, EvalForwardInvalidatesColumnCache) {
+  // An eval-mode forward between train forward and backward overwrites the
+  // column scratch with the eval batch; the cache flag must be cleared so
+  // backward re-unfolds the cached training input rather than using stale
+  // (wrong-batch) columns.
+  common::Rng rng(15);
+  const Tensor x_train = Tensor::randn({3, 1 * 5 * 5}, rng);
+  const Tensor x_eval = Tensor::randn({3, 1 * 5 * 5}, rng);
+
+  auto run = [&](bool interleave_eval) {
+    common::Rng layer_rng(16);
+    Conv2d layer(geom(1, 5, 3, 1), 2, layer_rng);
+    const Tensor out = layer.forward(x_train, /*train=*/true);
+    if (interleave_eval) (void)layer.forward(x_eval, /*train=*/false);
+    (void)layer.backward(objective_grad(out));
+    const auto g = layer.params()[0].grad->data();
+    return std::vector<float>(g.begin(), g.end());
+  };
+
+  const auto clean = run(false);
+  const auto interleaved = run(true);
+  ASSERT_EQ(clean.size(), interleaved.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    ASSERT_EQ(clean[i], interleaved[i]) << "dW element " << i;
+  }
+}
+
+TEST(Conv2d, ReferencePolicyMatchesBlockedForwardBackward) {
+  // The two kernel policies implement the same layer: outputs and gradients
+  // must agree tightly (bitwise is not guaranteed across policies — the
+  // blocked path computes dW as one GEMM, the reference path as per-sample
+  // partial sums — so compare within a small absolute/relative band).
+  common::Rng rng(17);
+  const Tensor x = Tensor::randn({4, 2 * 6 * 6}, rng);
+
+  auto run_policy = [&](tensor::ops::KernelPolicy policy) {
+    common::Rng layer_rng(18);
+    Conv2d layer(geom(2, 6, 3, 1), 3, layer_rng, policy);
+    const Tensor out = layer.forward(x, /*train=*/true);
+    const Tensor dx = layer.backward(objective_grad(out));
+    std::vector<float> flat(out.data().begin(), out.data().end());
+    flat.insert(flat.end(), dx.data().begin(), dx.data().end());
+    for (const Param& p : layer.params()) {
+      flat.insert(flat.end(), p.grad->data().begin(), p.grad->data().end());
+    }
+    return flat;
+  };
+
+  const auto blocked = run_policy(tensor::ops::KernelPolicy::kBlocked);
+  const auto reference = run_policy(tensor::ops::KernelPolicy::kReference);
+  ASSERT_EQ(blocked.size(), reference.size());
+  for (std::size_t i = 0; i < blocked.size(); ++i) {
+    const double scale = std::max({std::abs(static_cast<double>(blocked[i])),
+                                   std::abs(static_cast<double>(reference[i])), 1.0});
+    EXPECT_NEAR(blocked[i], reference[i], 1e-4 * scale) << "element " << i;
+  }
+}
+
 TEST(ReLU, ForwardClampsNegatives) {
   ReLU relu;
   const Tensor x({1, 4}, {-1.0f, 0.0f, 2.0f, -3.0f});

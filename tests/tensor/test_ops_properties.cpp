@@ -99,6 +99,75 @@ TEST_P(ConvGeometries, Im2colCol2imAdjoint) {
   EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)));
 }
 
+TEST_P(ConvGeometries, BatchIm2colCol2imAdjoint) {
+  // Adjointness of the batch-level unfold pair: for every geometry,
+  // <im2col_batch(x), y> == <x, col2im_batch(y)> where the inner products run
+  // over the whole [patch, batch*spatial] matrix and the whole batch. This is
+  // the same linear-operator property the per-sample test pins, applied to
+  // the new single-matrix path the blocked Conv2d uses.
+  const ConvCase c = GetParam();
+  Conv2dGeometry g;
+  g.in_channels = c.channels;
+  g.in_h = g.in_w = c.hw;
+  g.kernel = c.kernel;
+  g.pad = c.pad;
+  g.stride = c.stride;
+  const std::size_t batch = 3;
+  const std::size_t features = g.in_channels * g.in_h * g.in_w;
+  const std::size_t spatial = g.out_h() * g.out_w();
+
+  common::Rng rng(c.channels * 7919 + c.hw * 13 + c.kernel);
+  const Tensor x = Tensor::randn({batch, features}, rng);
+  Tensor cols({g.patch_size(), batch * spatial});
+  im2col_batch(x, g, cols);
+
+  const Tensor y = Tensor::randn(cols.shape(), rng);
+  Tensor back({batch, features});
+  for (std::size_t s = 0; s < batch; ++s) {
+    col2im_batch_sample(y, g, batch, s, back.data().subspan(s * features, features));
+  }
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i) {
+    lhs += static_cast<double>(cols[i]) * y[i];
+  }
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[i]) * back[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::abs(lhs)));
+}
+
+TEST_P(ConvGeometries, BatchAndPerSampleUnfoldAgreeBitwise) {
+  // Old path (per-sample im2col) and new path (batch-level im2col) must
+  // produce identical bits — the blocked Conv2d relies on sample s owning
+  // exactly the column range [s*spatial, (s+1)*spatial).
+  const ConvCase c = GetParam();
+  Conv2dGeometry g;
+  g.in_channels = c.channels;
+  g.in_h = g.in_w = c.hw;
+  g.kernel = c.kernel;
+  g.pad = c.pad;
+  g.stride = c.stride;
+  const std::size_t batch = 4;
+  const std::size_t features = g.in_channels * g.in_h * g.in_w;
+  const std::size_t spatial = g.out_h() * g.out_w();
+
+  common::Rng rng(c.channels + c.hw + c.kernel);
+  const Tensor x = Tensor::randn({batch, features}, rng);
+  Tensor cols_batch({g.patch_size(), batch * spatial});
+  im2col_batch(x, g, cols_batch);
+
+  Tensor cols_one({g.patch_size(), spatial});
+  for (std::size_t s = 0; s < batch; ++s) {
+    im2col(x.data().subspan(s * features, features), g, cols_one);
+    for (std::size_t r = 0; r < g.patch_size(); ++r) {
+      for (std::size_t p = 0; p < spatial; ++p) {
+        ASSERT_EQ(cols_batch.at({r, s * spatial + p}), cols_one.at({r, p}));
+      }
+    }
+  }
+}
+
 TEST_P(ConvGeometries, Im2colPreservesEnergyWithoutPadding) {
   const ConvCase c = GetParam();
   if (c.pad != 0 || c.stride != c.kernel) GTEST_SKIP();  // only exact tilings
