@@ -94,6 +94,47 @@ double deadline_from(const Args& args) {
   return args.has("deadline") ? args.get_double("deadline", 0.0) : fl::kNoDeadline;
 }
 
+// Shared --health-* flags. Defaults mirror HealthConfig so a flagless run and
+// an explicit-default run behave identically.
+fl::health::HealthConfig health_config_from(const Args& args) {
+  fl::health::HealthConfig health;
+  health.ewma_alpha = args.get_double("health-ewma", health.ewma_alpha);
+  health.drift_threshold = args.get_double("health-drift", health.drift_threshold);
+  health.probation_streak = static_cast<std::size_t>(
+      args.get_int("health-probation-streak", static_cast<long>(health.probation_streak)));
+  health.probation_rounds = static_cast<std::size_t>(
+      args.get_int("health-probation-rounds", static_cast<long>(health.probation_rounds)));
+  health.blacklist_faults = static_cast<std::size_t>(
+      args.get_int("health-blacklist", static_cast<long>(health.blacklist_faults)));
+  health.replan_cooldown_rounds = static_cast<std::size_t>(
+      args.get_int("health-cooldown", static_cast<long>(health.replan_cooldown_rounds)));
+  return health;
+}
+
+// --checkpoint-out / --checkpoint-every / --halt-after / --resume. A halt
+// round doubles as a checkpoint round, so kill-and-resume needs no extra
+// cadence flag; byte-identical resumes require the baseline run to share the
+// same cadence (see docs/API.md).
+fl::CheckpointConfig checkpoint_config_from(const Args& args) {
+  fl::CheckpointConfig ckpt;
+  ckpt.path = args.get("checkpoint-out", "");
+  ckpt.every_rounds = static_cast<std::size_t>(args.get_int("checkpoint-every", 0));
+  ckpt.halt_after_rounds = static_cast<std::size_t>(args.get_int("halt-after", 0));
+  ckpt.resume_from = args.get("resume", "");
+  if ((ckpt.every_rounds > 0 || ckpt.halt_after_rounds > 0) && ckpt.path.empty()) {
+    throw std::invalid_argument(
+        "--checkpoint-every / --halt-after need --checkpoint-out PATH");
+  }
+  return ckpt;
+}
+
+fl::health::ReschedulePolicy reschedule_policy_from(const std::string& name) {
+  if (name == "off") return fl::health::ReschedulePolicy::kOff;
+  if (name == "lbap") return fl::health::ReschedulePolicy::kLbap;
+  if (name == "minavg") return fl::health::ReschedulePolicy::kMinAvg;
+  throw std::invalid_argument("unknown reschedule policy '" + name + "'");
+}
+
 // --trace-out FILE: JSONL run trace. The default writer is the null sink, so
 // commands pass it unconditionally and results stay bit-identical without it.
 obs::TraceWriter trace_from(const Args& args) {
@@ -262,6 +303,28 @@ int cmd_train(const Args& args) {
   config.parallelism = static_cast<std::size_t>(parallel);
   config.faults = fault_config_from(args);
   config.deadline_s = deadline_from(args);
+  config.checkpoint = checkpoint_config_from(args);
+  const auto reschedule_policy =
+      reschedule_policy_from(args.get("reschedule-policy", "off"));
+  if (reschedule_policy != fl::health::ReschedulePolicy::kOff) {
+    config.reschedule.policy = reschedule_policy;
+    config.reschedule.health = health_config_from(args);
+    config.reschedule.users = users;
+    config.reschedule.total_shards = 600;
+    config.reschedule.shard_size = 100;
+    config.reschedule.initial_shards = assignment.shards_per_user;
+    if (reschedule_policy == fl::health::ReschedulePolicy::kMinAvg) {
+      // Same rule as `schedule --policy fed-minavg`: without a scenario file,
+      // every user gets a deterministic random class subset.
+      common::Rng class_rng(seed + 4);
+      for (auto& user : config.reschedule.users) {
+        const std::size_t k = 2 + class_rng.uniform_int(6);
+        for (std::size_t c : class_rng.sample_without_replacement(10, k)) {
+          user.classes.push_back(static_cast<std::uint16_t>(c));
+        }
+      }
+    }
+  }
   config.trace = &trace;
   if (args.has("metrics-out")) config.metrics = &metrics;
   nn::ModelSpec spec;
@@ -280,6 +343,21 @@ int cmd_train(const Args& args) {
   }
   if (config.faults.enabled || std::isfinite(config.deadline_s)) {
     std::cout << fl::fault_summary(result) << "\n";
+  }
+  if (!result.client_health.empty()) {
+    std::cout << "\nclient health after " << result.rounds.size() << " rounds:\n";
+    fl::recovery_table(result, core::testbed_names(phones)).print(std::cout);
+  }
+  if (result.halted) {
+    std::cout << "halted after " << result.rounds.size()
+              << " rounds; checkpoint written to " << config.checkpoint.path
+              << "\nresume with: fedsched_cli train ... --resume "
+              << config.checkpoint.path << "\n";
+    if (trace.enabled()) {
+      std::cout << "wrote " << trace.events_written() << " trace events to "
+                << args.get("trace-out", "trace.jsonl") << "\n";
+    }
+    return 0;
   }
   std::cout << "final accuracy " << result.final_accuracy << " after "
             << result.total_seconds << " simulated seconds\n";
@@ -343,6 +421,7 @@ void usage() {
       "            [--parallel K]   (0 = all host threads, 1 = serial)\n"
       "            [fault flags] [--deadline S]\n"
       "            [--trace-out FILE] [--metrics-out FILE]\n"
+      "            [recovery flags] [checkpoint flags]\n"
       "  energy    --device <name> --model <..> --samples N [--network ..]\n"
       "fault flags (any non-zero hazard enables injection; all deterministic\n"
       "per seed):\n"
@@ -356,6 +435,21 @@ void usage() {
       "  --fault-battery-floor F  state-of-charge death floor (default 0.05)\n"
       "  --fault-soc-min/-max F   initial state-of-charge range (default 1)\n"
       "  --deadline S             round deadline in simulated seconds\n"
+      "recovery flags (train; health-aware online rescheduling):\n"
+      "  --reschedule-policy P    off|lbap|minavg — re-solve the schedule on\n"
+      "                           health drift (default off)\n"
+      "  --health-ewma A          speed-drift EWMA weight (default 0.3)\n"
+      "  --health-drift T         replan when |ewma/planned - 1| > T (0.25)\n"
+      "  --health-probation-streak N  faults in a row before probation (2)\n"
+      "  --health-probation-rounds N  first probation length, doubles (2)\n"
+      "  --health-blacklist N     total faults before permanent exclusion (6)\n"
+      "  --health-cooldown N      min rounds between replans (default 1)\n"
+      "checkpoint flags (train; deterministic kill-and-resume):\n"
+      "  --checkpoint-out PATH    binary checkpoint target (+ .meta.jsonl)\n"
+      "  --checkpoint-every N     checkpoint every N completed rounds\n"
+      "  --halt-after N           checkpoint after round N and exit early\n"
+      "  --resume PATH            resume a halted run; byte-identical to an\n"
+      "                           uninterrupted run with the same cadence\n"
       "observability (simulated time only; byte-identical at any --parallel):\n"
       "  --trace-out FILE         stream JSONL run-trace events to FILE\n"
       "  --metrics-out FILE       write the metrics registry as JSON to FILE\n";

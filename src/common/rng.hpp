@@ -131,6 +131,20 @@ class Rng {
     return Rng(splitmix64(sm));
   }
 
+  /// The raw xoshiro state words — what checkpointing serializes so a
+  /// restored stream continues bit-for-bit where the saved one stopped.
+  [[nodiscard]] std::array<std::uint64_t, 4> state_words() const noexcept {
+    return state_;
+  }
+
+  /// Inverse of state_words(). Drops any cached gaussian pair: a restored
+  /// stream resumes from the word state alone, which is exactly the state a
+  /// checkpoint captures (the runners never checkpoint mid-gaussian).
+  void set_state_words(const std::array<std::uint64_t, 4>& words) noexcept {
+    state_ = words;
+    has_gauss_ = false;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

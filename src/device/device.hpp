@@ -66,6 +66,14 @@ class Device {
   /// Reset clock and thermal state (freshly picked-up phone).
   void reset();
 
+  /// Restore a checkpointed (clock, temperature) pair bit-exactly — the
+  /// complete mutable state of a noise-free device, so a resumed simulation
+  /// continues the same thermal trajectory the saved one was on.
+  void restore(double clock_s, double temp_c) noexcept {
+    clock_s_ = clock_s;
+    thermal_.set_temperature_c(temp_c);
+  }
+
  private:
   [[nodiscard]] TracePoint snapshot() const noexcept;
 

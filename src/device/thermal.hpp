@@ -32,6 +32,9 @@ class ThermalState {
 
   void reset() noexcept { temp_c_ = params_.ambient_c; }
 
+  /// Restore a checkpointed temperature (bit-exact resume of the RC state).
+  void set_temperature_c(double temp_c) noexcept { temp_c_ = temp_c; }
+
   /// Steady-state temperature under constant power (no throttle feedback).
   [[nodiscard]] double steady_state_c(double power_w) const noexcept {
     return params_.ambient_c + power_w / params_.dissipation;

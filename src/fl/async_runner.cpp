@@ -1,6 +1,7 @@
 #include "fl/async_runner.hpp"
 
 #include <cmath>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 #include <utility>
@@ -57,10 +58,19 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
     bool ok = true;            // trip produced a mergeable update
     std::size_t retries = 0;   // upload retries charged to this trip
     bool killed = false;       // battery died during this trip (permanent)
+    FaultKind kind = FaultKind::kNone;  // the trip's fault verdict
+    double soc = -1.0;         // state of charge after the trip (< 0 untracked)
     bool operator>(const Event& other) const { return time_s > other.time_s; }
   };
 
   AsyncRunResult result;
+
+  // Self-healing for the async loop: per-trip health tracking. There are no
+  // rounds, so probation is served as a simulated-time wait before the
+  // client's next pull; blacklisted clients stop re-pulling entirely. All
+  // folds happen in phase 1 (serial), so the determinism contract holds.
+  std::optional<health::HealthTracker> tracker;
+  if (config_.health_enabled) tracker.emplace(config_.health, n);
 
   // Observability: phase 1 below is serial whatever the parallelism knob
   // says, and phase 2 merges apply in timeline order, so every event stream
@@ -116,7 +126,11 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
 
       const std::size_t trip = trips[u]++;
       FaultOutcome out = injector.evaluate(trip, u, timings, deadline);
-      Event event{0.0, u, out.completed, out.retries, false};
+      Event event{.time_s = 0.0,
+                  .client = u,
+                  .ok = out.completed,
+                  .retries = out.retries,
+                  .killed = false};
       // A deadline-missed trip is abandoned at the deadline mark; every
       // other outcome (battery death included) occupies the client for its
       // full elapsed time.
@@ -134,6 +148,8 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
         }
       }
       event.time_s = start_s + consumed;
+      event.kind = out.kind;
+      if (injector.battery_enabled()) event.soc = batteries[u].state_of_charge();
 
       if (trace.enabled()) {
         trace_client_trip(trace, trip, u, timings, out);
@@ -159,6 +175,12 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
       if (injector.battery_enabled() &&
           batteries[u].dead(config_.faults.battery_floor_soc)) {
         ++result.battery_deaths;  // dead on arrival: never participates
+        if (tracker) {
+          (void)tracker->observe_trip(
+              u, {.participated = true,
+                  .fault = FaultKind::kBatteryDead,
+                  .soc = batteries[u].state_of_charge()});
+        }
         continue;
       }
       queue.push(attempt(u, 0.0));
@@ -176,12 +198,42 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
       result.retry_count += event.retries;
       if (event.killed) {
         ++result.battery_deaths;
+        if (tracker) {
+          (void)tracker->observe_trip(event.client,
+                                      {.participated = true,
+                                       .fault = FaultKind::kBatteryDead,
+                                       .soc = event.soc});
+        }
         continue;  // permanently out of the fleet
       }
-      // Client immediately pulls the fresh model and starts its next round.
-      queue.push(attempt(event.client, event.time_s));
+      double wait_s = 0.0;
+      if (tracker) {
+        wait_s = tracker->observe_trip(event.client,
+                                       {.participated = true,
+                                        .measured_s = 0.0,
+                                        .fault = event.kind,
+                                        .completed = event.ok,
+                                        .retries = event.retries,
+                                        .soc = event.soc});
+        if (wait_s < 0.0) continue;  // blacklisted: stops re-pulling
+        if (wait_s > 0.0) {
+          result.probation_wait_seconds += wait_s;
+          if (trace.enabled()) {
+            common::JsonObject ev;
+            ev.field("ev", "probation")
+                .field("time_s", event.time_s)
+                .field("client", event.client)
+                .field("wait_s", wait_s);
+            trace.write(ev);
+          }
+        }
+      }
+      // Client pulls the fresh model and starts its next round — after any
+      // probation backoff the health tracker imposed.
+      queue.push(attempt(event.client, event.time_s + wait_s));
     }
   }
+  if (tracker) result.client_health = tracker->all();
 
   // Per-client chain of merge indices: training for merge k may start as
   // soon as the client's previous merge was applied.

@@ -39,6 +39,12 @@ struct AsyncConfig {
   /// Observability sinks (non-owning; may be null) — see FlConfig.
   obs::TraceWriter* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Self-healing for the async loop: per-trip health tracking with
+  /// probation served as simulated-time backoff waits before the next pull,
+  /// and permanent exclusion of blacklisted/dead clients. There are no
+  /// rounds, so no shard replanning — see docs/API.md "Self-healing rounds".
+  bool health_enabled = false;
+  health::HealthConfig health;
 };
 
 struct AsyncUpdateRecord {
@@ -57,6 +63,10 @@ struct AsyncRunResult {
   std::size_t dropped_updates = 0;
   std::size_t retry_count = 0;
   std::size_t battery_deaths = 0;
+  /// Final per-client health state (empty when health tracking is off) and
+  /// the total simulated seconds clients spent waiting out probations.
+  std::vector<health::ClientHealth> client_health;
+  double probation_wait_seconds = 0.0;
 
   [[nodiscard]] double mean_staleness() const;
   [[nodiscard]] std::size_t updates_from(std::size_t client) const;

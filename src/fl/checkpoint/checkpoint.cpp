@@ -1,0 +1,271 @@
+#include "fl/checkpoint/checkpoint.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/json.hpp"
+
+namespace fedsched::fl::checkpoint {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46534331;  // "FSC1"
+
+// Little-endian raw scalar I/O (matches nn/serialize.cpp; the testbed is
+// homogeneous x86-64/aarch64-LE, and the magic word would read back-to-front
+// on a BE host anyway).
+template <typename T>
+void put(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return value;
+}
+
+void put_u64(std::ofstream& out, std::uint64_t v) { put(out, v); }
+std::uint64_t get_u64(std::ifstream& in) { return get<std::uint64_t>(in); }
+
+template <typename T>
+void put_vec(std::ofstream& out, const std::vector<T>& v) {
+  put_u64(out, v.size());
+  if (!v.empty()) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+std::vector<T> get_vec(std::ifstream& in) {
+  std::vector<T> v(get_u64(in));
+  if (!v.empty()) {
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+  return v;
+}
+
+void put_f64_vec(std::ofstream& out, const std::vector<double>& v) { put_vec(out, v); }
+std::vector<double> get_f64_vec(std::ifstream& in) { return get_vec<double>(in); }
+void put_f32_vec(std::ofstream& out, const std::vector<float>& v) { put_vec(out, v); }
+std::vector<float> get_f32_vec(std::ifstream& in) { return get_vec<float>(in); }
+void put_u64_vec(std::ofstream& out, const std::vector<std::uint64_t>& v) {
+  put_vec(out, v);
+}
+std::vector<std::uint64_t> get_u64_vec(std::ifstream& in) {
+  return get_vec<std::uint64_t>(in);
+}
+
+void put_size_vec(std::ofstream& out, const std::vector<std::size_t>& v) {
+  put_u64(out, v.size());
+  for (std::size_t x : v) put_u64(out, static_cast<std::uint64_t>(x));
+}
+
+std::vector<std::size_t> get_size_vec(std::ifstream& in) {
+  std::vector<std::size_t> v(get_u64(in));
+  for (auto& x : v) x = static_cast<std::size_t>(get_u64(in));
+  return v;
+}
+
+void put_round(std::ofstream& out, const RoundRecord& r) {
+  put_u64(out, r.round);
+  put(out, r.round_seconds);
+  put(out, r.cumulative_seconds);
+  put(out, r.mean_train_loss);
+  put(out, r.test_accuracy);
+  put_f64_vec(out, r.client_seconds);
+  put_u64(out, r.completed_clients);
+  put_u64(out, r.dropped_clients);
+  put_u64(out, r.retry_count);
+  put(out, static_cast<std::uint8_t>(r.skipped ? 1 : 0));
+  put(out, static_cast<std::uint8_t>(r.rescheduled ? 1 : 0));
+  put_u64(out, r.moved_shards);
+  put_u64(out, r.client_faults.size());
+  for (FaultKind kind : r.client_faults) {
+    put(out, static_cast<std::uint8_t>(kind));
+  }
+}
+
+RoundRecord get_round(std::ifstream& in) {
+  RoundRecord r;
+  r.round = static_cast<std::size_t>(get_u64(in));
+  r.round_seconds = get<double>(in);
+  r.cumulative_seconds = get<double>(in);
+  r.mean_train_loss = get<double>(in);
+  r.test_accuracy = get<double>(in);
+  r.client_seconds = get_f64_vec(in);
+  r.completed_clients = static_cast<std::size_t>(get_u64(in));
+  r.dropped_clients = static_cast<std::size_t>(get_u64(in));
+  r.retry_count = static_cast<std::size_t>(get_u64(in));
+  r.skipped = get<std::uint8_t>(in) != 0;
+  r.rescheduled = get<std::uint8_t>(in) != 0;
+  r.moved_shards = static_cast<std::size_t>(get_u64(in));
+  r.client_faults.resize(get_u64(in));
+  for (auto& kind : r.client_faults) {
+    kind = static_cast<FaultKind>(get<std::uint8_t>(in));
+  }
+  return r;
+}
+
+void put_client_health(std::ofstream& out, const health::ClientHealth& c) {
+  put(out, static_cast<std::uint8_t>(c.status));
+  put(out, c.speed_ewma);
+  put(out, static_cast<std::uint8_t>(c.has_observation ? 1 : 0));
+  put_u64(out, c.fault_streak);
+  put_u64(out, c.total_faults);
+  put_u64(out, c.total_retries);
+  put_u64(out, c.probations);
+  put_u64(out, c.probation_remaining);
+  put_u64(out, c.reassigned_shards);
+  put(out, c.soc);
+  put(out, c.soc_drop_ewma);
+}
+
+health::ClientHealth get_client_health(std::ifstream& in) {
+  health::ClientHealth c;
+  c.status = static_cast<health::ClientStatus>(get<std::uint8_t>(in));
+  c.speed_ewma = get<double>(in);
+  c.has_observation = get<std::uint8_t>(in) != 0;
+  c.fault_streak = static_cast<std::size_t>(get_u64(in));
+  c.total_faults = static_cast<std::size_t>(get_u64(in));
+  c.total_retries = static_cast<std::size_t>(get_u64(in));
+  c.probations = static_cast<std::size_t>(get_u64(in));
+  c.probation_remaining = static_cast<std::size_t>(get_u64(in));
+  c.reassigned_shards = static_cast<std::size_t>(get_u64(in));
+  c.soc = get<double>(in);
+  c.soc_drop_ewma = get<double>(in);
+  return c;
+}
+
+void write_sidecar(const RunState& state, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  common::JsonObject meta;
+  meta.field("format", "fedsched-checkpoint");
+  meta.field("version", static_cast<std::size_t>(kFormatVersion));
+  meta.field("round", static_cast<std::size_t>(state.rounds_completed));
+  meta.field("seed", static_cast<std::size_t>(state.seed));
+  meta.field("clients", state.device_clock_s.size());
+  meta.field("param_count", state.global_params.size());
+  meta.field("total_seconds", state.total_seconds);
+  meta.field("recovery_active", state.recovery_active);
+  meta.field("battery_tracked", !state.battery_soc.empty());
+  meta.field("trace_events", static_cast<std::size_t>(state.trace_events));
+  meta.field("trace_bytes", state.trace_prefix.size());
+  out << meta.str() << '\n';
+  if (!out) throw std::runtime_error("save_checkpoint: write failed for " + path);
+}
+
+}  // namespace
+
+void save_checkpoint(const RunState& state, const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+
+  put(out, kMagic);
+  put(out, kFormatVersion);
+  put_u64(out, state.seed);
+  put_u64(out, state.rounds_completed);
+
+  put_u64(out, state.model_fingerprint);
+  put_f32_vec(out, state.global_params);
+
+  put_u64(out, state.velocities.size());
+  for (const auto& v : state.velocities) put_f32_vec(out, v);
+
+  put_f64_vec(out, state.device_clock_s);
+  put_f64_vec(out, state.device_temp_c);
+  put_f64_vec(out, state.battery_soc);
+
+  put_u64(out, state.partition.user_indices.size());
+  for (const auto& share : state.partition.user_indices) put_size_vec(out, share);
+
+  put_u64(out, state.rounds.size());
+  for (const RoundRecord& r : state.rounds) put_round(out, r);
+  put(out, state.total_seconds);
+
+  put(out, static_cast<std::uint8_t>(state.recovery_active ? 1 : 0));
+  put_u64(out, state.health.clients.size());
+  for (const auto& c : state.health.clients) put_client_health(out, c);
+  put_f64_vec(out, state.health.planned_multiplier);
+  put_u64(out, state.health.last_plan_round);
+  put(out, static_cast<std::uint8_t>(state.health.has_plan ? 1 : 0));
+  put(out, static_cast<std::uint8_t>(state.health.status_dirty ? 1 : 0));
+  put_u64_vec(out, state.replanner_shards);
+
+  for (std::uint64_t word : state.rng_words) put_u64(out, word);
+
+  put_u64(out, state.trace_events);
+  put_u64(out, state.trace_prefix.size());
+  out.write(state.trace_prefix.data(),
+            static_cast<std::streamsize>(state.trace_prefix.size()));
+
+  if (!out) throw std::runtime_error("save_checkpoint: write failed for " + path);
+  out.close();
+  write_sidecar(state, path + ".meta.jsonl");
+}
+
+RunState load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+
+  const auto magic = get<std::uint32_t>(in);
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_checkpoint: " + path +
+                             " is not a fedsched checkpoint");
+  }
+  const auto version = get<std::uint32_t>(in);
+  if (version != kFormatVersion) {
+    throw std::runtime_error("load_checkpoint: " + path + " has format version " +
+                             std::to_string(version) + "; this build reads version " +
+                             std::to_string(kFormatVersion));
+  }
+
+  RunState state;
+  state.seed = get_u64(in);
+  state.rounds_completed = get_u64(in);
+
+  state.model_fingerprint = get_u64(in);
+  state.global_params = get_f32_vec(in);
+
+  state.velocities.resize(get_u64(in));
+  for (auto& v : state.velocities) v = get_f32_vec(in);
+
+  state.device_clock_s = get_f64_vec(in);
+  state.device_temp_c = get_f64_vec(in);
+  state.battery_soc = get_f64_vec(in);
+
+  state.partition.user_indices.resize(get_u64(in));
+  for (auto& share : state.partition.user_indices) share = get_size_vec(in);
+
+  state.rounds.resize(get_u64(in));
+  for (auto& r : state.rounds) r = get_round(in);
+  state.total_seconds = get<double>(in);
+
+  state.recovery_active = get<std::uint8_t>(in) != 0;
+  state.health.clients.resize(get_u64(in));
+  for (auto& c : state.health.clients) c = get_client_health(in);
+  state.health.planned_multiplier = get_f64_vec(in);
+  state.health.last_plan_round = static_cast<std::size_t>(get_u64(in));
+  state.health.has_plan = get<std::uint8_t>(in) != 0;
+  state.health.status_dirty = get<std::uint8_t>(in) != 0;
+  state.replanner_shards = get_u64_vec(in);
+
+  for (auto& word : state.rng_words) word = get_u64(in);
+
+  state.trace_events = get_u64(in);
+  state.trace_prefix.resize(get_u64(in));
+  in.read(state.trace_prefix.data(),
+          static_cast<std::streamsize>(state.trace_prefix.size()));
+
+  if (!in) throw std::runtime_error("load_checkpoint: truncated file " + path);
+  return state;
+}
+
+}  // namespace fedsched::fl::checkpoint

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "device/battery.hpp"
@@ -67,6 +68,18 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
   for (const auto& share : partition.user_indices) any_data |= !share.empty();
   if (!any_data) throw std::invalid_argument("GossipRunner::run: empty partition");
 
+  // Self-healing (shared membership view): health folds each round's
+  // verdicts; the replanner redistributes shares away from drifted/dead
+  // peers. Off policy = bit-identical to the static-plan behaviour.
+  const bool recovery = config_.reschedule.enabled();
+  std::optional<health::HealthTracker> tracker;
+  std::optional<health::Replanner> replanner;
+  if (recovery) {
+    tracker.emplace(config_.reschedule.health, n);
+    replanner.emplace(config_.reschedule, n);
+  }
+  data::Partition working = partition;
+
   const auto neighbors = build_topology(config_.topology, n);
   std::vector<device::Device> devices;
   devices.reserve(n);
@@ -119,7 +132,7 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
     // write their own slots, so they run concurrently.
     std::vector<std::vector<float>> trained = params;
     executor_.for_each_client(n, [&](std::size_t u, nn::Model& worker) {
-      const auto& share = partition.user_indices[u];
+      const auto& share = working.user_indices[u];
       if (share.empty()) return;
 
       if (injector.battery_enabled() &&
@@ -171,7 +184,7 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
 
     if (trace.enabled()) {
       for (std::size_t u = 0; u < n; ++u) {
-        if (partition.user_indices[u].empty()) continue;
+        if (working.user_indices[u].empty()) continue;
         trace_client_trip(trace, round, u, trip_timings[u], outcomes[u]);
         const device::TracePoint point{
             .time_s = devices[u].clock_s(),
@@ -194,7 +207,7 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
     for (std::size_t u = 0; u < n; ++u) {
       record.client_faults[u] = outcomes[u].kind;
       record.retry_count += outcomes[u].retries;
-      if (partition.user_indices[u].empty()) continue;
+      if (working.user_indices[u].empty()) continue;
       if (has_loss[u]) {
         ++record.completed_clients;
       } else {
@@ -213,17 +226,17 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
         mixed[u] = params[u];  // offline: local training and exchanges lost
         return;
       }
-      double total_weight = static_cast<double>(partition.user_indices[u].size());
+      double total_weight = static_cast<double>(working.user_indices[u].size());
       std::vector<float> acc(trained[u].size(), 0.0f);
       auto accumulate = [&](std::size_t v, double w) {
         for (std::size_t i = 0; i < acc.size(); ++i) {
           acc[i] += static_cast<float>(w) * trained[v][i];
         }
       };
-      accumulate(u, static_cast<double>(partition.user_indices[u].size()));
+      accumulate(u, static_cast<double>(working.user_indices[u].size()));
       for (std::size_t v : neighbors[u]) {
         if (!online[v]) continue;  // dropped neighbor never sent its model
-        const double w = static_cast<double>(partition.user_indices[v].size());
+        const double w = static_cast<double>(working.user_indices[v].size());
         total_weight += w;
         accumulate(v, w);
       }
@@ -245,8 +258,42 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
     result.total_seconds += record.round_seconds;
     record.cumulative_seconds = result.total_seconds;
     trace_round_end(trace, record);
+
+    // Self-healing: same serial fold + replan as FedAvgRunner::run (which
+    // documents the ordering); gossip has one local epoch per round.
+    if (recovery) {
+      std::vector<health::HealthTracker::Observation> observed(n);
+      for (std::size_t u = 0; u < n; ++u) {
+        const auto& share = working.user_indices[u];
+        health::HealthTracker::Observation& o = observed[u];
+        o.participated = !share.empty();
+        o.predicted_s = config_.reschedule.users[u].epoch_seconds(share.size());
+        o.measured_s = outcomes[u].elapsed_s;
+        o.fault = outcomes[u].kind;
+        o.completed = has_loss[u] != 0;
+        o.retries = outcomes[u].retries;
+        o.soc = injector.battery_enabled() ? batteries[u].state_of_charge() : -1.0;
+      }
+      tracker->observe_round(observed);
+      trace_health(trace, round, *tracker);
+
+      if (round + 1 < config_.rounds && tracker->replan_due(round)) {
+        const health::ReplanOutcome outcome = replanner->replan(*tracker, *tracker);
+        if (outcome.replanned) {
+          record.rescheduled = true;
+          record.moved_shards = outcome.moved_shards;
+          common::Rng repart_rng =
+              common::Rng(config_.seed ^ 0xA11C0DEDULL).fork(round);
+          working = replanner->materialize(train_, working.total(), repart_rng);
+          trace_reschedule(trace, round, config_.reschedule.policy, outcome);
+        }
+        tracker->note_replan(round);
+      }
+    }
     result.rounds.push_back(std::move(record));
   }
+
+  if (recovery) result.client_health = tracker->all();
 
   // Final evaluation of every client's model + consensus gap. Each client's
   // accuracy and pairwise-gap row is independent; the mean and max reduce

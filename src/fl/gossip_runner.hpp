@@ -44,6 +44,10 @@ struct GossipConfig {
   /// Observability sinks (non-owning; may be null) — see FlConfig.
   obs::TraceWriter* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Self-healing: health tracking + online rescheduling (fl/health). There
+  /// is no server, so think of this as the fleet's shared membership view.
+  /// Checkpointing is not supported for gossip runs.
+  health::ReschedulePlan reschedule;
 };
 
 struct GossipRunResult {
@@ -55,6 +59,8 @@ struct GossipRunResult {
   /// the consensus error the averaging is supposed to shrink.
   double consensus_gap = 0.0;
   double total_seconds = 0.0;
+  /// Final per-client health state (empty when rescheduling is off).
+  std::vector<health::ClientHealth> client_health;
 };
 
 class GossipRunner {

@@ -1,0 +1,128 @@
+#include "fl/health/replanner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "profile/time_model.hpp"
+#include "sched/fed_lbap.hpp"
+
+namespace fedsched::fl::health {
+
+const char* policy_name(ReschedulePolicy policy) noexcept {
+  switch (policy) {
+    case ReschedulePolicy::kOff: return "off";
+    case ReschedulePolicy::kLbap: return "lbap";
+    case ReschedulePolicy::kMinAvg: return "minavg";
+  }
+  return "unknown";
+}
+
+void ReschedulePlan::validate(std::size_t n_clients) const {
+  if (!enabled()) return;
+  health.validate();
+  if (users.size() != n_clients) {
+    throw std::invalid_argument("ReschedulePlan: users size != client count");
+  }
+  if (total_shards == 0 || shard_size == 0) {
+    throw std::invalid_argument("ReschedulePlan: total_shards and shard_size must be > 0");
+  }
+  if (initial_shards.size() != n_clients) {
+    throw std::invalid_argument("ReschedulePlan: initial_shards size != client count");
+  }
+  for (const auto& user : users) {
+    if (!user.time_model) {
+      throw std::invalid_argument("ReschedulePlan: user missing time model");
+    }
+    if (policy == ReschedulePolicy::kMinAvg && user.classes.empty()) {
+      throw std::invalid_argument("ReschedulePlan: minavg users need class sets");
+    }
+  }
+}
+
+Replanner::Replanner(ReschedulePlan plan, std::size_t n_clients)
+    : plan_(std::move(plan)) {
+  plan_.validate(n_clients);
+  current_shards_ = plan_.enabled()
+                        ? plan_.initial_shards
+                        : std::vector<std::size_t>(n_clients, 0);
+}
+
+void Replanner::restore_shards(std::vector<std::size_t> shards) {
+  if (shards.size() != current_shards_.size()) {
+    throw std::invalid_argument("Replanner: restored shard count mismatch");
+  }
+  current_shards_ = std::move(shards);
+}
+
+ReplanOutcome Replanner::replan(const HealthTracker& tracker,
+                                HealthTracker& accounting) {
+  ReplanOutcome outcome;
+  if (!plan_.enabled()) return outcome;
+
+  // Health-adjusted profiles: baseline models stretched by the observed
+  // drift, ineligible clients closed via zero capacity.
+  std::vector<sched::UserProfile> adjusted = plan_.users;
+  std::size_t hostable = 0;
+  for (std::size_t u = 0; u < adjusted.size(); ++u) {
+    const double mult = tracker.cost_multiplier(u);
+    adjusted[u].time_model =
+        std::make_shared<profile::ScaledTimeModel>(plan_.users[u].time_model, mult);
+    adjusted[u].comm_seconds = plan_.users[u].comm_seconds * mult;
+    if (tracker.eligible(u)) {
+      outcome.eligible_clients += 1;
+      hostable += std::min(adjusted[u].capacity_shards, plan_.total_shards);
+    } else {
+      adjusted[u].capacity_shards = 0;
+    }
+  }
+  // Not enough surviving capacity: keep the current plan rather than throw —
+  // the run degrades to whatever clients remain instead of aborting.
+  if (outcome.eligible_clients == 0 || hostable < plan_.total_shards) {
+    return outcome;
+  }
+
+  if (plan_.policy == ReschedulePolicy::kLbap) {
+    const sched::LbapResult result =
+        sched::fed_lbap(adjusted, plan_.total_shards, plan_.shard_size);
+    outcome.assignment = result.assignment;
+    outcome.predicted_makespan = result.makespan_seconds;
+  } else {
+    const sched::MinAvgResult result = sched::fed_minavg(
+        adjusted, plan_.total_shards, plan_.shard_size, plan_.minavg);
+    outcome.assignment = result.assignment;
+    outcome.predicted_makespan = result.makespan_seconds;
+  }
+
+  const std::vector<std::size_t>& next = outcome.assignment.shards_per_user;
+  std::size_t l1 = 0;
+  for (std::size_t u = 0; u < next.size(); ++u) {
+    const std::size_t prev = current_shards_[u];
+    l1 += next[u] > prev ? next[u] - prev : prev - next[u];
+    if (next[u] < prev) accounting.add_reassigned(u, prev - next[u]);
+  }
+  outcome.moved_shards = l1 / 2;
+  if (outcome.moved_shards == 0) return outcome;  // nothing actually changed
+
+  current_shards_ = next;
+  outcome.replanned = true;
+  return outcome;
+}
+
+data::Partition Replanner::materialize(const data::Dataset& train,
+                                       std::size_t total_samples,
+                                       common::Rng& rng) const {
+  std::vector<double> weights(current_shards_.begin(), current_shards_.end());
+  const std::vector<std::size_t> sizes =
+      data::proportional_sizes(total_samples, weights);
+  if (plan_.policy == ReschedulePolicy::kMinAvg) {
+    std::vector<std::vector<std::uint16_t>> class_sets;
+    class_sets.reserve(plan_.users.size());
+    for (const auto& user : plan_.users) class_sets.push_back(user.classes);
+    return data::partition_by_class_sets(train, class_sets, sizes, rng);
+  }
+  return data::partition_with_sizes_iid(train, sizes, rng);
+}
+
+}  // namespace fedsched::fl::health

@@ -1,0 +1,115 @@
+#pragma once
+// Online replanner — the actuation half of the self-healing loop.
+//
+// When HealthTracker reports that the fleet has drifted from the current plan
+// (dead/benched clients, speed drift past the threshold), the replanner
+// rebuilds the scheduler's cost inputs from live health state and re-runs the
+// paper's algorithms mid-run:
+//
+//   * every client's profiled time model is stretched by its observed
+//     cost_multiplier (profile::ScaledTimeModel), comm time included;
+//   * ineligible clients (probation / blacklisted / dead / battery-risky)
+//     get capacity_shards = 0 so the scheduler routes shards around them;
+//   * Fed-LBAP re-solves the IID makespan problem, Fed-MinAvg the non-IID
+//     min-average-cost problem — the same planners the static schedule used.
+//
+// The runner then re-materializes the data partition from the new shard
+// counts with a repartition Rng that is a pure function of (seed, round), so
+// a replan is reproducible from the round number alone — nothing extra to
+// checkpoint beyond the shard counts themselves.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/partition.hpp"
+#include "fl/health/health.hpp"
+#include "sched/fed_minavg.hpp"
+#include "sched/types.hpp"
+
+namespace fedsched::fl::health {
+
+enum class ReschedulePolicy : std::uint8_t {
+  kOff = 0,   // static plan for the whole run (the pre-PR behaviour)
+  kLbap,      // re-run Fed-LBAP on health-adjusted profiles (IID data)
+  kMinAvg,    // re-run Fed-MinAvg on health-adjusted profiles (non-IID data)
+};
+
+[[nodiscard]] const char* policy_name(ReschedulePolicy policy) noexcept;
+
+/// Everything the replanner needs to rebuild a schedule mid-run. `users` are
+/// the *baseline* offline profiles; health multipliers are layered on top at
+/// each replan, never compounded into the stored profiles.
+struct ReschedulePlan {
+  ReschedulePolicy policy = ReschedulePolicy::kOff;
+  HealthConfig health;
+  std::vector<sched::UserProfile> users;
+  std::size_t total_shards = 0;
+  std::size_t shard_size = 100;
+  /// Non-IID opening-cost parameters (kMinAvg only).
+  sched::MinAvgConfig minavg;
+  /// Shard counts of the initial static plan (the drift / moved-shards
+  /// baseline). Must match `users` in length when the policy is on.
+  std::vector<std::size_t> initial_shards;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return policy != ReschedulePolicy::kOff;
+  }
+  /// Throws std::invalid_argument on an inconsistent plan (only when
+  /// enabled(); an off plan is always valid).
+  void validate(std::size_t n_clients) const;
+};
+
+struct ReplanOutcome {
+  /// False when no new plan was produced: surviving capacity cannot host
+  /// total_shards, or the solver result matched the current allocation.
+  bool replanned = false;
+  sched::Assignment assignment;
+  /// Solver's predicted makespan under the health-adjusted costs, seconds.
+  double predicted_makespan = 0.0;
+  /// Shards that changed owner vs the previous allocation (L1 distance / 2).
+  std::size_t moved_shards = 0;
+  /// Clients eligible for shards when the plan was built.
+  std::size_t eligible_clients = 0;
+};
+
+class Replanner {
+ public:
+  /// Throws std::invalid_argument when the enabled plan is inconsistent with
+  /// `n_clients`.
+  Replanner(ReschedulePlan plan, std::size_t n_clients);
+
+  [[nodiscard]] const ReschedulePlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] bool enabled() const noexcept { return plan_.enabled(); }
+
+  /// The shard allocation currently in force (initial_shards until the first
+  /// replan). Checkpoints serialize this; restore() re-establishes it.
+  [[nodiscard]] const std::vector<std::size_t>& current_shards() const noexcept {
+    return current_shards_;
+  }
+  void restore_shards(std::vector<std::size_t> shards);
+
+  /// Rebuild the schedule from live health state. On success the new
+  /// allocation becomes current, decreases are credited to the tracker's
+  /// reassigned-shards counters, and the caller is expected to call
+  /// tracker.note_replan(round) after acting on the outcome.
+  [[nodiscard]] ReplanOutcome replan(const HealthTracker& tracker,
+                                     HealthTracker& accounting);
+
+  /// Materialize the current allocation into a data partition holding
+  /// `total_samples` samples (the previous partition's total, which may not
+  /// equal total_shards * shard_size — replans redistribute, never grow,
+  /// coverage). Sizes are proportional to shard counts; kMinAvg routes
+  /// through the plan users' class sets. `rng` must be a pure function of
+  /// (seed, round) so resumed runs repartition identically.
+  [[nodiscard]] data::Partition materialize(const data::Dataset& train,
+                                            std::size_t total_samples,
+                                            common::Rng& rng) const;
+
+ private:
+  ReschedulePlan plan_;
+  std::vector<std::size_t> current_shards_;
+};
+
+}  // namespace fedsched::fl::health

@@ -51,7 +51,44 @@ std::string fault_summary(const RunResult& result) {
     any = true;
   }
   if (any) os << ')';
+  if (!result.client_health.empty()) {
+    std::size_t reschedules = 0, moved = 0;
+    for (const RoundRecord& record : result.rounds) {
+      reschedules += record.rescheduled;
+      moved += record.moved_shards;
+    }
+    std::size_t probations = 0, excluded = 0;
+    for (const auto& c : result.client_health) {
+      probations += c.probations;
+      excluded += c.status == health::ClientStatus::kBlacklisted ||
+                  c.status == health::ClientStatus::kDead;
+    }
+    os << "\nrecovery: " << reschedules << " reschedules, " << moved
+       << " shards moved, " << probations << " probations, " << excluded
+       << " clients excluded";
+  }
   return os.str();
+}
+
+common::Table recovery_table(const RunResult& result,
+                             const std::vector<std::string>& client_names) {
+  if (result.client_health.empty()) {
+    throw std::invalid_argument("recovery_table: run carries no health state");
+  }
+  if (client_names.size() != result.client_health.size()) {
+    throw std::invalid_argument("recovery_table: name count mismatch");
+  }
+  common::Table table({"client", "status", "speed_mult", "faults", "retries",
+                       "probations", "shards_reassigned"});
+  for (std::size_t u = 0; u < result.client_health.size(); ++u) {
+    const health::ClientHealth& c = result.client_health[u];
+    table.add_row({client_names[u], std::string(health::status_name(c.status)),
+                   c.speed_ewma, static_cast<long long>(c.total_faults),
+                   static_cast<long long>(c.total_retries),
+                   static_cast<long long>(c.probations),
+                   static_cast<long long>(c.reassigned_shards)});
+  }
+  return table;
 }
 
 std::string round_timeline(const RoundRecord& record,
@@ -89,6 +126,10 @@ std::string round_timeline(const RoundRecord& record,
     }
     const bool straggler = t >= makespan - 1e-12;
     os << std::string(bars, straggler ? '#' : '=') << ' ' << t << "s\n";
+  }
+  if (record.rescheduled) {
+    os << "  >> rescheduled after this round (" << record.moved_shards
+       << " shards moved)\n";
   }
   return os.str();
 }
@@ -174,6 +215,52 @@ void trace_round_end(obs::TraceWriter& trace, const RoundRecord& record) {
   trace.write(ev);
 }
 
+void trace_health(obs::TraceWriter& trace, std::size_t round,
+                  const health::HealthTracker& tracker) {
+  if (!trace.enabled()) return;
+  common::JsonObject ev;
+  ev.field("ev", "health").field("round", round).field("eligible",
+                                                       tracker.eligible_count());
+  std::string statuses = "[";
+  std::vector<double> mults;
+  mults.reserve(tracker.clients());
+  for (std::size_t u = 0; u < tracker.clients(); ++u) {
+    if (u > 0) statuses += ',';
+    statuses += common::json_quote(health::status_name(tracker.client(u).status));
+    mults.push_back(tracker.cost_multiplier(u));
+  }
+  statuses += ']';
+  ev.field_raw("status", statuses);
+  ev.field("mult", std::span<const double>(mults));
+  trace.write(ev);
+}
+
+void trace_reschedule(obs::TraceWriter& trace, std::size_t round,
+                      health::ReschedulePolicy policy,
+                      const health::ReplanOutcome& outcome) {
+  if (!trace.enabled()) return;
+  common::JsonObject ev;
+  ev.field("ev", "reschedule")
+      .field("round", round)
+      .field("policy", health::policy_name(policy))
+      .field("moved_shards", outcome.moved_shards)
+      .field("predicted_makespan_s", outcome.predicted_makespan)
+      .field("eligible", outcome.eligible_clients)
+      .field("shards",
+             std::span<const std::size_t>(outcome.assignment.shards_per_user));
+  trace.write(ev);
+}
+
+void trace_checkpoint(obs::TraceWriter& trace, std::size_t completed,
+                      double total_seconds) {
+  if (!trace.enabled()) return;
+  common::JsonObject ev;
+  ev.field("ev", "checkpoint")
+      .field("round", completed)
+      .field("total_seconds", total_seconds);
+  trace.write(ev);
+}
+
 void trace_run_end(obs::TraceWriter& trace, double final_accuracy,
                    double total_seconds, std::size_t rounds) {
   if (!trace.enabled()) return;
@@ -205,14 +292,42 @@ void record_round_metrics(obs::MetricsRegistry& metrics,
 
 }  // namespace
 
+namespace {
+
+// Recovery metrics are keyed only when self-healing ran, so recovery-off
+// runs produce byte-identical metric dumps to older builds.
+void record_recovery_metrics(obs::MetricsRegistry& metrics,
+                             const std::vector<RoundRecord>& rounds,
+                             const std::vector<health::ClientHealth>& client_health) {
+  if (client_health.empty()) return;
+  for (const RoundRecord& record : rounds) {
+    if (record.rescheduled) {
+      metrics.add("fl.reschedules");
+      metrics.add("fl.moved_shards", record.moved_shards);
+    }
+  }
+  std::size_t probations = 0, excluded = 0;
+  for (const auto& c : client_health) {
+    probations += c.probations;
+    excluded += c.status != health::ClientStatus::kHealthy &&
+                c.status != health::ClientStatus::kProbation;
+  }
+  metrics.add("fl.probations", probations);
+  metrics.set_gauge("fl.clients_excluded", static_cast<double>(excluded));
+}
+
+}  // namespace
+
 void record_run_metrics(obs::MetricsRegistry& metrics, const RunResult& result) {
   record_round_metrics(metrics, result.rounds);
+  record_recovery_metrics(metrics, result.rounds, result.client_health);
   metrics.set_gauge("fl.final_accuracy", result.final_accuracy);
   metrics.set_gauge("fl.total_seconds", result.total_seconds);
 }
 
 void record_run_metrics(obs::MetricsRegistry& metrics, const GossipRunResult& result) {
   record_round_metrics(metrics, result.rounds);
+  record_recovery_metrics(metrics, result.rounds, result.client_health);
   metrics.set_gauge("fl.final_accuracy", result.mean_accuracy);
   metrics.set_gauge("fl.consensus_gap", result.consensus_gap);
   metrics.set_gauge("fl.total_seconds", result.total_seconds);

@@ -24,7 +24,16 @@ namespace fedsched::fl {
 
 /// One-line rollup of fault activity across the run: total completed and
 /// dropped client-rounds, retries, skipped rounds, and a per-kind breakdown.
+/// When self-healing ran (RunResult::client_health non-empty) a second line
+/// summarizes recovery: reschedules, shards moved, probations, and clients
+/// permanently excluded.
 [[nodiscard]] std::string fault_summary(const RunResult& result);
+
+/// Per-client recovery table (self-healing runs): final status, speed-drift
+/// multiplier, faults, upload retries, probations served, and shards the
+/// replanner moved away. Throws when the run carries no health state.
+[[nodiscard]] common::Table recovery_table(const RunResult& result,
+                                           const std::vector<std::string>& client_names);
 
 /// Textual Gantt chart of one round: one bar per client, proportional to its
 /// busy time and never longer than `width`, '#' for the straggler. Clients
@@ -68,7 +77,29 @@ void trace_device_snapshot(obs::TraceWriter& trace, std::size_t round,
                            double battery_soc = -1.0);
 
 /// `round_end`: the full RoundRecord (accuracy omitted when not evaluated).
+/// The schema is frozen to the pre-recovery fields; reschedule outcomes ride
+/// in their own `reschedule` event so traces of recovery-off runs are
+/// byte-identical to older builds.
 void trace_round_end(obs::TraceWriter& trace, const RoundRecord& record);
+
+// Self-healing events. Emitted only when recovery is active, so traces of
+// recovery-off runs carry no new event kinds.
+
+/// `health`: per-round fleet health — eligible count, per-client status
+/// string array, and per-client cost multipliers.
+void trace_health(obs::TraceWriter& trace, std::size_t round,
+                  const health::HealthTracker& tracker);
+
+/// `reschedule`: the replanner swapped the shard plan at the end of `round`.
+void trace_reschedule(obs::TraceWriter& trace, std::size_t round,
+                      health::ReschedulePolicy policy,
+                      const health::ReplanOutcome& outcome);
+
+/// `checkpoint`: a checkpoint was written after `completed` rounds. Carries
+/// no paths or byte counts, so the event bytes are identical between a
+/// halted run and its uninterrupted twin.
+void trace_checkpoint(obs::TraceWriter& trace, std::size_t completed,
+                      double total_seconds);
 
 /// `run_end`: final accuracy + total simulated seconds + rounds executed.
 void trace_run_end(obs::TraceWriter& trace, double final_accuracy,

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "device/battery.hpp"
+#include "fl/checkpoint/checkpoint.hpp"
 #include "fl/report.hpp"
 #include "fl/trainer.hpp"
+#include "nn/serialize.hpp"
 
 namespace fedsched::fl {
 
@@ -38,6 +42,20 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
     throw std::invalid_argument("FedAvgRunner::run: partition/device count mismatch");
   }
   const std::size_t n_users = phones_.size();
+
+  // Self-healing loop state: health tracking feeds the replanner, which may
+  // swap the working partition between rounds. Both live only when the
+  // policy is on; an off policy leaves the run bit-identical to older builds.
+  const bool recovery = config_.reschedule.enabled();
+  std::optional<health::HealthTracker> tracker;
+  std::optional<health::Replanner> replanner;
+  if (recovery) {
+    tracker.emplace(config_.reschedule.health, n_users);
+    replanner.emplace(config_.reschedule, n_users);
+  }
+  // Mutable copy: the replanner reassigns shares, and resume restores the
+  // partition in force when the checkpoint was written.
+  data::Partition working = partition;
 
   std::vector<device::Device> devices;
   devices.reserve(n_users);
@@ -77,17 +95,76 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
   // order — the trace is byte-identical at every parallelism width.
   obs::TraceWriter null_trace;
   obs::TraceWriter& trace = config_.trace ? *config_.trace : null_trace;
-  trace_run_start(trace, "fedavg", n_users, config_.rounds, config_.seed,
-                  config_.deadline_s, config_.faults.enabled);
+  const CheckpointConfig& ckpt = config_.checkpoint;
+  // Mirror trace bytes into memory so checkpoints can store the prefix; a
+  // resumed run replays its saved prefix and keeps capturing for the next
+  // checkpoint, so the final trace file is byte-identical either way.
+  if (ckpt.save_enabled() || !ckpt.resume_from.empty()) trace.enable_capture();
 
-  for (std::size_t round = 0; round < config_.rounds; ++round) {
+  std::size_t start_round = 0;
+  if (!ckpt.resume_from.empty()) {
+    checkpoint::RunState state = checkpoint::load_checkpoint(ckpt.resume_from);
+    if (state.seed != config_.seed) {
+      throw std::runtime_error("FedAvgRunner: checkpoint seed mismatch");
+    }
+    if (state.device_clock_s.size() != n_users ||
+        state.device_temp_c.size() != n_users || state.velocities.size() != n_users ||
+        state.partition.users() != n_users) {
+      throw std::runtime_error("FedAvgRunner: checkpoint fleet size mismatch");
+    }
+    if (state.model_fingerprint != nn::layout_fingerprint(global_) ||
+        state.global_params.size() != global_.param_count()) {
+      throw std::runtime_error("FedAvgRunner: checkpoint model mismatch");
+    }
+    if (state.rounds_completed > config_.rounds) {
+      throw std::runtime_error("FedAvgRunner: checkpoint is past the round budget");
+    }
+    if (state.recovery_active != recovery) {
+      throw std::runtime_error("FedAvgRunner: checkpoint reschedule config mismatch");
+    }
+    global_params = std::move(state.global_params);
+    global_.set_flat_params(global_params);
+    for (std::size_t u = 0; u < n_users; ++u) {
+      optimizers[u].set_flat_velocity(global_, state.velocities[u]);
+      devices[u].restore(state.device_clock_s[u], state.device_temp_c[u]);
+    }
+    if (injector.battery_enabled()) {
+      if (state.battery_soc.size() != n_users) {
+        throw std::runtime_error("FedAvgRunner: checkpoint lacks battery state");
+      }
+      for (std::size_t u = 0; u < n_users; ++u) {
+        batteries[u] =
+            device::Battery(device::battery_of(phones_[u]), state.battery_soc[u]);
+      }
+    }
+    working = std::move(state.partition);
+    result.rounds = std::move(state.rounds);
+    result.total_seconds = state.total_seconds;
+    if (recovery) {
+      tracker->restore(state.health);
+      replanner->restore_shards(std::vector<std::size_t>(
+          state.replanner_shards.begin(), state.replanner_shards.end()));
+    }
+    rng.set_state_words(state.rng_words);
+    start_round = static_cast<std::size_t>(state.rounds_completed);
+    // Replay the interrupted run's trace verbatim (includes run_start).
+    if (trace.enabled()) {
+      trace.write_raw(state.trace_prefix,
+                      static_cast<std::size_t>(state.trace_events));
+    }
+  } else {
+    trace_run_start(trace, "fedavg", n_users, config_.rounds, config_.seed,
+                    config_.deadline_s, config_.faults.enabled);
+  }
+
+  for (std::size_t round = start_round; round < config_.rounds; ++round) {
     RoundRecord record;
     record.round = round;
     record.client_seconds.assign(n_users, 0.0);
     trace_round_start(trace, round);
 
     std::size_t total_samples = 0;
-    for (const auto& share : partition.user_indices) total_samples += share.size();
+    for (const auto& share : working.user_indices) total_samples += share.size();
     if (total_samples == 0) {
       throw std::invalid_argument("FedAvgRunner::run: empty partition");
     }
@@ -102,7 +179,7 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
     std::fill(trip_timings.begin(), trip_timings.end(), RoundTimings{});
 
     executor_.for_each_client(n_users, [&](std::size_t u, nn::Model& worker) {
-      const auto& share = partition.user_indices[u];
+      const auto& share = working.user_indices[u];
       if (share.empty()) return;
 
       // A battery at the floor killed the client before the round started.
@@ -161,7 +238,7 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
 
     if (trace.enabled()) {
       for (std::size_t u = 0; u < n_users; ++u) {
-        if (partition.user_indices[u].empty()) continue;
+        if (working.user_indices[u].empty()) continue;
         trace_client_trip(trace, round, u, trip_timings[u], outcomes[u]);
         const device::TracePoint point{
             .time_s = devices[u].clock_s(),
@@ -185,14 +262,18 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
       record.retry_count += outcomes[u].retries;
       if (trained[u]) {
         ++record.completed_clients;
-        survivor_samples += partition.user_indices[u].size();
-      } else if (!partition.user_indices[u].empty()) {
+        survivor_samples += working.user_indices[u].size();
+      } else if (!working.user_indices[u].empty()) {
         ++record.dropped_clients;
       }
     }
 
-    if (record.completed_clients == 0) {
-      // Zero survivors: skip the round, keep the global model.
+    if (record.completed_clients == 0 || survivor_samples == 0) {
+      // Zero survivors: skip the round, keep the global model. The explicit
+      // survivor_samples guard is defensive — trained clients always hold a
+      // non-empty share today, but the aggregation divides by it, and an
+      // all-dropped round must never turn that into a 0/0
+      // (tests/fl/test_faults.cpp pins the skipped RoundRecord).
       record.skipped = true;
     } else {
       // FedAvg: weight by the client's share of the *surviving* sample
@@ -202,7 +283,7 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
       executor_.for_each_block(aggregate.size(), [&](std::size_t lo, std::size_t hi) {
         for (std::size_t u = 0; u < n_users; ++u) {
           if (!trained[u]) continue;
-          const float weight = static_cast<float>(partition.user_indices[u].size()) /
+          const float weight = static_cast<float>(working.user_indices[u].size()) /
                                static_cast<float>(survivor_samples);
           const float* local = locals[u].data();
           for (std::size_t i = lo; i < hi; ++i) aggregate[i] += weight * local[i];
@@ -227,13 +308,103 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
       record.test_accuracy = global_.accuracy(test_.images(), test_.labels());
     }
     trace_round_end(trace, record);
+
+    // Self-healing: fold the round into per-client health, then let the
+    // replanner swap the shard plan if the fleet drifted. All serial, all
+    // derived from client-indexed slots — deterministic at any parallelism.
+    if (recovery) {
+      std::vector<health::HealthTracker::Observation> observed(n_users);
+      for (std::size_t u = 0; u < n_users; ++u) {
+        const auto& share = working.user_indices[u];
+        health::HealthTracker::Observation& o = observed[u];
+        o.participated = !share.empty();
+        o.predicted_s = config_.reschedule.users[u].epoch_seconds(
+            share.size() * config_.local_epochs);
+        o.measured_s = outcomes[u].elapsed_s;
+        o.fault = outcomes[u].kind;
+        o.completed = trained[u] != 0;
+        o.retries = outcomes[u].retries;
+        o.soc = injector.battery_enabled() ? batteries[u].state_of_charge() : -1.0;
+      }
+      tracker->observe_round(observed);
+      trace_health(trace, round, *tracker);
+
+      if (round + 1 < config_.rounds && tracker->replan_due(round)) {
+        const health::ReplanOutcome outcome = replanner->replan(*tracker, *tracker);
+        if (outcome.replanned) {
+          record.rescheduled = true;
+          record.moved_shards = outcome.moved_shards;
+          // Repartition with an Rng that is a pure function of (seed, round)
+          // so a resumed run rebuilds the identical partition.
+          common::Rng repart_rng =
+              common::Rng(config_.seed ^ 0xA11C0DEDULL).fork(round);
+          working = replanner->materialize(train_, total_samples, repart_rng);
+          trace_reschedule(trace, round, config_.reschedule.policy, outcome);
+        }
+        // Either way the decision stands until the next drift/status change:
+        // rebaseline the drift detector (a failed replan otherwise retriggers
+        // every round while the fleet cannot improve).
+        tracker->note_replan(round);
+      }
+    }
     result.rounds.push_back(std::move(record));
 
     if (config_.idle_between_rounds_s > 0.0) {
       for (auto& dev : devices) dev.idle(config_.idle_between_rounds_s);
     }
+
+    // Checkpoint after the round's full effects (including idle cooling) so
+    // resume continues the exact thermal trajectory. The trace event is
+    // written first so it lands inside the saved prefix.
+    const std::size_t completed = round + 1;
+    if (ckpt.due(completed)) {
+      trace_checkpoint(trace, completed, result.total_seconds);
+      checkpoint::RunState state;
+      state.seed = config_.seed;
+      state.rounds_completed = completed;
+      state.model_fingerprint = nn::layout_fingerprint(global_);
+      state.global_params = global_params;
+      state.velocities.resize(n_users);
+      state.device_clock_s.resize(n_users);
+      state.device_temp_c.resize(n_users);
+      for (std::size_t u = 0; u < n_users; ++u) {
+        state.velocities[u] = optimizers[u].flat_velocity();
+        state.device_clock_s[u] = devices[u].clock_s();
+        state.device_temp_c[u] = devices[u].temperature_c();
+      }
+      if (injector.battery_enabled()) {
+        state.battery_soc.resize(n_users);
+        for (std::size_t u = 0; u < n_users; ++u) {
+          state.battery_soc[u] = batteries[u].state_of_charge();
+        }
+      }
+      state.partition = working;
+      state.rounds = result.rounds;
+      state.total_seconds = result.total_seconds;
+      state.recovery_active = recovery;
+      if (recovery) {
+        state.health = tracker->snapshot();
+        state.replanner_shards.assign(replanner->current_shards().begin(),
+                                      replanner->current_shards().end());
+      }
+      state.rng_words = rng.state_words();
+      if (trace.capture_enabled()) {
+        state.trace_prefix = trace.captured();
+        state.trace_events = trace.captured_events();
+      }
+      checkpoint::save_checkpoint(state, ckpt.path);
+    }
+    if (ckpt.halt_after_rounds > 0 && completed == ckpt.halt_after_rounds) {
+      // Deterministic kill: the checkpoint above is on disk; stop cleanly
+      // without the final evaluation or run_end event.
+      result.halted = true;
+      if (recovery) result.client_health = tracker->all();
+      trace.flush();
+      return result;
+    }
   }
 
+  if (recovery) result.client_health = tracker->all();
   result.final_accuracy = global_.accuracy(test_.images(), test_.labels());
   if (!result.rounds.empty() && config_.evaluate_each_round) {
     result.rounds.back().test_accuracy = result.final_accuracy;

@@ -18,12 +18,14 @@
 // bit-identical results.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "data/dataset.hpp"
 #include "data/partition.hpp"
 #include "device/device.hpp"
 #include "fl/faults.hpp"
+#include "fl/health/replanner.hpp"
 #include "fl/parallel.hpp"
 #include "nn/models.hpp"
 #include "nn/sgd.hpp"
@@ -34,6 +36,36 @@ class TraceWriter;
 }  // namespace fedsched::obs
 
 namespace fedsched::fl {
+
+/// Deterministic checkpoint/resume (fl/checkpoint). A checkpoint written
+/// after round r captures the complete mutable round-loop state; resuming
+/// from it finishes bit-identical to an uninterrupted run — including the
+/// trace bytes, provided both runs use the same checkpoint cadence (the
+/// `checkpoint` trace event is part of the stream). See docs/API.md
+/// "Checkpoint format".
+struct CheckpointConfig {
+  /// Where to write checkpoints; empty disables saving.
+  std::string path;
+  /// Save after every N completed rounds (0 = only the halt checkpoint).
+  std::size_t every_rounds = 0;
+  /// Deterministic kill switch: write a checkpoint after this many completed
+  /// rounds, then stop the run cleanly (RunResult::halted = true, no final
+  /// evaluation). 0 = run to completion. For byte-identical traces the halt
+  /// round must coincide with a cadence checkpoint.
+  std::size_t halt_after_rounds = 0;
+  /// Load this checkpoint before the first round; empty starts fresh.
+  std::string resume_from;
+
+  [[nodiscard]] bool save_enabled() const noexcept {
+    return !path.empty() && (every_rounds > 0 || halt_after_rounds > 0);
+  }
+  /// A checkpoint is due after `completed` rounds.
+  [[nodiscard]] bool due(std::size_t completed) const noexcept {
+    if (!save_enabled() || completed == 0) return false;
+    if (halt_after_rounds > 0 && completed == halt_after_rounds) return true;
+    return every_rounds > 0 && completed % every_rounds == 0;
+  }
+};
 
 struct FlConfig {
   std::size_t rounds = 10;
@@ -62,6 +94,12 @@ struct FlConfig {
   /// tracing. See docs/API.md "Structured observability".
   obs::TraceWriter* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  /// Self-healing: health tracking + online rescheduling (fl/health). An
+  /// off policy reproduces the static-plan behaviour bit-for-bit — no
+  /// health state, no extra trace events.
+  health::ReschedulePlan reschedule;
+  /// Deterministic checkpoint/resume (fl/checkpoint).
+  CheckpointConfig checkpoint;
 };
 
 struct RoundRecord {
@@ -79,12 +117,21 @@ struct RoundRecord {
   bool skipped = false;
   /// Per-client fault verdict this round (kNone for survivors and idle users).
   std::vector<FaultKind> client_faults;
+  /// Online rescheduling: true when the replanner swapped the shard plan at
+  /// the end of this round; moved_shards counts shards that changed owner.
+  bool rescheduled = false;
+  std::size_t moved_shards = 0;
 };
 
 struct RunResult {
   std::vector<RoundRecord> rounds;
   double final_accuracy = 0.0;
   double total_seconds = 0.0;
+  /// True when the run stopped at CheckpointConfig::halt_after_rounds: the
+  /// checkpoint was written, no final evaluation ran (final_accuracy = 0).
+  bool halted = false;
+  /// Final per-client health state (empty when rescheduling is off).
+  std::vector<health::ClientHealth> client_health;
 
   [[nodiscard]] double mean_round_seconds() const;
 };

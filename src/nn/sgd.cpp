@@ -1,8 +1,39 @@
 #include "nn/sgd.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace fedsched::nn {
+
+std::vector<float> Sgd::flat_velocity() const {
+  std::vector<float> flat;
+  for (const tensor::Tensor& v : velocity_) {
+    const float* raw = v.raw();
+    flat.insert(flat.end(), raw, raw + v.numel());
+  }
+  return flat;
+}
+
+void Sgd::set_flat_velocity(Model& model, std::span<const float> flat) {
+  velocity_.clear();
+  if (flat.empty()) return;
+  auto params = model.params();
+  std::size_t total = 0;
+  for (const Param& p : params) total += p.value->numel();
+  if (total != flat.size()) {
+    throw std::invalid_argument("Sgd::set_flat_velocity: element count mismatch");
+  }
+  velocity_.reserve(params.size());
+  std::size_t offset = 0;
+  for (const Param& p : params) {
+    tensor::Tensor v(p.value->shape());
+    const std::size_t n = v.numel();
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+              flat.begin() + static_cast<std::ptrdiff_t>(offset + n), v.raw());
+    offset += n;
+    velocity_.push_back(std::move(v));
+  }
+}
 
 void Sgd::step(Model& model) {
   auto params = model.params();

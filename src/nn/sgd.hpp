@@ -1,6 +1,7 @@
 #pragma once
 // Plain SGD with optional momentum — the optimizer FedAvg clients run.
 
+#include <span>
 #include <vector>
 
 #include "nn/model.hpp"
@@ -22,6 +23,16 @@ class Sgd {
 
   [[nodiscard]] const SgdConfig& config() const noexcept { return config_; }
   void set_learning_rate(float lr) noexcept { config_.learning_rate = lr; }
+
+  /// Momentum buffers flattened in parameter order — empty before the first
+  /// step (or with momentum disabled). The optimizer half of a client's
+  /// checkpointable state.
+  [[nodiscard]] std::vector<float> flat_velocity() const;
+
+  /// Restore flat_velocity() output; `model` supplies the buffer shapes. An
+  /// empty span clears the buffers (the pre-first-step state). Throws
+  /// std::invalid_argument when the total element count mismatches.
+  void set_flat_velocity(Model& model, std::span<const float> flat);
 
  private:
   SgdConfig config_;

@@ -19,8 +19,29 @@ TraceWriter TraceWriter::to_file(const std::string& path) {
 
 void TraceWriter::write(const common::JsonObject& event) {
   if (!out_) return;
-  *out_ << event.str() << '\n';
+  const std::string line = event.str();
+  *out_ << line << '\n';
+  if (capture_) {
+    captured_ += line;
+    captured_ += '\n';
+    ++captured_events_;
+  }
   ++events_;
+}
+
+void TraceWriter::enable_capture() {
+  if (!out_) return;
+  capture_ = true;
+}
+
+void TraceWriter::write_raw(std::string_view bytes, std::size_t events) {
+  if (!out_ || bytes.empty()) return;
+  *out_ << bytes;
+  if (capture_) {
+    captured_ += bytes;
+    captured_events_ += events;
+  }
+  events_ += events;
 }
 
 void TraceWriter::flush() {

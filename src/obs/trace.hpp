@@ -20,6 +20,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "common/json.hpp"
 
@@ -48,12 +49,35 @@ class TraceWriter {
   /// Emit `event` as one JSONL line. No-op on the null sink.
   void write(const common::JsonObject& event);
 
+  /// Start mirroring every byte written into an in-memory buffer. The
+  /// checkpoint subsystem captures this prefix so a resumed run can replay
+  /// it and produce a trace byte-identical to an uninterrupted one. No-op on
+  /// the null sink.
+  void enable_capture();
+  [[nodiscard]] bool capture_enabled() const noexcept { return capture_; }
+  /// Everything written since enable_capture() (including replayed bytes).
+  [[nodiscard]] const std::string& captured() const noexcept { return captured_; }
+  /// Event count inside captured(). Checkpoints store this — not
+  /// events_written(), which also counts pre-capture events the resuming
+  /// caller re-emits itself (e.g. the CLI's schedule trace).
+  [[nodiscard]] std::size_t captured_events() const noexcept {
+    return captured_events_;
+  }
+
+  /// Replay pre-rendered JSONL bytes (a checkpointed trace prefix) verbatim:
+  /// written to the sink, mirrored into the capture buffer, and counted as
+  /// `events` lines. No-op on the null sink.
+  void write_raw(std::string_view bytes, std::size_t events);
+
   void flush();
 
  private:
   std::unique_ptr<std::ostream> owned_;  // set only by to_file()
   std::ostream* out_ = nullptr;
   std::size_t events_ = 0;
+  bool capture_ = false;
+  std::string captured_;
+  std::size_t captured_events_ = 0;
 };
 
 }  // namespace fedsched::obs

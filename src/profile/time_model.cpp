@@ -66,4 +66,16 @@ double InterpolatedTimeModel::epoch_seconds(std::size_t samples) const {
   return seconds_[lo] + frac * (seconds_[hi] - seconds_[lo]);
 }
 
+ScaledTimeModel::ScaledTimeModel(TimeModelPtr base, double scale)
+    : base_(std::move(base)), scale_(scale) {
+  if (!base_) throw std::invalid_argument("ScaledTimeModel: null base model");
+  if (!(scale_ > 0.0)) {
+    throw std::invalid_argument("ScaledTimeModel: scale must be positive");
+  }
+}
+
+double ScaledTimeModel::epoch_seconds(std::size_t samples) const {
+  return scale_ * base_->epoch_seconds(samples);
+}
+
 }  // namespace fedsched::profile

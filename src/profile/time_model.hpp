@@ -57,4 +57,21 @@ class InterpolatedTimeModel final : public TimeModel {
   std::vector<double> seconds_;
 };
 
+/// A base model stretched by a constant factor — how the health layer feeds
+/// an observed drift ratio (thermal throttling, persistent stalls) back into
+/// the scheduler's cost matrix without re-profiling. Preserves Property 1:
+/// scaling by a positive factor keeps rows non-decreasing.
+class ScaledTimeModel final : public TimeModel {
+ public:
+  /// `scale` must be > 0.
+  ScaledTimeModel(TimeModelPtr base, double scale);
+  [[nodiscard]] double epoch_seconds(std::size_t samples) const override;
+
+  [[nodiscard]] double scale() const noexcept { return scale_; }
+
+ private:
+  TimeModelPtr base_;
+  double scale_;
+};
+
 }  // namespace fedsched::profile

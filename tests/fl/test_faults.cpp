@@ -284,11 +284,20 @@ TEST(RunnerFaults, ZeroSurvivorRoundSkipsAndKeepsModel) {
                       device::NetworkType::kWifi, config);
   const RunResult result = runner.run(f.partition());
   ASSERT_EQ(result.rounds.size(), 3u);
+  double cumulative = 0.0;
   for (const auto& record : result.rounds) {
     EXPECT_TRUE(record.skipped);
     EXPECT_EQ(record.completed_clients, 0u);
     EXPECT_EQ(record.dropped_clients, f.phones.size());
     EXPECT_EQ(record.round_seconds, 100.0);  // server held the round open
+    // The skipped RoundRecord is fully pinned: no survivors means no loss
+    // average (0, not NaN from a 0/0 weight) and no reschedule markers, and
+    // the wall clock still advances past the wasted round.
+    EXPECT_EQ(record.mean_train_loss, 0.0);
+    EXPECT_FALSE(record.rescheduled);
+    EXPECT_EQ(record.moved_shards, 0u);
+    cumulative += record.round_seconds;
+    EXPECT_EQ(record.cumulative_seconds, cumulative);
     for (FaultKind kind : record.client_faults) {
       EXPECT_EQ(kind, FaultKind::kCrash);
     }

@@ -1,0 +1,204 @@
+// The replanner's contract: health multipliers stretch the scheduler's cost
+// inputs, ineligible clients lose their shards, a fleet that cannot host the
+// plan degrades (keeps the old allocation) instead of aborting, and
+// materialized partitions redistribute the previous coverage exactly.
+
+#include "fl/health/replanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "data/synth.hpp"
+#include "profile/time_model.hpp"
+
+namespace fedsched::fl::health {
+namespace {
+
+sched::UserProfile linear_user(double slope, double comm = 0.0) {
+  sched::UserProfile u;
+  u.name = "u";
+  u.time_model = std::make_shared<profile::LinearTimeModel>(0.0, slope);
+  u.comm_seconds = comm;
+  return u;
+}
+
+// Four equal clients, 8 shards of 10 samples. The static plan is 2 each.
+ReschedulePlan equal_plan() {
+  ReschedulePlan plan;
+  plan.policy = ReschedulePolicy::kLbap;
+  plan.users = {linear_user(1.0), linear_user(1.0), linear_user(1.0),
+                linear_user(1.0)};
+  plan.total_shards = 8;
+  plan.shard_size = 10;
+  plan.initial_shards = {2, 2, 2, 2};
+  return plan;
+}
+
+TEST(ReschedulePlan, ValidateCatchesInconsistency) {
+  ReschedulePlan plan = equal_plan();
+  EXPECT_NO_THROW(plan.validate(4));
+  EXPECT_THROW(plan.validate(3), std::invalid_argument);
+
+  plan = equal_plan();
+  plan.initial_shards = {8};
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+
+  plan = equal_plan();
+  plan.total_shards = 0;
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);
+
+  plan = equal_plan();
+  plan.policy = ReschedulePolicy::kMinAvg;
+  EXPECT_THROW(plan.validate(4), std::invalid_argument);  // no class sets
+  for (auto& user : plan.users) user.classes = {0, 1, 2};
+  EXPECT_NO_THROW(plan.validate(4));
+
+  // An off plan is always valid, whatever its other fields say.
+  plan = ReschedulePlan{};
+  EXPECT_NO_THROW(plan.validate(99));
+}
+
+TEST(Replanner, MovesShardsAwayFromIneligibleClient) {
+  HealthConfig config;
+  config.probation_streak = 1;
+  HealthTracker tracker(config, 4);
+  Replanner replanner(equal_plan(), 4);
+
+  // Client 3 faults into probation; everyone else stays on profile.
+  HealthTracker::Observation ok;
+  ok.participated = true;
+  ok.predicted_s = 10.0;
+  ok.measured_s = 10.0;
+  ok.completed = true;
+  HealthTracker::Observation crash;
+  crash.participated = true;
+  crash.fault = FaultKind::kCrash;
+  tracker.observe_round({ok, ok, ok, crash});
+  ASSERT_FALSE(tracker.eligible(3));
+
+  const ReplanOutcome outcome = replanner.replan(tracker, tracker);
+  ASSERT_TRUE(outcome.replanned);
+  EXPECT_EQ(outcome.eligible_clients, 3u);
+  EXPECT_EQ(outcome.assignment.shards_per_user[3], 0u);
+  const auto& shards = replanner.current_shards();
+  EXPECT_EQ(std::accumulate(shards.begin(), shards.end(), std::size_t{0}), 8u);
+  // Client 3's 2 shards moved; the L1/2 metric counts them once.
+  EXPECT_EQ(outcome.moved_shards, 2u);
+  EXPECT_EQ(tracker.client(3).reassigned_shards, 2u);
+  EXPECT_GT(outcome.predicted_makespan, 0.0);
+}
+
+TEST(Replanner, DriftedClientGetsFewerShards) {
+  HealthTracker tracker({}, 4);
+  Replanner replanner(equal_plan(), 4);
+
+  // Client 0 runs 3x slow; the LBAP re-solve must shed shards from it.
+  HealthTracker::Observation slow;
+  slow.participated = true;
+  slow.predicted_s = 10.0;
+  slow.measured_s = 30.0;
+  slow.completed = true;
+  HealthTracker::Observation ok = slow;
+  ok.measured_s = 10.0;
+  tracker.observe_round({slow, ok, ok, ok});
+
+  const ReplanOutcome outcome = replanner.replan(tracker, tracker);
+  ASSERT_TRUE(outcome.replanned);
+  EXPECT_LT(replanner.current_shards()[0], 2u);
+}
+
+TEST(Replanner, InsufficientCapacityKeepsCurrentPlan) {
+  ReschedulePlan plan = equal_plan();
+  for (auto& user : plan.users) user.capacity_shards = 3;
+  HealthConfig config;
+  config.probation_streak = 1;
+  HealthTracker tracker(config, 4);
+  Replanner replanner(plan, 4);
+
+  // Two clients benched: surviving capacity 2 * 3 < 8 shards. The replanner
+  // must degrade (keep the current allocation), not throw.
+  HealthTracker::Observation ok;
+  ok.participated = true;
+  ok.completed = true;
+  HealthTracker::Observation crash;
+  crash.participated = true;
+  crash.fault = FaultKind::kCrash;
+  tracker.observe_round({ok, ok, crash, crash});
+
+  const ReplanOutcome outcome = replanner.replan(tracker, tracker);
+  EXPECT_FALSE(outcome.replanned);
+  EXPECT_EQ(outcome.moved_shards, 0u);
+  EXPECT_EQ(replanner.current_shards(), (std::vector<std::size_t>{2, 2, 2, 2}));
+}
+
+TEST(Replanner, NoEligibleClientsKeepsCurrentPlan) {
+  HealthConfig config;
+  config.probation_streak = 1;
+  HealthTracker tracker(config, 4);
+  Replanner replanner(equal_plan(), 4);
+
+  HealthTracker::Observation crash;
+  crash.participated = true;
+  crash.fault = FaultKind::kCrash;
+  tracker.observe_round({crash, crash, crash, crash});
+  ASSERT_EQ(tracker.eligible_count(), 0u);
+
+  const ReplanOutcome outcome = replanner.replan(tracker, tracker);
+  EXPECT_FALSE(outcome.replanned);
+  EXPECT_EQ(outcome.eligible_clients, 0u);
+}
+
+TEST(Replanner, HealthySteadyStateDoesNotChurn) {
+  HealthTracker tracker({}, 4);
+  Replanner replanner(equal_plan(), 4);
+
+  HealthTracker::Observation ok;
+  ok.participated = true;
+  ok.predicted_s = 10.0;
+  ok.measured_s = 10.0;
+  ok.completed = true;
+  tracker.observe_round({ok, ok, ok, ok});
+
+  // Equal clients, on profile: the solver reproduces 2-2-2-2 and the
+  // replanner reports "nothing changed".
+  const ReplanOutcome outcome = replanner.replan(tracker, tracker);
+  EXPECT_FALSE(outcome.replanned);
+  EXPECT_EQ(outcome.moved_shards, 0u);
+}
+
+TEST(Replanner, MaterializeRedistributesExistingCoverage) {
+  HealthConfig config;
+  config.probation_streak = 1;
+  HealthTracker tracker(config, 4);
+  Replanner replanner(equal_plan(), 4);
+
+  HealthTracker::Observation ok;
+  ok.participated = true;
+  ok.completed = true;
+  HealthTracker::Observation crash;
+  crash.participated = true;
+  crash.fault = FaultKind::kCrash;
+  tracker.observe_round({ok, ok, ok, crash});
+  ASSERT_TRUE(replanner.replan(tracker, tracker).replanned);
+
+  const auto train = data::generate_balanced(data::mnist_like(), 200, 7);
+  common::Rng rng(11);
+  // The previous partition covered 120 of the 200 samples; a replan must
+  // redistribute those 120, never grow coverage to the full dataset.
+  const data::Partition partition = replanner.materialize(train, 120, rng);
+  EXPECT_EQ(partition.total(), 120u);
+  EXPECT_TRUE(partition.user_indices[3].empty());
+
+  // Same (seed, shard counts) -> identical partition: replans are replayable
+  // from the round number alone.
+  common::Rng rng2(11);
+  const data::Partition again = replanner.materialize(train, 120, rng2);
+  EXPECT_EQ(again.user_indices, partition.user_indices);
+}
+
+}  // namespace
+}  // namespace fedsched::fl::health
