@@ -128,6 +128,29 @@ fl::CheckpointConfig checkpoint_config_from(const Args& args) {
   return ckpt;
 }
 
+// --replicate-* flags. Default policy is off, which leaves RunResult and
+// trace bytes identical to a replication-free build (the runner's gating
+// contract); profiles are filled in by cmd_train so host ranking can use the
+// planned schedule.
+fl::replication::ReplicationConfig replication_config_from(const Args& args) {
+  fl::replication::ReplicationConfig replicate;
+  const std::string policy = args.get("replicate-policy", "off");
+  if (policy == "off") {
+    replicate.policy = fl::replication::ReplicationPolicy::kOff;
+  } else if (policy == "risk") {
+    replicate.policy = fl::replication::ReplicationPolicy::kRisk;
+  } else {
+    throw std::invalid_argument("unknown replicate policy '" + policy + "'");
+  }
+  replicate.budget_per_round = static_cast<std::size_t>(
+      args.get_int("replica-budget", static_cast<long>(replicate.budget_per_round)));
+  replicate.risk_threshold =
+      args.get_double("replica-risk-threshold", replicate.risk_threshold);
+  replicate.max_replicas_per_share = static_cast<std::size_t>(args.get_int(
+      "replicas-per-share", static_cast<long>(replicate.max_replicas_per_share)));
+  return replicate;
+}
+
 fl::health::ReschedulePolicy reschedule_policy_from(const std::string& name) {
   if (name == "off") return fl::health::ReschedulePolicy::kOff;
   if (name == "lbap") return fl::health::ReschedulePolicy::kLbap;
@@ -325,6 +348,12 @@ int cmd_train(const Args& args) {
       }
     }
   }
+  config.replicate = replication_config_from(args);
+  if (config.replicate.enabled()) {
+    // Hosts are ranked by predicted finish time, so give the planner the
+    // same profiles the schedule was solved against.
+    config.replicate.users = users;
+  }
   config.trace = &trace;
   if (args.has("metrics-out")) config.metrics = &metrics;
   nn::ModelSpec spec;
@@ -341,7 +370,8 @@ int cmd_train(const Args& args) {
     std::cout << '\n'
               << fl::round_timeline(result.rounds.back(), core::testbed_names(phones));
   }
-  if (config.faults.enabled || std::isfinite(config.deadline_s)) {
+  if (config.faults.enabled || std::isfinite(config.deadline_s) ||
+      config.replicate.enabled()) {
     std::cout << fl::fault_summary(result) << "\n";
   }
   if (!result.client_health.empty()) {
@@ -444,6 +474,12 @@ void usage() {
       "  --health-probation-rounds N  first probation length, doubles (2)\n"
       "  --health-blacklist N     total faults before permanent exclusion (6)\n"
       "  --health-cooldown N      min rounds between replans (default 1)\n"
+      "replication flags (train; speculative straggler hedging):\n"
+      "  --replicate-policy P     off|risk — replicate at-risk clients' shards\n"
+      "                           onto healthy fast hosts (default off)\n"
+      "  --replica-budget N       max replicas launched per round (default 4)\n"
+      "  --replica-risk-threshold T  replicate shares with risk >= T (0.25)\n"
+      "  --replicas-per-share N   max hosts hedging one share (default 2)\n"
       "checkpoint flags (train; deterministic kill-and-resume):\n"
       "  --checkpoint-out PATH    binary checkpoint target (+ .meta.jsonl)\n"
       "  --checkpoint-every N     checkpoint every N completed rounds\n"

@@ -60,6 +60,7 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
     bool killed = false;       // battery died during this trip (permanent)
     FaultKind kind = FaultKind::kNone;  // the trip's fault verdict
     double soc = -1.0;         // state of charge after the trip (< 0 untracked)
+    std::size_t owner = 0;     // whose share the trip trained (hedge: != client)
     bool operator>(const Event& other) const { return time_s > other.time_s; }
   };
 
@@ -69,8 +70,12 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
   // rounds, so probation is served as a simulated-time wait before the
   // client's next pull; blacklisted clients stop re-pulling entirely. All
   // folds happen in phase 1 (serial), so the determinism contract holds.
+  // Hedge trips need risk scores, so replication implies the tracker.
+  const bool hedging = config_.replicate.enabled();
   std::optional<health::HealthTracker> tracker;
-  if (config_.health_enabled) tracker.emplace(config_.health, n);
+  if (config_.health_enabled || hedging) tracker.emplace(config_.health, n);
+  std::optional<replication::ReplicationPlanner> hedger;
+  if (hedging) hedger.emplace(config_.replicate, n);
 
   // Observability: phase 1 below is serial whatever the parallelism knob
   // says, and phase 2 merges apply in timeline order, so every event stream
@@ -114,14 +119,16 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
 
     // One round trip of client u launched at `start_s`; the trip counter is
     // the injector's stream index, so draws are stable per (client, trip).
-    auto attempt = [&](std::size_t u, double start_s) -> Event {
+    // A hedge trip (`owner` != u) trains the hedged client's share on u's
+    // device — same stream, same hazards, just the other share's compute.
+    auto attempt = [&](std::size_t u, double start_s, std::size_t owner) -> Event {
       const auto& link = device::link_of(network_);
       RoundTimings timings;
       timings.download_s = device::download_seconds(link, device_model_.size_mb);
       timings.upload_s = device::upload_seconds(link, device_model_.size_mb);
       timings.baseline_s = devices[u].comm_seconds(device_model_);
       timings.compute_s =
-          devices[u].train(device_model_, partition.user_indices[u].size());
+          devices[u].train(device_model_, partition.user_indices[owner].size());
       timings.baseline_s += timings.compute_s;
 
       const std::size_t trip = trips[u]++;
@@ -130,7 +137,8 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
                   .client = u,
                   .ok = out.completed,
                   .retries = out.retries,
-                  .killed = false};
+                  .killed = false,
+                  .owner = owner};
       // A deadline-missed trip is abandoned at the deadline mark; every
       // other outcome (battery death included) occupies the client for its
       // full elapsed time.
@@ -183,15 +191,36 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
         }
         continue;
       }
-      queue.push(attempt(u, 0.0));
+      queue.push(attempt(u, 0.0, u));
     }
     if (!any_data) throw std::invalid_argument("AsyncRunner::run: empty partition");
+
+    // Shares waiting for a hedge trip, oldest first; capped at the replica
+    // budget so a dying client cannot monopolize the fleet.
+    std::vector<std::size_t> hedge_queue;
+
+    // A failed trip of a flagged at-risk client queues its share for one
+    // hedge trip by the next free healthy host (oldest share first). All of
+    // this runs in the serial timeline loop, so the hedge schedule is a pure
+    // function of the simulated history.
+    auto enqueue_hedge = [&](std::size_t owner) {
+      if (!hedging || partition.user_indices[owner].empty()) return;
+      if (hedge_queue.size() >= config_.replicate.budget_per_round) return;
+      for (std::size_t w : hedge_queue) {
+        if (w == owner) return;  // one outstanding hedge per share
+      }
+      if (hedger->risk_score(*tracker, owner) < config_.replicate.risk_threshold) {
+        return;
+      }
+      hedge_queue.push_back(owner);
+    };
 
     while (!queue.empty() && queue.top().time_s <= config_.horizon_seconds) {
       const Event event = queue.top();
       queue.pop();
       if (event.ok) {
         merges.push_back(event);
+        if (event.owner != event.client) ++result.replica_merges;
       } else {
         ++result.dropped_updates;
       }
@@ -204,6 +233,9 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
                                        .fault = FaultKind::kBatteryDead,
                                        .soc = event.soc});
         }
+        // One hedge may still save the dead client's share (the last update
+        // it will ever contribute).
+        if (event.owner == event.client) enqueue_hedge(event.client);
         continue;  // permanently out of the fleet
       }
       double wait_s = 0.0;
@@ -215,6 +247,10 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
                                         .completed = event.ok,
                                         .retries = event.retries,
                                         .soc = event.soc});
+        // Hedge only a client's own failed trip (a failed hedge trip is
+        // spent, not requeued), after the failure has been folded into its
+        // risk score.
+        if (!event.ok && event.owner == event.client) enqueue_hedge(event.client);
         if (wait_s < 0.0) continue;  // blacklisted: stops re-pulling
         if (wait_s > 0.0) {
           result.probation_wait_seconds += wait_s;
@@ -229,8 +265,32 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
         }
       }
       // Client pulls the fresh model and starts its next round — after any
-      // probation backoff the health tracker imposed.
-      queue.push(attempt(event.client, event.time_s + wait_s));
+      // probation backoff the health tracker imposed. A healthy, unflagged
+      // host drains the hedge queue first: one trip on the hedged share,
+      // then back to its own loop.
+      std::size_t next_owner = event.client;
+      if (hedging && !hedge_queue.empty() && tracker->eligible(event.client) &&
+          hedger->risk_score(*tracker, event.client) <
+              config_.replicate.risk_threshold) {
+        for (auto it = hedge_queue.begin(); it != hedge_queue.end(); ++it) {
+          if (*it == event.client) continue;  // never hedge your own share
+          next_owner = *it;
+          hedge_queue.erase(it);
+          break;
+        }
+      }
+      if (next_owner != event.client) {
+        ++result.replica_trips;
+        if (trace.enabled()) {
+          common::JsonObject ev;
+          ev.field("ev", "hedge")
+              .field("time_s", event.time_s + wait_s)
+              .field("owner", next_owner)
+              .field("host", event.client);
+          trace.write(ev);
+        }
+      }
+      queue.push(attempt(event.client, event.time_s + wait_s, next_owner));
     }
   }
   if (tracker) result.client_health = tracker->all();
@@ -266,12 +326,16 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
   std::vector<std::future<void>> pending(n_merges);
   auto launch = [&](std::size_t k, std::vector<float> pulled) {
     const std::size_t u = merges[k].client;
+    // A hedge trip trains the hedged client's share with the host's
+    // optimizer state — chains are keyed by host, so each optimizer is still
+    // touched by exactly one in-flight task.
+    const std::size_t o = merges[k].owner;
     common::Rng client_rng = rng.fork(k + 1);
     pending[k] = executor_.submit(
-        [this, &partition, &optimizers, &locals, k, u, client_rng,
+        [this, &partition, &optimizers, &locals, k, u, o, client_rng,
          pulled = std::move(pulled)](nn::Model& worker) mutable {
           worker.set_flat_params(pulled);
-          (void)train_epoch(worker, optimizers[u], train_, partition.user_indices[u],
+          (void)train_epoch(worker, optimizers[u], train_, partition.user_indices[o],
                             config_.batch_size, client_rng);
           locals[k] = worker.flat_params();
         });
@@ -293,7 +357,7 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
       global_params[i] = static_cast<float>((1.0 - mix) * global_params[i] +
                                             mix * local[i]);
     }
-    result.updates.push_back({merges[k].time_s, u, staleness, mix});
+    result.updates.push_back({merges[k].time_s, u, staleness, mix, merges[k].owner});
     result.elapsed_seconds = merges[k].time_s;
     base_version[u] = k + 1;
 
@@ -304,6 +368,9 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
           .field("client", u)
           .field("staleness", staleness)
           .field("mix", mix);
+      // Only hedge merges carry the extra field, so replication-off traces
+      // stay byte-identical.
+      if (merges[k].owner != u) ev.field("owner", merges[k].owner);
       trace.write(ev);
     }
 
@@ -321,6 +388,10 @@ AsyncRunResult AsyncRunner::run(const data::Partition& partition) {
         .field("dropped", result.dropped_updates)
         .field("retries", result.retry_count)
         .field("battery_deaths", result.battery_deaths);
+    if (result.replica_trips > 0) {
+      ev.field("replica_trips", result.replica_trips)
+          .field("replica_merges", result.replica_merges);
+    }
     trace.write(ev);
     trace.flush();
   }

@@ -45,13 +45,22 @@ struct AsyncConfig {
   /// rounds, so no shard replanning — see docs/API.md "Self-healing rounds".
   bool health_enabled = false;
   health::HealthConfig health;
+  /// Speculative replication, async flavour ("hedge trips"): when a flagged
+  /// at-risk client's trip fails, its share is queued and the next healthy
+  /// host to come free runs one extra trip on that share before resuming its
+  /// own loop. Enabling this implies per-trip health tracking (risk scores
+  /// need it). Off = bit-identical to replication-free async runs.
+  replication::ReplicationConfig replicate;
 };
 
 struct AsyncUpdateRecord {
   double time_s = 0.0;       // simulated arrival time
-  std::size_t client = 0;
+  std::size_t client = 0;    // the device that ran the trip (the host)
   std::size_t staleness = 0; // merges since the client pulled its base model
   double mix_weight = 0.0;
+  /// Whose share the update trained: == client for ordinary trips, the
+  /// hedged client for replica ("hedge") trips.
+  std::size_t owner = 0;
 };
 
 struct AsyncRunResult {
@@ -67,6 +76,10 @@ struct AsyncRunResult {
   /// the total simulated seconds clients spent waiting out probations.
   std::vector<health::ClientHealth> client_health;
   double probation_wait_seconds = 0.0;
+  /// Hedge-trip bookkeeping (zero when replication is off): replica trips
+  /// launched and the subset that merged an update for the hedged share.
+  std::size_t replica_trips = 0;
+  std::size_t replica_merges = 0;
 
   [[nodiscard]] double mean_staleness() const;
   [[nodiscard]] std::size_t updates_from(std::size_t client) const;

@@ -1,8 +1,12 @@
 #include "fl/checkpoint/checkpoint.hpp"
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
+#include <string_view>
+#include <type_traits>
 
 #include "common/json.hpp"
 
@@ -12,133 +16,229 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x46534331;  // "FSC1"
 
-// Little-endian raw scalar I/O (matches nn/serialize.cpp; the testbed is
-// homogeneous x86-64/aarch64-LE, and the magic word would read back-to-front
-// on a BE host anyway).
-template <typename T>
-void put(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
+// v2 layout: [magic u32][version u32][payload_size u64][fnv1a64 u64][payload].
+// The payload is built in memory, checksummed, and written in one piece; the
+// loader verifies length and checksum before parsing a single field, so any
+// corruption — truncation, a flipped bit anywhere, a mangled length prefix —
+// fails up front with a clean error instead of a crazy allocation or a
+// silently wrong restore.
 
-template <typename T>
-T get(std::ifstream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  return value;
-}
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
 
-void put_u64(std::ofstream& out, std::uint64_t v) { put(out, v); }
-std::uint64_t get_u64(std::ifstream& in) { return get<std::uint64_t>(in); }
-
-template <typename T>
-void put_vec(std::ofstream& out, const std::vector<T>& v) {
-  put_u64(out, v.size());
-  if (!v.empty()) {
-    out.write(reinterpret_cast<const char*>(v.data()),
-              static_cast<std::streamsize>(v.size() * sizeof(T)));
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = kFnvOffset;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
   }
+  return h;
 }
 
-template <typename T>
-std::vector<T> get_vec(std::ifstream& in) {
-  std::vector<T> v(get_u64(in));
-  if (!v.empty()) {
-    in.read(reinterpret_cast<char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(T)));
+// Little-endian raw scalar I/O into an in-memory buffer (matches
+// nn/serialize.cpp; the testbed is homogeneous x86-64/aarch64-LE, and the
+// magic word would read back-to-front on a BE host anyway).
+class Writer {
+ public:
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const char*>(&value);
+    buf_.append(p, sizeof(T));
   }
-  return v;
-}
+  void put_u64(std::uint64_t v) { put(v); }
+  void put_bool(bool v) { put(static_cast<std::uint8_t>(v ? 1 : 0)); }
 
-void put_f64_vec(std::ofstream& out, const std::vector<double>& v) { put_vec(out, v); }
-std::vector<double> get_f64_vec(std::ifstream& in) { return get_vec<double>(in); }
-void put_f32_vec(std::ofstream& out, const std::vector<float>& v) { put_vec(out, v); }
-std::vector<float> get_f32_vec(std::ifstream& in) { return get_vec<float>(in); }
-void put_u64_vec(std::ofstream& out, const std::vector<std::uint64_t>& v) {
-  put_vec(out, v);
-}
-std::vector<std::uint64_t> get_u64_vec(std::ifstream& in) {
-  return get_vec<std::uint64_t>(in);
-}
+  template <typename T>
+  void put_vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put_u64(v.size());
+    if (!v.empty()) {
+      buf_.append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+    }
+  }
+  void put_size_vec(const std::vector<std::size_t>& v) {
+    put_u64(v.size());
+    for (std::size_t x : v) put_u64(static_cast<std::uint64_t>(x));
+  }
+  void put_bytes(std::string_view bytes) {
+    put_u64(bytes.size());
+    buf_.append(bytes.data(), bytes.size());
+  }
 
-void put_size_vec(std::ofstream& out, const std::vector<std::size_t>& v) {
-  put_u64(out, v.size());
-  for (std::size_t x : v) put_u64(out, static_cast<std::uint64_t>(x));
-}
+  [[nodiscard]] const std::string& bytes() const noexcept { return buf_; }
 
-std::vector<std::size_t> get_size_vec(std::ifstream& in) {
-  std::vector<std::size_t> v(get_u64(in));
-  for (auto& x : v) x = static_cast<std::size_t>(get_u64(in));
-  return v;
-}
+ private:
+  std::string buf_;
+};
 
-void put_round(std::ofstream& out, const RoundRecord& r) {
-  put_u64(out, r.round);
-  put(out, r.round_seconds);
-  put(out, r.cumulative_seconds);
-  put(out, r.mean_train_loss);
-  put(out, r.test_accuracy);
-  put_f64_vec(out, r.client_seconds);
-  put_u64(out, r.completed_clients);
-  put_u64(out, r.dropped_clients);
-  put_u64(out, r.retry_count);
-  put(out, static_cast<std::uint8_t>(r.skipped ? 1 : 0));
-  put(out, static_cast<std::uint8_t>(r.rescheduled ? 1 : 0));
-  put_u64(out, r.moved_shards);
-  put_u64(out, r.client_faults.size());
+// Bounds-checked reader over the verified payload. The checksum already
+// guarantees the bytes are exactly what the writer produced; the bounds
+// checks keep a reader/writer schema skew from running off the buffer.
+class Reader {
+ public:
+  Reader(std::string_view bytes, std::string path)
+      : bytes_(bytes), path_(std::move(path)) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    std::memcpy(&value, need(sizeof(T)), sizeof(T));
+    return value;
+  }
+  std::uint64_t get_u64() { return get<std::uint64_t>(); }
+  bool get_bool() { return get<std::uint8_t>() != 0; }
+
+  /// Element count for a vector about to be read: refuses counts the
+  /// remaining payload cannot possibly hold, so a mangled length prefix can
+  /// never drive a multi-gigabyte resize().
+  std::size_t get_count(std::size_t elem_size) {
+    const std::uint64_t n = get_u64();
+    if (elem_size > 0 && n > remaining() / elem_size) corrupt();
+    return static_cast<std::size_t>(n);
+  }
+
+  template <typename T>
+  std::vector<T> get_vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<T> v(get_count(sizeof(T)));
+    if (!v.empty()) {
+      std::memcpy(v.data(), need(v.size() * sizeof(T)), v.size() * sizeof(T));
+    }
+    return v;
+  }
+  std::vector<std::size_t> get_size_vec() {
+    std::vector<std::size_t> v(get_count(sizeof(std::uint64_t)));
+    for (auto& x : v) x = static_cast<std::size_t>(get_u64());
+    return v;
+  }
+  std::string get_bytes() {
+    const std::size_t n = get_count(1);
+    return std::string(need(n), n);
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+  /// The runner's loader must consume the payload exactly.
+  void expect_exhausted() const {
+    if (remaining() != 0) corrupt();
+  }
+
+  [[noreturn]] void corrupt() const {
+    throw std::runtime_error("load_checkpoint: corrupt checkpoint " + path_);
+  }
+
+ private:
+  const char* need(std::size_t n) {
+    if (n > remaining()) corrupt();
+    const char* p = bytes_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  std::string_view bytes_;
+  std::string path_;
+  std::size_t pos_ = 0;
+};
+
+void put_round(Writer& out, const RoundRecord& r) {
+  out.put_u64(r.round);
+  out.put(r.round_seconds);
+  out.put(r.cumulative_seconds);
+  out.put(r.mean_train_loss);
+  out.put(r.test_accuracy);
+  out.put_vec(r.client_seconds);
+  out.put_u64(r.completed_clients);
+  out.put_u64(r.dropped_clients);
+  out.put_u64(r.retry_count);
+  out.put_bool(r.skipped);
+  out.put_bool(r.rescheduled);
+  out.put_u64(r.moved_shards);
+  out.put_u64(r.client_faults.size());
   for (FaultKind kind : r.client_faults) {
-    put(out, static_cast<std::uint8_t>(kind));
+    out.put(static_cast<std::uint8_t>(kind));
   }
+  out.put_u64(r.replicas_assigned);
+  out.put_u64(r.replicas_won);
+  out.put_u64(r.shares_rescued);
 }
 
-RoundRecord get_round(std::ifstream& in) {
+RoundRecord get_round(Reader& in) {
   RoundRecord r;
-  r.round = static_cast<std::size_t>(get_u64(in));
-  r.round_seconds = get<double>(in);
-  r.cumulative_seconds = get<double>(in);
-  r.mean_train_loss = get<double>(in);
-  r.test_accuracy = get<double>(in);
-  r.client_seconds = get_f64_vec(in);
-  r.completed_clients = static_cast<std::size_t>(get_u64(in));
-  r.dropped_clients = static_cast<std::size_t>(get_u64(in));
-  r.retry_count = static_cast<std::size_t>(get_u64(in));
-  r.skipped = get<std::uint8_t>(in) != 0;
-  r.rescheduled = get<std::uint8_t>(in) != 0;
-  r.moved_shards = static_cast<std::size_t>(get_u64(in));
-  r.client_faults.resize(get_u64(in));
+  r.round = static_cast<std::size_t>(in.get_u64());
+  r.round_seconds = in.get<double>();
+  r.cumulative_seconds = in.get<double>();
+  r.mean_train_loss = in.get<double>();
+  r.test_accuracy = in.get<double>();
+  r.client_seconds = in.get_vec<double>();
+  r.completed_clients = static_cast<std::size_t>(in.get_u64());
+  r.dropped_clients = static_cast<std::size_t>(in.get_u64());
+  r.retry_count = static_cast<std::size_t>(in.get_u64());
+  r.skipped = in.get_bool();
+  r.rescheduled = in.get_bool();
+  r.moved_shards = static_cast<std::size_t>(in.get_u64());
+  r.client_faults.resize(in.get_count(sizeof(std::uint8_t)));
   for (auto& kind : r.client_faults) {
-    kind = static_cast<FaultKind>(get<std::uint8_t>(in));
+    kind = static_cast<FaultKind>(in.get<std::uint8_t>());
   }
+  r.replicas_assigned = static_cast<std::size_t>(in.get_u64());
+  r.replicas_won = static_cast<std::size_t>(in.get_u64());
+  r.shares_rescued = static_cast<std::size_t>(in.get_u64());
   return r;
 }
 
-void put_client_health(std::ofstream& out, const health::ClientHealth& c) {
-  put(out, static_cast<std::uint8_t>(c.status));
-  put(out, c.speed_ewma);
-  put(out, static_cast<std::uint8_t>(c.has_observation ? 1 : 0));
-  put_u64(out, c.fault_streak);
-  put_u64(out, c.total_faults);
-  put_u64(out, c.total_retries);
-  put_u64(out, c.probations);
-  put_u64(out, c.probation_remaining);
-  put_u64(out, c.reassigned_shards);
-  put(out, c.soc);
-  put(out, c.soc_drop_ewma);
+void put_client_health(Writer& out, const health::ClientHealth& c) {
+  out.put(static_cast<std::uint8_t>(c.status));
+  out.put(c.speed_ewma);
+  out.put_bool(c.has_observation);
+  out.put_u64(c.fault_streak);
+  out.put_u64(c.total_faults);
+  out.put_u64(c.total_retries);
+  out.put_u64(c.probations);
+  out.put_u64(c.probation_remaining);
+  out.put_u64(c.reassigned_shards);
+  out.put(c.soc);
+  out.put(c.soc_drop_ewma);
 }
 
-health::ClientHealth get_client_health(std::ifstream& in) {
+health::ClientHealth get_client_health(Reader& in) {
   health::ClientHealth c;
-  c.status = static_cast<health::ClientStatus>(get<std::uint8_t>(in));
-  c.speed_ewma = get<double>(in);
-  c.has_observation = get<std::uint8_t>(in) != 0;
-  c.fault_streak = static_cast<std::size_t>(get_u64(in));
-  c.total_faults = static_cast<std::size_t>(get_u64(in));
-  c.total_retries = static_cast<std::size_t>(get_u64(in));
-  c.probations = static_cast<std::size_t>(get_u64(in));
-  c.probation_remaining = static_cast<std::size_t>(get_u64(in));
-  c.reassigned_shards = static_cast<std::size_t>(get_u64(in));
-  c.soc = get<double>(in);
-  c.soc_drop_ewma = get<double>(in);
+  c.status = static_cast<health::ClientStatus>(in.get<std::uint8_t>());
+  c.speed_ewma = in.get<double>();
+  c.has_observation = in.get_bool();
+  c.fault_streak = static_cast<std::size_t>(in.get_u64());
+  c.total_faults = static_cast<std::size_t>(in.get_u64());
+  c.total_retries = static_cast<std::size_t>(in.get_u64());
+  c.probations = static_cast<std::size_t>(in.get_u64());
+  c.probation_remaining = static_cast<std::size_t>(in.get_u64());
+  c.reassigned_shards = static_cast<std::size_t>(in.get_u64());
+  c.soc = in.get<double>();
+  c.soc_drop_ewma = in.get<double>();
   return c;
+}
+
+void put_resolution(Writer& out, const replication::ShareResolution& r) {
+  out.put_u64(r.owner);
+  out.put_bool(r.arrived);
+  out.put_bool(r.rescued);
+  out.put_u64(r.winner);
+  out.put(r.finish_s);
+  out.put_u64(r.replicas);
+  out.put_u64(r.replicas_completed);
+}
+
+replication::ShareResolution get_resolution(Reader& in) {
+  replication::ShareResolution r;
+  r.owner = static_cast<std::size_t>(in.get_u64());
+  r.arrived = in.get_bool();
+  r.rescued = in.get_bool();
+  r.winner = static_cast<std::size_t>(in.get_u64());
+  r.finish_s = in.get<double>();
+  r.replicas = static_cast<std::size_t>(in.get_u64());
+  r.replicas_completed = static_cast<std::size_t>(in.get_u64());
+  return r;
 }
 
 void write_sidecar(const RunState& state, const std::string& path) {
@@ -153,6 +253,8 @@ void write_sidecar(const RunState& state, const std::string& path) {
   meta.field("param_count", state.global_params.size());
   meta.field("total_seconds", state.total_seconds);
   meta.field("recovery_active", state.recovery_active);
+  meta.field("replication_active", state.replication_active);
+  meta.field("replica_resolutions", state.replica_log.size());
   meta.field("battery_tracked", !state.battery_soc.empty());
   meta.field("trace_events", static_cast<std::size_t>(state.trace_events));
   meta.field("trace_bytes", state.trace_prefix.size());
@@ -163,49 +265,59 @@ void write_sidecar(const RunState& state, const std::string& path) {
 }  // namespace
 
 void save_checkpoint(const RunState& state, const std::string& path) {
+  Writer payload;
+  payload.put_u64(state.seed);
+  payload.put_u64(state.rounds_completed);
+
+  payload.put_u64(state.model_fingerprint);
+  payload.put_vec(state.global_params);
+
+  payload.put_u64(state.velocities.size());
+  for (const auto& v : state.velocities) payload.put_vec(v);
+
+  payload.put_vec(state.device_clock_s);
+  payload.put_vec(state.device_temp_c);
+  payload.put_vec(state.battery_soc);
+
+  payload.put_u64(state.partition.user_indices.size());
+  for (const auto& share : state.partition.user_indices) {
+    payload.put_size_vec(share);
+  }
+
+  payload.put_u64(state.rounds.size());
+  for (const RoundRecord& r : state.rounds) put_round(payload, r);
+  payload.put(state.total_seconds);
+
+  payload.put_bool(state.recovery_active);
+  payload.put_u64(state.health.clients.size());
+  for (const auto& c : state.health.clients) put_client_health(payload, c);
+  payload.put_vec(state.health.planned_multiplier);
+  payload.put_u64(state.health.last_plan_round);
+  payload.put_bool(state.health.has_plan);
+  payload.put_bool(state.health.status_dirty);
+  payload.put_vec(state.replanner_shards);
+
+  payload.put_bool(state.replication_active);
+  payload.put_u64(state.replica_log.size());
+  for (const auto& r : state.replica_log) put_resolution(payload, r);
+
+  for (std::uint64_t word : state.rng_words) payload.put_u64(word);
+
+  payload.put_u64(state.trace_events);
+  payload.put_bytes(state.trace_prefix);
+
   const std::filesystem::path p(path);
   if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
   std::ofstream out(p, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
-
-  put(out, kMagic);
-  put(out, kFormatVersion);
-  put_u64(out, state.seed);
-  put_u64(out, state.rounds_completed);
-
-  put_u64(out, state.model_fingerprint);
-  put_f32_vec(out, state.global_params);
-
-  put_u64(out, state.velocities.size());
-  for (const auto& v : state.velocities) put_f32_vec(out, v);
-
-  put_f64_vec(out, state.device_clock_s);
-  put_f64_vec(out, state.device_temp_c);
-  put_f64_vec(out, state.battery_soc);
-
-  put_u64(out, state.partition.user_indices.size());
-  for (const auto& share : state.partition.user_indices) put_size_vec(out, share);
-
-  put_u64(out, state.rounds.size());
-  for (const RoundRecord& r : state.rounds) put_round(out, r);
-  put(out, state.total_seconds);
-
-  put(out, static_cast<std::uint8_t>(state.recovery_active ? 1 : 0));
-  put_u64(out, state.health.clients.size());
-  for (const auto& c : state.health.clients) put_client_health(out, c);
-  put_f64_vec(out, state.health.planned_multiplier);
-  put_u64(out, state.health.last_plan_round);
-  put(out, static_cast<std::uint8_t>(state.health.has_plan ? 1 : 0));
-  put(out, static_cast<std::uint8_t>(state.health.status_dirty ? 1 : 0));
-  put_u64_vec(out, state.replanner_shards);
-
-  for (std::uint64_t word : state.rng_words) put_u64(out, word);
-
-  put_u64(out, state.trace_events);
-  put_u64(out, state.trace_prefix.size());
-  out.write(state.trace_prefix.data(),
-            static_cast<std::streamsize>(state.trace_prefix.size()));
-
+  const std::string& body = payload.bytes();
+  const std::uint64_t size = body.size();
+  const std::uint64_t checksum = fnv1a64(body);
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kFormatVersion), sizeof(kFormatVersion));
+  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
   if (!out) throw std::runtime_error("save_checkpoint: write failed for " + path);
   out.close();
   write_sidecar(state, path + ".meta.jsonl");
@@ -214,57 +326,81 @@ void save_checkpoint(const RunState& state, const std::string& path) {
 RunState load_checkpoint(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  std::string file((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) throw std::runtime_error("load_checkpoint: read failed for " + path);
 
-  const auto magic = get<std::uint32_t>(in);
-  if (!in || magic != kMagic) {
+  constexpr std::size_t kHeaderSize =
+      sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) * 2;
+  if (file.size() < kHeaderSize) {
     throw std::runtime_error("load_checkpoint: " + path +
                              " is not a fedsched checkpoint");
   }
-  const auto version = get<std::uint32_t>(in);
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t size = 0, checksum = 0;
+  std::memcpy(&magic, file.data(), sizeof(magic));
+  std::memcpy(&version, file.data() + 4, sizeof(version));
+  std::memcpy(&size, file.data() + 8, sizeof(size));
+  std::memcpy(&checksum, file.data() + 16, sizeof(checksum));
+  if (magic != kMagic) {
+    throw std::runtime_error("load_checkpoint: " + path +
+                             " is not a fedsched checkpoint");
+  }
   if (version != kFormatVersion) {
     throw std::runtime_error("load_checkpoint: " + path + " has format version " +
                              std::to_string(version) + "; this build reads version " +
                              std::to_string(kFormatVersion));
   }
+  const std::string_view body(file.data() + kHeaderSize,
+                              file.size() - kHeaderSize);
+  if (body.size() != size) {
+    throw std::runtime_error("load_checkpoint: truncated file " + path);
+  }
+  if (fnv1a64(body) != checksum) {
+    throw std::runtime_error("load_checkpoint: checksum mismatch in " + path);
+  }
 
+  Reader payload(body, path);
   RunState state;
-  state.seed = get_u64(in);
-  state.rounds_completed = get_u64(in);
+  state.seed = payload.get_u64();
+  state.rounds_completed = payload.get_u64();
 
-  state.model_fingerprint = get_u64(in);
-  state.global_params = get_f32_vec(in);
+  state.model_fingerprint = payload.get_u64();
+  state.global_params = payload.get_vec<float>();
 
-  state.velocities.resize(get_u64(in));
-  for (auto& v : state.velocities) v = get_f32_vec(in);
+  state.velocities.resize(payload.get_count(sizeof(std::uint64_t)));
+  for (auto& v : state.velocities) v = payload.get_vec<float>();
 
-  state.device_clock_s = get_f64_vec(in);
-  state.device_temp_c = get_f64_vec(in);
-  state.battery_soc = get_f64_vec(in);
+  state.device_clock_s = payload.get_vec<double>();
+  state.device_temp_c = payload.get_vec<double>();
+  state.battery_soc = payload.get_vec<double>();
 
-  state.partition.user_indices.resize(get_u64(in));
-  for (auto& share : state.partition.user_indices) share = get_size_vec(in);
+  state.partition.user_indices.resize(payload.get_count(sizeof(std::uint64_t)));
+  for (auto& share : state.partition.user_indices) share = payload.get_size_vec();
 
-  state.rounds.resize(get_u64(in));
-  for (auto& r : state.rounds) r = get_round(in);
-  state.total_seconds = get<double>(in);
+  state.rounds.resize(payload.get_count(1));
+  for (auto& r : state.rounds) r = get_round(payload);
+  state.total_seconds = payload.get<double>();
 
-  state.recovery_active = get<std::uint8_t>(in) != 0;
-  state.health.clients.resize(get_u64(in));
-  for (auto& c : state.health.clients) c = get_client_health(in);
-  state.health.planned_multiplier = get_f64_vec(in);
-  state.health.last_plan_round = static_cast<std::size_t>(get_u64(in));
-  state.health.has_plan = get<std::uint8_t>(in) != 0;
-  state.health.status_dirty = get<std::uint8_t>(in) != 0;
-  state.replanner_shards = get_u64_vec(in);
+  state.recovery_active = payload.get_bool();
+  state.health.clients.resize(payload.get_count(1));
+  for (auto& c : state.health.clients) c = get_client_health(payload);
+  state.health.planned_multiplier = payload.get_vec<double>();
+  state.health.last_plan_round = static_cast<std::size_t>(payload.get_u64());
+  state.health.has_plan = payload.get_bool();
+  state.health.status_dirty = payload.get_bool();
+  state.replanner_shards = payload.get_vec<std::uint64_t>();
 
-  for (auto& word : state.rng_words) word = get_u64(in);
+  state.replication_active = payload.get_bool();
+  state.replica_log.resize(payload.get_count(1));
+  for (auto& r : state.replica_log) r = get_resolution(payload);
 
-  state.trace_events = get_u64(in);
-  state.trace_prefix.resize(get_u64(in));
-  in.read(state.trace_prefix.data(),
-          static_cast<std::streamsize>(state.trace_prefix.size()));
+  for (auto& word : state.rng_words) word = payload.get_u64();
 
-  if (!in) throw std::runtime_error("load_checkpoint: truncated file " + path);
+  state.trace_events = payload.get_u64();
+  state.trace_prefix = payload.get_bytes();
+
+  payload.expect_exhausted();
   return state;
 }
 

@@ -13,7 +13,12 @@
 // Format: a little-endian binary file (magic "FSC1", explicit version field;
 // readers reject unknown versions rather than guess) plus a human-readable
 // `<path>.meta.jsonl` sidecar describing the checkpoint for tooling — the
-// sidecar is advisory and never read back.
+// sidecar is advisory and never read back. Since version 2 the header also
+// carries the payload length and an FNV-1a checksum of the payload, and the
+// loader parses out of a bounds-checked in-memory buffer: a truncated,
+// bit-flipped, or otherwise mangled file is rejected with a clean
+// std::runtime_error — never a crash, a huge allocation, a partial restore,
+// or silent acceptance (tests/fl/test_checkpoint_corruption.cpp pins this).
 //
 // The fault injector needs no entry here: its draws are pure functions of
 // (config, seed, round, client), so rebuilding it from the config reproduces
@@ -31,7 +36,8 @@
 namespace fedsched::fl::checkpoint {
 
 /// On-disk format version this build writes and accepts.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: checksummed payload + replication state (replica log, active flag).
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Complete mutable state of a synchronous run after `rounds_completed`
 /// rounds. Everything a resumed run cannot re-derive from its config.
@@ -64,10 +70,17 @@ struct RunState {
   std::vector<RoundRecord> rounds;
   double total_seconds = 0.0;
 
-  /// Self-healing state (meaningful only when recovery_active).
+  /// Self-healing state. `health` is meaningful when either recovery or
+  /// replication is active (both read risk from the same tracker).
   bool recovery_active = false;
   health::HealthTracker::Snapshot health;
   std::vector<std::uint64_t> replanner_shards;
+
+  /// Speculative replication: config-match flag plus the first-finisher log
+  /// accumulated so far, so a resumed run's RunResult::replica_log matches
+  /// the uninterrupted run's.
+  bool replication_active = false;
+  std::vector<replication::ShareResolution> replica_log;
 
   /// The runner's base RNG stream words (defensive: fork() never advances
   /// the parent, but serializing them keeps the format honest if that

@@ -72,12 +72,13 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
   // verdicts; the replanner redistributes shares away from drifted/dead
   // peers. Off policy = bit-identical to the static-plan behaviour.
   const bool recovery = config_.reschedule.enabled();
+  const bool hedging = config_.replicate.enabled();
   std::optional<health::HealthTracker> tracker;
   std::optional<health::Replanner> replanner;
-  if (recovery) {
-    tracker.emplace(config_.reschedule.health, n);
-    replanner.emplace(config_.reschedule, n);
-  }
+  std::optional<replication::ReplicationPlanner> hedger;
+  if (recovery || hedging) tracker.emplace(config_.reschedule.health, n);
+  if (recovery) replanner.emplace(config_.reschedule, n);
+  if (hedging) hedger.emplace(config_.replicate, n);
   data::Partition working = partition;
 
   const auto neighbors = build_topology(config_.topology, n);
@@ -122,6 +123,19 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
     record.round = round;
     record.client_seconds.assign(n, 0.0);
     trace_round_start(trace, round);
+
+    // Hedge plan (see FedAvgRunner::run): decided serially before any lane
+    // runs. Gossip trains one epoch per round.
+    replication::RoundPlan hedge_plan;
+    if (hedging) {
+      std::vector<std::size_t> share_sizes(n);
+      for (std::size_t u = 0; u < n; ++u) {
+        share_sizes[u] = working.user_indices[u].size();
+      }
+      hedge_plan = hedger->plan(*tracker, share_sizes, 1);
+      record.replicas_assigned = hedge_plan.assignments.size();
+      if (!hedge_plan.empty()) trace_replication_plan(trace, round, hedge_plan);
+    }
 
     for (std::size_t u = 0; u < n; ++u) client_rngs[u] = rng.fork(round * n + u);
     std::fill(has_loss.begin(), has_loss.end(), 0);
@@ -174,6 +188,79 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
       has_loss[u] = 1;
       trained[u] = worker.flat_params();
     });
+
+    // Speculative copies: the host re-trains the owner's share after its own
+    // epoch (extra compute on its clock, extra upload, extra battery drain;
+    // the host's own fault verdict applies). Serial, plan order — see
+    // FedAvgRunner::run for the width-invariance argument.
+    std::vector<replication::ReplicaOutcome> replica_outcomes;
+    std::vector<replication::ShareResolution> resolutions;
+    std::vector<char> rescued(n, 0);
+    if (!hedge_plan.empty()) {
+      for (const replication::ReplicaAssignment& a : hedge_plan.assignments) {
+        replication::ReplicaOutcome ro;
+        ro.owner = a.owner;
+        ro.host = a.host;
+        const FaultOutcome& host_out = outcomes[a.host];
+        if (!host_out.completed) {
+          ro.finish_s = host_out.elapsed_s;
+          ro.kind = host_out.kind;
+        } else {
+          const double copy_compute = devices[a.host].train(
+              device_model_, working.user_indices[a.owner].size());
+          ro.finish_s = host_out.elapsed_s + copy_compute +
+                        trip_timings[a.host].upload_s * host_out.comm_scale;
+          ro.completed = true;
+          if (injector.battery_enabled()) {
+            batteries[a.host].drain(
+                round_energy_wh(device::spec_of(phones_[a.host]), device_model_,
+                                copy_compute, network_, host_out.comm_scale));
+            if (batteries[a.host].dead(config_.faults.battery_floor_soc)) {
+              ro.completed = false;
+              ro.kind = FaultKind::kBatteryDead;
+            }
+          }
+          if (ro.completed && std::isfinite(deadline) && ro.finish_s > deadline) {
+            ro.completed = false;
+            ro.kind = FaultKind::kDeadlineMiss;
+          }
+        }
+        replica_outcomes.push_back(ro);
+      }
+      for (std::size_t u = 0; u < n; ++u) {
+        std::vector<replication::ReplicaOutcome> mine;
+        for (const auto& ro : replica_outcomes) {
+          if (ro.owner == u) mine.push_back(ro);
+        }
+        if (mine.empty()) continue;
+        const bool primary_ok =
+            outcomes[u].completed && !working.user_indices[u].empty();
+        replication::ShareResolution res = replication::resolve_first_finisher(
+            u, primary_ok, outcomes[u].elapsed_s, mine);
+        if (res.rescued) rescued[u] = 1;
+        if (res.arrived && res.winner != u) ++record.replicas_won;
+        record.shares_rescued += res.rescued;
+        resolutions.push_back(res);
+      }
+    }
+
+    // Rescue pass: re-derive the exact update the dropped primary would have
+    // produced (same pre-round params, same RNG fork, same optimizer — the
+    // primary's lane returned before touching either), so the fleet mixes
+    // the saved share as if the owner had been online.
+    if (record.shares_rescued > 0) {
+      executor_.for_each_client(n, [&](std::size_t u, nn::Model& worker) {
+        if (!rescued[u]) return;
+        const auto& share = working.user_indices[u];
+        worker.set_flat_params(params[u]);
+        const auto stats = train_epoch(worker, optimizers[u], train_, share,
+                                       config_.batch_size, client_rngs[u]);
+        client_loss[u] = stats.mean_loss;
+        has_loss[u] = 1;
+        trained[u] = worker.flat_params();
+      });
+    }
+
     double loss_sum = 0.0;
     std::size_t loss_users = 0;
     for (std::size_t u = 0; u < n; ++u) {
@@ -196,6 +283,9 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
                               injector.battery_enabled()
                                   ? batteries[u].state_of_charge()
                                   : -1.0);
+      }
+      for (const replication::ShareResolution& res : resolutions) {
+        trace_replica_result(trace, round, res);
       }
     }
 
@@ -249,8 +339,13 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
     });
     params = std::move(mixed);
 
-    const double busiest =
-        *std::max_element(record.client_seconds.begin(), record.client_seconds.end());
+    // A replicated share gates at its winning arrival; losing copies never
+    // hold the round (see FedAvgRunner::run).
+    std::vector<double> gates = record.client_seconds;
+    for (const replication::ShareResolution& res : resolutions) {
+      if (res.arrived) gates[res.owner] = res.finish_s;
+    }
+    const double busiest = *std::max_element(gates.begin(), gates.end());
     record.round_seconds = (record.dropped_clients > 0 && std::isfinite(deadline))
                                ? deadline
                                : busiest;
@@ -261,23 +356,30 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
 
     // Self-healing: same serial fold + replan as FedAvgRunner::run (which
     // documents the ordering); gossip has one local epoch per round.
-    if (recovery) {
+    if (recovery || hedging) {
       std::vector<health::HealthTracker::Observation> observed(n);
       for (std::size_t u = 0; u < n; ++u) {
         const auto& share = working.user_indices[u];
         health::HealthTracker::Observation& o = observed[u];
         o.participated = !share.empty();
-        o.predicted_s = config_.reschedule.users[u].epoch_seconds(share.size());
+        const sched::UserProfile* prof = nullptr;
+        if (u < config_.reschedule.users.size()) {
+          prof = &config_.reschedule.users[u];
+        } else if (u < config_.replicate.users.size()) {
+          prof = &config_.replicate.users[u];
+        }
+        o.predicted_s = prof ? prof->epoch_seconds(share.size()) : 0.0;
         o.measured_s = outcomes[u].elapsed_s;
         o.fault = outcomes[u].kind;
-        o.completed = has_loss[u] != 0;
+        // Health judges the primary's own trip; a rescue doesn't absolve it.
+        o.completed = o.participated && outcomes[u].completed;
         o.retries = outcomes[u].retries;
         o.soc = injector.battery_enabled() ? batteries[u].state_of_charge() : -1.0;
       }
       tracker->observe_round(observed);
       trace_health(trace, round, *tracker);
 
-      if (round + 1 < config_.rounds && tracker->replan_due(round)) {
+      if (recovery && round + 1 < config_.rounds && tracker->replan_due(round)) {
         const health::ReplanOutcome outcome = replanner->replan(*tracker, *tracker);
         if (outcome.replanned) {
           record.rescheduled = true;
@@ -290,10 +392,12 @@ GossipRunResult GossipRunner::run(const data::Partition& partition) {
         tracker->note_replan(round);
       }
     }
+    result.replica_log.insert(result.replica_log.end(), resolutions.begin(),
+                              resolutions.end());
     result.rounds.push_back(std::move(record));
   }
 
-  if (recovery) result.client_health = tracker->all();
+  if (recovery || hedging) result.client_health = tracker->all();
 
   // Final evaluation of every client's model + consensus gap. Each client's
   // accuracy and pairwise-gap row is independent; the mean and max reduce

@@ -48,6 +48,11 @@ struct GossipConfig {
   /// is no server, so think of this as the fleet's shared membership view.
   /// Checkpointing is not supported for gossip runs.
   health::ReschedulePlan reschedule;
+  /// Speculative shard replication (fl/replication): a healthy neighbor
+  /// re-trains an at-risk peer's share so the fleet still mixes that share's
+  /// update when the peer drops. Off = bit-identical to replication-free
+  /// gossip runs.
+  replication::ReplicationConfig replicate;
 };
 
 struct GossipRunResult {
@@ -59,8 +64,11 @@ struct GossipRunResult {
   /// the consensus error the averaging is supposed to shrink.
   double consensus_gap = 0.0;
   double total_seconds = 0.0;
-  /// Final per-client health state (empty when rescheduling is off).
+  /// Final per-client health state (empty when both rescheduling and
+  /// replication are off).
   std::vector<health::ClientHealth> client_health;
+  /// First-finisher verdict of every replicated share (empty when off).
+  std::vector<replication::ShareResolution> replica_log;
 };
 
 class GossipRunner {

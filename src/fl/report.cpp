@@ -67,6 +67,17 @@ std::string fault_summary(const RunResult& result) {
        << " shards moved, " << probations << " probations, " << excluded
        << " clients excluded";
   }
+  std::size_t assigned = 0, won = 0, rescued = 0;
+  for (const RoundRecord& record : result.rounds) {
+    assigned += record.replicas_assigned;
+    won += record.replicas_won;
+    rescued += record.shares_rescued;
+  }
+  if (assigned > 0) {
+    os << "\nreplication: " << assigned << " replicas, " << won
+       << " first-finishes, " << rescued << " shares rescued, "
+       << (assigned - won) << " wasted";
+  }
   return os.str();
 }
 
@@ -251,6 +262,43 @@ void trace_reschedule(obs::TraceWriter& trace, std::size_t round,
   trace.write(ev);
 }
 
+void trace_replication_plan(obs::TraceWriter& trace, std::size_t round,
+                            const replication::RoundPlan& plan) {
+  if (!trace.enabled()) return;
+  common::JsonObject ev;
+  ev.field("ev", "replication").field("round", round).field("flagged", plan.flagged);
+  std::vector<std::size_t> owners, hosts;
+  std::vector<double> predicted;
+  owners.reserve(plan.assignments.size());
+  hosts.reserve(plan.assignments.size());
+  predicted.reserve(plan.assignments.size());
+  for (const replication::ReplicaAssignment& a : plan.assignments) {
+    owners.push_back(a.owner);
+    hosts.push_back(a.host);
+    predicted.push_back(a.predicted_finish_s);
+  }
+  ev.field("owners", std::span<const std::size_t>(owners));
+  ev.field("hosts", std::span<const std::size_t>(hosts));
+  ev.field("predicted_s", std::span<const double>(predicted));
+  trace.write(ev);
+}
+
+void trace_replica_result(obs::TraceWriter& trace, std::size_t round,
+                          const replication::ShareResolution& resolution) {
+  if (!trace.enabled()) return;
+  common::JsonObject ev;
+  ev.field("ev", "replica")
+      .field("round", round)
+      .field("owner", resolution.owner)
+      .field("arrived", resolution.arrived)
+      .field("rescued", resolution.rescued)
+      .field("winner", resolution.winner)
+      .field("finish_s", resolution.finish_s)
+      .field("replicas", resolution.replicas)
+      .field("replicas_completed", resolution.replicas_completed);
+  trace.write(ev);
+}
+
 void trace_checkpoint(obs::TraceWriter& trace, std::size_t completed,
                       double total_seconds) {
   if (!trace.enabled()) return;
@@ -316,11 +364,30 @@ void record_recovery_metrics(obs::MetricsRegistry& metrics,
   metrics.set_gauge("fl.clients_excluded", static_cast<double>(excluded));
 }
 
+// Replication metrics are keyed only when some round actually assigned a
+// replica, so replication-off runs (and risk-free fleets) produce
+// byte-identical metric dumps.
+void record_replication_metrics(obs::MetricsRegistry& metrics,
+                                const std::vector<RoundRecord>& rounds) {
+  std::size_t assigned = 0, won = 0, rescued = 0;
+  for (const RoundRecord& record : rounds) {
+    assigned += record.replicas_assigned;
+    won += record.replicas_won;
+    rescued += record.shares_rescued;
+  }
+  if (assigned == 0) return;
+  metrics.add("fl.replicas_assigned", assigned);
+  metrics.add("fl.replicas_won", won);
+  metrics.add("fl.replica_waste", assigned - won);
+  metrics.add("fl.shares_rescued", rescued);
+}
+
 }  // namespace
 
 void record_run_metrics(obs::MetricsRegistry& metrics, const RunResult& result) {
   record_round_metrics(metrics, result.rounds);
   record_recovery_metrics(metrics, result.rounds, result.client_health);
+  record_replication_metrics(metrics, result.rounds);
   metrics.set_gauge("fl.final_accuracy", result.final_accuracy);
   metrics.set_gauge("fl.total_seconds", result.total_seconds);
 }
@@ -328,6 +395,7 @@ void record_run_metrics(obs::MetricsRegistry& metrics, const RunResult& result) 
 void record_run_metrics(obs::MetricsRegistry& metrics, const GossipRunResult& result) {
   record_round_metrics(metrics, result.rounds);
   record_recovery_metrics(metrics, result.rounds, result.client_health);
+  record_replication_metrics(metrics, result.rounds);
   metrics.set_gauge("fl.final_accuracy", result.mean_accuracy);
   metrics.set_gauge("fl.consensus_gap", result.consensus_gap);
   metrics.set_gauge("fl.total_seconds", result.total_seconds);
@@ -338,6 +406,11 @@ void record_run_metrics(obs::MetricsRegistry& metrics, const AsyncRunResult& res
   metrics.add("fl.dropped_updates", result.dropped_updates);
   metrics.add("fl.upload_retries", result.retry_count);
   metrics.add("fl.battery_deaths", result.battery_deaths);
+  if (result.replica_trips > 0) {
+    metrics.add("fl.replicas_assigned", result.replica_trips);
+    metrics.add("fl.replicas_won", result.replica_merges);
+    metrics.add("fl.replica_waste", result.replica_trips - result.replica_merges);
+  }
   for (const AsyncUpdateRecord& update : result.updates) {
     metrics.observe("fl.staleness", static_cast<double>(update.staleness));
     metrics.observe("fl.mix_weight", update.mix_weight);

@@ -26,7 +26,8 @@ namespace fedsched::fl {
 /// dropped client-rounds, retries, skipped rounds, and a per-kind breakdown.
 /// When self-healing ran (RunResult::client_health non-empty) a second line
 /// summarizes recovery: reschedules, shards moved, probations, and clients
-/// permanently excluded.
+/// permanently excluded. When replication assigned any copies, a third line
+/// summarizes hedging: replicas, first-finishes, rescues, waste.
 [[nodiscard]] std::string fault_summary(const RunResult& result);
 
 /// Per-client recovery table (self-healing runs): final status, speed-drift
@@ -82,8 +83,9 @@ void trace_device_snapshot(obs::TraceWriter& trace, std::size_t round,
 /// byte-identical to older builds.
 void trace_round_end(obs::TraceWriter& trace, const RoundRecord& record);
 
-// Self-healing events. Emitted only when recovery is active, so traces of
-// recovery-off runs carry no new event kinds.
+// Self-healing events. Emitted only when recovery (or, for `health`,
+// replication) is active, so traces of everything-off runs carry no new
+// event kinds.
 
 /// `health`: per-round fleet health — eligible count, per-client status
 /// string array, and per-client cost multipliers.
@@ -94,6 +96,20 @@ void trace_health(obs::TraceWriter& trace, std::size_t round,
 void trace_reschedule(obs::TraceWriter& trace, std::size_t round,
                       health::ReschedulePolicy policy,
                       const health::ReplanOutcome& outcome);
+
+// Replication events. Emitted only for rounds that actually assigned
+// replicas, so replication-off runs (and risk-free rounds) leave the trace
+// byte-identical.
+
+/// `replication`: the round's hedge plan — flagged client count and the
+/// (owner, host, predicted_finish_s) triple of every assignment.
+void trace_replication_plan(obs::TraceWriter& trace, std::size_t round,
+                            const replication::RoundPlan& plan);
+
+/// `replica`: first-finisher verdict of one replicated share — winner,
+/// arrival time, whether a replica rescued a faulted primary.
+void trace_replica_result(obs::TraceWriter& trace, std::size_t round,
+                          const replication::ShareResolution& resolution);
 
 /// `checkpoint`: a checkpoint was written after `completed` rounds. Carries
 /// no paths or byte counts, so the event bytes are identical between a

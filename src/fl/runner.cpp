@@ -47,12 +47,15 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
   // swap the working partition between rounds. Both live only when the
   // policy is on; an off policy leaves the run bit-identical to older builds.
   const bool recovery = config_.reschedule.enabled();
+  // Replication reads risk from the same tracker; it works with recovery off
+  // (the tracker then only serves the hedge planner).
+  const bool hedging = config_.replicate.enabled();
   std::optional<health::HealthTracker> tracker;
   std::optional<health::Replanner> replanner;
-  if (recovery) {
-    tracker.emplace(config_.reschedule.health, n_users);
-    replanner.emplace(config_.reschedule, n_users);
-  }
+  std::optional<replication::ReplicationPlanner> hedger;
+  if (recovery || hedging) tracker.emplace(config_.reschedule.health, n_users);
+  if (recovery) replanner.emplace(config_.reschedule, n_users);
+  if (hedging) hedger.emplace(config_.replicate, n_users);
   // Mutable copy: the replanner reassigns shares, and resume restores the
   // partition in force when the checkpoint was written.
   data::Partition working = partition;
@@ -122,6 +125,9 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
     if (state.recovery_active != recovery) {
       throw std::runtime_error("FedAvgRunner: checkpoint reschedule config mismatch");
     }
+    if (state.replication_active != hedging) {
+      throw std::runtime_error("FedAvgRunner: checkpoint replication config mismatch");
+    }
     global_params = std::move(state.global_params);
     global_.set_flat_params(global_params);
     for (std::size_t u = 0; u < n_users; ++u) {
@@ -140,8 +146,9 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
     working = std::move(state.partition);
     result.rounds = std::move(state.rounds);
     result.total_seconds = state.total_seconds;
+    result.replica_log = std::move(state.replica_log);
+    if (recovery || hedging) tracker->restore(state.health);
     if (recovery) {
-      tracker->restore(state.health);
       replanner->restore_shards(std::vector<std::size_t>(
           state.replanner_shards.begin(), state.replanner_shards.end()));
     }
@@ -167,6 +174,20 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
     for (const auto& share : working.user_indices) total_samples += share.size();
     if (total_samples == 0) {
       throw std::invalid_argument("FedAvgRunner::run: empty partition");
+    }
+
+    // Hedge plan for the round: which at-risk shares get speculative copies
+    // and on which hosts. Decided serially from tracker state before any
+    // client runs, so the plan is identical at every parallelism width.
+    replication::RoundPlan hedge_plan;
+    if (hedging) {
+      std::vector<std::size_t> share_sizes(n_users);
+      for (std::size_t u = 0; u < n_users; ++u) {
+        share_sizes[u] = working.user_indices[u].size();
+      }
+      hedge_plan = hedger->plan(*tracker, share_sizes, config_.local_epochs);
+      record.replicas_assigned = hedge_plan.assignments.size();
+      if (!hedge_plan.empty()) trace_replication_plan(trace, round, hedge_plan);
     }
 
     // Seed streams are forked serially; fork() is a pure function of the
@@ -228,6 +249,87 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
       locals[u] = worker.flat_params();
     });
 
+    // Speculative copies run on their hosts *after* the host's own round:
+    // extra compute on the host's device clock (thermal trajectory included),
+    // an extra upload, extra battery drain — and the host's own fault verdict
+    // applies to the copy. Serial, in plan order, so devices are only ever
+    // advanced from one thread and the timeline is width-invariant.
+    std::vector<replication::ReplicaOutcome> replica_outcomes;
+    std::vector<replication::ShareResolution> resolutions;
+    std::vector<char> rescued(n_users, 0);
+    if (!hedge_plan.empty()) {
+      replica_outcomes.reserve(hedge_plan.assignments.size());
+      for (const replication::ReplicaAssignment& a : hedge_plan.assignments) {
+        replication::ReplicaOutcome ro;
+        ro.owner = a.owner;
+        ro.host = a.host;
+        const FaultOutcome& host_out = outcomes[a.host];
+        if (!host_out.completed) {
+          // The host never even delivered its own share; the copy dies with it.
+          ro.finish_s = host_out.elapsed_s;
+          ro.kind = host_out.kind;
+        } else {
+          const double copy_compute = devices[a.host].train(
+              device_model_,
+              working.user_indices[a.owner].size() * config_.local_epochs);
+          ro.finish_s = host_out.elapsed_s + copy_compute +
+                        trip_timings[a.host].upload_s * host_out.comm_scale;
+          ro.completed = true;
+          if (injector.battery_enabled()) {
+            batteries[a.host].drain(
+                round_energy_wh(device::spec_of(phones_[a.host]), device_model_,
+                                copy_compute, network_, host_out.comm_scale));
+            if (batteries[a.host].dead(config_.faults.battery_floor_soc)) {
+              ro.completed = false;
+              ro.kind = FaultKind::kBatteryDead;
+            }
+          }
+          if (ro.completed && std::isfinite(deadline) && ro.finish_s > deadline) {
+            ro.completed = false;
+            ro.kind = FaultKind::kDeadlineMiss;
+          }
+        }
+        replica_outcomes.push_back(ro);
+      }
+
+      // First-finisher resolution per replicated share, owners ascending.
+      for (std::size_t u = 0; u < n_users; ++u) {
+        std::vector<replication::ReplicaOutcome> mine;
+        for (const auto& ro : replica_outcomes) {
+          if (ro.owner == u) mine.push_back(ro);
+        }
+        if (mine.empty()) continue;
+        const bool primary_ok =
+            outcomes[u].completed && !working.user_indices[u].empty();
+        replication::ShareResolution res = replication::resolve_first_finisher(
+            u, primary_ok, outcomes[u].elapsed_s, mine);
+        if (res.rescued) rescued[u] = 1;
+        if (res.arrived && res.winner != u) ++record.replicas_won;
+        record.shares_rescued += res.rescued;
+        resolutions.push_back(res);
+      }
+    }
+
+    // Rescue pass: train the shares a replica saved. The primary's lane
+    // returned before touching its RNG fork or optimizer, so training here
+    // with the same (round, owner)-keyed stream produces the exact bytes the
+    // primary would have — the winner's identity never leaks into the model.
+    if (record.shares_rescued > 0) {
+      executor_.for_each_client(n_users, [&](std::size_t u, nn::Model& worker) {
+        if (!rescued[u]) return;
+        const auto& share = working.user_indices[u];
+        worker.set_flat_params(global_params);
+        EpochStats stats;
+        for (std::size_t e = 0; e < config_.local_epochs; ++e) {
+          stats = train_epoch(worker, optimizers[u], train_, share,
+                              config_.batch_size, client_rngs[u]);
+        }
+        client_loss[u] = stats.mean_loss;
+        trained[u] = 1;
+        locals[u] = worker.flat_params();
+      });
+    }
+
     double loss_sum = 0.0;
     std::size_t loss_users = 0;
     for (std::size_t u = 0; u < n_users; ++u) {
@@ -250,6 +352,9 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
                               injector.battery_enabled()
                                   ? batteries[u].state_of_charge()
                                   : -1.0);
+      }
+      for (const replication::ShareResolution& res : resolutions) {
+        trace_replica_result(trace, round, res);
       }
     }
 
@@ -295,9 +400,15 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
     }
 
     // With drops under a finite deadline the server holds the round open
-    // until the deadline; otherwise the straggler's finish closes it.
-    const double busiest =
-        *std::max_element(record.client_seconds.begin(), record.client_seconds.end());
+    // until the deadline; otherwise the straggler's finish closes it. A
+    // replicated share gates at its winning arrival instead of the primary's
+    // busy time — the whole point of hedging — while losing replicas never
+    // hold the round (speculative copies are abandoned once a copy is in).
+    std::vector<double> gates = record.client_seconds;
+    for (const replication::ShareResolution& res : resolutions) {
+      if (res.arrived) gates[res.owner] = res.finish_s;
+    }
+    const double busiest = *std::max_element(gates.begin(), gates.end());
     record.round_seconds = (record.dropped_clients > 0 && std::isfinite(deadline))
                                ? deadline
                                : busiest;
@@ -312,24 +423,35 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
     // Self-healing: fold the round into per-client health, then let the
     // replanner swap the shard plan if the fleet drifted. All serial, all
     // derived from client-indexed slots — deterministic at any parallelism.
-    if (recovery) {
+    if (recovery || hedging) {
       std::vector<health::HealthTracker::Observation> observed(n_users);
       for (std::size_t u = 0; u < n_users; ++u) {
         const auto& share = working.user_indices[u];
         health::HealthTracker::Observation& o = observed[u];
         o.participated = !share.empty();
-        o.predicted_s = config_.reschedule.users[u].epoch_seconds(
-            share.size() * config_.local_epochs);
+        // Offline profiles for the drift baseline: the reschedule plan's when
+        // recovery is on, else the replication config's (either may be
+        // absent; predicted <= 0 skips the drift update).
+        const sched::UserProfile* prof = nullptr;
+        if (u < config_.reschedule.users.size()) {
+          prof = &config_.reschedule.users[u];
+        } else if (u < config_.replicate.users.size()) {
+          prof = &config_.replicate.users[u];
+        }
+        o.predicted_s =
+            prof ? prof->epoch_seconds(share.size() * config_.local_epochs) : 0.0;
         o.measured_s = outcomes[u].elapsed_s;
         o.fault = outcomes[u].kind;
-        o.completed = trained[u] != 0;
+        // A rescued share still means the *primary* faulted: health judges
+        // the client's own trip, not whether a replica saved its share.
+        o.completed = o.participated && outcomes[u].completed;
         o.retries = outcomes[u].retries;
         o.soc = injector.battery_enabled() ? batteries[u].state_of_charge() : -1.0;
       }
       tracker->observe_round(observed);
       trace_health(trace, round, *tracker);
 
-      if (round + 1 < config_.rounds && tracker->replan_due(round)) {
+      if (recovery && round + 1 < config_.rounds && tracker->replan_due(round)) {
         const health::ReplanOutcome outcome = replanner->replan(*tracker, *tracker);
         if (outcome.replanned) {
           record.rescheduled = true;
@@ -347,6 +469,8 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
         tracker->note_replan(round);
       }
     }
+    result.replica_log.insert(result.replica_log.end(), resolutions.begin(),
+                              resolutions.end());
     result.rounds.push_back(std::move(record));
 
     if (config_.idle_between_rounds_s > 0.0) {
@@ -382,11 +506,13 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
       state.rounds = result.rounds;
       state.total_seconds = result.total_seconds;
       state.recovery_active = recovery;
+      state.replication_active = hedging;
+      if (recovery || hedging) state.health = tracker->snapshot();
       if (recovery) {
-        state.health = tracker->snapshot();
         state.replanner_shards.assign(replanner->current_shards().begin(),
                                       replanner->current_shards().end());
       }
+      state.replica_log = result.replica_log;
       state.rng_words = rng.state_words();
       if (trace.capture_enabled()) {
         state.trace_prefix = trace.captured();
@@ -398,13 +524,13 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
       // Deterministic kill: the checkpoint above is on disk; stop cleanly
       // without the final evaluation or run_end event.
       result.halted = true;
-      if (recovery) result.client_health = tracker->all();
+      if (recovery || hedging) result.client_health = tracker->all();
       trace.flush();
       return result;
     }
   }
 
-  if (recovery) result.client_health = tracker->all();
+  if (recovery || hedging) result.client_health = tracker->all();
   result.final_accuracy = global_.accuracy(test_.images(), test_.labels());
   if (!result.rounds.empty() && config_.evaluate_each_round) {
     result.rounds.back().test_accuracy = result.final_accuracy;

@@ -27,6 +27,7 @@
 #include "fl/faults.hpp"
 #include "fl/health/replanner.hpp"
 #include "fl/parallel.hpp"
+#include "fl/replication/replication.hpp"
 #include "nn/models.hpp"
 #include "nn/sgd.hpp"
 
@@ -98,6 +99,12 @@ struct FlConfig {
   /// off policy reproduces the static-plan behaviour bit-for-bit — no
   /// health state, no extra trace events.
   health::ReschedulePlan reschedule;
+  /// Speculative shard replication (fl/replication): hedge the shares of
+  /// at-risk clients onto healthy fast hosts; the first finished copy wins.
+  /// An off policy reproduces replication-free runs bit-for-bit — no extra
+  /// trace events, no extra metrics. Works with or without `reschedule`
+  /// (either way it reads risk from a HealthTracker fed by the round loop).
+  replication::ReplicationConfig replicate;
   /// Deterministic checkpoint/resume (fl/checkpoint).
   CheckpointConfig checkpoint;
 };
@@ -121,6 +128,12 @@ struct RoundRecord {
   /// the end of this round; moved_shards counts shards that changed owner.
   bool rescheduled = false;
   std::size_t moved_shards = 0;
+  /// Speculative replication (zero everywhere when the policy is off):
+  /// copies assigned this round, copies that were the first finisher of
+  /// their share, and shares saved by a replica after the primary faulted.
+  std::size_t replicas_assigned = 0;
+  std::size_t replicas_won = 0;
+  std::size_t shares_rescued = 0;
 };
 
 struct RunResult {
@@ -130,8 +143,12 @@ struct RunResult {
   /// True when the run stopped at CheckpointConfig::halt_after_rounds: the
   /// checkpoint was written, no final evaluation ran (final_accuracy = 0).
   bool halted = false;
-  /// Final per-client health state (empty when rescheduling is off).
+  /// Final per-client health state (empty when both rescheduling and
+  /// replication are off).
   std::vector<health::ClientHealth> client_health;
+  /// First-finisher verdict of every replicated share, in (round, owner)
+  /// order (empty when replication is off).
+  std::vector<replication::ShareResolution> replica_log;
 
   [[nodiscard]] double mean_round_seconds() const;
 };

@@ -1,0 +1,301 @@
+// Unit tests for the speculative replication layer: config validation, risk
+// scoring, the budgeted round-robin planner, and the first-finisher resolver.
+// Runner integration (rescues, gating, byte identity) is pinned by
+// tests/integration/test_determinism_matrix.cpp.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fl/replication/replication.hpp"
+
+namespace fedsched::fl::replication {
+namespace {
+
+using health::ClientStatus;
+using health::HealthConfig;
+using health::HealthTracker;
+
+ReplicationConfig risk_config(std::size_t budget = 4) {
+  ReplicationConfig config;
+  config.policy = ReplicationPolicy::kRisk;
+  config.budget_per_round = budget;
+  return config;
+}
+
+// Feed one full round where `faulted` clients crash and everyone else
+// completes on-profile. Observations mirror the runners' bookkeeping.
+void feed_round(HealthTracker& tracker, const std::vector<std::size_t>& faulted,
+                double slow_ratio = 1.0, std::size_t slow_client = SIZE_MAX) {
+  std::vector<HealthTracker::Observation> obs(tracker.clients());
+  for (std::size_t u = 0; u < obs.size(); ++u) {
+    obs[u].participated = true;
+    obs[u].predicted_s = 10.0;
+    obs[u].measured_s = u == slow_client ? 10.0 * slow_ratio : 10.0;
+    obs[u].completed = true;
+  }
+  for (std::size_t u : faulted) {
+    obs[u].completed = false;
+    obs[u].fault = FaultKind::kCrash;
+  }
+  tracker.observe_round(obs);
+}
+
+TEST(ReplicationConfigTest, OffConfigAlwaysValid) {
+  ReplicationConfig config;  // kOff
+  config.budget_per_round = 0;  // would be invalid when enabled
+  EXPECT_NO_THROW(config.validate(1));
+  EXPECT_FALSE(config.enabled());
+}
+
+TEST(ReplicationConfigTest, EnabledConfigRejectsBadParameters) {
+  auto bad = risk_config();
+  bad.budget_per_round = 0;
+  EXPECT_THROW(bad.validate(4), std::invalid_argument);
+
+  bad = risk_config();
+  bad.risk_threshold = 0.0;
+  EXPECT_THROW(bad.validate(4), std::invalid_argument);
+  bad.risk_threshold = 1.5;
+  EXPECT_THROW(bad.validate(4), std::invalid_argument);
+
+  bad = risk_config();
+  bad.max_replicas_per_share = 0;
+  EXPECT_THROW(bad.validate(4), std::invalid_argument);
+
+  bad = risk_config();
+  bad.users.resize(3);  // != n_clients
+  EXPECT_THROW(bad.validate(4), std::invalid_argument);
+
+  EXPECT_THROW(risk_config().validate(1), std::invalid_argument);
+  EXPECT_NO_THROW(risk_config().validate(2));
+}
+
+TEST(ReplicationRisk, FreshFleetScoresZero) {
+  HealthTracker tracker(HealthConfig{}, 4);
+  ReplicationPlanner planner(risk_config(), 4);
+  for (std::size_t u = 0; u < 4; ++u) {
+    EXPECT_EQ(planner.risk_score(tracker, u), 0.0) << "client " << u;
+  }
+}
+
+TEST(ReplicationRisk, FaultStreakAndDriftRaiseRisk) {
+  HealthTracker tracker(HealthConfig{}, 4);
+  ReplicationPlanner planner(risk_config(), 4);
+
+  // One crash: streak 1 of probation_streak 2 plus 1 of blacklist_faults 6.
+  feed_round(tracker, {1});
+  const double after_fault = planner.risk_score(tracker, 1);
+  EXPECT_GT(after_fault, 0.0);
+  EXPECT_LE(after_fault, 1.0);
+  EXPECT_EQ(planner.risk_score(tracker, 0), 0.0);
+
+  // A clean but 2x-slow client scores through the drift term alone.
+  feed_round(tracker, {}, 2.0, 2);
+  EXPECT_GT(planner.risk_score(tracker, 2), 0.0);
+
+  // More faults never lower the score while the client stays schedulable.
+  const std::size_t before_faults = tracker.client(1).total_faults;
+  feed_round(tracker, {1});
+  if (tracker.client(1).status == ClientStatus::kHealthy) {
+    EXPECT_GE(planner.risk_score(tracker, 1), after_fault);
+  }
+  EXPECT_GT(tracker.client(1).total_faults, before_faults);
+}
+
+TEST(ReplicationRisk, PermanentlyOutClientsScoreZero) {
+  HealthConfig hc;
+  hc.blacklist_faults = 2;
+  hc.probation_streak = 99;  // blacklist before probation can trigger
+  HealthTracker tracker(hc, 4);
+  ReplicationPlanner planner(risk_config(), 4);
+  feed_round(tracker, {3});
+  feed_round(tracker, {3});
+  ASSERT_EQ(tracker.client(3).status, ClientStatus::kBlacklisted);
+  EXPECT_EQ(planner.risk_score(tracker, 3), 0.0);
+}
+
+TEST(ReplicationRisk, ProjectedBatteryDeathDominates) {
+  HealthTracker tracker(HealthConfig{}, 4);
+  ReplicationPlanner planner(risk_config(), 4);
+  // Two rounds of steep state-of-charge drops: the EWMA projects client 1
+  // under the floor within the horizon.
+  std::vector<HealthTracker::Observation> obs(4);
+  for (auto& o : obs) {
+    o.participated = true;
+    o.predicted_s = 10.0;
+    o.measured_s = 10.0;
+    o.completed = true;
+    o.soc = 0.9;
+  }
+  tracker.observe_round(obs);
+  obs[1].soc = 0.2;  // dropped 0.7 in one round
+  tracker.observe_round(obs);
+  EXPECT_GE(planner.risk_score(tracker, 1), 0.9);
+  EXPECT_LT(planner.risk_score(tracker, 0), 0.9);
+}
+
+TEST(ReplicationPlan, OffPolicyPlansNothing) {
+  HealthTracker tracker(HealthConfig{}, 4);
+  ReplicationPlanner planner(ReplicationConfig{}, 4);
+  const RoundPlan plan = planner.plan(tracker, {100, 100, 100, 100}, 1);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.flagged, 0u);
+  EXPECT_TRUE(plan.risk.empty());
+}
+
+TEST(ReplicationPlan, HealthyFleetPlansNothing) {
+  HealthTracker tracker(HealthConfig{}, 4);
+  ReplicationPlanner planner(risk_config(), 4);
+  const RoundPlan plan = planner.plan(tracker, {100, 100, 100, 100}, 1);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.flagged, 0u);
+}
+
+TEST(ReplicationPlan, FlaggedOwnerGetsHealthyHost) {
+  HealthTracker tracker(HealthConfig{}, 4);
+  ReplicationPlanner planner(risk_config(), 4);
+  feed_round(tracker, {1});  // client 1 crashes once: risk 0.45*0.5 + ...
+  const RoundPlan plan = planner.plan(tracker, {100, 100, 100, 100}, 1);
+  ASSERT_EQ(plan.flagged, 1u);
+  ASSERT_FALSE(plan.empty());
+  for (const ReplicaAssignment& a : plan.assignments) {
+    EXPECT_EQ(a.owner, 1u);
+    EXPECT_NE(a.host, 1u);  // never hedge a share onto its own owner
+    EXPECT_TRUE(tracker.eligible(a.host));
+  }
+  // max_replicas_per_share caps the copies of one share.
+  EXPECT_LE(plan.assignments.size(),
+            planner.config().max_replicas_per_share);
+}
+
+TEST(ReplicationPlan, BudgetCapsTotalReplicas) {
+  HealthTracker tracker(HealthConfig{}, 6);
+  ReplicationPlanner planner(risk_config(/*budget=*/2), 6);
+  feed_round(tracker, {0, 1, 2});  // three flagged owners, budget two
+  const RoundPlan plan = planner.plan(tracker, std::vector<std::size_t>(6, 100), 1);
+  EXPECT_EQ(plan.flagged, 3u);
+  EXPECT_LE(plan.assignments.size(), 2u);
+  // Round-robin: with budget 2 and three owners, nobody gets a second copy.
+  for (const ReplicaAssignment& a : plan.assignments) {
+    EXPECT_LE(a.owner, 2u);
+  }
+}
+
+TEST(ReplicationPlan, EachHostCarriesAtMostOneReplica) {
+  HealthTracker tracker(HealthConfig{}, 6);
+  ReplicationPlanner planner(risk_config(/*budget=*/6), 6);
+  feed_round(tracker, {0, 1});
+  const RoundPlan plan = planner.plan(tracker, std::vector<std::size_t>(6, 100), 1);
+  std::vector<std::size_t> host_count(6, 0);
+  for (const ReplicaAssignment& a : plan.assignments) {
+    ++host_count[a.host];
+  }
+  for (std::size_t v = 0; v < 6; ++v) {
+    EXPECT_LE(host_count[v], 1u) << "host " << v;
+  }
+}
+
+TEST(ReplicationPlan, IdleClientsNeitherOwnNorHost) {
+  HealthTracker tracker(HealthConfig{}, 4);
+  ReplicationPlanner planner(risk_config(), 4);
+  feed_round(tracker, {1});
+  // Clients 1 (flagged) and 3 hold no shares this round.
+  const RoundPlan plan = planner.plan(tracker, {100, 0, 100, 0}, 1);
+  EXPECT_EQ(plan.flagged, 0u);  // the only risky client holds nothing
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(ReplicationPlan, PlanIsDeterministic) {
+  auto build = [] {
+    HealthTracker tracker(HealthConfig{}, 6);
+    ReplicationPlanner planner(risk_config(), 6);
+    feed_round(tracker, {0, 4});
+    feed_round(tracker, {4}, 1.8, 2);
+    return planner.plan(tracker, std::vector<std::size_t>(6, 100), 2);
+  };
+  const RoundPlan a = build();
+  const RoundPlan b = build();
+  ASSERT_EQ(a.assignments.size(), b.assignments.size());
+  for (std::size_t k = 0; k < a.assignments.size(); ++k) {
+    EXPECT_EQ(a.assignments[k].owner, b.assignments[k].owner);
+    EXPECT_EQ(a.assignments[k].host, b.assignments[k].host);
+    EXPECT_EQ(a.assignments[k].predicted_finish_s, b.assignments[k].predicted_finish_s);
+  }
+  EXPECT_EQ(a.risk, b.risk);
+}
+
+TEST(ReplicationResolve, PrimaryOnlyArrival) {
+  const ShareResolution r = resolve_first_finisher(3, true, 42.0, {});
+  EXPECT_TRUE(r.arrived);
+  EXPECT_FALSE(r.rescued);
+  EXPECT_EQ(r.winner, 3u);
+  EXPECT_EQ(r.finish_s, 42.0);
+  EXPECT_EQ(r.replicas, 0u);
+  EXPECT_EQ(r.replicas_completed, 0u);
+}
+
+TEST(ReplicationResolve, FasterReplicaWins) {
+  const std::vector<ReplicaOutcome> reps = {
+      {.owner = 3, .host = 1, .completed = true, .finish_s = 30.0}};
+  const ShareResolution r = resolve_first_finisher(3, true, 42.0, reps);
+  EXPECT_TRUE(r.arrived);
+  EXPECT_FALSE(r.rescued);  // the primary completed too
+  EXPECT_EQ(r.winner, 1u);
+  EXPECT_EQ(r.finish_s, 30.0);
+  EXPECT_EQ(r.replicas_completed, 1u);
+}
+
+TEST(ReplicationResolve, SlowerReplicaLoses) {
+  const std::vector<ReplicaOutcome> reps = {
+      {.owner = 3, .host = 1, .completed = true, .finish_s = 50.0}};
+  const ShareResolution r = resolve_first_finisher(3, true, 42.0, reps);
+  EXPECT_EQ(r.winner, 3u);
+  EXPECT_EQ(r.finish_s, 42.0);
+}
+
+TEST(ReplicationResolve, ReplicaRescuesCrashedPrimary) {
+  const std::vector<ReplicaOutcome> reps = {
+      {.owner = 3, .host = 2, .completed = true, .finish_s = 55.0}};
+  const ShareResolution r = resolve_first_finisher(3, false, 42.0, reps);
+  EXPECT_TRUE(r.arrived);
+  EXPECT_TRUE(r.rescued);
+  EXPECT_EQ(r.winner, 2u);
+  EXPECT_EQ(r.finish_s, 55.0);
+}
+
+TEST(ReplicationResolve, NobodyArrives) {
+  const std::vector<ReplicaOutcome> reps = {
+      {.owner = 3, .host = 2, .completed = false, .finish_s = 55.0,
+       .kind = FaultKind::kCrash}};
+  const ShareResolution r = resolve_first_finisher(3, false, 42.0, reps);
+  EXPECT_FALSE(r.arrived);
+  EXPECT_FALSE(r.rescued);
+  EXPECT_EQ(r.replicas, 1u);
+  EXPECT_EQ(r.replicas_completed, 0u);
+}
+
+TEST(ReplicationResolve, TiesBreakByClientId) {
+  // Two replicas tie with the primary at t=42: the lowest client id wins so
+  // resolution is a pure function of the timeline, not the scan order.
+  const std::vector<ReplicaOutcome> reps = {
+      {.owner = 3, .host = 4, .completed = true, .finish_s = 42.0},
+      {.owner = 3, .host = 1, .completed = true, .finish_s = 42.0}};
+  const ShareResolution r = resolve_first_finisher(3, true, 42.0, reps);
+  EXPECT_EQ(r.winner, 1u);
+  EXPECT_EQ(r.finish_s, 42.0);
+  EXPECT_EQ(r.replicas_completed, 2u);
+}
+
+TEST(ReplicationResolve, LostReplicasNeverWin) {
+  const std::vector<ReplicaOutcome> reps = {
+      {.owner = 3, .host = 1, .completed = false, .finish_s = 10.0,
+       .kind = FaultKind::kDeadlineMiss},
+      {.owner = 3, .host = 2, .completed = true, .finish_s = 60.0}};
+  const ShareResolution r = resolve_first_finisher(3, true, 42.0, reps);
+  EXPECT_EQ(r.winner, 3u);  // the t=10 copy was lost, not first
+  EXPECT_EQ(r.replicas_completed, 1u);
+}
+
+}  // namespace
+}  // namespace fedsched::fl::replication

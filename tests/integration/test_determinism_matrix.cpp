@@ -1,0 +1,362 @@
+// Cross-runner determinism matrix — the single place the parallel contract
+// is pinned: for every runner {FedAvg, gossip, async} x faults {off, on} x
+// replication {off, on}, a serial (--parallel 1) and a four-lane
+// (--parallel 4) run must agree bit-for-bit on the RunResult *and* on the
+// trace bytes. Replaces the per-runner one-off determinism tests that used
+// to live in tests/fl/test_parallel_determinism.cpp.
+//
+// Labeled `slow` in tests/CMakeLists.txt: the release CI job runs the full
+// matrix, the TSan job runs the filtered core suites instead.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/partition.hpp"
+#include "data/synth.hpp"
+#include "fl/async_runner.hpp"
+#include "fl/gossip_runner.hpp"
+#include "fl/runner.hpp"
+
+namespace fedsched::fl {
+namespace {
+
+struct Fixture {
+  data::SynthConfig cfg = data::mnist_like();
+  data::Dataset train = data::generate_balanced(cfg, 300, 60);
+  data::Dataset test = data::generate_balanced(cfg, 100, 61);
+  // Five clients against four lanes: chunks are uneven on purpose.
+  std::vector<device::PhoneModel> phones = {
+      device::PhoneModel::kNexus6, device::PhoneModel::kNexus6P,
+      device::PhoneModel::kMate10, device::PhoneModel::kPixel2,
+      device::PhoneModel::kNexus6};
+  nn::ModelSpec spec;
+
+  data::Partition partition() const {
+    common::Rng rng(62);
+    return data::partition_equal_iid(train, phones.size(), rng);
+  }
+};
+
+struct Axes {
+  bool faults = false;
+  bool replication = false;
+};
+
+// Deterministic fault mix used by every "faults on" cell: hazards high
+// enough that crashes, stalls, and flaky uploads all fire within 4 rounds
+// on a 5-client fleet, which is what gives the replication planner real
+// risk scores to hedge.
+FaultConfig fault_mix() {
+  FaultConfig faults;
+  faults.enabled = true;
+  faults.dropout_prob = 0.2;
+  faults.stall_prob = 0.2;
+  faults.transient_prob = 0.2;
+  return faults;
+}
+
+replication::ReplicationConfig risk_replication() {
+  replication::ReplicationConfig replicate;
+  replicate.policy = replication::ReplicationPolicy::kRisk;
+  replicate.budget_per_round = 2;
+  replicate.risk_threshold = 0.2;
+  return replicate;
+}
+
+std::string axes_name(const Axes& axes) {
+  return std::string(axes.faults ? "faults" : "clean") + "/" +
+         (axes.replication ? "replicated" : "plain");
+}
+
+const std::vector<Axes> kAxes = {
+    {false, false}, {true, false}, {false, true}, {true, true}};
+
+// ---- FedAvg -------------------------------------------------------------
+
+struct FedAvgRun {
+  RunResult result;
+  std::vector<float> params;
+  std::string trace;
+};
+
+FedAvgRun run_fedavg(const Fixture& f, const data::Partition& partition,
+                     const Axes& axes, std::size_t parallelism) {
+  std::ostringstream sink;
+  obs::TraceWriter trace(sink);
+  FlConfig config;
+  config.rounds = 4;
+  config.seed = 63;
+  config.evaluate_each_round = true;
+  config.parallelism = parallelism;
+  if (axes.faults) config.faults = fault_mix();
+  if (axes.replication) config.replicate = risk_replication();
+  config.trace = &trace;
+  FedAvgRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                      device::NetworkType::kWifi, config);
+  FedAvgRun run;
+  run.result = runner.run(partition);
+  run.params = runner.global_model().flat_params();
+  run.trace = sink.str();
+  return run;
+}
+
+void expect_identical_rounds(const std::vector<RoundRecord>& a,
+                             const std::vector<RoundRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    SCOPED_TRACE(::testing::Message() << "round " << r);
+    EXPECT_EQ(a[r].round, b[r].round);
+    EXPECT_EQ(a[r].round_seconds, b[r].round_seconds);
+    EXPECT_EQ(a[r].cumulative_seconds, b[r].cumulative_seconds);
+    EXPECT_EQ(a[r].mean_train_loss, b[r].mean_train_loss);
+    EXPECT_EQ(a[r].test_accuracy, b[r].test_accuracy);
+    EXPECT_EQ(a[r].client_seconds, b[r].client_seconds);
+    EXPECT_EQ(a[r].client_faults, b[r].client_faults);
+    EXPECT_EQ(a[r].completed_clients, b[r].completed_clients);
+    EXPECT_EQ(a[r].dropped_clients, b[r].dropped_clients);
+    EXPECT_EQ(a[r].retry_count, b[r].retry_count);
+    EXPECT_EQ(a[r].replicas_assigned, b[r].replicas_assigned);
+    EXPECT_EQ(a[r].replicas_won, b[r].replicas_won);
+    EXPECT_EQ(a[r].shares_rescued, b[r].shares_rescued);
+  }
+}
+
+void expect_identical_replica_logs(
+    const std::vector<replication::ShareResolution>& a,
+    const std::vector<replication::ShareResolution>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    SCOPED_TRACE(::testing::Message() << "resolution " << k);
+    EXPECT_EQ(a[k].owner, b[k].owner);
+    EXPECT_EQ(a[k].arrived, b[k].arrived);
+    EXPECT_EQ(a[k].rescued, b[k].rescued);
+    EXPECT_EQ(a[k].winner, b[k].winner);
+    EXPECT_EQ(a[k].finish_s, b[k].finish_s);
+    EXPECT_EQ(a[k].replicas, b[k].replicas);
+    EXPECT_EQ(a[k].replicas_completed, b[k].replicas_completed);
+  }
+}
+
+TEST(DeterminismMatrix, FedAvgSerialVsParallelEveryCell) {
+  Fixture f;
+  const auto partition = f.partition();
+  for (const Axes& axes : kAxes) {
+    SCOPED_TRACE(axes_name(axes));
+    const FedAvgRun serial = run_fedavg(f, partition, axes, 1);
+    const FedAvgRun parallel = run_fedavg(f, partition, axes, 4);
+
+    expect_identical_rounds(serial.result.rounds, parallel.result.rounds);
+    expect_identical_replica_logs(serial.result.replica_log,
+                                  parallel.result.replica_log);
+    EXPECT_EQ(serial.result.final_accuracy, parallel.result.final_accuracy);
+    EXPECT_EQ(serial.result.total_seconds, parallel.result.total_seconds);
+    ASSERT_EQ(serial.params.size(), parallel.params.size());
+    std::size_t mismatched = 0;
+    for (std::size_t i = 0; i < serial.params.size(); ++i) {
+      mismatched += (serial.params[i] != parallel.params[i]);
+    }
+    EXPECT_EQ(mismatched, 0u) << "final flat params differ";
+    EXPECT_EQ(serial.trace, parallel.trace) << "trace bytes differ";
+  }
+}
+
+TEST(DeterminismMatrix, FedAvgMatrixIsNotVacuous) {
+  // The faults+replication cell must actually exercise the hedging path —
+  // otherwise the matrix silently degenerates to the plain contract.
+  Fixture f;
+  const auto partition = f.partition();
+  const FedAvgRun run = run_fedavg(f, partition, {true, true}, 1);
+  std::size_t assigned = 0;
+  for (const RoundRecord& r : run.result.rounds) assigned += r.replicas_assigned;
+  EXPECT_GT(assigned, 0u) << "fault mix never triggered a replica; the "
+                             "replication cells test nothing";
+  EXPECT_FALSE(run.result.replica_log.empty());
+}
+
+TEST(DeterminismMatrix, FedAvgOffPolicyLeavesBytesUntouched) {
+  // `--replicate-policy off` must be byte-identical to a config that never
+  // mentions replication: same RunResult, same trace bytes (the acceptance
+  // criterion for a gated feature).
+  Fixture f;
+  const auto partition = f.partition();
+  const Axes with_faults{true, false};
+  const FedAvgRun baseline = run_fedavg(f, partition, with_faults, 1);
+
+  std::ostringstream sink;
+  obs::TraceWriter trace(sink);
+  FlConfig config;
+  config.rounds = 4;
+  config.seed = 63;
+  config.evaluate_each_round = true;
+  config.parallelism = 1;
+  config.faults = fault_mix();
+  config.replicate.policy = replication::ReplicationPolicy::kOff;
+  config.replicate.budget_per_round = 7;  // ignored when off
+  config.trace = &trace;
+  FedAvgRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                      device::NetworkType::kWifi, config);
+  const RunResult off = runner.run(partition);
+
+  expect_identical_rounds(baseline.result.rounds, off.rounds);
+  EXPECT_EQ(baseline.result.final_accuracy, off.final_accuracy);
+  EXPECT_EQ(baseline.result.total_seconds, off.total_seconds);
+  EXPECT_TRUE(off.replica_log.empty());
+  EXPECT_TRUE(off.client_health.empty());
+  EXPECT_EQ(baseline.trace, sink.str()) << "off policy altered trace bytes";
+}
+
+TEST(DeterminismMatrix, FedAvgReferenceKernels1v4BitIdentical) {
+  // KernelPolicy::kReference must honor the same contract as the default
+  // blocked kernels (carried over from the old per-runner suite).
+  Fixture f;
+  f.spec.kernels = tensor::ops::KernelPolicy::kReference;
+  const auto partition = f.partition();
+  const Axes plain{false, false};
+  const FedAvgRun serial = run_fedavg(f, partition, plain, 1);
+  const FedAvgRun parallel = run_fedavg(f, partition, plain, 4);
+  expect_identical_rounds(serial.result.rounds, parallel.result.rounds);
+  ASSERT_EQ(serial.params.size(), parallel.params.size());
+  std::size_t mismatched = 0;
+  for (std::size_t i = 0; i < serial.params.size(); ++i) {
+    mismatched += (serial.params[i] != parallel.params[i]);
+  }
+  EXPECT_EQ(mismatched, 0u) << "final flat params differ (reference kernels)";
+  EXPECT_EQ(serial.trace, parallel.trace);
+}
+
+TEST(DeterminismMatrix, FedAvgHardwareWidthMatchesToo) {
+  // parallelism = 0 (hardware concurrency, whatever this host has) must
+  // agree with the serial path, including under faults + replication.
+  Fixture f;
+  const auto partition = f.partition();
+  const Axes axes{true, true};
+  const FedAvgRun serial = run_fedavg(f, partition, axes, 1);
+  const FedAvgRun hardware = run_fedavg(f, partition, axes, 0);
+  EXPECT_EQ(serial.result.final_accuracy, hardware.result.final_accuracy);
+  EXPECT_EQ(serial.result.total_seconds, hardware.result.total_seconds);
+  EXPECT_EQ(serial.trace, hardware.trace);
+}
+
+TEST(DeterminismMatrix, FedAvgRepeatedParallelRunsIdentical) {
+  // Parallel runs must also be stable run-to-run (no scheduling leakage),
+  // in the heaviest cell of the matrix.
+  Fixture f;
+  const auto partition = f.partition();
+  const Axes axes{true, true};
+  const FedAvgRun a = run_fedavg(f, partition, axes, 3);
+  const FedAvgRun b = run_fedavg(f, partition, axes, 3);
+  expect_identical_rounds(a.result.rounds, b.result.rounds);
+  EXPECT_EQ(a.result.final_accuracy, b.result.final_accuracy);
+  EXPECT_EQ(a.trace, b.trace);
+}
+
+// ---- Gossip -------------------------------------------------------------
+
+struct GossipRun {
+  GossipRunResult result;
+  std::string trace;
+};
+
+GossipRun run_gossip(const Fixture& f, const data::Partition& partition,
+                     const Axes& axes, std::size_t parallelism) {
+  std::ostringstream sink;
+  obs::TraceWriter trace(sink);
+  GossipConfig config;
+  config.rounds = 4;
+  config.seed = 66;
+  config.topology = Topology::kRing;
+  config.parallelism = parallelism;
+  if (axes.faults) config.faults = fault_mix();
+  if (axes.replication) config.replicate = risk_replication();
+  config.trace = &trace;
+  GossipRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                      device::NetworkType::kWifi, config);
+  GossipRun run;
+  run.result = runner.run(partition);
+  run.trace = sink.str();
+  return run;
+}
+
+TEST(DeterminismMatrix, GossipSerialVsParallelEveryCell) {
+  Fixture f;
+  const auto partition = f.partition();
+  for (const Axes& axes : kAxes) {
+    SCOPED_TRACE(axes_name(axes));
+    const GossipRun serial = run_gossip(f, partition, axes, 1);
+    const GossipRun parallel = run_gossip(f, partition, axes, 4);
+
+    expect_identical_rounds(serial.result.rounds, parallel.result.rounds);
+    expect_identical_replica_logs(serial.result.replica_log,
+                                  parallel.result.replica_log);
+    EXPECT_EQ(serial.result.client_accuracy, parallel.result.client_accuracy);
+    EXPECT_EQ(serial.result.mean_accuracy, parallel.result.mean_accuracy);
+    EXPECT_EQ(serial.result.consensus_gap, parallel.result.consensus_gap);
+    EXPECT_EQ(serial.result.total_seconds, parallel.result.total_seconds);
+    EXPECT_EQ(serial.trace, parallel.trace) << "trace bytes differ";
+  }
+}
+
+// ---- Async --------------------------------------------------------------
+
+struct AsyncRun {
+  AsyncRunResult result;
+  std::string trace;
+};
+
+AsyncRun run_async(const Fixture& f, const data::Partition& partition,
+                   const Axes& axes, std::size_t parallelism) {
+  std::ostringstream sink;
+  obs::TraceWriter trace(sink);
+  AsyncConfig config;
+  config.horizon_seconds = 120.0;
+  config.seed = 65;
+  config.parallelism = parallelism;
+  if (axes.faults) config.faults = fault_mix();
+  if (axes.replication) config.replicate = risk_replication();
+  config.trace = &trace;
+  AsyncRunner runner(f.train, f.test, f.spec, device::lenet_desc(), f.phones,
+                     device::NetworkType::kWifi, config);
+  AsyncRun run;
+  run.result = runner.run(partition);
+  run.trace = sink.str();
+  return run;
+}
+
+TEST(DeterminismMatrix, AsyncSerialVsParallelEveryCell) {
+  Fixture f;
+  const auto partition = f.partition();
+  for (const Axes& axes : kAxes) {
+    SCOPED_TRACE(axes_name(axes));
+    const AsyncRun serial = run_async(f, partition, axes, 1);
+    const AsyncRun parallel = run_async(f, partition, axes, 4);
+
+    ASSERT_EQ(serial.result.updates.size(), parallel.result.updates.size());
+    ASSERT_FALSE(serial.result.updates.empty());
+    for (std::size_t k = 0; k < serial.result.updates.size(); ++k) {
+      SCOPED_TRACE(::testing::Message() << "update " << k);
+      EXPECT_EQ(serial.result.updates[k].time_s, parallel.result.updates[k].time_s);
+      EXPECT_EQ(serial.result.updates[k].client, parallel.result.updates[k].client);
+      EXPECT_EQ(serial.result.updates[k].owner, parallel.result.updates[k].owner);
+      EXPECT_EQ(serial.result.updates[k].staleness,
+                parallel.result.updates[k].staleness);
+      EXPECT_EQ(serial.result.updates[k].mix_weight,
+                parallel.result.updates[k].mix_weight);
+    }
+    EXPECT_EQ(serial.result.final_accuracy, parallel.result.final_accuracy);
+    EXPECT_EQ(serial.result.elapsed_seconds, parallel.result.elapsed_seconds);
+    EXPECT_EQ(serial.result.dropped_updates, parallel.result.dropped_updates);
+    EXPECT_EQ(serial.result.replica_trips, parallel.result.replica_trips);
+    EXPECT_EQ(serial.result.replica_merges, parallel.result.replica_merges);
+    EXPECT_EQ(serial.trace, parallel.trace) << "trace bytes differ";
+    if (axes.faults && axes.replication) {
+      // Non-vacuous: the heaviest cell must actually launch hedge trips.
+      EXPECT_GT(serial.result.replica_trips, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedsched::fl
