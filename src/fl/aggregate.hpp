@@ -1,0 +1,70 @@
+#pragma once
+// Aggregation reductions shared by the FL runners and the fleet simulator.
+//
+// Two tiers with different arithmetic contracts:
+//
+//  - survivor_weighted_average: FedAvg's historical float reduction over
+//    trained clients, extracted verbatim from the runner. Parallel over
+//    *parameter blocks*; each index sums clients in client order, so any
+//    executor width yields the same floats as the serial path.
+//  - flat_weighted_sum / tree_weighted_sum: the fleet tier's double
+//    reductions over generated client updates. The tree variant reduces
+//    clients -> shard-group partials -> global with a group partition that is
+//    a pure function of (member count, group size) — never of thread count —
+//    and combines partials serially in group order, so any --parallel width
+//    is bit-identical.
+//
+// Tree == flat bitwise: float addition is not associative, so the two
+// orders only agree in general when every partial sum is exact. The fleet
+// tier guarantees that by construction — synthetic updates live on a 2^-16
+// fixed-point grid with magnitude <= 1 and integer shard-count weights, so
+// all sums stay well inside double's 53-bit mantissa (2^26 max total weight
+// * 2^16 grid = 42 bits) and every reduction order produces the same exact
+// value. tests/fleet/test_fleet_sim.cpp enforces the equality on seeded
+// fault mixes; docs/API.md states the grid precondition.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "fl/parallel.hpp"
+
+namespace fedsched::fl {
+
+/// FedAvg: aggregate[i] = sum over trained clients of
+/// (share / survivor_samples) * locals[u][i], weights formed in float,
+/// clients summed in client order at every index. Preconditions:
+/// survivor_samples > 0 and locals[u].size() == aggregate.size() for every
+/// trained u.
+void survivor_weighted_average(std::vector<float>& aggregate,
+                               const std::vector<std::vector<float>>& locals,
+                               const std::vector<char>& trained,
+                               const std::vector<std::size_t>& share_sizes,
+                               std::size_t survivor_samples,
+                               ClientExecutor& executor);
+
+/// Fills `out` (size dim) with the update of the given client.
+using UpdateFn = std::function<void(std::uint32_t client, std::span<double> out)>;
+
+/// Left-to-right weighted sum over members (ascending client ids):
+/// result[i] = sum_m weights[m] * update_m[i]. The exactness oracle for the
+/// tree reduction.
+[[nodiscard]] std::vector<double> flat_weighted_sum(
+    std::span<const std::uint32_t> members, std::span<const std::uint32_t> weights,
+    std::size_t dim, const UpdateFn& update_into);
+
+/// Two-level reduction: members are split into contiguous groups of at most
+/// group_size, each group accumulates its weighted partial independently
+/// (optionally across `pool`), and partials combine serially in group order.
+/// The partition depends only on (members.size(), group_size), so results
+/// are identical at any pool width; on fixed-point-grid updates with integer
+/// weights the result is additionally bit-identical to flat_weighted_sum.
+[[nodiscard]] std::vector<double> tree_weighted_sum(
+    std::span<const std::uint32_t> members, std::span<const std::uint32_t> weights,
+    std::size_t dim, const UpdateFn& update_into, std::size_t group_size,
+    common::ThreadPool* pool = nullptr);
+
+}  // namespace fedsched::fl

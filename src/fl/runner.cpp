@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "device/battery.hpp"
+#include "fl/aggregate.hpp"
 #include "fl/checkpoint/checkpoint.hpp"
 #include "fl/report.hpp"
 #include "fl/trainer.hpp"
@@ -382,18 +383,14 @@ RunResult FedAvgRunner::run(const data::Partition& partition) {
       record.skipped = true;
     } else {
       // FedAvg: weight by the client's share of the *surviving* sample
-      // count. Parallel over parameter blocks — each index sums clients in
-      // client order, so any blocking yields the same floats.
-      std::fill(aggregate.begin(), aggregate.end(), 0.0f);
-      executor_.for_each_block(aggregate.size(), [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t u = 0; u < n_users; ++u) {
-          if (!trained[u]) continue;
-          const float weight = static_cast<float>(working.user_indices[u].size()) /
-                               static_cast<float>(survivor_samples);
-          const float* local = locals[u].data();
-          for (std::size_t i = lo; i < hi; ++i) aggregate[i] += weight * local[i];
-        }
-      });
+      // count (fl/aggregate.hpp keeps the reduction bit-identical at any
+      // executor width).
+      std::vector<std::size_t> share_sizes(n_users);
+      for (std::size_t u = 0; u < n_users; ++u) {
+        share_sizes[u] = working.user_indices[u].size();
+      }
+      survivor_weighted_average(aggregate, locals, trained, share_sizes,
+                                survivor_samples, executor_);
 
       global_params = aggregate;
       global_.set_flat_params(global_params);

@@ -1,0 +1,191 @@
+#include "fleet/event_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "fl/aggregate.hpp"
+
+namespace fedsched::fleet {
+
+namespace {
+
+/// Stateless two-input mixer built on splitmix64.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL);
+  return common::splitmix64(s);
+}
+
+// Domain tags keep the dropout stream independent of the update stream.
+constexpr std::uint64_t kDropoutTag = 0x66616c6c6f766572ULL;
+constexpr std::uint64_t kUpdateTag = 0x7570646174657321ULL;
+
+double hash_to_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double synthetic_update_value(std::uint64_t seed, std::size_t round,
+                              std::uint32_t client, std::size_t index) noexcept {
+  const std::uint64_t h =
+      mix(mix(mix(seed ^ kUpdateTag, round), client), index);
+  // Top 17 bits -> signed grid point in [-2^16, 2^16), scaled by 2^-16:
+  // every value is a multiple of 2^-16 with |v| <= 1, so weighted sums with
+  // integer weights below ~2^36 are exact in double in any order.
+  const std::int64_t q =
+      static_cast<std::int64_t>(h >> 47) - (std::int64_t{1} << 16);
+  return static_cast<double>(q) * 0x1.0p-16;
+}
+
+void synthetic_update(std::uint64_t seed, std::size_t round, std::uint32_t client,
+                      std::span<double> out) noexcept {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = synthetic_update_value(seed, round, client, i);
+  }
+}
+
+FleetSimulator::FleetSimulator(FleetState state, FleetSimConfig config)
+    : state_(std::move(state)), config_(config) {
+  if (state_.size() == 0) throw std::invalid_argument("FleetSimulator: empty fleet");
+  if (config_.shard_size == 0) {
+    throw std::invalid_argument("FleetSimulator: zero shard size");
+  }
+  if (config_.update_dim == 0) {
+    throw std::invalid_argument("FleetSimulator: zero update dim");
+  }
+  if (config_.group_size == 0) {
+    throw std::invalid_argument("FleetSimulator: zero group size");
+  }
+  if (config_.parallelism != 1) {
+    pool_ = std::make_unique<common::ThreadPool>(config_.parallelism);
+  }
+}
+
+FleetRoundResult FleetSimulator::run_round(
+    std::span<const std::size_t> shards_per_client, std::size_t round,
+    obs::TraceWriter* trace) {
+  if (shards_per_client.size() != state_.size()) {
+    throw std::invalid_argument("FleetSimulator::run_round: plan size mismatch");
+  }
+
+  FleetRoundResult result;
+  result.round = round;
+
+  struct Event {
+    double finish_s;
+    std::uint32_t client;
+    bool operator>(const Event& o) const {
+      if (finish_s != o.finish_s) return finish_s > o.finish_s;
+      return client > o.client;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+
+  // Only plan participants enter the queue; idle clients are never touched.
+  for (std::size_t j = 0; j < state_.size(); ++j) {
+    const std::size_t shards = shards_per_client[j];
+    if (shards == 0) continue;
+    ++result.participants;
+    if (!state_.alive[j]) {
+      // A stale plan may still target a dead client; it never starts, burns
+      // nothing, and counts as a battery drop.
+      ++result.dropped_battery;
+      continue;
+    }
+    const double compute_s =
+        state_.base_s[j] +
+        state_.per_sample_s[j] *
+            static_cast<double>(shards * config_.shard_size);
+    const double finish_s = compute_s + state_.comm_s[j];
+    queue.push({finish_s, static_cast<std::uint32_t>(j)});
+  }
+
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    ++result.events_processed;
+    const std::uint32_t j = ev.client;
+
+    // The attempt burns energy whether or not the report makes it back.
+    const double compute_s = ev.finish_s - state_.comm_s[j];
+    const double drain_wh = state_.train_power_w[j] * compute_s / 3600.0 +
+                            state_.comm_energy_wh[j];
+    result.energy_wh += drain_wh;
+    state_.battery_soc[j] = std::max(
+        0.0, state_.battery_soc[j] - drain_wh / state_.battery_capacity_wh[j]);
+
+    if (state_.battery_soc[j] <= config_.battery_floor_soc) {
+      // Battery death is permanent: the client leaves the schedulable fleet.
+      state_.alive[j] = 0;
+      ++result.dropped_battery;
+      continue;
+    }
+    const double crash_draw =
+        hash_to_unit(mix(mix(config_.seed ^ kDropoutTag, round), j));
+    if (crash_draw < config_.dropout_prob) {
+      ++result.dropped_crash;
+      continue;
+    }
+    if (ev.finish_s > config_.deadline_s) {
+      ++result.dropped_deadline;
+      continue;
+    }
+    result.contributors.push_back(j);
+    result.survivor_shards += shards_per_client[j];
+    result.makespan_s = std::max(result.makespan_s, ev.finish_s);
+  }
+  result.completed = result.contributors.size();
+
+  // Events arrive in finish order; canonicalize the member list to client-id
+  // order so the tree partition is a pure function of the survivor set.
+  std::sort(result.contributors.begin(), result.contributors.end());
+
+  const std::size_t dropped =
+      result.dropped_crash + result.dropped_deadline + result.dropped_battery;
+  if (dropped > 0 && std::isfinite(config_.deadline_s)) {
+    // With drops under a finite deadline the server holds the round open
+    // until the deadline closes it — same semantics as the testbed runners.
+    result.makespan_s = config_.deadline_s;
+  }
+
+  if (!result.contributors.empty()) {
+    std::vector<std::uint32_t> weights(result.contributors.size());
+    for (std::size_t m = 0; m < result.contributors.size(); ++m) {
+      weights[m] =
+          static_cast<std::uint32_t>(shards_per_client[result.contributors[m]]);
+    }
+    const std::uint64_t seed = config_.seed;
+    const auto update_into = [seed, round](std::uint32_t client,
+                                           std::span<double> out) {
+      synthetic_update(seed, round, client, out);
+    };
+    result.global_update = fl::tree_weighted_sum(
+        result.contributors, weights, config_.update_dim, update_into,
+        config_.group_size, pool_.get());
+    const double total_weight = static_cast<double>(result.survivor_shards);
+    for (double& v : result.global_update) v /= total_weight;
+  }
+
+  if (trace != nullptr && trace->enabled()) {
+    common::JsonObject ev;
+    ev.field("ev", "fleet_round")
+        .field("round", round)
+        .field("participants", result.participants)
+        .field("completed", result.completed)
+        .field("dropped_crash", result.dropped_crash)
+        .field("dropped_deadline", result.dropped_deadline)
+        .field("dropped_battery", result.dropped_battery)
+        .field("events", result.events_processed)
+        .field("survivor_shards", result.survivor_shards)
+        .field("makespan_s", result.makespan_s)
+        .field("energy_wh", result.energy_wh);
+    trace->write(ev);
+  }
+  return result;
+}
+
+}  // namespace fedsched::fleet

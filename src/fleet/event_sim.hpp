@@ -1,0 +1,103 @@
+#pragma once
+// Discrete-event round simulator for fleet-scale FL.
+//
+// A round advances a min-heap of (finish time, client) events instead of
+// stepping every client: only clients holding shards enter the queue, so a
+// 1M-client fleet where the plan touches 100k clients costs O(participants
+// log participants) — idle clients cost nothing. Events pop in (finish,
+// client-id) order, which fixes the processing order independently of how
+// the plan was produced.
+//
+// Faults mirror the testbed tier's kinds at fleet fidelity: a hashed
+// per-(seed, round, client) dropout draw (crash), a round deadline, and
+// battery death against a state-of-charge floor. Battery drain persists in
+// FleetState across rounds; clients whose battery dies are marked not alive
+// and drop out of future plans via fleet::linear_costs.
+//
+// Aggregation reduces the survivors' synthetic updates with the two-level
+// tree of fl::tree_weighted_sum, shard-count weighted. Updates are
+// fixed-point: every coordinate is a multiple of 2^-16 with |v| < 1, drawn
+// by a stateless splitmix64 hash of (seed, round, client, index), so all
+// reduction orders are exact in double and the tree result is bit-identical
+// to the flat left-to-right sum at every --parallel width
+// (tests/fleet/test_fleet_sim.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "fleet/fleet.hpp"
+#include "obs/trace.hpp"
+
+namespace fedsched::fleet {
+
+struct FleetSimConfig {
+  std::size_t shard_size = 100;
+  /// Round deadline in simulated seconds; infinity = wait for the straggler.
+  double deadline_s = std::numeric_limits<double>::infinity();
+  /// Per-(round, client) crash probability, drawn from a stateless hash.
+  double dropout_prob = 0.0;
+  /// State-of-charge floor below which the OS kills the training app.
+  double battery_floor_soc = 0.05;
+  /// Dimension of the synthetic client updates.
+  std::size_t update_dim = 32;
+  /// Tree-aggregation fan-in (clients per shard-group partial).
+  std::size_t group_size = 1024;
+  /// Aggregation worker threads: 1 = serial, 0 = hardware concurrency.
+  std::size_t parallelism = 1;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+struct FleetRoundResult {
+  std::size_t round = 0;
+  std::size_t participants = 0;
+  std::size_t completed = 0;
+  std::size_t dropped_crash = 0;
+  std::size_t dropped_deadline = 0;
+  std::size_t dropped_battery = 0;
+  std::size_t events_processed = 0;
+  std::size_t survivor_shards = 0;
+  double makespan_s = 0.0;
+  double energy_wh = 0.0;
+  /// Completed client ids, ascending (the tree-reduction member list).
+  std::vector<std::uint32_t> contributors;
+  /// Shard-weighted mean of the survivors' updates (empty if none survived).
+  std::vector<double> global_update;
+};
+
+/// One coordinate of the synthetic update: a multiple of 2^-16 in [-1, 1),
+/// a pure function of (seed, round, client, index).
+[[nodiscard]] double synthetic_update_value(std::uint64_t seed, std::size_t round,
+                                            std::uint32_t client,
+                                            std::size_t index) noexcept;
+
+/// Fill `out` with client's full update for the round.
+void synthetic_update(std::uint64_t seed, std::size_t round, std::uint32_t client,
+                      std::span<double> out) noexcept;
+
+class FleetSimulator {
+ public:
+  /// Takes ownership of the state; battery/health mutate across rounds.
+  FleetSimulator(FleetState state, FleetSimConfig config);
+
+  [[nodiscard]] const FleetState& state() const noexcept { return state_; }
+  [[nodiscard]] const FleetSimConfig& config() const noexcept { return config_; }
+
+  /// Simulate one round of the given plan (shards_per_client[j] = shards
+  /// assigned to client j; zero = idle). Emits a `fleet_round` trace event
+  /// when given an enabled writer; trace bytes carry simulated quantities
+  /// only and are byte-identical at any parallelism.
+  FleetRoundResult run_round(std::span<const std::size_t> shards_per_client,
+                             std::size_t round, obs::TraceWriter* trace = nullptr);
+
+ private:
+  FleetState state_;
+  FleetSimConfig config_;
+  std::unique_ptr<common::ThreadPool> pool_;  // null when parallelism == 1
+};
+
+}  // namespace fedsched::fleet

@@ -28,6 +28,12 @@ CostMatrix::CostMatrix(const std::vector<UserProfile>& users, std::size_t total_
   }
   sorted_values_ = values_;
   std::sort(sorted_values_.begin(), sorted_values_.end());
+  // Duplicate cost entries (identical users, flat row tails) add nothing to
+  // the binary-search domain: collapse them so Algorithm 1 searches distinct
+  // thresholds only. At large n with few device models most values repeat,
+  // so this also bounds the domain's memory.
+  sorted_values_.erase(std::unique(sorted_values_.begin(), sorted_values_.end()),
+                       sorted_values_.end());
 }
 
 double CostMatrix::cost(std::size_t user, std::size_t shards) const {

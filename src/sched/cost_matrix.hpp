@@ -26,7 +26,9 @@ class CostMatrix {
   [[nodiscard]] std::size_t max_shards_within(std::size_t user,
                                               double threshold) const;
 
-  /// All matrix values, ascending (the binary-search domain of Algorithm 1).
+  /// Distinct matrix values, ascending with duplicates removed (the
+  /// binary-search domain of Algorithm 1 — repeated entries would only waste
+  /// search iterations and memory at large n).
   [[nodiscard]] const std::vector<double>& sorted_values() const noexcept {
     return sorted_values_;
   }

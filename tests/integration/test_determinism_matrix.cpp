@@ -19,6 +19,10 @@
 #include "fl/async_runner.hpp"
 #include "fl/gossip_runner.hpp"
 #include "fl/runner.hpp"
+#include "fleet/event_sim.hpp"
+#include "fleet/fleet.hpp"
+#include "obs/trace.hpp"
+#include "sched/bucketed.hpp"
 
 namespace fedsched::fl {
 namespace {
@@ -356,6 +360,76 @@ TEST(DeterminismMatrix, AsyncSerialVsParallelEveryCell) {
       EXPECT_GT(serial.result.replica_trips, 0u);
     }
   }
+}
+
+// ---- Fleet tier ---------------------------------------------------------
+
+struct FleetRun {
+  std::vector<fleet::FleetRoundResult> rounds;
+  fleet::FleetState final_state;
+  std::string trace;
+};
+
+// The full fleet pipeline at 10k clients: generate -> bucketed plan -> three
+// event-driven rounds under a crash/deadline fault mix, replanning against
+// the drained fleet each round.
+FleetRun run_fleet(std::size_t parallelism) {
+  std::ostringstream sink;
+  obs::TraceWriter trace(sink);
+
+  fleet::FleetMix mix;
+  mix.lte_fraction = 0.3;
+  mix.capacity_shards = 16;
+  const fleet::FleetGenerator gen(mix, device::lenet_desc(), 91);
+  fleet::FleetSimConfig config;
+  config.shard_size = 20;
+  config.dropout_prob = 0.15;
+  config.deadline_s = 1e5;
+  config.update_dim = 32;
+  config.group_size = 256;
+  config.parallelism = parallelism;
+  config.seed = 92;
+  fleet::FleetSimulator sim(gen.generate(10000, &trace), config);
+
+  FleetRun run;
+  for (std::size_t round = 0; round < 3; ++round) {
+    const sched::LinearCosts costs =
+        fleet::linear_costs(sim.state(), config.shard_size);
+    const sched::BucketedLbapResult plan =
+        sched::fed_lbap_bucketed(costs, 20000, 64, &trace);
+    run.rounds.push_back(
+        sim.run_round(plan.assignment.shards_per_user, round, &trace));
+  }
+  run.final_state = sim.state();
+  run.trace = sink.str();
+  return run;
+}
+
+TEST(DeterminismMatrix, FleetSerialVsParallelByteIdentical) {
+  const FleetRun serial = run_fleet(1);
+  const FleetRun parallel = run_fleet(4);
+
+  ASSERT_EQ(serial.rounds.size(), parallel.rounds.size());
+  for (std::size_t r = 0; r < serial.rounds.size(); ++r) {
+    SCOPED_TRACE(::testing::Message() << "round " << r);
+    const auto& a = serial.rounds[r];
+    const auto& b = parallel.rounds[r];
+    EXPECT_EQ(a.participants, b.participants);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.dropped_crash, b.dropped_crash);
+    EXPECT_EQ(a.dropped_deadline, b.dropped_deadline);
+    EXPECT_EQ(a.dropped_battery, b.dropped_battery);
+    EXPECT_EQ(a.survivor_shards, b.survivor_shards);
+    EXPECT_EQ(a.makespan_s, b.makespan_s);
+    EXPECT_EQ(a.energy_wh, b.energy_wh);
+    EXPECT_EQ(a.contributors, b.contributors);
+    EXPECT_EQ(a.global_update, b.global_update);  // bitwise
+    // The fault mix must not be vacuous.
+    EXPECT_GT(a.dropped_crash, 0u);
+  }
+  EXPECT_EQ(serial.final_state.battery_soc, parallel.final_state.battery_soc);
+  EXPECT_EQ(serial.final_state.alive, parallel.final_state.alive);
+  EXPECT_EQ(serial.trace, parallel.trace) << "trace bytes differ";
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 
@@ -32,7 +33,25 @@ TEST(CostMatrix, ValuesAndSorting) {
   EXPECT_DOUBLE_EQ(m.cost(1, 0), 0.0);
   const auto& sorted = m.sorted_values();
   EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
-  EXPECT_EQ(sorted.size(), 6u);
+  // Values {10,20,30} u {20,40,60}: the shared 20 collapses to one entry.
+  EXPECT_EQ(sorted.size(), 5u);
+}
+
+TEST(CostMatrix, SortedValuesDeduplicated) {
+  // Identical users duplicate every matrix value; the binary-search domain
+  // must hold each distinct value exactly once (regression: duplicates used
+  // to waste Fed-LBAP iterations and memory at large n).
+  const std::vector<UserProfile> users = {linear_user("a", 1.0), linear_user("b", 1.0),
+                                          linear_user("c", 1.0)};
+  const CostMatrix m(users, 6, 10);
+  const auto& sorted = m.sorted_values();
+  EXPECT_EQ(sorted.size(), 6u);  // {10, 20, ..., 60}, not 18 entries
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+  // The dedup must not change the search result: the optimum still splits
+  // 6 shards evenly at makespan 20.
+  const auto result = fed_lbap(m, 6);
+  EXPECT_DOUBLE_EQ(result.makespan_seconds, 20.0);
+  EXPECT_EQ(result.assignment.total_shards(), 6u);
 }
 
 TEST(CostMatrix, MaxShardsWithinThreshold) {
