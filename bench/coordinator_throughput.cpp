@@ -1,0 +1,154 @@
+// Coordinator multiplexing throughput — how fast does one coordinator
+// process drain a mixed queue of checkpointed runs?
+//
+// Workload: a batch of fleet-tier runs (bucketed replan + one event round
+// per step) and testbed train runs (real FedAvg rounds) submitted together
+// and interleaved by the worker pool at round granularity. Reported: wall
+// time to drain, aggregate rounds/s, and the wire layer's frame dispatch
+// rate (handle_frame ping round-trips, measuring codec + JSON + verb
+// dispatch overhead, no socket).
+//
+// Acceptance (exit non-zero on violation): every submitted run reaches
+// `done` — a failed or stuck run is a correctness bug, not a slow one.
+//
+// Outputs:  bench_out/coordinator_throughput.csv    (table)
+//           bench_out/coordinator_throughput.jsonl  (one event per run)
+//           bench_out/BENCH_coord.json              (summary document)
+// The committed BENCH_coord.json at the repo root is a snapshot of the
+// default run on the reference container.
+
+#include <cstddef>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "common/stopwatch.hpp"
+#include "coord/coordinator.hpp"
+#include "coord/wire.hpp"
+
+using namespace fedsched;
+
+namespace {
+
+coord::RunSpec fleet_spec(const std::string& id, std::uint64_t seed,
+                          std::size_t fleet_size, std::size_t rounds) {
+  coord::RunSpec spec;
+  spec.id = id;
+  spec.kind = coord::RunKind::kFleet;
+  spec.fleet.fleet_size = fleet_size;
+  spec.fleet.buckets = 64;
+  spec.fleet.rounds = rounds;
+  spec.fleet.seed = seed;
+  return spec;
+}
+
+coord::RunSpec train_spec(const std::string& id, std::uint64_t seed,
+                          std::size_t samples, std::size_t rounds) {
+  coord::RunSpec spec;
+  spec.id = id;
+  spec.kind = coord::RunKind::kTrain;
+  spec.train.samples = samples;
+  spec.train.rounds = rounds;
+  spec.train.seed = seed;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = bench::full_scale(argc, argv);
+
+  const std::string root = "bench_out/coordinator_throughput_root";
+  std::filesystem::remove_all(root);
+
+  coord::CoordinatorConfig config;
+  config.root = root;
+  config.workers = 4;
+  config.max_concurrent_rounds = 4;
+  config.max_queued_runs = 64;
+
+  std::vector<coord::RunSpec> specs;
+  const std::size_t fleet_runs = full ? 8 : 4;
+  const std::size_t fleet_size = full ? 50'000 : 5'000;
+  const std::size_t fleet_rounds = full ? 5 : 3;
+  for (std::size_t i = 0; i < fleet_runs; ++i) {
+    specs.push_back(fleet_spec("fleet" + std::to_string(i), 100 + i, fleet_size,
+                               fleet_rounds));
+  }
+  const std::size_t train_runs = full ? 4 : 2;
+  for (std::size_t i = 0; i < train_runs; ++i) {
+    specs.push_back(train_spec("train" + std::to_string(i), 200 + i,
+                               full ? 1'200 : 600, full ? 3 : 2));
+  }
+  std::size_t total_rounds = 0;
+  for (const coord::RunSpec& spec : specs) total_rounds += spec.total_rounds();
+
+  coord::Coordinator coordinator(config);
+  common::Stopwatch drain_watch;
+  for (const coord::RunSpec& spec : specs) {
+    const coord::SubmitOutcome out = coordinator.submit(spec);
+    if (!out.accepted) {
+      std::fprintf(stderr, "submit %s rejected: %s\n", spec.id.c_str(),
+                   out.error.c_str());
+      return 1;
+    }
+  }
+  coordinator.wait_all_done();
+  const double drain_s = drain_watch.seconds();
+  const double rounds_per_s = static_cast<double>(total_rounds) / drain_s;
+
+  // Wire-layer dispatch rate: codec + JSON parse + verb lookup, no socket.
+  const std::size_t pings = full ? 100'000 : 20'000;
+  const std::string ping_frame = coord::encode_frame(R"({"verb":"ping"})");
+  common::Stopwatch ping_watch;
+  for (std::size_t i = 0; i < pings; ++i) {
+    (void)coordinator.handle_frame(ping_frame);
+  }
+  const double frames_per_s = static_cast<double>(pings) / ping_watch.seconds();
+
+  common::Table table({"run", "kind", "status", "rounds"});
+  obs::TraceWriter jsonl = bench::jsonl_writer("coordinator_throughput");
+  bool all_done = true;
+  for (const coord::RunSpec& spec : specs) {
+    const auto info = coordinator.status(spec.id);
+    const std::string status =
+        info ? coord::run_status_name(info->status) : "missing";
+    all_done = all_done && info && info->status == coord::RunStatus::kDone;
+    table.add_row({spec.id, coord::run_kind_name(spec.kind), status,
+                   static_cast<long long>(info ? info->rounds_completed : 0)});
+    common::JsonObject ev;
+    ev.field("ev", "coord_bench_run")
+        .field("id", spec.id)
+        .field("kind", coord::run_kind_name(spec.kind))
+        .field("status", status)
+        .field("rounds", info ? info->rounds_completed : 0);
+    jsonl.write(ev);
+  }
+  bench::emit("coordinator_throughput",
+              "multiplexed run drain over " + std::to_string(config.workers) +
+                  " workers",
+              table);
+
+  common::JsonObject doc;
+  doc.field("bench", "coordinator_throughput")
+      .field("workers", config.workers)
+      .field("runs", specs.size())
+      .field("fleet_size", fleet_size)
+      .field("total_rounds", total_rounds)
+      .field("drain_s", drain_s)
+      .field("rounds_per_s", rounds_per_s)
+      .field("frames_per_s", frames_per_s)
+      .field("all_done", all_done);
+  std::filesystem::create_directories("bench_out");
+  std::ofstream summary("bench_out/BENCH_coord.json");
+  summary << doc.str() << '\n';
+
+  std::printf("%zu runs (%zu rounds) drained in %.2f s (%.2f rounds/s); "
+              "wire dispatch %.0f frames/s\n",
+              specs.size(), total_rounds, drain_s, rounds_per_s, frames_per_s);
+  return all_done ? 0 : 1;
+}

@@ -95,7 +95,7 @@ SizeResult run_size(std::size_t clients, std::size_t buckets) {
   r.makespan_s = round.makespan_s;
   r.completed = round.completed;
   r.dropped =
-      round.dropped_crash + round.dropped_deadline + round.dropped_battery;
+      round.dropped_crash + round.dropped_deadline + round.dropped_stale;
   r.rss_mb = peak_rss_mb();
   return r;
 }

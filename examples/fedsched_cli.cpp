@@ -12,13 +12,21 @@
 //
 // Every subcommand prints an aligned table; `--help` lists the flags.
 
+#include <chrono>
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/stopwatch.hpp"
+#include "coord/coordinator.hpp"
+#include "coord/registry.hpp"
+#include "coord/server.hpp"
+#include "coord/train_job.hpp"
+#include "coord/wire.hpp"
 #include "core/fedsched.hpp"
 #include "device/battery.hpp"
 #include "fl/report.hpp"
@@ -287,49 +295,35 @@ int cmd_simulate(const Args& args) {
 }
 
 int cmd_train(const Args& args) {
-  const auto ds_config =
-      args.get("dataset", "mnist") == "cifar" ? data::cifar_like() : data::mnist_like();
-  const auto phones = device::testbed(static_cast<int>(args.get_int("testbed", 1)));
-  const auto arch =
-      args.get("model", "LeNet") == "VGG6" ? nn::Arch::kVgg6 : nn::Arch::kLeNet;
-  const auto& desc = arch == nn::Arch::kLeNet ? device::lenet_desc()
-                                              : device::vgg6_desc();
-  const auto samples = static_cast<std::size_t>(args.get_int("samples", 1200));
-  const std::string policy = args.get("policy", "fed-lbap");
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-
-  const auto train = data::generate_balanced(ds_config, samples, seed);
-  const auto test = data::generate_balanced(ds_config, samples / 3, seed + 1);
+  // The deterministic core — datasets, schedule, partition, base config — is
+  // built by the same coord::build_train_job the coordinator uses, so a
+  // coordinator-submitted run is byte-identical to this subcommand by
+  // construction. The extras below (faults, deadline, recovery, replication,
+  // metrics) stay CLI-only.
+  coord::TrainRunSpec run_spec;
+  run_spec.dataset = args.get("dataset", "mnist");
+  run_spec.testbed = static_cast<int>(args.get_int("testbed", 1));
+  run_spec.model = args.get("model", "LeNet");
+  run_spec.samples = static_cast<std::size_t>(args.get_int("samples", 1200));
+  run_spec.policy = args.get("policy", "fed-lbap");
+  run_spec.rounds = static_cast<std::size_t>(args.get_int("rounds", 10));
+  run_spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const long parallel = args.get_int("parallel", 0);
+  if (parallel < 0) throw std::invalid_argument("--parallel must be >= 0");
+  // 0 = one worker per hardware thread, 1 = serial; any value trains the
+  // same model bit-for-bit (the runner's determinism contract).
+  run_spec.parallelism = static_cast<std::size_t>(parallel);
+  run_spec.evaluate_each_round = args.has("verbose");
+  const std::uint64_t seed = run_spec.seed;
 
   obs::TraceWriter trace = trace_from(args);
   obs::MetricsRegistry metrics;
+  coord::TrainJob job = build_train_job(run_spec, &trace);
+  const auto& phones = job.phones;
+  const auto& users = job.users;
+  const sched::Assignment& assignment = job.assignment;
 
-  // Schedule at full simulator scale, materialize proportionally.
-  const auto users = core::build_profiles(phones, desc, device::NetworkType::kWifi,
-                                          60'000);
-  sched::Assignment assignment;
-  common::Rng rng(seed + 2);
-  if (policy == "fed-lbap") {
-    assignment = sched::fed_lbap(users, 600, 100, &trace).assignment;
-  } else {
-    assignment = sched::assign_baseline(baseline_from(policy), users, 600, 100, rng);
-  }
-  std::vector<double> weights;
-  for (std::size_t k : assignment.shards_per_user) {
-    weights.push_back(static_cast<double>(k));
-  }
-  const auto partition = data::partition_with_sizes_iid(
-      train, data::proportional_sizes(train.size(), weights), rng);
-
-  fl::FlConfig config;
-  config.rounds = static_cast<std::size_t>(args.get_int("rounds", 10));
-  config.seed = seed + 3;
-  config.evaluate_each_round = args.has("verbose");
-  // 0 = one worker per hardware thread, 1 = serial; any value trains the
-  // same model bit-for-bit (the runner's determinism contract).
-  const long parallel = args.get_int("parallel", 0);
-  if (parallel < 0) throw std::invalid_argument("--parallel must be >= 0");
-  config.parallelism = static_cast<std::size_t>(parallel);
+  fl::FlConfig& config = job.config;
   config.faults = fault_config_from(args);
   config.deadline_s = deadline_from(args);
   config.checkpoint = checkpoint_config_from(args);
@@ -362,14 +356,9 @@ int cmd_train(const Args& args) {
   }
   config.trace = &trace;
   if (args.has("metrics-out")) config.metrics = &metrics;
-  nn::ModelSpec spec;
-  spec.arch = arch;
-  spec.in_channels = ds_config.channels;
-  spec.in_h = ds_config.height;
-  spec.in_w = ds_config.width;
-  fl::FedAvgRunner runner(train, test, spec, desc, phones,
+  fl::FedAvgRunner runner(job.train, job.test, job.model_spec, job.desc, phones,
                           device::NetworkType::kWifi, config);
-  const auto result = runner.run(partition);
+  const auto result = runner.run(job.partition);
 
   fl::round_table(result).print(std::cout);
   if (args.has("verbose") && !result.rounds.empty()) {
@@ -500,7 +489,7 @@ int cmd_fleet(const Args& args) {
     const double plan_s = plan_watch.seconds();
     const auto r = sim.run_round(plan.shards_per_user, round, &trace);
     const std::size_t dropped =
-        r.dropped_crash + r.dropped_deadline + r.dropped_battery;
+        r.dropped_crash + r.dropped_deadline + r.dropped_stale;
     table.add_row({static_cast<long long>(round), plan_s, threshold,
                    static_cast<long long>(r.completed),
                    static_cast<long long>(dropped), r.makespan_s, r.energy_wh});
@@ -516,6 +505,211 @@ int cmd_fleet(const Args& args) {
               << args.get("trace-out", "trace.jsonl") << "\n";
   }
   return 0;
+}
+
+// ---- coordinator-as-a-service (src/coord) ----------------------------------
+
+void print_run_rows(const common::JsonValue& runs) {
+  common::Table table({"id", "kind", "status", "rounds"});
+  for (const common::JsonValue& run : runs.as_array()) {
+    const auto completed = static_cast<long long>(run.get_number("rounds_completed", 0));
+    const auto total = static_cast<long long>(run.get_number("total_rounds", 0));
+    table.add_row({run.get_string("id", "?"), run.get_string("kind", "?"),
+                   run.get_string("status", "?"),
+                   std::to_string(completed) + "/" + std::to_string(total)});
+  }
+  table.print(std::cout);
+}
+
+common::JsonValue coord_request_ok(const std::string& socket_path,
+                                   const common::JsonObject& request) {
+  common::JsonValue reply =
+      common::json_parse(coord::request(socket_path, request.str()));
+  if (!reply.get_bool("ok", false)) {
+    throw std::runtime_error("coordinator: " + reply.get_string("error", "request failed"));
+  }
+  return reply;
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("write failed for " + path);
+}
+
+int cmd_serve(const Args& args) {
+  coord::CoordinatorConfig config;
+  config.root = args.get("root", "coord-runs");
+  config.workers = static_cast<std::size_t>(args.get_int("workers", 2));
+  config.max_concurrent_rounds =
+      static_cast<std::size_t>(args.get_int("max-concurrent-rounds", 2));
+  config.max_resident_clients =
+      static_cast<std::size_t>(args.get_int("max-resident-clients", 1'000'000));
+  config.max_queued_runs = static_cast<std::size_t>(args.get_int("max-queued", 16));
+  config.trace_path = args.get("trace-out", "");
+  const std::string socket_path = args.get("socket", config.root + "/coord.sock");
+
+  coord::Coordinator coordinator(config);
+  const std::size_t recovered = coordinator.list().size();
+  std::cout << "coordinator serving on " << socket_path << " (root "
+            << config.root << ", " << config.workers << " workers, "
+            << recovered << " runs recovered)\n"
+            << std::flush;
+  coord::serve(coordinator, socket_path);
+  std::cout << "shutdown requested; finishing in-flight steps\n" << std::flush;
+  coordinator.stop();
+
+  common::Table table({"id", "kind", "status", "rounds"});
+  for (const coord::RunInfo& info : coordinator.list()) {
+    table.add_row({info.spec.id, coord::run_kind_name(info.spec.kind),
+                   coord::run_status_name(info.status),
+                   std::to_string(info.rounds_completed) + "/" +
+                       std::to_string(info.spec.total_rounds())});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_submit(const Args& args) {
+  const std::string socket_path = args.get("socket", "coord-runs/coord.sock");
+  std::string spec_text;
+  if (args.has("spec")) {
+    spec_text = coord::read_file(args.get("spec", ""), "submit: spec");
+  } else if (args.has("spec-json")) {
+    spec_text = args.get("spec-json", "");
+  } else {
+    throw std::invalid_argument("submit needs --spec FILE or --spec-json JSON");
+  }
+  // Client-side validation first: a malformed spec fails here with the same
+  // message the server would produce, without a round-trip.
+  const coord::RunSpec spec = coord::parse_run_spec(common::json_parse(spec_text));
+
+  common::JsonObject req;
+  req.field("verb", "submit").field_raw("spec", coord::run_spec_json(spec));
+  common::JsonValue reply = coord_request_ok(socket_path, req);
+  std::cout << "run '" << spec.id << "' admitted ("
+            << reply.get_string("status", "?") << ", "
+            << static_cast<long long>(reply.get_number("total_rounds", 0))
+            << " rounds)\n"
+            << std::flush;
+  if (!args.has("wait")) return 0;
+
+  const long poll_ms = args.get_int("poll-ms", 200);
+  std::size_t last_rounds = 0;
+  for (;;) {
+    common::JsonObject sreq;
+    sreq.field("verb", "status").field("id", spec.id);
+    const common::JsonValue status = coord_request_ok(socket_path, sreq);
+    const std::string state = status.get_string("status", "?");
+    const auto rounds =
+        static_cast<std::size_t>(status.get_number("rounds_completed", 0));
+    if (rounds != last_rounds) {
+      std::cout << "round " << rounds << "/"
+                << static_cast<long long>(status.get_number("total_rounds", 0))
+                << " checkpointed\n"
+                << std::flush;
+      last_rounds = rounds;
+    }
+    if (state == "failed") {
+      throw std::runtime_error("run '" + spec.id + "' failed: " +
+                               status.get_string("error", "unknown error"));
+    }
+    if (state == "done") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+  }
+
+  common::JsonObject rreq;
+  rreq.field("verb", "result").field("id", spec.id);
+  const common::JsonValue result = coord_request_ok(socket_path, rreq);
+  const std::string doc = result.get_string("json", "{}");
+  std::cout << "result: " << doc << "\n";
+  if (args.has("result-out")) {
+    write_bytes(args.get("result-out", "result.json"), doc + "\n");
+  }
+  if (args.has("fetch-trace")) {
+    common::JsonObject treq;
+    treq.field("verb", "trace").field("id", spec.id);
+    const common::JsonValue trace = coord_request_ok(socket_path, treq);
+    const std::string path = args.get("fetch-trace", spec.id + ".trace.jsonl");
+    write_bytes(path, trace.get_string("jsonl", ""));
+    std::cout << "wrote run trace to " << path << "\n";
+  }
+  return 0;
+}
+
+int cmd_coord(const Args& args) {
+  const std::string socket_path = args.get("socket", "coord-runs/coord.sock");
+  if (args.has("ping")) {
+    common::JsonObject req;
+    req.field("verb", "ping");
+    const common::JsonValue reply = coord_request_ok(socket_path, req);
+    std::cout << reply.get_string("service", "?") << " is up\n";
+    return 0;
+  }
+  if (args.has("list")) {
+    common::JsonObject req;
+    req.field("verb", "list");
+    const common::JsonValue reply = coord_request_ok(socket_path, req);
+    const common::JsonValue* runs = reply.find("runs");
+    if (runs != nullptr) print_run_rows(*runs);
+    return 0;
+  }
+  if (args.has("status")) {
+    common::JsonObject req;
+    req.field("verb", "status").field("id", args.get("status", ""));
+    const common::JsonValue reply = coord_request_ok(socket_path, req);
+    std::cout << reply.get_string("id", "?") << ": "
+              << reply.get_string("status", "?") << " ("
+              << static_cast<long long>(reply.get_number("rounds_completed", 0))
+              << "/" << static_cast<long long>(reply.get_number("total_rounds", 0))
+              << " rounds)\n";
+    return 0;
+  }
+  if (args.has("trace")) {
+    common::JsonObject req;
+    req.field("verb", "trace").field("id", args.get("trace", ""));
+    const common::JsonValue reply = coord_request_ok(socket_path, req);
+    const std::string bytes = reply.get_string("jsonl", "");
+    if (args.has("out")) {
+      write_bytes(args.get("out", "trace.jsonl"), bytes);
+      std::cout << "wrote " << bytes.size() << " trace bytes to "
+                << args.get("out", "trace.jsonl") << "\n";
+    } else {
+      std::cout << bytes;
+    }
+    return 0;
+  }
+  if (args.has("result")) {
+    common::JsonObject req;
+    req.field("verb", "result").field("id", args.get("result", ""));
+    const common::JsonValue reply = coord_request_ok(socket_path, req);
+    std::cout << reply.get_string("json", "{}") << "\n";
+    return 0;
+  }
+  if (args.has("checkpoint")) {
+    if (!args.has("out")) {
+      throw std::invalid_argument("coord --checkpoint ID needs --out FILE");
+    }
+    common::JsonObject req;
+    req.field("verb", "checkpoint").field("id", args.get("checkpoint", ""));
+    const common::JsonValue reply = coord_request_ok(socket_path, req);
+    const std::string bytes = coord::from_hex(reply.get_string("hex", ""));
+    write_bytes(args.get("out", "ckpt.bin"), bytes);
+    std::cout << "wrote " << bytes.size() << " checkpoint bytes to "
+              << args.get("out", "ckpt.bin") << "\n";
+    return 0;
+  }
+  if (args.has("shutdown")) {
+    common::JsonObject req;
+    req.field("verb", "shutdown");
+    (void)coord_request_ok(socket_path, req);
+    std::cout << "coordinator shutting down\n";
+    return 0;
+  }
+  throw std::invalid_argument(
+      "coord needs one of --ping | --list | --status ID | --trace ID "
+      "[--out FILE] | --result ID | --checkpoint ID --out FILE | --shutdown");
 }
 
 void usage() {
@@ -540,6 +734,14 @@ void usage() {
       "            [--rounds R] [--policy fed-lbap|fed-minavg] [--seed N]\n"
       "            [--deadline S] [--fault-dropout P] [--parallel K]\n"
       "            [--trace-out FILE]\n"
+      "  serve     --root DIR [--socket PATH] [--workers N]\n"
+      "            [--max-concurrent-rounds N] [--max-resident-clients N]\n"
+      "            [--max-queued N] [--trace-out FILE]\n"
+      "  submit    --socket PATH (--spec FILE | --spec-json JSON) [--wait]\n"
+      "            [--poll-ms N] [--result-out FILE] [--fetch-trace FILE]\n"
+      "  coord     --socket PATH (--ping | --list | --status ID | --trace ID\n"
+      "            [--out FILE] | --result ID | --checkpoint ID --out FILE |\n"
+      "            --shutdown)\n"
       "fleet flags (bucketed schedulers over a generated 1k..1M population):\n"
       "  --fleet-size N           clients to generate (default 10000)\n"
       "  --fleet-mix SPEC         population mixture, e.g.\n"
@@ -601,6 +803,9 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(args);
     if (command == "energy") return cmd_energy(args);
     if (command == "fleet") return cmd_fleet(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "submit") return cmd_submit(args);
+    if (command == "coord") return cmd_coord(args);
     usage();
     return command == "help" || command == "--help" ? 0 : 2;
   } catch (const std::exception& error) {

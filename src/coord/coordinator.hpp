@@ -1,0 +1,142 @@
+#pragma once
+// Long-lived multi-run coordinator: registry + worker pool + admission.
+//
+// One Coordinator serves many concurrent experiments from a single process.
+// Each admitted run is decomposed into round-sized steps
+// (coord/train_job.hpp, coord/fleet_job.hpp); a pool of workers drains a
+// FIFO ready queue, runs one step, parks the run behind its fresh
+// checkpoint, and requeues it at the tail. Interleaving therefore happens
+// only at round boundaries, and every step derives its randomness from the
+// run's own spec'd seed — a run's RunResult and trace bytes are identical
+// whether it ran alone or multiplexed with arbitrary neighbors, and across
+// any number of coordinator kill/restart cycles (the constructor rescans the
+// registry root and requeues every in-flight run from its checkpoint).
+//
+// Admission control: a spec whose resident client count exceeds the cap, a
+// duplicate id, or a full queue is rejected before any registry write — a
+// rejected submit leaves zero trace on disk or in memory. Queued runs wait;
+// dispatch additionally respects max_concurrent_rounds and the resident-
+// client budget across in-flight steps (head-of-queue order, so admission
+// order is completion-capacity order).
+//
+// The wire entry point is handle_frame(): decode (hardened, coord/wire.hpp)
+// happens strictly before dispatch, so a malformed frame provably cannot
+// change coordinator state — it yields an {"ok":false,...} reply frame.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coord/registry.hpp"
+#include "coord/spec.hpp"
+#include "obs/trace.hpp"
+
+namespace fedsched::coord {
+
+struct CoordinatorConfig {
+  std::string root;                    // registry directory (required)
+  std::size_t workers = 2;             // worker threads (min 1)
+  std::size_t max_concurrent_rounds = 2;   // steps in flight at once
+  std::size_t max_resident_clients = 1'000'000;  // summed over in-flight steps
+  std::size_t max_queued_runs = 16;    // admitted runs awaiting a worker
+  /// Coordinator operations trace (coord_admit / coord_reject /
+  /// coord_round_dispatch JSONL). Empty = disabled. This is an operational
+  /// log — dispatch order depends on host scheduling — and is deliberately
+  /// separate from the per-run traces, which stay byte-deterministic.
+  std::string trace_path;
+};
+
+enum class RunStatus { kSubmitted, kAdmitted, kRunning, kCheckpointed, kDone, kFailed };
+[[nodiscard]] const char* run_status_name(RunStatus status);
+
+struct RunInfo {
+  RunSpec spec;
+  RunStatus status = RunStatus::kSubmitted;
+  std::size_t rounds_completed = 0;
+  std::string error;  // set when status == kFailed
+};
+
+struct SubmitOutcome {
+  bool accepted = false;
+  std::string error;  // set when rejected
+};
+
+class Coordinator {
+ public:
+  /// Scans `config.root`, requeues every non-terminal run (checkpoint
+  /// resume, or round zero if it never stepped), and starts the workers.
+  explicit Coordinator(CoordinatorConfig config);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Admit `spec` or reject it (duplicate id, oversized fleet, full queue).
+  /// Admission persists spec.json before returning; rejection writes nothing.
+  SubmitOutcome submit(const RunSpec& spec);
+
+  [[nodiscard]] std::optional<RunInfo> status(const std::string& id) const;
+  [[nodiscard]] std::vector<RunInfo> list() const;
+
+  /// Disk-backed artifacts; throw std::runtime_error when not yet available.
+  [[nodiscard]] std::string trace_bytes(const std::string& id) const;
+  [[nodiscard]] std::string result_document(const std::string& id) const;
+  [[nodiscard]] std::string checkpoint_bytes(const std::string& id) const;
+
+  /// Block until the ready queue is empty and no step is in flight.
+  void wait_all_done();
+
+  /// Stop dispatching; in-flight steps finish (and checkpoint) first. Safe
+  /// to call repeatedly; the destructor calls it.
+  void stop();
+
+  /// Protocol dispatch: a request document {"verb": ...} to a reply
+  /// document {"ok": bool, ...}. Never throws; errors become replies.
+  [[nodiscard]] std::string handle_request_json(const std::string& request);
+  /// Wire entry point: decode → dispatch → encode. A frame that fails
+  /// decoding yields an error reply frame without touching any state.
+  [[nodiscard]] std::string handle_frame(const std::string& frame);
+
+  /// Set once a "shutdown" verb has been handled; the socket server polls
+  /// this to leave its accept loop.
+  [[nodiscard]] bool shutdown_requested() const;
+
+  [[nodiscard]] const RunRegistry& registry() const noexcept { return registry_; }
+  [[nodiscard]] const CoordinatorConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Entry {
+    RunSpec spec;
+    RunStatus status = RunStatus::kAdmitted;
+    std::size_t rounds_completed = 0;
+    std::string error;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  [[nodiscard]] bool head_dispatchable() const;  // callers hold mu_
+  void emit(const common::JsonObject& event);    // callers hold mu_
+  [[nodiscard]] RunInfo info_of(const Entry& e) const;
+  [[nodiscard]] std::string reply_status(const std::string& id);
+
+  CoordinatorConfig config_;
+  RunRegistry registry_;
+  obs::TraceWriter trace_;  // guarded by mu_
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::map<std::string, Entry> runs_;
+  std::deque<std::string> ready_;
+  std::size_t running_ = 0;
+  std::size_t running_resident_ = 0;
+  bool stop_ = false;
+  bool shutdown_requested_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fedsched::coord

@@ -1,0 +1,269 @@
+#include "coord/fleet_job.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#include "device/model_desc.hpp"
+#include "fl/checkpoint/codec.hpp"
+#include "fleet/event_sim.hpp"
+#include "fleet/fleet.hpp"
+#include "sched/bucketed.hpp"
+
+namespace fedsched::coord {
+
+namespace fc = fl::checkpoint;
+
+namespace {
+
+constexpr std::uint32_t kFleetMagic = 0x46534631;  // "FSF1"
+constexpr std::uint32_t kFleetVersion = 1;
+
+struct FleetCheckpoint {
+  std::size_t rounds_completed = 0;
+  fleet::FleetState state;
+  std::vector<FleetRoundSummary> summaries;
+  std::string trace_prefix;
+  std::size_t trace_events = 0;
+};
+
+void put_summary(fc::PayloadWriter& out, const FleetRoundSummary& s) {
+  out.put_u64(s.round);
+  out.put_u64(s.participants);
+  out.put_u64(s.completed);
+  out.put_u64(s.dropped_crash);
+  out.put_u64(s.dropped_deadline);
+  out.put_u64(s.dropped_stale);
+  out.put_u64(s.battery_deaths);
+  out.put_u64(s.survivor_shards);
+  out.put(s.threshold_s);
+  out.put(s.makespan_s);
+  out.put(s.energy_wh);
+}
+
+FleetRoundSummary get_summary(fc::PayloadReader& in) {
+  FleetRoundSummary s;
+  s.round = static_cast<std::size_t>(in.get_u64());
+  s.participants = static_cast<std::size_t>(in.get_u64());
+  s.completed = static_cast<std::size_t>(in.get_u64());
+  s.dropped_crash = static_cast<std::size_t>(in.get_u64());
+  s.dropped_deadline = static_cast<std::size_t>(in.get_u64());
+  s.dropped_stale = static_cast<std::size_t>(in.get_u64());
+  s.battery_deaths = static_cast<std::size_t>(in.get_u64());
+  s.survivor_shards = static_cast<std::size_t>(in.get_u64());
+  s.threshold_s = in.get<double>();
+  s.makespan_s = in.get<double>();
+  s.energy_wh = in.get<double>();
+  return s;
+}
+
+void save_fleet_checkpoint(const FleetCheckpoint& ckpt, const std::string& path) {
+  fc::PayloadWriter out;
+  out.put_u64(ckpt.rounds_completed);
+
+  const fleet::FleetState& s = ckpt.state;
+  out.put_vec(s.device_model);
+  out.put_vec(s.network);
+  out.put_vec(s.speed_factor);
+  out.put_vec(s.base_s);
+  out.put_vec(s.per_sample_s);
+  out.put_vec(s.comm_s);
+  out.put_vec(s.battery_soc);
+  out.put_vec(s.battery_capacity_wh);
+  out.put_vec(s.train_power_w);
+  out.put_vec(s.comm_energy_wh);
+  out.put_vec(s.temp_c);
+  out.put_vec(s.capacity_shards);
+  out.put_vec(s.alive);
+
+  out.put_u64(ckpt.summaries.size());
+  for (const FleetRoundSummary& r : ckpt.summaries) put_summary(out, r);
+
+  out.put_u64(ckpt.trace_events);
+  out.put_bytes(ckpt.trace_prefix);
+
+  const std::string tmp = path + ".tmp";
+  {
+    const std::filesystem::path p(tmp);
+    if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) throw std::runtime_error("fleet checkpoint: cannot open " + tmp);
+    const std::string sealed = fc::seal(kFleetMagic, kFleetVersion, out.bytes());
+    file.write(sealed.data(), static_cast<std::streamsize>(sealed.size()));
+    if (!file) throw std::runtime_error("fleet checkpoint: write failed for " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("fleet checkpoint: cannot rename " + tmp + " -> " +
+                             path + ": " + ec.message());
+  }
+}
+
+FleetCheckpoint load_fleet_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("fleet checkpoint: cannot open " + path);
+  std::string file((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) throw std::runtime_error("fleet checkpoint: read failed for " + path);
+  const std::string_view body =
+      fc::open(kFleetMagic, kFleetVersion, file, "fleet checkpoint: " + path,
+               "fedsched fleet checkpoint");
+  fc::PayloadReader payload(body, "fleet checkpoint: " + path);
+
+  FleetCheckpoint ckpt;
+  ckpt.rounds_completed = static_cast<std::size_t>(payload.get_u64());
+
+  fleet::FleetState& s = ckpt.state;
+  s.device_model = payload.get_vec<std::uint8_t>();
+  s.network = payload.get_vec<std::uint8_t>();
+  s.speed_factor = payload.get_vec<double>();
+  s.base_s = payload.get_vec<double>();
+  s.per_sample_s = payload.get_vec<double>();
+  s.comm_s = payload.get_vec<double>();
+  s.battery_soc = payload.get_vec<double>();
+  s.battery_capacity_wh = payload.get_vec<double>();
+  s.train_power_w = payload.get_vec<double>();
+  s.comm_energy_wh = payload.get_vec<double>();
+  s.temp_c = payload.get_vec<double>();
+  s.capacity_shards = payload.get_vec<std::uint32_t>();
+  s.alive = payload.get_vec<std::uint8_t>();
+
+  ckpt.summaries.resize(payload.get_count(1));
+  for (FleetRoundSummary& r : ckpt.summaries) r = get_summary(payload);
+
+  ckpt.trace_events = static_cast<std::size_t>(payload.get_u64());
+  ckpt.trace_prefix = payload.get_bytes();
+  payload.expect_exhausted();
+  return ckpt;
+}
+
+}  // namespace
+
+FleetPlan plan_fleet_round(const std::string& policy,
+                           const sched::LinearCosts& costs,
+                           std::size_t total_shards, std::size_t buckets,
+                           obs::TraceWriter* trace) {
+  FleetPlan plan;
+  if (policy == "fed-lbap") {
+    auto planned = sched::fed_lbap_bucketed(costs, total_shards, buckets, trace);
+    plan.threshold_s = planned.threshold_seconds;
+    plan.assignment = std::move(planned.assignment);
+  } else if (policy == "fed-minavg") {
+    auto planned = sched::fed_minavg_bucketed(costs, total_shards, buckets, trace);
+    plan.threshold_s = planned.makespan_seconds;
+    plan.assignment = std::move(planned.assignment);
+  } else {
+    throw std::runtime_error("fleet job: unknown policy '" + policy + "'");
+  }
+  return plan;
+}
+
+FleetStepOutcome run_fleet_step(const FleetRunSpec& spec,
+                                const std::string& ckpt_path,
+                                const std::string& trace_path,
+                                std::size_t completed_rounds) {
+  if (completed_rounds >= spec.rounds) {
+    throw std::runtime_error("fleet job: run already complete");
+  }
+  obs::TraceWriter trace = obs::TraceWriter::to_file(trace_path);
+  trace.enable_capture();
+
+  FleetCheckpoint ckpt;
+  if (completed_rounds == 0) {
+    const device::ModelDesc& desc = spec.model == "VGG6" ? device::vgg6_desc()
+                                                         : device::lenet_desc();
+    const fleet::FleetMix mix =
+        spec.mix.empty() ? fleet::FleetMix{} : fleet::parse_fleet_mix(spec.mix);
+    ckpt.state =
+        fleet::FleetGenerator(mix, desc, spec.seed).generate(spec.fleet_size, &trace);
+  } else {
+    ckpt = load_fleet_checkpoint(ckpt_path);
+    if (ckpt.rounds_completed != completed_rounds) {
+      throw std::runtime_error("fleet job: checkpoint round mismatch");
+    }
+    trace.write_raw(ckpt.trace_prefix, ckpt.trace_events);
+  }
+
+  fleet::FleetSimConfig config;
+  config.shard_size = spec.shard;
+  config.deadline_s = spec.deadline_s;
+  config.dropout_prob = spec.dropout;
+  config.battery_floor_soc = spec.battery_floor;
+  config.parallelism = spec.parallelism;
+  config.seed = spec.seed;
+  fleet::FleetSimulator sim(std::move(ckpt.state), config);
+
+  // Replan every round — battery deaths shrink the schedulable fleet — then
+  // simulate it, exactly the `fedsched_cli fleet` loop body.
+  const sched::LinearCosts costs = fleet::linear_costs(sim.state(), spec.shard);
+  const FleetPlan plan = plan_fleet_round(spec.policy, costs,
+                                          spec.effective_total_shards(),
+                                          spec.buckets, &trace);
+  const fleet::FleetRoundResult r =
+      sim.run_round(plan.assignment.shards_per_user, completed_rounds, &trace);
+  trace.flush();
+
+  FleetRoundSummary summary;
+  summary.round = r.round;
+  summary.participants = r.participants;
+  summary.completed = r.completed;
+  summary.dropped_crash = r.dropped_crash;
+  summary.dropped_deadline = r.dropped_deadline;
+  summary.dropped_stale = r.dropped_stale;
+  summary.battery_deaths = r.battery_deaths;
+  summary.survivor_shards = r.survivor_shards;
+  summary.threshold_s = plan.threshold_s;
+  summary.makespan_s = r.makespan_s;
+  summary.energy_wh = r.energy_wh;
+  ckpt.summaries.push_back(summary);
+
+  ckpt.state = sim.state();
+  ckpt.rounds_completed = completed_rounds + 1;
+  ckpt.trace_prefix = trace.captured();
+  ckpt.trace_events = trace.captured_events();
+  save_fleet_checkpoint(ckpt, ckpt_path);
+
+  FleetStepOutcome out;
+  out.rounds_completed = ckpt.rounds_completed;
+  out.done = ckpt.rounds_completed == spec.rounds;
+  return out;
+}
+
+std::vector<FleetRoundSummary> load_fleet_summaries(const std::string& ckpt_path) {
+  return load_fleet_checkpoint(ckpt_path).summaries;
+}
+
+std::string fleet_result_json(const FleetRunSpec& spec,
+                              const std::vector<FleetRoundSummary>& rounds) {
+  std::string arr = "[";
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    const FleetRoundSummary& r = rounds[i];
+    common::JsonObject ro;
+    ro.field("round", r.round)
+        .field("participants", r.participants)
+        .field("completed", r.completed)
+        .field("dropped_crash", r.dropped_crash)
+        .field("dropped_deadline", r.dropped_deadline)
+        .field("dropped_stale", r.dropped_stale)
+        .field("battery_deaths", r.battery_deaths)
+        .field("survivor_shards", r.survivor_shards)
+        .field("threshold_s", r.threshold_s)
+        .field("makespan_s", r.makespan_s)
+        .field("energy_wh", r.energy_wh);
+    if (i > 0) arr += ",";
+    arr += ro.str();
+  }
+  arr += "]";
+  common::JsonObject o;
+  o.field("kind", "fleet")
+      .field("fleet_size", spec.fleet_size)
+      .field("rounds", rounds.size())
+      .field("seed", spec.seed)
+      .field_raw("round_records", arr);
+  return o.str();
+}
+
+}  // namespace fedsched::coord

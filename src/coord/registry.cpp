@@ -1,0 +1,146 @@
+#include "coord/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+
+namespace fedsched::coord {
+
+namespace fs = std::filesystem;
+
+void write_file_atomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("registry: cannot open " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw std::runtime_error("registry: write failed for " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("registry: cannot rename " + tmp + " -> " + path +
+                             ": " + ec.message());
+  }
+}
+
+std::string read_file(const std::string& path, const std::string& context) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(context + ": cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) throw std::runtime_error(context + ": read failed for " + path);
+  return bytes;
+}
+
+RunRegistry::RunRegistry(std::string root) : root_(std::move(root)) {
+  if (root_.empty()) throw std::runtime_error("registry: root must not be empty");
+  fs::create_directories(root_);
+}
+
+std::string RunRegistry::run_dir(const std::string& id) const {
+  return root_ + "/" + id;
+}
+std::string RunRegistry::spec_path(const std::string& id) const {
+  return run_dir(id) + "/spec.json";
+}
+std::string RunRegistry::meta_path(const std::string& id) const {
+  return run_dir(id) + "/meta.json";
+}
+std::string RunRegistry::ckpt_path(const std::string& id) const {
+  return run_dir(id) + "/ckpt.bin";
+}
+std::string RunRegistry::trace_path(const std::string& id) const {
+  return run_dir(id) + "/trace.jsonl";
+}
+std::string RunRegistry::result_path(const std::string& id) const {
+  return run_dir(id) + "/result.json";
+}
+std::string RunRegistry::error_path(const std::string& id) const {
+  return run_dir(id) + "/error.txt";
+}
+
+bool RunRegistry::exists(const std::string& id) const {
+  return fs::exists(spec_path(id));
+}
+
+void RunRegistry::persist_spec(const RunSpec& spec) const {
+  fs::create_directories(run_dir(spec.id));
+  write_file_atomic(spec_path(spec.id), run_spec_json(spec) + "\n");
+}
+
+void RunRegistry::write_meta(const std::string& id,
+                             std::size_t rounds_completed) const {
+  common::JsonObject o;
+  o.field("rounds_completed", rounds_completed);
+  write_file_atomic(meta_path(id), o.str() + "\n");
+}
+
+void RunRegistry::write_result(const std::string& id,
+                               const std::string& json) const {
+  write_file_atomic(result_path(id), json + "\n");
+}
+
+void RunRegistry::write_error(const std::string& id,
+                              const std::string& message) const {
+  write_file_atomic(error_path(id), message + "\n");
+}
+
+std::string RunRegistry::read_result(const std::string& id) const {
+  return read_file(result_path(id), "registry: run '" + id + "' result");
+}
+
+std::string RunRegistry::read_trace(const std::string& id) const {
+  return read_file(trace_path(id), "registry: run '" + id + "' trace");
+}
+
+std::string RunRegistry::read_checkpoint(const std::string& id) const {
+  return read_file(ckpt_path(id), "registry: run '" + id + "' checkpoint");
+}
+
+std::vector<RecoveredRun> RunRegistry::scan() const {
+  std::vector<RecoveredRun> runs;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root_)) {
+    if (!entry.is_directory()) continue;
+    const std::string id = entry.path().filename().string();
+    if (!fs::exists(spec_path(id))) continue;  // not a run directory
+
+    RecoveredRun run;
+    run.spec = parse_run_spec(
+        common::json_parse(read_file(spec_path(id), "registry: spec")));
+    if (run.spec.id != id) {
+      throw std::runtime_error("registry: spec id '" + run.spec.id +
+                               "' does not match directory '" + id + "'");
+    }
+    if (fs::exists(result_path(id))) {
+      run.state = RecoveredState::kDone;
+      run.rounds_completed = run.spec.total_rounds();
+    } else if (fs::exists(error_path(id))) {
+      run.state = RecoveredState::kFailed;
+      run.error = read_file(error_path(id), "registry: error");
+      while (!run.error.empty() && run.error.back() == '\n') run.error.pop_back();
+    } else if (fs::exists(ckpt_path(id)) && fs::exists(meta_path(id))) {
+      const common::JsonValue meta =
+          common::json_parse(read_file(meta_path(id), "registry: meta"));
+      const double n = meta.get_number("rounds_completed", 0.0);
+      if (!(n >= 0.0) || n != std::floor(n)) {
+        throw std::runtime_error("registry: run '" + id + "' has corrupt meta");
+      }
+      run.state = RecoveredState::kResumable;
+      run.rounds_completed = static_cast<std::size_t>(n);
+    } else {
+      run.state = RecoveredState::kFresh;  // admitted but never stepped
+    }
+    runs.push_back(std::move(run));
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const RecoveredRun& a, const RecoveredRun& b) {
+              return a.spec.id < b.spec.id;
+            });
+  return runs;
+}
+
+}  // namespace fedsched::coord

@@ -1,0 +1,79 @@
+#pragma once
+// On-disk run registry: one directory per run under the coordinator root.
+//
+//   <root>/<id>/spec.json    the validated spec, written once at admission
+//   <root>/<id>/meta.json    {"rounds_completed": n}, rewritten after each step
+//   <root>/<id>/ckpt.bin     the run's resume point (FSC1 train / FSF1 fleet)
+//   <root>/<id>/trace.jsonl  the run's trace, rewritten per step from the
+//                            checkpointed prefix
+//   <root>/<id>/result.json  terminal success document (presence = done)
+//   <root>/<id>/error.txt    terminal failure message (presence = failed)
+//
+// Every write goes through a temp file + rename, so a coordinator killed
+// mid-transition leaves either the old document or the new one, never a torn
+// file. scan() reconstructs each run's lifecycle position from which files
+// exist — that is the whole restart story: result.json wins, then error.txt,
+// then a checkpoint to resume, else the run restarts from round zero.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "coord/spec.hpp"
+
+namespace fedsched::coord {
+
+/// Where scan() found a run in its lifecycle.
+enum class RecoveredState { kDone, kFailed, kResumable, kFresh };
+
+struct RecoveredRun {
+  RunSpec spec;
+  RecoveredState state = RecoveredState::kFresh;
+  std::size_t rounds_completed = 0;  // meaningful for kResumable
+  std::string error;                 // meaningful for kFailed
+};
+
+class RunRegistry {
+ public:
+  /// Creates `root` (and parents) if missing.
+  explicit RunRegistry(std::string root);
+
+  [[nodiscard]] const std::string& root() const noexcept { return root_; }
+  [[nodiscard]] std::string run_dir(const std::string& id) const;
+  [[nodiscard]] std::string spec_path(const std::string& id) const;
+  [[nodiscard]] std::string meta_path(const std::string& id) const;
+  [[nodiscard]] std::string ckpt_path(const std::string& id) const;
+  [[nodiscard]] std::string trace_path(const std::string& id) const;
+  [[nodiscard]] std::string result_path(const std::string& id) const;
+  [[nodiscard]] std::string error_path(const std::string& id) const;
+
+  [[nodiscard]] bool exists(const std::string& id) const;
+
+  /// Create the run directory and persist spec.json (atomic).
+  void persist_spec(const RunSpec& spec) const;
+  /// Rewrite meta.json with the step's progress (atomic).
+  void write_meta(const std::string& id, std::size_t rounds_completed) const;
+  /// Mark the run done / failed (atomic; presence is the state).
+  void write_result(const std::string& id, const std::string& json) const;
+  void write_error(const std::string& id, const std::string& message) const;
+
+  /// Whole-file reads; throw std::runtime_error when the file is missing.
+  [[nodiscard]] std::string read_result(const std::string& id) const;
+  [[nodiscard]] std::string read_trace(const std::string& id) const;
+  [[nodiscard]] std::string read_checkpoint(const std::string& id) const;
+
+  /// Rebuild every persisted run's lifecycle position, sorted by id so a
+  /// restarted coordinator requeues in-flight runs in a deterministic order.
+  [[nodiscard]] std::vector<RecoveredRun> scan() const;
+
+ private:
+  std::string root_;
+};
+
+/// Shared atomic-write helper (temp file + rename within the directory).
+void write_file_atomic(const std::string& path, const std::string& bytes);
+/// Whole-file read; throws std::runtime_error when missing/unreadable.
+[[nodiscard]] std::string read_file(const std::string& path,
+                                    const std::string& context);
+
+}  // namespace fedsched::coord

@@ -1,0 +1,141 @@
+#include "coord/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "coord/wire.hpp"
+
+namespace fedsched::coord {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error("coord server: " + what + ": " +
+                           std::strerror(errno));
+}
+
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+  Fd() = default;
+  explicit Fd(int f) : fd(f) {}
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+};
+
+sockaddr_un make_addr(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("coord server: socket path too long: " +
+                             socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  return addr;
+}
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// Drain the connection through a FrameBuffer, answering each complete
+/// frame. Returns false once the peer closes; throws wire errors upward.
+bool serve_connection(int fd, Coordinator& coordinator) {
+  FrameBuffer buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("recv");
+    }
+    if (n == 0) return true;  // peer closed
+    buffer.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+    // take_frame() already validated the frame (header, length, checksum) —
+    // a corrupt stream throws here, before any verb dispatch runs.
+    while (auto payload = buffer.take_frame()) {
+      send_all(fd, encode_frame(coordinator.handle_request_json(*payload)));
+      if (coordinator.shutdown_requested()) return false;
+    }
+  }
+}
+
+}  // namespace
+
+void serve(Coordinator& coordinator, const std::string& socket_path) {
+  const sockaddr_un addr = make_addr(socket_path);
+  Fd listener(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (listener.fd < 0) sys_fail("socket");
+  ::unlink(socket_path.c_str());  // replace a stale socket from a dead server
+  if (::bind(listener.fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    sys_fail("bind " + socket_path);
+  }
+  if (::listen(listener.fd, 16) != 0) sys_fail("listen");
+
+  bool keep_serving = true;
+  while (keep_serving) {
+    Fd conn(::accept(listener.fd, nullptr, nullptr));
+    if (conn.fd < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("accept");
+    }
+    try {
+      keep_serving = serve_connection(conn.fd, coordinator);
+    } catch (const std::exception& ex) {
+      // Corrupt byte stream: best-effort error reply, drop the connection.
+      // Decode-before-dispatch means the coordinator state is untouched.
+      try {
+        common::JsonObject o;
+        o.field("ok", false).field("error", ex.what());
+        send_all(conn.fd, encode_frame(o.str()));
+      } catch (...) {
+      }
+    }
+  }
+  ::unlink(socket_path.c_str());
+}
+
+std::string request(const std::string& socket_path,
+                    const std::string& request_json) {
+  const sockaddr_un addr = make_addr(socket_path);
+  Fd conn(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (conn.fd < 0) sys_fail("socket");
+  if (::connect(conn.fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    sys_fail("connect " + socket_path);
+  }
+  send_all(conn.fd, encode_frame(request_json));
+
+  FrameBuffer buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("recv");
+    }
+    if (n == 0) {
+      throw std::runtime_error("coord server: connection closed before reply");
+    }
+    buffer.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+    if (auto frame = buffer.take_frame()) return std::string(*frame);
+  }
+}
+
+}  // namespace fedsched::coord

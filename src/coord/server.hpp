@@ -1,0 +1,32 @@
+#pragma once
+// Local-socket transport for the coordinator protocol.
+//
+// serve() binds an AF_UNIX stream socket and services one connection at a
+// time: frames are accumulated through a FrameBuffer, each complete frame is
+// answered via Coordinator::handle_frame, and a malformed byte stream gets a
+// best-effort error reply before the connection is dropped (the coordinator
+// itself is untouched — decode happens before dispatch). The accept loop
+// exits after a "shutdown" verb is handled; in-flight run steps finish and
+// checkpoint through Coordinator::stop().
+//
+// request() is the matching client side: one connection, one frame out, one
+// reply frame back. `fedsched_cli submit/coord` is a thin wrapper over it.
+
+#include <string>
+
+#include "coord/coordinator.hpp"
+
+namespace fedsched::coord {
+
+/// Serve `coordinator` on an AF_UNIX socket at `socket_path` until a
+/// shutdown verb arrives. Replaces a stale socket file at that path; removes
+/// it on exit. Throws std::runtime_error on socket setup failures.
+void serve(Coordinator& coordinator, const std::string& socket_path);
+
+/// Send one request document to the server at `socket_path` and return the
+/// reply document. Throws std::runtime_error on connection or protocol
+/// failures.
+[[nodiscard]] std::string request(const std::string& socket_path,
+                                  const std::string& request_json);
+
+}  // namespace fedsched::coord

@@ -1,0 +1,148 @@
+#include "coord/train_job.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "core/experiment.hpp"
+#include "data/synth.hpp"
+#include "sched/baselines.hpp"
+#include "sched/fed_lbap.hpp"
+
+namespace fedsched::coord {
+
+namespace {
+
+sched::Baseline baseline_of(const std::string& name) {
+  if (name == "equal") return sched::Baseline::kEqual;
+  if (name == "prop") return sched::Baseline::kProportional;
+  if (name == "random") return sched::Baseline::kRandom;
+  throw std::runtime_error("train job: unknown baseline policy '" + name + "'");
+}
+
+void rename_over(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  std::filesystem::rename(from, to, ec);
+  if (ec) {
+    throw std::runtime_error("train job: cannot rename " + from + " -> " + to +
+                             ": " + ec.message());
+  }
+}
+
+}  // namespace
+
+TrainJob build_train_job(const TrainRunSpec& spec, obs::TraceWriter* trace) {
+  TrainJob job;
+  const data::SynthConfig ds_config =
+      spec.dataset == "cifar" ? data::cifar_like() : data::mnist_like();
+  job.phones = device::testbed(spec.testbed);
+  const nn::Arch arch = spec.model == "VGG6" ? nn::Arch::kVgg6 : nn::Arch::kLeNet;
+  job.desc = arch == nn::Arch::kLeNet ? device::lenet_desc() : device::vgg6_desc();
+
+  job.train = data::generate_balanced(ds_config, spec.samples, spec.seed);
+  job.test = data::generate_balanced(ds_config, spec.samples / 3, spec.seed + 1);
+
+  // Schedule at full simulator scale, materialize proportionally. The RNG
+  // stream order — baseline assignment first (when used), partition second —
+  // is load-bearing: it matches `fedsched_cli train` draw for draw.
+  job.users = core::build_profiles(job.phones, job.desc,
+                                   device::NetworkType::kWifi, 60'000);
+  common::Rng rng(spec.seed + 2);
+  if (spec.policy == "fed-lbap") {
+    job.assignment = sched::fed_lbap(job.users, 600, 100, trace).assignment;
+  } else {
+    job.assignment = sched::assign_baseline(baseline_of(spec.policy), job.users,
+                                            600, 100, rng);
+  }
+  std::vector<double> weights;
+  weights.reserve(job.assignment.shards_per_user.size());
+  for (std::size_t k : job.assignment.shards_per_user) {
+    weights.push_back(static_cast<double>(k));
+  }
+  job.partition = data::partition_with_sizes_iid(
+      job.train, data::proportional_sizes(job.train.size(), weights), rng);
+
+  job.config.rounds = spec.rounds;
+  job.config.seed = spec.seed + 3;
+  job.config.parallelism = spec.parallelism;
+  job.config.evaluate_each_round = spec.evaluate_each_round;
+
+  job.model_spec.arch = arch;
+  job.model_spec.in_channels = ds_config.channels;
+  job.model_spec.in_h = ds_config.height;
+  job.model_spec.in_w = ds_config.width;
+  return job;
+}
+
+TrainStepOutcome run_train_step(const TrainRunSpec& spec,
+                                const std::string& ckpt_path,
+                                const std::string& trace_path,
+                                std::size_t completed_rounds) {
+  if (completed_rounds >= spec.rounds) {
+    throw std::runtime_error("train job: run already complete");
+  }
+  // The trace file is rewritten from scratch every step: the job rebuild
+  // re-emits the schedule event, and the runner replays the checkpointed
+  // prefix before appending the new round — same mechanics as a CLI resume.
+  obs::TraceWriter trace = obs::TraceWriter::to_file(trace_path);
+  TrainJob job = build_train_job(spec, &trace);
+  job.config.trace = &trace;
+  job.config.checkpoint.path = ckpt_path + ".tmp";
+  job.config.checkpoint.every_rounds = 1;
+  const std::size_t next = completed_rounds + 1;
+  job.config.checkpoint.halt_after_rounds = next < spec.rounds ? next : 0;
+  if (completed_rounds > 0) job.config.checkpoint.resume_from = ckpt_path;
+
+  fl::FedAvgRunner runner(job.train, job.test, job.model_spec, job.desc,
+                          job.phones, device::NetworkType::kWifi, job.config);
+  TrainStepOutcome out;
+  out.result = runner.run(job.partition);
+  // The step's checkpoint (halt or final-round cadence save) lands atomically.
+  rename_over(job.config.checkpoint.path, ckpt_path);
+  out.done = !out.result.halted;
+  out.rounds_completed = out.done ? spec.rounds : next;
+  return out;
+}
+
+fl::RunResult run_train_oneshot(const TrainRunSpec& spec,
+                                const std::string& ckpt_path,
+                                const std::string& trace_path) {
+  obs::TraceWriter trace = obs::TraceWriter::to_file(trace_path);
+  TrainJob job = build_train_job(spec, &trace);
+  job.config.trace = &trace;
+  job.config.checkpoint.path = ckpt_path;
+  job.config.checkpoint.every_rounds = 1;
+  fl::FedAvgRunner runner(job.train, job.test, job.model_spec, job.desc,
+                          job.phones, device::NetworkType::kWifi, job.config);
+  return runner.run(job.partition);
+}
+
+std::string train_result_json(const TrainRunSpec& spec,
+                              const fl::RunResult& result) {
+  std::string rounds = "[";
+  for (std::size_t i = 0; i < result.rounds.size(); ++i) {
+    const fl::RoundRecord& r = result.rounds[i];
+    common::JsonObject ro;
+    ro.field("round", r.round)
+        .field("round_seconds", r.round_seconds)
+        .field("cumulative_seconds", r.cumulative_seconds)
+        .field("mean_train_loss", r.mean_train_loss)
+        .field("test_accuracy", r.test_accuracy)
+        .field("completed_clients", r.completed_clients)
+        .field("dropped_clients", r.dropped_clients);
+    if (i > 0) rounds += ",";
+    rounds += ro.str();
+  }
+  rounds += "]";
+  common::JsonObject o;
+  o.field("kind", "train")
+      .field("rounds", result.rounds.size())
+      .field("final_accuracy", result.final_accuracy)
+      .field("total_seconds", result.total_seconds)
+      .field("seed", spec.seed)
+      .field_raw("round_records", rounds);
+  return o.str();
+}
+
+}  // namespace fedsched::coord

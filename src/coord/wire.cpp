@@ -1,0 +1,100 @@
+#include "coord/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "fl/checkpoint/codec.hpp"
+
+namespace fedsched::coord {
+
+namespace fc = fl::checkpoint;
+
+namespace {
+const std::string kContext = "coord wire";
+const std::string kArtifact = "fedsched wire frame";
+}  // namespace
+
+std::string encode_frame(std::string_view json) {
+  if (json.size() > kMaxFramePayload) {
+    throw std::runtime_error(kContext + ": frame payload too large");
+  }
+  return fc::seal(kWireMagic, kWireVersion, json);
+}
+
+std::string decode_frame(std::string_view frame) {
+  // Pre-check the declared size against the cap before open() touches the
+  // checksum, so the oversized-length error is distinct from corruption.
+  if (frame.size() >= fc::kSealedHeaderSize) {
+    std::uint64_t size = 0;
+    std::memcpy(&size, frame.data() + 8, sizeof(size));
+    if (size > kMaxFramePayload) {
+      throw std::runtime_error(kContext + ": frame payload too large");
+    }
+  }
+  const std::string_view payload =
+      fc::open(kWireMagic, kWireVersion, frame, kContext, kArtifact);
+  return std::string(payload);
+}
+
+void FrameBuffer::feed(std::string_view bytes) { buf_.append(bytes); }
+
+std::optional<std::string> FrameBuffer::take_frame() {
+  if (buf_.size() < fc::kSealedHeaderSize) return std::nullopt;
+  // Validate the fixed header as soon as it arrives — a bad magic, version,
+  // or absurd length fails immediately rather than after buffering MBs of a
+  // stream we will never be able to parse.
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t size = 0;
+  std::memcpy(&magic, buf_.data(), sizeof(magic));
+  std::memcpy(&version, buf_.data() + 4, sizeof(version));
+  std::memcpy(&size, buf_.data() + 8, sizeof(size));
+  if (magic != kWireMagic) {
+    throw std::runtime_error(kContext + ": stream is not " + kArtifact + "s");
+  }
+  if (version != kWireVersion) {
+    throw std::runtime_error(kContext + ": unsupported frame version " +
+                             std::to_string(version));
+  }
+  if (size > kMaxFramePayload) {
+    throw std::runtime_error(kContext + ": frame payload too large");
+  }
+  const std::size_t total = fc::kSealedHeaderSize + static_cast<std::size_t>(size);
+  if (buf_.size() < total) return std::nullopt;
+  std::string payload = decode_frame(std::string_view(buf_).substr(0, total));
+  buf_.erase(0, total);
+  return payload;
+}
+
+std::string to_hex(std::string_view bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out;
+}
+
+std::string from_hex(std::string_view hex) {
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  if (hex.size() % 2 != 0) {
+    throw std::runtime_error("from_hex: odd-length input");
+  }
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw std::runtime_error("from_hex: bad hex digit");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace fedsched::coord

@@ -1,0 +1,69 @@
+#pragma once
+// Length-prefixed JSON wire protocol for the coordinator (src/coord).
+//
+// Every message — request or reply — travels as one *frame*: a UTF-8 JSON
+// document wrapped in the shared sealed-payload header of
+// fl/checkpoint/codec.hpp:
+//
+//   [magic u32 "FSW1"][version u32][payload_size u64][fnv1a64 u64][JSON]
+//
+// Frames are hardened the same way checkpoint v2 was: the reader validates
+// magic and version as soon as the fixed header arrives, rejects any
+// payload_size above kMaxFramePayload *before allocating anything*, and
+// verifies the exact length and FNV-1a checksum before the payload is parsed
+// as JSON. Truncation, a flipped bit, a mangled length prefix, or trailing
+// garbage between frames all fail with a clean std::runtime_error and leave
+// the coordinator untouched (tests/coord/test_wire.cpp pins every class).
+//
+// FrameBuffer is the incremental reader for stream sockets: feed() raw bytes
+// as they arrive, take_frame() yields complete JSON payloads in order.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fedsched::coord {
+
+inline constexpr std::uint32_t kWireMagic = 0x46535731;  // "FSW1"
+inline constexpr std::uint32_t kWireVersion = 1;
+/// Upper bound on one frame's JSON payload. Generous enough for a fetched
+/// trace or hex-encoded checkpoint of the largest supported fleet; small
+/// enough that a corrupted length header can never drive a huge allocation.
+inline constexpr std::uint64_t kMaxFramePayload = 64ull << 20;
+
+/// `json` wrapped in a sealed wire frame.
+[[nodiscard]] std::string encode_frame(std::string_view json);
+
+/// Validate one complete frame and return its JSON payload. Throws
+/// std::runtime_error on any malformation (short buffer, bad magic/version,
+/// oversized or mismatched length, checksum failure, trailing bytes).
+[[nodiscard]] std::string decode_frame(std::string_view frame);
+
+/// Incremental frame reader over a byte stream. Bytes may arrive in any
+/// fragmentation; frames are yielded in order. A malformed header or payload
+/// throws and poisons the buffer (the connection should be dropped — there
+/// is no way to resynchronize a corrupt length-prefixed stream).
+class FrameBuffer {
+ public:
+  /// Append raw bytes from the stream.
+  void feed(std::string_view bytes);
+
+  /// The next complete frame's JSON payload, or nullopt if more bytes are
+  /// needed. Throws std::runtime_error on a malformed frame.
+  [[nodiscard]] std::optional<std::string> take_frame();
+
+  /// Bytes buffered but not yet consumed by take_frame().
+  [[nodiscard]] std::size_t pending_bytes() const noexcept { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Lowercase hex codec for binary artifacts (checkpoint fetch). from_hex
+/// throws std::runtime_error on odd length or a non-hex digit.
+[[nodiscard]] std::string to_hex(std::string_view bytes);
+[[nodiscard]] std::string from_hex(std::string_view hex);
+
+}  // namespace fedsched::coord

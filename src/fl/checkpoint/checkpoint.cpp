@@ -1,14 +1,13 @@
 #include "fl/checkpoint/checkpoint.hpp"
 
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <stdexcept>
 #include <string_view>
-#include <type_traits>
 
 #include "common/json.hpp"
+#include "fl/checkpoint/codec.hpp"
 
 namespace fedsched::fl::checkpoint {
 
@@ -16,132 +15,16 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x46534331;  // "FSC1"
 
-// v2 layout: [magic u32][version u32][payload_size u64][fnv1a64 u64][payload].
-// The payload is built in memory, checksummed, and written in one piece; the
-// loader verifies length and checksum before parsing a single field, so any
-// corruption — truncation, a flipped bit anywhere, a mangled length prefix —
-// fails up front with a clean error instead of a crazy allocation or a
-// silently wrong restore.
+// v2 layout: [magic u32][version u32][payload_size u64][fnv1a64 u64][payload]
+// — the shared sealed-payload codec (codec.hpp). The payload is built in
+// memory, checksummed, and written in one piece; the loader verifies length
+// and checksum before parsing a single field, so any corruption —
+// truncation, a flipped bit anywhere, a mangled length prefix — fails up
+// front with a clean error instead of a crazy allocation or a silently
+// wrong restore.
 
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-
-[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) {
-  std::uint64_t h = kFnvOffset;
-  for (unsigned char c : bytes) {
-    h ^= c;
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-// Little-endian raw scalar I/O into an in-memory buffer (matches
-// nn/serialize.cpp; the testbed is homogeneous x86-64/aarch64-LE, and the
-// magic word would read back-to-front on a BE host anyway).
-class Writer {
- public:
-  template <typename T>
-  void put(const T& value) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    const auto* p = reinterpret_cast<const char*>(&value);
-    buf_.append(p, sizeof(T));
-  }
-  void put_u64(std::uint64_t v) { put(v); }
-  void put_bool(bool v) { put(static_cast<std::uint8_t>(v ? 1 : 0)); }
-
-  template <typename T>
-  void put_vec(const std::vector<T>& v) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    put_u64(v.size());
-    if (!v.empty()) {
-      buf_.append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
-    }
-  }
-  void put_size_vec(const std::vector<std::size_t>& v) {
-    put_u64(v.size());
-    for (std::size_t x : v) put_u64(static_cast<std::uint64_t>(x));
-  }
-  void put_bytes(std::string_view bytes) {
-    put_u64(bytes.size());
-    buf_.append(bytes.data(), bytes.size());
-  }
-
-  [[nodiscard]] const std::string& bytes() const noexcept { return buf_; }
-
- private:
-  std::string buf_;
-};
-
-// Bounds-checked reader over the verified payload. The checksum already
-// guarantees the bytes are exactly what the writer produced; the bounds
-// checks keep a reader/writer schema skew from running off the buffer.
-class Reader {
- public:
-  Reader(std::string_view bytes, std::string path)
-      : bytes_(bytes), path_(std::move(path)) {}
-
-  template <typename T>
-  T get() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    T value{};
-    std::memcpy(&value, need(sizeof(T)), sizeof(T));
-    return value;
-  }
-  std::uint64_t get_u64() { return get<std::uint64_t>(); }
-  bool get_bool() { return get<std::uint8_t>() != 0; }
-
-  /// Element count for a vector about to be read: refuses counts the
-  /// remaining payload cannot possibly hold, so a mangled length prefix can
-  /// never drive a multi-gigabyte resize().
-  std::size_t get_count(std::size_t elem_size) {
-    const std::uint64_t n = get_u64();
-    if (elem_size > 0 && n > remaining() / elem_size) corrupt();
-    return static_cast<std::size_t>(n);
-  }
-
-  template <typename T>
-  std::vector<T> get_vec() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    std::vector<T> v(get_count(sizeof(T)));
-    if (!v.empty()) {
-      std::memcpy(v.data(), need(v.size() * sizeof(T)), v.size() * sizeof(T));
-    }
-    return v;
-  }
-  std::vector<std::size_t> get_size_vec() {
-    std::vector<std::size_t> v(get_count(sizeof(std::uint64_t)));
-    for (auto& x : v) x = static_cast<std::size_t>(get_u64());
-    return v;
-  }
-  std::string get_bytes() {
-    const std::size_t n = get_count(1);
-    return std::string(need(n), n);
-  }
-
-  [[nodiscard]] std::size_t remaining() const noexcept {
-    return bytes_.size() - pos_;
-  }
-  /// The runner's loader must consume the payload exactly.
-  void expect_exhausted() const {
-    if (remaining() != 0) corrupt();
-  }
-
-  [[noreturn]] void corrupt() const {
-    throw std::runtime_error("load_checkpoint: corrupt checkpoint " + path_);
-  }
-
- private:
-  const char* need(std::size_t n) {
-    if (n > remaining()) corrupt();
-    const char* p = bytes_.data() + pos_;
-    pos_ += n;
-    return p;
-  }
-
-  std::string_view bytes_;
-  std::string path_;
-  std::size_t pos_ = 0;
-};
+using Writer = PayloadWriter;
+using Reader = PayloadReader;
 
 void put_round(Writer& out, const RoundRecord& r) {
   out.put_u64(r.round);
@@ -310,14 +193,8 @@ void save_checkpoint(const RunState& state, const std::string& path) {
   if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
   std::ofstream out(p, std::ios::binary | std::ios::trunc);
   if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
-  const std::string& body = payload.bytes();
-  const std::uint64_t size = body.size();
-  const std::uint64_t checksum = fnv1a64(body);
-  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
-  out.write(reinterpret_cast<const char*>(&kFormatVersion), sizeof(kFormatVersion));
-  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
-  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  const std::string sealed = seal(kMagic, kFormatVersion, payload.bytes());
+  out.write(sealed.data(), static_cast<std::streamsize>(sealed.size()));
   if (!out) throw std::runtime_error("save_checkpoint: write failed for " + path);
   out.close();
   write_sidecar(state, path + ".meta.jsonl");
@@ -330,37 +207,11 @@ RunState load_checkpoint(const std::string& path) {
                    std::istreambuf_iterator<char>());
   if (in.bad()) throw std::runtime_error("load_checkpoint: read failed for " + path);
 
-  constexpr std::size_t kHeaderSize =
-      sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) * 2;
-  if (file.size() < kHeaderSize) {
-    throw std::runtime_error("load_checkpoint: " + path +
-                             " is not a fedsched checkpoint");
-  }
-  std::uint32_t magic = 0, version = 0;
-  std::uint64_t size = 0, checksum = 0;
-  std::memcpy(&magic, file.data(), sizeof(magic));
-  std::memcpy(&version, file.data() + 4, sizeof(version));
-  std::memcpy(&size, file.data() + 8, sizeof(size));
-  std::memcpy(&checksum, file.data() + 16, sizeof(checksum));
-  if (magic != kMagic) {
-    throw std::runtime_error("load_checkpoint: " + path +
-                             " is not a fedsched checkpoint");
-  }
-  if (version != kFormatVersion) {
-    throw std::runtime_error("load_checkpoint: " + path + " has format version " +
-                             std::to_string(version) + "; this build reads version " +
-                             std::to_string(kFormatVersion));
-  }
-  const std::string_view body(file.data() + kHeaderSize,
-                              file.size() - kHeaderSize);
-  if (body.size() != size) {
-    throw std::runtime_error("load_checkpoint: truncated file " + path);
-  }
-  if (fnv1a64(body) != checksum) {
-    throw std::runtime_error("load_checkpoint: checksum mismatch in " + path);
-  }
+  const std::string_view body = open(kMagic, kFormatVersion, file,
+                                     "load_checkpoint: " + path,
+                                     "fedsched checkpoint");
 
-  Reader payload(body, path);
+  Reader payload(body, "load_checkpoint: " + path);
   RunState state;
   state.seed = payload.get_u64();
   state.rounds_completed = payload.get_u64();

@@ -91,9 +91,9 @@ FleetRoundResult FleetSimulator::run_round(
     if (shards == 0) continue;
     ++result.participants;
     if (!state_.alive[j]) {
-      // A stale plan may still target a dead client; it never starts, burns
-      // nothing, and counts as a battery drop.
-      ++result.dropped_battery;
+      // A stale plan may still target a dead client; it never starts and
+      // burns nothing — a planner no-op, not a round fault.
+      ++result.dropped_stale;
       continue;
     }
     const double compute_s =
@@ -119,10 +119,12 @@ FleetRoundResult FleetSimulator::run_round(
         0.0, state_.battery_soc[j] - drain_wh / state_.battery_capacity_wh[j]);
 
     if (state_.battery_soc[j] <= config_.battery_floor_soc) {
-      // Battery death is permanent: the client leaves the schedulable fleet.
+      // Battery death is permanent, but it gates *future* schedulability
+      // only: by the time the OS kills the app the finish event — report
+      // included — has already been delivered, so the client still counts
+      // toward this round (and may still crash or miss the deadline below).
       state_.alive[j] = 0;
-      ++result.dropped_battery;
-      continue;
+      ++result.battery_deaths;
     }
     const double crash_draw =
         hash_to_unit(mix(mix(config_.seed ^ kDropoutTag, round), j));
@@ -144,11 +146,12 @@ FleetRoundResult FleetSimulator::run_round(
   // order so the tree partition is a pure function of the survivor set.
   std::sort(result.contributors.begin(), result.contributors.end());
 
-  const std::size_t dropped =
-      result.dropped_crash + result.dropped_deadline + result.dropped_battery;
+  const std::size_t dropped = result.dropped_crash + result.dropped_deadline;
   if (dropped > 0 && std::isfinite(config_.deadline_s)) {
-    // With drops under a finite deadline the server holds the round open
-    // until the deadline closes it — same semantics as the testbed runners.
+    // With in-flight drops under a finite deadline the server holds the
+    // round open until the deadline closes it — same semantics as the
+    // testbed runners. Stale-plan no-ops never started, so the server is
+    // not waiting on them and they do not pin the round open.
     result.makespan_s = config_.deadline_s;
   }
 
@@ -178,7 +181,8 @@ FleetRoundResult FleetSimulator::run_round(
         .field("completed", result.completed)
         .field("dropped_crash", result.dropped_crash)
         .field("dropped_deadline", result.dropped_deadline)
-        .field("dropped_battery", result.dropped_battery)
+        .field("dropped_stale", result.dropped_stale)
+        .field("battery_deaths", result.battery_deaths)
         .field("events", result.events_processed)
         .field("survivor_shards", result.survivor_shards)
         .field("makespan_s", result.makespan_s)

@@ -12,7 +12,13 @@
 // per-(seed, round, client) dropout draw (crash), a round deadline, and
 // battery death against a state-of-charge floor. Battery drain persists in
 // FleetState across rounds; clients whose battery dies are marked not alive
-// and drop out of future plans via fleet::linear_costs.
+// and drop out of future plans via fleet::linear_costs. Death gates *future*
+// schedulability only: a client whose report was already delivered this
+// round still contributes to the aggregate, and then leaves the fleet
+// (`battery_deaths` counts the transition). A stale plan that still targets
+// an already-dead client is a planner no-op — it never starts, burns
+// nothing, and is tallied as `dropped_stale`, outside the deadline-hold
+// rule, because the server already knows that client is gone.
 //
 // Aggregation reduces the survivors' synthetic updates with the two-level
 // tree of fl::tree_weighted_sum, shard-count weighted. Updates are
@@ -58,7 +64,12 @@ struct FleetRoundResult {
   std::size_t completed = 0;
   std::size_t dropped_crash = 0;
   std::size_t dropped_deadline = 0;
-  std::size_t dropped_battery = 0;
+  /// Plan entries targeting clients already dead at round start (never ran).
+  std::size_t dropped_stale = 0;
+  /// Clients whose battery hit the floor during this round's attempt; they
+  /// leave the schedulable fleet afterward (an already-delivered report
+  /// still counts, so a death is not itself a drop).
+  std::size_t battery_deaths = 0;
   std::size_t events_processed = 0;
   std::size_t survivor_shards = 0;
   double makespan_s = 0.0;

@@ -1,0 +1,271 @@
+// Coordinator service contract:
+//   * admission control — duplicate ids, oversized fleets, and a full queue
+//     are rejected cleanly, leaving no registry entry on disk or in memory;
+//   * multiplexing determinism — a run's trace bytes and result document are
+//     identical whether it ran alone or interleaved with neighbors, and
+//     identical to the library one-shot path (run_train_oneshot), which is
+//     itself what `fedsched_cli train --checkpoint-every 1` drives;
+//   * kill-and-resume — a coordinator constructed over a root holding a
+//     half-finished run resumes it from its checkpoint and finishes with
+//     byte-identical artifacts;
+//   * wire hardening — a corrupted submit frame yields an error reply and
+//     provably changes nothing (decode happens before dispatch).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "common/json.hpp"
+#include "coord/coordinator.hpp"
+#include "coord/fleet_job.hpp"
+#include "coord/registry.hpp"
+#include "coord/train_job.hpp"
+#include "coord/wire.hpp"
+
+namespace fedsched::coord {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CoordService : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = fs::temp_directory_path() /
+            ("fedsched_coord_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+    fs::remove_all(base_);
+    fs::create_directories(base_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(base_, ec);
+  }
+
+  [[nodiscard]] std::string root(const std::string& name) const {
+    return (base_ / name).string();
+  }
+
+  static CoordinatorConfig config(const std::string& root) {
+    CoordinatorConfig cfg;
+    cfg.root = root;
+    cfg.workers = 2;
+    cfg.max_concurrent_rounds = 2;
+    return cfg;
+  }
+
+  static RunSpec fleet_spec(const std::string& id, std::uint64_t seed,
+                            std::size_t rounds) {
+    RunSpec spec;
+    spec.id = id;
+    spec.kind = RunKind::kFleet;
+    spec.fleet.fleet_size = 300;
+    spec.fleet.buckets = 16;
+    spec.fleet.rounds = rounds;
+    spec.fleet.seed = seed;
+    return spec;
+  }
+
+  static RunSpec train_spec(const std::string& id, std::uint64_t seed) {
+    RunSpec spec;
+    spec.id = id;
+    spec.kind = RunKind::kTrain;
+    spec.train.samples = 600;
+    spec.train.rounds = 2;
+    spec.train.seed = seed;
+    return spec;
+  }
+
+  fs::path base_;
+};
+
+TEST_F(CoordService, RejectionsAreCleanAndLeaveNoState) {
+  CoordinatorConfig cfg = config(root("a"));
+  cfg.max_resident_clients = 500;
+  Coordinator coordinator(cfg);
+
+  // Oversized fleet: over the resident-client budget.
+  RunSpec big = fleet_spec("big", 1, 1);
+  big.fleet.fleet_size = 501;
+  const SubmitOutcome rejected = coordinator.submit(big);
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_NE(rejected.error.find("resident clients"), std::string::npos);
+  EXPECT_FALSE(coordinator.status("big").has_value());
+  EXPECT_FALSE(fs::exists(coordinator.registry().run_dir("big")));
+
+  // Admit one real run, then reject its duplicate.
+  ASSERT_TRUE(coordinator.submit(fleet_spec("ok", 1, 1)).accepted);
+  const SubmitOutcome duplicate = coordinator.submit(fleet_spec("ok", 2, 1));
+  EXPECT_FALSE(duplicate.accepted);
+  EXPECT_NE(duplicate.error.find("duplicate"), std::string::npos);
+
+  coordinator.wait_all_done();
+  EXPECT_EQ(coordinator.status("ok")->status, RunStatus::kDone);
+  // The duplicate reject did not clobber the original's spec.
+  EXPECT_EQ(coordinator.status("ok")->spec.fleet.seed, 1u);
+}
+
+TEST_F(CoordService, FullQueueRejectsCleanly) {
+  CoordinatorConfig cfg = config(root("a"));
+  cfg.max_queued_runs = 0;
+  Coordinator coordinator(cfg);
+  const SubmitOutcome out = coordinator.submit(fleet_spec("q", 1, 1));
+  EXPECT_FALSE(out.accepted);
+  EXPECT_NE(out.error.find("queue full"), std::string::npos);
+  EXPECT_TRUE(coordinator.list().empty());
+  EXPECT_FALSE(fs::exists(coordinator.registry().run_dir("q")));
+}
+
+TEST_F(CoordService, MultiplexedRunsMatchSoloRunsByteForByte) {
+  // Three runs interleaving over two workers...
+  Coordinator multiplexed(config(root("mux")));
+  ASSERT_TRUE(multiplexed.submit(fleet_spec("f1", 11, 2)).accepted);
+  ASSERT_TRUE(multiplexed.submit(fleet_spec("f2", 22, 2)).accepted);
+  ASSERT_TRUE(multiplexed.submit(train_spec("t1", 33)).accepted);
+  multiplexed.wait_all_done();
+
+  // ...must produce exactly the bytes each produces running alone.
+  for (const std::string id : {"f1", "f2", "t1"}) {
+    ASSERT_EQ(multiplexed.status(id)->status, RunStatus::kDone) << id;
+    CoordinatorConfig solo_cfg = config(root("solo_" + id));
+    solo_cfg.workers = 1;
+    Coordinator solo(solo_cfg);
+    ASSERT_TRUE(solo
+                    .submit(id == "t1" ? train_spec(id, 33)
+                                       : fleet_spec(id, id == "f1" ? 11 : 22, 2))
+                    .accepted);
+    solo.wait_all_done();
+    EXPECT_EQ(multiplexed.trace_bytes(id), solo.trace_bytes(id)) << id;
+    EXPECT_EQ(multiplexed.result_document(id), solo.result_document(id)) << id;
+    EXPECT_EQ(multiplexed.checkpoint_bytes(id), solo.checkpoint_bytes(id)) << id;
+  }
+}
+
+TEST_F(CoordService, TrainRunMatchesLibraryOneShot) {
+  Coordinator coordinator(config(root("svc")));
+  const RunSpec spec = train_spec("t1", 9);
+  ASSERT_TRUE(coordinator.submit(spec).accepted);
+  coordinator.wait_all_done();
+  ASSERT_EQ(coordinator.status("t1")->status, RunStatus::kDone);
+
+  // The reference: the whole run in one process with the same cadence —
+  // exactly what `fedsched_cli train --checkpoint-every 1` executes.
+  const std::string ref_ckpt = (base_ / "ref.ckpt").string();
+  const std::string ref_trace = (base_ / "ref.trace.jsonl").string();
+  const fl::RunResult reference =
+      run_train_oneshot(spec.train, ref_ckpt, ref_trace);
+
+  EXPECT_EQ(coordinator.trace_bytes("t1"),
+            read_file(ref_trace, "test: reference trace"));
+  EXPECT_EQ(coordinator.checkpoint_bytes("t1"),
+            read_file(ref_ckpt, "test: reference checkpoint"));
+  EXPECT_EQ(coordinator.result_document("t1"),
+            train_result_json(spec.train, reference) + "\n");
+}
+
+TEST_F(CoordService, RestartResumesHalfFinishedRunBitIdentically) {
+  // Simulate a coordinator killed after one of three rounds: the registry
+  // holds spec + round-1 checkpoint + meta, exactly what a SIGKILL between
+  // steps leaves behind (each step's writes are atomic renames).
+  const RunSpec spec = fleet_spec("r1", 5, 3);
+  RunRegistry registry(root("killed"));
+  registry.persist_spec(spec);
+  const FleetStepOutcome first = run_fleet_step(
+      spec.fleet, registry.ckpt_path("r1"), registry.trace_path("r1"), 0);
+  ASSERT_EQ(first.rounds_completed, 1u);
+  ASSERT_FALSE(first.done);
+  registry.write_meta("r1", first.rounds_completed);
+
+  // A new coordinator over the same root must recover and finish the run.
+  Coordinator resumed(config(root("killed")));
+  resumed.wait_all_done();
+  ASSERT_TRUE(resumed.status("r1").has_value());
+  EXPECT_EQ(resumed.status("r1")->status, RunStatus::kDone);
+  EXPECT_EQ(resumed.status("r1")->rounds_completed, 3u);
+
+  // Byte-identical to the same spec never interrupted.
+  Coordinator solo(config(root("solo")));
+  ASSERT_TRUE(solo.submit(spec).accepted);
+  solo.wait_all_done();
+  EXPECT_EQ(resumed.trace_bytes("r1"), solo.trace_bytes("r1"));
+  EXPECT_EQ(resumed.result_document("r1"), solo.result_document("r1"));
+  EXPECT_EQ(resumed.checkpoint_bytes("r1"), solo.checkpoint_bytes("r1"));
+
+  // A third coordinator sees the finished run as done without re-running it.
+  Coordinator again(config(root("killed")));
+  EXPECT_EQ(again.status("r1")->status, RunStatus::kDone);
+}
+
+TEST_F(CoordService, WireDispatchWorksEndToEnd) {
+  Coordinator coordinator(config(root("svc")));
+  const auto roundtrip = [&](const std::string& request) {
+    return common::json_parse(
+        decode_frame(coordinator.handle_frame(encode_frame(request))));
+  };
+
+  EXPECT_TRUE(roundtrip(R"({"verb":"ping"})").get_bool("ok", false));
+
+  const common::JsonValue submitted = roundtrip(
+      R"({"verb":"submit","spec":{"id":"w1","kind":"fleet","fleet_size":300,"buckets":16,"rounds":1,"seed":3}})");
+  ASSERT_TRUE(submitted.get_bool("ok", false));
+  EXPECT_EQ(submitted.get_string("id", ""), "w1");
+  coordinator.wait_all_done();
+
+  const common::JsonValue status = roundtrip(R"({"verb":"status","id":"w1"})");
+  EXPECT_EQ(status.get_string("status", ""), "done");
+
+  const common::JsonValue trace = roundtrip(R"({"verb":"trace","id":"w1"})");
+  EXPECT_EQ(trace.get_string("jsonl", ""), coordinator.trace_bytes("w1"));
+
+  const common::JsonValue ckpt = roundtrip(R"({"verb":"checkpoint","id":"w1"})");
+  EXPECT_EQ(from_hex(ckpt.get_string("hex", "")),
+            coordinator.checkpoint_bytes("w1"));
+
+  const common::JsonValue result = roundtrip(R"({"verb":"result","id":"w1"})");
+  EXPECT_TRUE(result.get_bool("ok", false));
+  EXPECT_EQ(result.get_string("json", "") + "\n",
+            coordinator.result_document("w1"));
+
+  const common::JsonValue unknown = roundtrip(R"({"verb":"status","id":"nope"})");
+  EXPECT_FALSE(unknown.get_bool("ok", true));
+  const common::JsonValue bad_verb = roundtrip(R"({"verb":"explode"})");
+  EXPECT_FALSE(bad_verb.get_bool("ok", true));
+}
+
+TEST_F(CoordService, MalformedFramesChangeNothing) {
+  Coordinator coordinator(config(root("svc")));
+  // A frame that WOULD create a run if it were ever dispatched.
+  const std::string submit_frame = encode_frame(
+      R"({"verb":"submit","spec":{"id":"evil","kind":"fleet","fleet_size":300,"rounds":1}})");
+
+  const auto expect_error_reply_and_no_state = [&](const std::string& frame) {
+    const common::JsonValue reply =
+        common::json_parse(decode_frame(coordinator.handle_frame(frame)));
+    EXPECT_FALSE(reply.get_bool("ok", true));
+    EXPECT_FALSE(reply.get_string("error", "").empty());
+    EXPECT_TRUE(coordinator.list().empty());
+    EXPECT_FALSE(fs::exists(coordinator.registry().run_dir("evil")));
+  };
+
+  for (std::size_t len = 0; len < submit_frame.size(); ++len) {
+    expect_error_reply_and_no_state(submit_frame.substr(0, len));
+  }
+  for (std::size_t i = 0; i < submit_frame.size(); ++i) {
+    std::string mangled = submit_frame;
+    mangled[i] = static_cast<char>(mangled[i] ^ 0x10);
+    expect_error_reply_and_no_state(mangled);
+  }
+  expect_error_reply_and_no_state(submit_frame + "garbage");
+
+  // A malformed spec *inside* a well-formed frame is also a clean reject.
+  expect_error_reply_and_no_state(
+      encode_frame(R"({"verb":"submit","spec":{"id":"evil","kind":"wat"}})"));
+  expect_error_reply_and_no_state(encode_frame("not json at all"));
+}
+
+}  // namespace
+}  // namespace fedsched::coord

@@ -1,0 +1,155 @@
+// Wire-protocol robustness, in the style of the checkpoint corruption suite:
+// a mangled frame must be rejected with a clean std::runtime_error — never a
+// crash, a huge allocation, or silent acceptance — and, when it reaches the
+// coordinator, must provably leave coordinator state untouched (that half
+// lives in test_coordinator.cpp). Exercises every corruption class the frame
+// reader defends against: truncation at every prefix length, single bit
+// flips at every byte, wrong magic, wrong version, a lying payload-size
+// field, and trailing garbage.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "coord/wire.hpp"
+
+namespace fedsched::coord {
+namespace {
+
+std::string sample_frame() {
+  return encode_frame(R"({"verb":"submit","spec":{"id":"r1","kind":"train"}})");
+}
+
+std::string sample_payload() {
+  return R"({"verb":"submit","spec":{"id":"r1","kind":"train"}})";
+}
+
+TEST(CoordWire, FrameRoundTrips) {
+  const std::string frame = sample_frame();
+  EXPECT_EQ(decode_frame(frame), sample_payload());
+  EXPECT_EQ(decode_frame(encode_frame("")), "");
+}
+
+TEST(CoordWire, EveryTruncationRejected) {
+  const std::string frame = sample_frame();
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_THROW((void)decode_frame(frame.substr(0, len)), std::runtime_error)
+        << "prefix of " << len << " bytes was accepted";
+  }
+}
+
+TEST(CoordWire, EverySingleBitFlipRejected) {
+  const std::string frame = sample_frame();
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    std::string mangled = frame;
+    mangled[i] = static_cast<char>(mangled[i] ^ 0x10);
+    EXPECT_THROW((void)decode_frame(mangled), std::runtime_error)
+        << "bit flip at byte " << i << " was accepted";
+  }
+}
+
+TEST(CoordWire, WrongMagicRejectedWithCleanMessage) {
+  std::string mangled = sample_frame();
+  mangled[0] = 'X';
+  try {
+    (void)decode_frame(mangled);
+    FAIL() << "wrong magic was accepted";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("not a fedsched wire frame"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(CoordWire, WrongVersionRejected) {
+  std::string mangled = sample_frame();
+  mangled[4] = static_cast<char>(kWireVersion + 1);  // little-endian LSB
+  EXPECT_THROW((void)decode_frame(mangled), std::runtime_error);
+}
+
+TEST(CoordWire, HugeLengthHeaderRejectedBeforeAllocation) {
+  // Claim a ~2^60-byte payload. The reader must reject the declared size
+  // against kMaxFramePayload up front instead of trusting it (which would
+  // OOM via a giant buffer reserve while waiting for the "rest").
+  std::string mangled = sample_frame();
+  for (std::size_t i = 0; i < 8; ++i) {
+    mangled[8 + i] = static_cast<char>(i == 7 ? 0x10 : 0x00);
+  }
+  try {
+    (void)decode_frame(mangled);
+    FAIL() << "huge payload size was accepted";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("too large"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(CoordWire, OversizedPayloadRefusedAtEncode) {
+  EXPECT_THROW((void)encode_frame(std::string(kMaxFramePayload + 1, 'x')),
+               std::runtime_error);
+}
+
+TEST(CoordWire, TrailingGarbageRejected) {
+  EXPECT_THROW((void)decode_frame(sample_frame() + "extra"), std::runtime_error);
+}
+
+TEST(CoordWire, GarbageAndEmptyInputRejected) {
+  EXPECT_THROW((void)decode_frame(""), std::runtime_error);
+  EXPECT_THROW((void)decode_frame(std::string(512, '\x5a')), std::runtime_error);
+}
+
+TEST(CoordWire, BufferYieldsFramesAcrossArbitraryFragmentation) {
+  const std::string stream = encode_frame("{\"a\":1}") + encode_frame("{\"b\":2}");
+  // Worst-case fragmentation: one byte at a time.
+  FrameBuffer buffer;
+  std::vector<std::string> payloads;
+  for (char c : stream) {
+    buffer.feed(std::string_view(&c, 1));
+    while (auto payload = buffer.take_frame()) payloads.push_back(*payload);
+  }
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(payloads[0], "{\"a\":1}");
+  EXPECT_EQ(payloads[1], "{\"b\":2}");
+  EXPECT_EQ(buffer.pending_bytes(), 0u);
+}
+
+TEST(CoordWire, BufferRejectsBadHeaderAsSoonAsItArrives) {
+  // A poisoned stream fails at the 24-byte header — before the (absurd)
+  // payload is buffered.
+  std::string header(24, '\0');
+  const std::uint32_t magic = kWireMagic;
+  const std::uint32_t version = kWireVersion;
+  const std::uint64_t huge = 1ull << 60;
+  std::memcpy(header.data(), &magic, 4);
+  std::memcpy(header.data() + 4, &version, 4);
+  std::memcpy(header.data() + 8, &huge, 8);
+  FrameBuffer buffer;
+  buffer.feed(header);
+  EXPECT_THROW((void)buffer.take_frame(), std::runtime_error);
+
+  FrameBuffer bad_magic;
+  bad_magic.feed(std::string(24, 'Z'));
+  EXPECT_THROW((void)bad_magic.take_frame(), std::runtime_error);
+}
+
+TEST(CoordWire, BufferWaitsForIncompleteFrame) {
+  const std::string frame = sample_frame();
+  FrameBuffer buffer;
+  buffer.feed(std::string_view(frame).substr(0, frame.size() - 1));
+  EXPECT_EQ(buffer.take_frame(), std::nullopt);
+  buffer.feed(std::string_view(frame).substr(frame.size() - 1));
+  EXPECT_EQ(buffer.take_frame(), sample_payload());
+}
+
+TEST(CoordWire, HexRoundTripsAndRejectsMalformedInput) {
+  const std::string bytes("\x00\xff\x10\x7f\x80\x01", 6);
+  EXPECT_EQ(from_hex(to_hex(bytes)), bytes);
+  EXPECT_EQ(to_hex(std::string_view("\x00\xab", 2)), "00ab");
+  EXPECT_THROW((void)from_hex("abc"), std::runtime_error);   // odd length
+  EXPECT_THROW((void)from_hex("zz"), std::runtime_error);    // bad digit
+}
+
+}  // namespace
+}  // namespace fedsched::coord

@@ -130,13 +130,85 @@ TEST(FleetSim, BatteryDeathIsPermanent) {
   // Client 1 trains 1 shard: compute 3.0 s -> 3.1 Wh -> soc 0.25 - 0.31 < 0.
   const std::vector<std::size_t> plan = {1, 1};
   const FleetRoundResult r = sim.run_round(plan, 0);
-  EXPECT_EQ(r.dropped_battery, 1u);
+  EXPECT_EQ(r.battery_deaths, 1u);
   EXPECT_EQ(sim.state().alive[1], 0);
   EXPECT_EQ(sim.state().alive[0], 1);
   // Dead clients leave the schedulable fleet via the cost view.
   const sched::LinearCosts costs = linear_costs(sim.state(), 100);
   EXPECT_EQ(costs.capacity(1), 0u);
   EXPECT_GT(costs.capacity(0), 0u);
+}
+
+// Regression (hand-computed): a client whose report was already delivered
+// before its battery hit the floor contributes to *this* round's aggregate;
+// death only removes it from future rounds.
+TEST(FleetSim, BatteryDeathAfterReportStillContributes) {
+  FleetState fleet = tiny_fleet();
+  fleet.battery_soc[1] = 0.25;
+  FleetSimConfig config;
+  config.shard_size = 100;
+  config.battery_floor_soc = 0.05;
+  config.deadline_s = 10.0;  // finite, but nobody misses it
+  config.update_dim = 8;
+  FleetSimulator sim(std::move(fleet), config);
+  // Client 0: compute 2.0 s, finish 3.0. Client 1: compute 3.0 s, finish 4.0,
+  // drain 3.1 Wh -> soc 0.25 - 0.31 clamps to 0 -> dies *after* reporting.
+  const std::vector<std::size_t> plan = {1, 1};
+  const FleetRoundResult r = sim.run_round(plan, 0);
+
+  EXPECT_EQ(r.completed, 2u);
+  EXPECT_EQ(r.contributors, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(r.survivor_shards, 2u);
+  EXPECT_EQ(r.battery_deaths, 1u);
+  EXPECT_EQ(r.dropped_crash, 0u);
+  EXPECT_EQ(r.dropped_deadline, 0u);
+  EXPECT_EQ(r.dropped_stale, 0u);
+  // No in-flight drop -> the round closes at the real makespan, not the
+  // deadline; energy covers both attempts: (2.0 + 0.1) + (3.0 + 0.1).
+  EXPECT_DOUBLE_EQ(r.makespan_s, 4.0);
+  EXPECT_DOUBLE_EQ(r.energy_wh, 5.2);
+  // The aggregate is the equal-weight mean over BOTH clients' updates.
+  ASSERT_EQ(r.global_update.size(), config.update_dim);
+  for (std::size_t i = 0; i < config.update_dim; ++i) {
+    const double expected =
+        (synthetic_update_value(config.seed, 0, 0, i) +
+         synthetic_update_value(config.seed, 0, 1, i)) /
+        2.0;
+    EXPECT_EQ(r.global_update[i], expected) << "coordinate " << i;  // bitwise
+  }
+  // Death still sticks for the next round.
+  EXPECT_EQ(sim.state().alive[1], 0);
+}
+
+// Regression (hand-computed): a plan entry targeting an already-dead client
+// never starts and burns nothing — it must not hold the round open until the
+// deadline the way an in-flight crash/deadline drop does.
+TEST(FleetSim, StalePlanTargetDoesNotPinMakespanToDeadline) {
+  FleetState fleet = tiny_fleet();
+  fleet.battery_soc[1] = 0.25;
+  FleetSimConfig config;
+  config.shard_size = 100;
+  config.battery_floor_soc = 0.05;
+  config.deadline_s = 10.0;
+  FleetSimulator sim(std::move(fleet), config);
+  const std::vector<std::size_t> plan = {1, 1};
+  sim.run_round(plan, 0);  // round 0 kills client 1's battery
+  ASSERT_EQ(sim.state().alive[1], 0);
+
+  // Same (now stale) plan again: client 1 is a no-op, client 0 finishes at
+  // 3.0 s — the round closes there, not at the 10 s deadline.
+  const FleetRoundResult r = sim.run_round(plan, 1);
+  EXPECT_EQ(r.participants, 2u);
+  EXPECT_EQ(r.events_processed, 1u);  // the dead client never queued an event
+  EXPECT_EQ(r.dropped_stale, 1u);
+  EXPECT_EQ(r.dropped_crash, 0u);
+  EXPECT_EQ(r.dropped_deadline, 0u);
+  EXPECT_EQ(r.battery_deaths, 0u);
+  EXPECT_EQ(r.completed, 1u);
+  EXPECT_EQ(r.contributors, (std::vector<std::uint32_t>{0}));
+  EXPECT_DOUBLE_EQ(r.makespan_s, 3.0);
+  // Only client 0's attempt burned energy: 2.0 compute + 0.1 comm.
+  EXPECT_DOUBLE_EQ(r.energy_wh, 2.1);
 }
 
 TEST(FleetSim, CrashDropoutIsSeedDeterministic) {

@@ -418,7 +418,8 @@ TEST(DeterminismMatrix, FleetSerialVsParallelByteIdentical) {
     EXPECT_EQ(a.completed, b.completed);
     EXPECT_EQ(a.dropped_crash, b.dropped_crash);
     EXPECT_EQ(a.dropped_deadline, b.dropped_deadline);
-    EXPECT_EQ(a.dropped_battery, b.dropped_battery);
+    EXPECT_EQ(a.dropped_stale, b.dropped_stale);
+    EXPECT_EQ(a.battery_deaths, b.battery_deaths);
     EXPECT_EQ(a.survivor_shards, b.survivor_shards);
     EXPECT_EQ(a.makespan_s, b.makespan_s);
     EXPECT_EQ(a.energy_wh, b.energy_wh);

@@ -216,5 +216,100 @@ TEST(BucketedMinAvg, CoarseBucketsStayValid) {
   }
 }
 
+/// Perfectly uniform fleet: every client identical. With capacity 1 (or zero
+/// marginal cost) the histogram span collapses — hi == lo, bucket width 0 —
+/// and the quantized paths must degrade to the exact algorithms bitwise at
+/// any bucket count, not divide by the zero width.
+Instance uniform_instance(std::size_t n, double intercept, double slope,
+                          double comm, std::uint32_t cap,
+                          std::size_t total_shards) {
+  Instance inst;
+  std::vector<std::uint16_t> all_classes(10);
+  std::iota(all_classes.begin(), all_classes.end(), 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    UserProfile u;
+    u.name = "u" + std::to_string(j);
+    u.time_model = std::make_shared<LinearTimeModel>(intercept, slope);
+    u.comm_seconds = comm;
+    u.capacity_shards = cap;
+    u.classes = all_classes;
+    inst.users.push_back(std::move(u));
+    inst.base_s.push_back(intercept + comm);
+    inst.per_shard_s.push_back(slope);
+    inst.capacity.push_back(cap);
+  }
+  inst.total_shards = total_shards;
+  return inst;
+}
+
+TEST(BucketedLbap, UniformCapacityOneFleetHasZeroWidth) {
+  // cap 1 pins max_full_cost to the single-shard cost: hi == lo exactly.
+  for (std::size_t total_shards : {16u, 32u, 64u}) {
+    const Instance inst =
+        uniform_instance(64, 2.0, 1.0, 0.5, /*cap=*/1, total_shards);
+    const LbapResult exact = fed_lbap(inst.matrix(), inst.total_shards);
+    const LinearCosts costs = inst.linear();
+    ASSERT_EQ(costs.min_single_shard_cost(), costs.max_full_cost(total_shards));
+    for (std::size_t buckets : {1u, 7u, 64u}) {
+      SCOPED_TRACE("shards=" + std::to_string(total_shards) +
+                   " B=" + std::to_string(buckets));
+      const BucketedLbapResult got =
+          fed_lbap_bucketed(costs, inst.total_shards, buckets);
+      EXPECT_EQ(got.bucket_width, 0.0);
+      EXPECT_EQ(got.assignment.shards_per_user, exact.assignment.shards_per_user);
+      EXPECT_EQ(got.makespan_seconds, exact.makespan_seconds);  // bitwise
+      EXPECT_EQ(got.threshold_seconds, got.makespan_seconds);
+    }
+  }
+}
+
+TEST(BucketedLbap, ZeroMarginalCostFleetHasZeroWidth) {
+  // slope 0: cost(j, k) == base for every load, so the span is zero even
+  // with multi-shard capacity.
+  const Instance inst =
+      uniform_instance(16, 3.0, 0.0, 0.0, /*cap=*/5, /*total_shards=*/40);
+  const LbapResult exact = fed_lbap(inst.matrix(), inst.total_shards);
+  const LinearCosts costs = inst.linear();
+  ASSERT_EQ(costs.min_single_shard_cost(), costs.max_full_cost(inst.total_shards));
+  for (std::size_t buckets : {1u, 64u}) {
+    SCOPED_TRACE("B=" + std::to_string(buckets));
+    const BucketedLbapResult got =
+        fed_lbap_bucketed(costs, inst.total_shards, buckets);
+    EXPECT_EQ(got.bucket_width, 0.0);
+    EXPECT_EQ(got.assignment.total_shards(), inst.total_shards);
+    EXPECT_EQ(got.assignment.shards_per_user, exact.assignment.shards_per_user);
+    EXPECT_EQ(got.makespan_seconds, exact.makespan_seconds);
+  }
+}
+
+TEST(BucketedMinAvg, UniformFleetZeroWidthMatchesExactGreedy) {
+  MinAvgConfig config;
+  config.cost.alpha = 0.0;
+  config.cost.beta = 0.0;
+  // Both degenerate families: capacity-1 uniform and zero-marginal uniform.
+  const Instance degenerate[] = {
+      uniform_instance(64, 2.0, 1.0, 0.5, /*cap=*/1, /*total_shards=*/48),
+      uniform_instance(16, 3.0, 0.0, 0.0, /*cap=*/5, /*total_shards=*/40),
+  };
+  for (const Instance& inst : degenerate) {
+    const MinAvgResult exact =
+        fed_minavg(inst.users, inst.total_shards, /*shard_size=*/1, config);
+    const LinearCosts costs = inst.linear();
+    ASSERT_EQ(costs.min_single_shard_cost(),
+              costs.max_full_cost(inst.total_shards));
+    for (std::size_t buckets : {1u, 7u, 64u}) {
+      SCOPED_TRACE("n=" + std::to_string(inst.users.size()) +
+                   " B=" + std::to_string(buckets));
+      const BucketedMinAvgResult got =
+          fed_minavg_bucketed(costs, inst.total_shards, buckets);
+      EXPECT_EQ(got.bucket_width, 0.0);
+      EXPECT_EQ(got.steps, exact.steps);
+      EXPECT_EQ(got.assignment.shards_per_user, exact.assignment.shards_per_user);
+      EXPECT_EQ(got.makespan_seconds, exact.makespan_seconds);   // bitwise
+      EXPECT_EQ(got.total_time_seconds, exact.total_time_seconds);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace fedsched::sched
