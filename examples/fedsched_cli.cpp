@@ -30,10 +30,13 @@
 #include "core/fedsched.hpp"
 #include "device/battery.hpp"
 #include "fl/report.hpp"
+#include "fleet/dynamics.hpp"
 #include "fleet/event_sim.hpp"
 #include "fleet/fleet.hpp"
 #include "nn/serialize.hpp"
 #include "sched/bucketed.hpp"
+#include "sched/minenergy.hpp"
+#include "sched/olar.hpp"
 
 using namespace fedsched;
 
@@ -447,12 +450,15 @@ int cmd_fleet(const Args& args) {
   const auto total_shards = static_cast<std::size_t>(
       args.get_int("total-shards", static_cast<long>(2 * fleet_size)));
   const std::string policy = args.get("policy", "fed-lbap");
-  if (policy != "fed-lbap" && policy != "fed-minavg") {
+  if (policy != "fed-lbap" && policy != "fed-minavg" && policy != "olar" &&
+      policy != "minenergy") {
     throw std::invalid_argument(
-        "fleet supports --policy fed-lbap|fed-minavg (bucketed)");
+        "fleet supports --policy fed-lbap|fed-minavg (bucketed) |olar|minenergy "
+        "(exact)");
   }
 
   obs::TraceWriter trace = trace_from(args);
+  obs::MetricsRegistry metrics;
   fleet::FleetSimConfig config;
   config.shard_size = shard;
   config.deadline_s = deadline_from(args);
@@ -463,16 +469,35 @@ int cmd_fleet(const Args& args) {
   config.parallelism = static_cast<std::size_t>(parallel);
   config.seed = seed;
 
+  // Scenario presets drive the dynamics layer; --charge-only forces the
+  // train-only-while-charging policy on top of whatever the scenario set.
+  fleet::DynamicsConfig dyn_config = fleet::scenario_config(
+      args.get("scenario", "static"), seed ^ 0x64796e616d696373ULL);
+  if (args.has("charge-only")) {
+    dyn_config.enabled = true;
+    dyn_config.charging = true;
+    dyn_config.charge_only = true;
+  }
+  dyn_config.battery_floor_soc = config.battery_floor_soc;
+
   common::Stopwatch generate_watch;
   const fleet::FleetGenerator generator(mix, model, seed);
+  fleet::ClientDynamics dynamics(dyn_config, &generator);
   fleet::FleetSimulator sim(generator.generate(fleet_size, &trace), config);
   const double generate_s = generate_watch.seconds();
 
   common::Table table({"round", "plan_s", "threshold_s", "completed", "dropped",
                        "makespan_s", "energy_wh"});
+  std::size_t joins = 0, leaves = 0, charge_edges = 0, net_switches = 0,
+              revivals = 0;
   for (std::size_t round = 0; round < rounds; ++round) {
-    // Replan every round: battery deaths shrink the schedulable fleet.
-    const sched::LinearCosts costs = fleet::linear_costs(sim.state(), shard);
+    // Replan every round: battery deaths, churn and availability windows
+    // reshape the schedulable fleet (and joins grow it).
+    const sched::LinearCosts costs =
+        dynamics.enabled()
+            ? fleet::dynamic_linear_costs(sim.state(), shard, dynamics,
+                                          config.battery_floor_soc)
+            : fleet::linear_costs(sim.state(), shard, config.battery_floor_soc);
     common::Stopwatch plan_watch;
     sched::Assignment plan;
     double threshold = 0.0;
@@ -480,29 +505,55 @@ int cmd_fleet(const Args& args) {
       auto planned = sched::fed_lbap_bucketed(costs, total_shards, buckets, &trace);
       threshold = planned.threshold_seconds;
       plan = std::move(planned.assignment);
-    } else {
+    } else if (policy == "fed-minavg") {
       auto planned =
           sched::fed_minavg_bucketed(costs, total_shards, buckets, &trace);
       threshold = planned.makespan_seconds;
       plan = std::move(planned.assignment);
+    } else if (policy == "olar") {
+      auto planned = sched::olar(costs, total_shards, &trace);
+      threshold = planned.makespan_seconds;
+      plan = std::move(planned.assignment);
+    } else {
+      auto planned = sched::fed_minenergy(costs, total_shards, {}, &trace);
+      threshold = planned.makespan_seconds;
+      plan = std::move(planned.assignment);
     }
     const double plan_s = plan_watch.seconds();
-    const auto r = sim.run_round(plan.shards_per_user, round, &trace);
-    const std::size_t dropped =
-        r.dropped_crash + r.dropped_deadline + r.dropped_stale;
+    const auto r = sim.run_round(plan.shards_per_user, round, &trace,
+                                 dynamics.enabled() ? &dynamics : nullptr,
+                                 &metrics);
+    const std::size_t dropped = r.dropped_crash + r.dropped_deadline +
+                                r.dropped_stale + r.dropped_offline;
     table.add_row({static_cast<long long>(round), plan_s, threshold,
                    static_cast<long long>(r.completed),
                    static_cast<long long>(dropped), r.makespan_s, r.energy_wh});
+    joins += r.joins;
+    leaves += r.leaves;
+    charge_edges += r.charge_edges;
+    net_switches += r.net_switches;
+    revivals += r.revivals;
   }
   table.print(std::cout);
 
   std::size_t alive = 0;
   for (const std::uint8_t flag : sim.state().alive) alive += flag;
   std::cout << "fleet of " << fleet_size << " clients generated in " << generate_s
-            << " s; " << alive << " alive after " << rounds << " round(s)\n";
+            << " s; " << alive << "/" << sim.state().size() << " alive after "
+            << rounds << " round(s)\n";
+  if (dynamics.enabled()) {
+    std::cout << "dynamics: " << joins << " joins, " << leaves << " leaves, "
+              << charge_edges << " charge edges, " << net_switches
+              << " net switches, " << revivals << " revivals\n";
+  }
   if (trace.enabled()) {
     std::cout << "wrote " << trace.events_written() << " trace events to "
               << args.get("trace-out", "trace.jsonl") << "\n";
+  }
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out", "metrics.json");
+    metrics.write_json(path);
+    std::cout << "wrote metrics to " << path << "\n";
   }
   return 0;
 }
@@ -731,9 +782,10 @@ void usage() {
       "  energy    --device <name> --model <..> --samples N [--network ..]\n"
       "  fleet     --fleet-size N --model <..> [--fleet-mix SPEC]\n"
       "            [--cost-buckets B] [--shard S] [--total-shards N]\n"
-      "            [--rounds R] [--policy fed-lbap|fed-minavg] [--seed N]\n"
+      "            [--rounds R] [--policy fed-lbap|fed-minavg|olar|minenergy]\n"
+      "            [--scenario NAME] [--charge-only] [--seed N]\n"
       "            [--deadline S] [--fault-dropout P] [--parallel K]\n"
-      "            [--trace-out FILE]\n"
+      "            [--trace-out FILE] [--metrics-out FILE]\n"
       "  serve     --root DIR [--socket PATH] [--workers N]\n"
       "            [--max-concurrent-rounds N] [--max-resident-clients N]\n"
       "            [--max-queued N] [--trace-out FILE]\n"
@@ -749,6 +801,13 @@ void usage() {
       "  --cost-buckets B         cost-histogram buckets; makespan is within\n"
       "                           one bucket width of exact (default 64)\n"
       "  --total-shards N         shards to place (default 2x fleet size)\n"
+      "  --policy P               fed-lbap|fed-minavg (bucketed), olar (exact\n"
+      "                           makespan-optimal greedy), minenergy (min\n"
+      "                           total energy under a makespan cap + battery\n"
+      "                           budgets)\n"
+      "  --scenario NAME          client-dynamics preset: static|churn|diurnal|\n"
+      "                           charge-gated|net-flap (default static = off)\n"
+      "  --charge-only            only schedule clients that are plugged in\n"
       "fault flags (any non-zero hazard enables injection; all deterministic\n"
       "per seed):\n"
       "  --fault-dropout P        per-round client crash probability\n"

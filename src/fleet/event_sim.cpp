@@ -67,32 +67,54 @@ FleetSimulator::FleetSimulator(FleetState state, FleetSimConfig config)
 
 FleetRoundResult FleetSimulator::run_round(
     std::span<const std::size_t> shards_per_client, std::size_t round,
-    obs::TraceWriter* trace) {
+    obs::TraceWriter* trace, ClientDynamics* dynamics,
+    obs::MetricsRegistry* metrics) {
   if (shards_per_client.size() != state_.size()) {
     throw std::invalid_argument("FleetSimulator::run_round: plan size mismatch");
   }
+  const bool dyn = dynamics != nullptr && dynamics->enabled();
+  if (dyn) dynamics->ensure_size(state_.size());
 
   FleetRoundResult result;
   result.round = round;
 
+  // One heap for everything: finish events and dynamics events, ordered by
+  // (time, kind, client). Dynamics kinds (0..4, fleet/dynamics.hpp) rank
+  // before kFinish at equal times — availability windows are half-open, so a
+  // closure at exactly the finish instant cancels the report. With dynamics
+  // off only kFinish events exist and the order is the classic
+  // (finish, client) order.
+  constexpr std::uint8_t kFinish = 5;
   struct Event {
-    double finish_s;
+    double time_s;
+    std::uint8_t kind;
     std::uint32_t client;
     bool operator>(const Event& o) const {
-      if (finish_s != o.finish_s) return finish_s > o.finish_s;
+      if (time_s != o.time_s) return time_s > o.time_s;
+      if (kind != o.kind) return kind > o.kind;
       return client > o.client;
     }
   };
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
 
+  // Per-client compute span of the in-flight attempt (indexed by round-start
+  // id); inflight[j] clears on finish or cancellation. Joins appended
+  // mid-round get ids >= initial_n and are never in-flight this round.
+  const std::size_t initial_n = state_.size();
+  std::vector<double> compute_s_of(dyn ? initial_n : 0, 0.0);
+  std::vector<std::uint8_t> inflight(dyn ? initial_n : 0, 0);
+  std::vector<double> edge_scratch;
+
   // Only plan participants enter the queue; idle clients are never touched.
-  for (std::size_t j = 0; j < state_.size(); ++j) {
+  double plan_span = 0.0;
+  for (std::size_t j = 0; j < initial_n; ++j) {
     const std::size_t shards = shards_per_client[j];
     if (shards == 0) continue;
     ++result.participants;
-    if (!state_.alive[j]) {
-      // A stale plan may still target a dead client; it never starts and
-      // burns nothing — a planner no-op, not a round fault.
+    if (!state_.alive[j] || (dyn && !dynamics->schedulable(state_, j))) {
+      // A stale plan may still target a dead (or, with dynamics, offline /
+      // departed / unplugged) client; it never starts and burns nothing — a
+      // planner no-op, not a round fault.
       ++result.dropped_stale;
       continue;
     }
@@ -101,8 +123,49 @@ FleetRoundResult FleetSimulator::run_round(
         state_.per_sample_s[j] *
             static_cast<double>(shards * config_.shard_size);
     const double finish_s = compute_s + state_.comm_s[j];
-    queue.push({finish_s, static_cast<std::uint32_t>(j)});
+    queue.push({finish_s, kFinish, static_cast<std::uint32_t>(j)});
+    plan_span = std::max(plan_span, finish_s);
+    if (dyn) {
+      compute_s_of[j] = compute_s;
+      inflight[j] = 1;
+      const double off_s = dynamics->avail_off_within(j, finish_s);
+      if (off_s < finish_s) {
+        queue.push({off_s, static_cast<std::uint8_t>(DynEvent::Kind::kAvailOff),
+                    static_cast<std::uint32_t>(j)});
+      }
+      edge_scratch.clear();
+      dynamics->charge_edges_within(j, finish_s, edge_scratch);
+      for (double edge_s : edge_scratch) {
+        queue.push({edge_s, static_cast<std::uint8_t>(DynEvent::Kind::kChargeEdge),
+                    static_cast<std::uint32_t>(j)});
+      }
+    }
   }
+
+  if (dyn) {
+    for (const DynEvent& ev : dynamics->churn_events(state_, round, plan_span)) {
+      queue.push({ev.time_s, static_cast<std::uint8_t>(ev.kind), ev.client});
+    }
+  }
+
+  // Cancel an in-flight attempt at `at_s`: the compute burned so far drains
+  // the battery, comm energy only if the upload already started. Death still
+  // applies — a cancelled attempt can kill the battery.
+  const auto cancel_inflight = [&](std::uint32_t j, double at_s) {
+    const double burned_compute_s = std::min(at_s, compute_s_of[j]);
+    const double drain_wh =
+        state_.train_power_w[j] * burned_compute_s / 3600.0 +
+        (at_s > compute_s_of[j] ? state_.comm_energy_wh[j] : 0.0);
+    result.energy_wh += drain_wh;
+    state_.battery_soc[j] = std::max(
+        0.0, state_.battery_soc[j] - drain_wh / state_.battery_capacity_wh[j]);
+    if (state_.battery_soc[j] <= config_.battery_floor_soc && state_.alive[j]) {
+      state_.alive[j] = 0;
+      ++result.battery_deaths;
+    }
+    inflight[j] = 0;
+    ++result.dropped_offline;
+  };
 
   while (!queue.empty()) {
     const Event ev = queue.top();
@@ -110,8 +173,40 @@ FleetRoundResult FleetSimulator::run_round(
     ++result.events_processed;
     const std::uint32_t j = ev.client;
 
-    // The attempt burns energy whether or not the report makes it back.
-    const double compute_s = ev.finish_s - state_.comm_s[j];
+    if (ev.kind != kFinish) {
+      switch (static_cast<DynEvent::Kind>(ev.kind)) {
+        case DynEvent::Kind::kAvailOff:
+          if (inflight[j]) cancel_inflight(j, ev.time_s);
+          break;
+        case DynEvent::Kind::kLeave:
+          dynamics->mark_departed(j);
+          ++result.leaves;
+          if (j < inflight.size() && inflight[j]) cancel_inflight(j, ev.time_s);
+          break;
+        case DynEvent::Kind::kChargeEdge:
+          ++result.charge_edges;
+          break;
+        case DynEvent::Kind::kNetSwitch:
+          dynamics->apply_net_switch(state_, j);
+          ++result.net_switches;
+          break;
+        case DynEvent::Kind::kJoin:
+          dynamics->append_join(state_);
+          ++result.joins;
+          break;
+      }
+      continue;
+    }
+
+    if (dyn && !inflight[j]) continue;  // cancelled before it finished
+    if (dyn) inflight[j] = 0;
+
+    // The attempt burns energy whether or not the report makes it back. A
+    // mid-round net-switch mutates comm_s, so with dynamics the compute span
+    // comes from the snapshot taken at admission (the exchange energy uses
+    // the current row: the switch carried the actual bytes).
+    const double compute_s =
+        dyn ? compute_s_of[j] : ev.time_s - state_.comm_s[j];
     const double drain_wh = state_.train_power_w[j] * compute_s / 3600.0 +
                             state_.comm_energy_wh[j];
     result.energy_wh += drain_wh;
@@ -132,13 +227,13 @@ FleetRoundResult FleetSimulator::run_round(
       ++result.dropped_crash;
       continue;
     }
-    if (ev.finish_s > config_.deadline_s) {
+    if (ev.time_s > config_.deadline_s) {
       ++result.dropped_deadline;
       continue;
     }
     result.contributors.push_back(j);
     result.survivor_shards += shards_per_client[j];
-    result.makespan_s = std::max(result.makespan_s, ev.finish_s);
+    result.makespan_s = std::max(result.makespan_s, ev.time_s);
   }
   result.completed = result.contributors.size();
 
@@ -146,12 +241,15 @@ FleetRoundResult FleetSimulator::run_round(
   // order so the tree partition is a pure function of the survivor set.
   std::sort(result.contributors.begin(), result.contributors.end());
 
-  const std::size_t dropped = result.dropped_crash + result.dropped_deadline;
+  const std::size_t dropped = result.dropped_crash + result.dropped_deadline +
+                              result.dropped_offline;
   if (dropped > 0 && std::isfinite(config_.deadline_s)) {
     // With in-flight drops under a finite deadline the server holds the
     // round open until the deadline closes it — same semantics as the
-    // testbed runners. Stale-plan no-ops never started, so the server is
-    // not waiting on them and they do not pin the round open.
+    // testbed runners. An offline cancellation is an in-flight drop: the
+    // server waited for that report until the deadline told it to stop.
+    // Stale-plan no-ops never started, so the server is not waiting on them
+    // and they do not pin the round open.
     result.makespan_s = config_.deadline_s;
   }
 
@@ -173,6 +271,19 @@ FleetRoundResult FleetSimulator::run_round(
     for (double& v : result.global_update) v /= total_weight;
   }
 
+  if (dyn) {
+    // Close the round: integrate charging over the round span plus the
+    // configured inter-round gap, revive charged-up dead clients, advance
+    // the dynamics clock.
+    result.revivals = dynamics->finish_round(state_, result.makespan_s);
+    if (metrics != nullptr) {
+      metrics->add("fleet.joins", result.joins);
+      metrics->add("fleet.leaves", result.leaves);
+      metrics->add("fleet.charge_edges", result.charge_edges);
+      metrics->add("fleet.net_switches", result.net_switches);
+    }
+  }
+
   if (trace != nullptr && trace->enabled()) {
     common::JsonObject ev;
     ev.field("ev", "fleet_round")
@@ -187,6 +298,17 @@ FleetRoundResult FleetSimulator::run_round(
         .field("survivor_shards", result.survivor_shards)
         .field("makespan_s", result.makespan_s)
         .field("energy_wh", result.energy_wh);
+    if (dyn) {
+      // Dynamics fields only appear when the layer is enabled, keeping the
+      // disabled trace byte-identical to pre-dynamics builds.
+      ev.field("dropped_offline", result.dropped_offline)
+          .field("joins", result.joins)
+          .field("leaves", result.leaves)
+          .field("charge_edges", result.charge_edges)
+          .field("net_switches", result.net_switches)
+          .field("revivals", result.revivals)
+          .field("clock_s", dynamics->now_s());
+    }
     trace->write(ev);
   }
   return result;

@@ -27,6 +27,16 @@
 // reduction orders are exact in double and the tree result is bit-identical
 // to the flat left-to-right sum at every --parallel width
 // (tests/fleet/test_fleet_sim.cpp).
+//
+// Client dynamics (fleet/dynamics.hpp) ride the same event heap as
+// first-class events ranked *before* finish events at equal times:
+// availability-edge and leave cancel in-flight work (partial energy burned,
+// tallied as `dropped_offline`, which joins the deadline-hold rule),
+// charge-edge flips are observational counts, net-switch swaps the client's
+// network-cost row for future rounds, and join appends a new client through
+// the generator's prefix-stable extend. With a null or disabled dynamics
+// layer the loop degenerates to exactly the heap above — results and trace
+// bytes are bit-identical to a build without dynamics.
 
 #include <cstddef>
 #include <cstdint>
@@ -36,7 +46,9 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "fleet/dynamics.hpp"
 #include "fleet/fleet.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace fedsched::fleet {
@@ -64,8 +76,20 @@ struct FleetRoundResult {
   std::size_t completed = 0;
   std::size_t dropped_crash = 0;
   std::size_t dropped_deadline = 0;
-  /// Plan entries targeting clients already dead at round start (never ran).
+  /// Plan entries targeting clients already dead — or, with dynamics, not
+  /// schedulable — at round start (never ran).
   std::size_t dropped_stale = 0;
+  /// In-flight clients cancelled mid-round by an availability-window closure
+  /// or a churn departure (partial energy burned, no report delivered).
+  std::size_t dropped_offline = 0;
+  /// Dynamics tallies (all zero when the layer is null or disabled).
+  std::size_t joins = 0;
+  std::size_t leaves = 0;
+  std::size_t charge_edges = 0;
+  std::size_t net_switches = 0;
+  /// Dead clients revived by end-of-round charging (see
+  /// ClientDynamics::finish_round).
+  std::size_t revivals = 0;
   /// Clients whose battery hit the floor during this round's attempt; they
   /// leave the schedulable fleet afterward (an already-delivered report
   /// still counts, so a death is not itself a drop).
@@ -102,8 +126,17 @@ class FleetSimulator {
   /// assigned to client j; zero = idle). Emits a `fleet_round` trace event
   /// when given an enabled writer; trace bytes carry simulated quantities
   /// only and are byte-identical at any parallelism.
+  ///
+  /// `dynamics` (optional) merges churn / availability / charging / network
+  /// events into the round (the fleet may grow via joins — replan from
+  /// state().size() next round). Its trace fields and `fleet.*` metrics
+  /// counters are only emitted when the layer is enabled, so a null or
+  /// disabled layer leaves trace bytes unchanged. `metrics` (optional)
+  /// accumulates fleet.joins|leaves|charge_edges|net_switches counters.
   FleetRoundResult run_round(std::span<const std::size_t> shards_per_client,
-                             std::size_t round, obs::TraceWriter* trace = nullptr);
+                             std::size_t round, obs::TraceWriter* trace = nullptr,
+                             ClientDynamics* dynamics = nullptr,
+                             obs::MetricsRegistry* metrics = nullptr);
 
  private:
   FleetState state_;

@@ -135,31 +135,31 @@ FleetGenerator::FleetGenerator(FleetMix mix, device::ModelDesc model,
       device::comm_energy_wh(device::NetworkType::kLte, model_);
 }
 
-FleetState FleetGenerator::generate(std::size_t n, obs::TraceWriter* trace) const {
-  FleetState state;
-  state.device_model.resize(n);
-  state.network.resize(n);
-  state.speed_factor.resize(n);
-  state.base_s.resize(n);
-  state.per_sample_s.resize(n);
-  state.comm_s.resize(n);
-  state.battery_soc.resize(n);
-  state.battery_capacity_wh.resize(n);
-  state.train_power_w.resize(n);
-  state.comm_energy_wh.resize(n);
-  state.temp_c.resize(n);
-  state.capacity_shards.resize(n);
-  state.alive.resize(n);
+void FleetGenerator::extend(FleetState& state, std::size_t target_n) const {
+  const std::size_t start = state.size();
+  if (target_n <= start) return;
+  state.device_model.resize(target_n);
+  state.network.resize(target_n);
+  state.speed_factor.resize(target_n);
+  state.base_s.resize(target_n);
+  state.per_sample_s.resize(target_n);
+  state.comm_s.resize(target_n);
+  state.battery_soc.resize(target_n);
+  state.battery_capacity_wh.resize(target_n);
+  state.train_power_w.resize(target_n);
+  state.comm_energy_wh.resize(target_n);
+  state.temp_c.resize(target_n);
+  state.capacity_shards.resize(target_n);
+  state.alive.resize(target_n);
 
   const std::vector<double> weights(mix_.device_weights.begin(),
                                     mix_.device_weights.end());
-  std::array<std::size_t, kPhoneModelCount> model_counts{};
-  std::size_t lte_count = 0;
 
-  for (std::size_t j = 0; j < n; ++j) {
+  for (std::size_t j = start; j < target_n; ++j) {
     // One independent stream per client, a pure function of (seed, j): the
     // draw order below is part of the format — reordering it changes every
-    // fleet ever generated.
+    // fleet ever generated. Prefix stability is what lets churn joins append
+    // clients bitwise-identical to a larger initial generation.
     common::Rng rng = root_.fork(j);
     const std::size_t phone = common::weighted_choice(rng, weights);
     const bool lte = rng.bernoulli(mix_.lte_fraction);
@@ -181,12 +181,20 @@ FleetState FleetGenerator::generate(std::size_t n, obs::TraceWriter* trace) cons
     state.temp_c[j] = base.ambient_c + temp_jitter;
     state.capacity_shards[j] = mix_.capacity_shards;
     state.alive[j] = 1;
-
-    ++model_counts[phone];
-    if (lte) ++lte_count;
   }
+}
+
+FleetState FleetGenerator::generate(std::size_t n, obs::TraceWriter* trace) const {
+  FleetState state;
+  extend(state, n);
 
   if (trace != nullptr && trace->enabled()) {
+    std::array<std::size_t, kPhoneModelCount> model_counts{};
+    std::size_t lte_count = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      ++model_counts[state.device_model[j]];
+      if (state.network[j] != 0) ++lte_count;
+    }
     common::JsonObject ev;
     ev.field("ev", "fleet_generate").field("clients", n).field("lte", lte_count);
     for (std::size_t i = 0; i < kPhoneModelCount; ++i) {
@@ -203,18 +211,32 @@ FleetState FleetGenerator::generate(std::size_t n, obs::TraceWriter* trace) cons
   return state;
 }
 
-sched::LinearCosts linear_costs(const FleetState& state, std::size_t shard_size) {
+sched::LinearCosts linear_costs(const FleetState& state, std::size_t shard_size,
+                                double battery_floor_soc) {
   const std::size_t n = state.size();
   std::vector<double> base(n);
   std::vector<double> per_shard(n);
   std::vector<std::uint32_t> capacity(n);
+  std::vector<double> base_wh(n);
+  std::vector<double> per_shard_wh(n);
+  std::vector<double> budget_wh(n);
   for (std::size_t j = 0; j < n; ++j) {
     base[j] = state.base_s[j] + state.comm_s[j];
     per_shard[j] = state.per_sample_s[j] * static_cast<double>(shard_size);
     capacity[j] = state.alive[j] ? state.capacity_shards[j] : 0;
+    // Mirrors the simulator's drain rule exactly: training power over the
+    // compute span plus the per-round exchange energy.
+    base_wh[j] = state.train_power_w[j] * state.base_s[j] / 3600.0 +
+                 state.comm_energy_wh[j];
+    per_shard_wh[j] = state.train_power_w[j] * per_shard[j] / 3600.0;
+    budget_wh[j] = std::max(0.0, state.battery_soc[j] - battery_floor_soc) *
+                   state.battery_capacity_wh[j];
   }
-  return sched::LinearCosts(std::move(base), std::move(per_shard),
-                            std::move(capacity), shard_size);
+  sched::LinearCosts costs(std::move(base), std::move(per_shard),
+                           std::move(capacity), shard_size);
+  costs.set_energy(std::move(base_wh), std::move(per_shard_wh),
+                   std::move(budget_wh));
+  return costs;
 }
 
 }  // namespace fedsched::fleet

@@ -94,6 +94,22 @@ class FleetGenerator {
   [[nodiscard]] FleetState generate(std::size_t n,
                                     obs::TraceWriter* trace = nullptr) const;
 
+  /// Grow an existing fleet to target_n clients. Client j's attributes are a
+  /// pure function of (seed, j) — the prefix-stability contract — so clients
+  /// appended later (e.g. churn joins) are bitwise identical to the ones a
+  /// single generate(target_n) call would have produced. No-op when the
+  /// fleet already has target_n clients.
+  void extend(FleetState& state, std::size_t target_n) const;
+
+  /// Per-network round-exchange tables the generator anchored (index by
+  /// lte ? 1 : 0) — what a WiFi<->LTE transition swaps in.
+  [[nodiscard]] double comm_seconds(bool lte) const noexcept {
+    return comm_s_by_network_[lte ? 1 : 0];
+  }
+  [[nodiscard]] double comm_energy_wh(bool lte) const noexcept {
+    return comm_energy_by_network_[lte ? 1 : 0];
+  }
+
  private:
   struct PhoneBase {
     double intercept_s = 0.0;
@@ -112,8 +128,12 @@ class FleetGenerator {
 };
 
 /// Scheduler view of a fleet: cost(j, k) = (base_s + comm_s) +
-/// (per_sample_s * shard_size) * k, capacity 0 for dead clients.
+/// (per_sample_s * shard_size) * k, capacity 0 for dead clients. The view
+/// also carries the affine energy model (training power over the compute
+/// span plus comm energy) and each client's battery budget above
+/// `battery_floor_soc`, which the energy-aware schedulers consume.
 [[nodiscard]] sched::LinearCosts linear_costs(const FleetState& state,
-                                              std::size_t shard_size);
+                                              std::size_t shard_size,
+                                              double battery_floor_soc = 0.05);
 
 }  // namespace fedsched::fleet

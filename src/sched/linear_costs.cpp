@@ -55,6 +55,42 @@ std::size_t LinearCosts::total_budget(double threshold, std::size_t target) cons
   return total;
 }
 
+void LinearCosts::set_energy(std::vector<double> base_wh,
+                             std::vector<double> per_shard_wh,
+                             std::vector<double> budget_wh) {
+  if (base_wh.size() != base_s_.size() || per_shard_wh.size() != base_s_.size() ||
+      budget_wh.size() != base_s_.size()) {
+    throw std::invalid_argument("LinearCosts::set_energy: misaligned vectors");
+  }
+  for (std::size_t j = 0; j < base_wh.size(); ++j) {
+    if (!(base_wh[j] >= 0.0) || !(per_shard_wh[j] >= 0.0) ||
+        !(budget_wh[j] >= 0.0) || !std::isfinite(base_wh[j]) ||
+        !std::isfinite(per_shard_wh[j])) {
+      throw std::invalid_argument(
+          "LinearCosts::set_energy: negative or NaN energy coefficients");
+    }
+  }
+  base_wh_ = std::move(base_wh);
+  per_shard_wh_ = std::move(per_shard_wh);
+  budget_wh_ = std::move(budget_wh);
+}
+
+std::size_t LinearCosts::max_shards_within_battery(std::size_t user) const noexcept {
+  const std::size_t cap = capacity_[user];
+  const double budget = budget_wh_[user];
+  if (cap == 0 || energy(user, 1) > budget) return 0;
+  const double per = per_shard_wh_[user];
+  if (per <= 0.0) return cap;  // flat row: one shard within => all within
+  double guess = std::floor((budget - base_wh_[user]) / per);
+  guess = std::clamp(guess, 1.0, static_cast<double>(cap));
+  std::size_t k = static_cast<std::size_t>(guess);
+  // Same exact-predicate nudge as max_shards_within: the division is only a
+  // first guess under floating point.
+  while (k > 1 && energy(user, k) > budget) --k;
+  while (k < cap && energy(user, k + 1) <= budget) ++k;
+  return k;
+}
+
 double LinearCosts::max_full_cost(std::size_t shard_cap) const noexcept {
   double hi = 0.0;
   for (std::size_t j = 0; j < base_s_.size(); ++j) {

@@ -8,6 +8,11 @@
 //
 // Rows are non-decreasing in k (Property 1) because per_shard_s is validated
 // non-negative at construction.
+//
+// An optional *energy model* rides along on the same affine form:
+// energy(j, k) = base_wh[j] + per_shard_wh[j] * k for k >= 1 (0 when idle),
+// with a per-client battery budget in Wh. The energy-aware schedulers
+// (sched/minenergy.hpp) require it; the time-only algorithms ignore it.
 
 #include <cstddef>
 #include <cstdint>
@@ -56,6 +61,34 @@ class LinearCosts {
   /// Total schedulable capacity in shards.
   [[nodiscard]] std::size_t total_capacity() const noexcept { return total_capacity_; }
 
+  /// Attach the affine energy model: energy(j, k) = base_wh[j] +
+  /// per_shard_wh[j] * k for k >= 1, plus the per-client battery budget in Wh
+  /// (how much the client may burn before hitting its state-of-charge floor).
+  /// Vectors must align with the cost vectors; coefficients must be finite
+  /// and non-negative (budgets may be 0 for clients that must stay idle).
+  void set_energy(std::vector<double> base_wh, std::vector<double> per_shard_wh,
+                  std::vector<double> budget_wh);
+  [[nodiscard]] bool has_energy() const noexcept { return !base_wh_.empty(); }
+
+  /// Wh for user j to train k shards; energy(j, 0) = 0. Requires has_energy().
+  [[nodiscard]] double energy(std::size_t user, std::size_t shards) const noexcept {
+    if (shards == 0) return 0.0;
+    return base_wh_[user] + per_shard_wh_[user] * static_cast<double>(shards);
+  }
+  [[nodiscard]] double base_energy_wh(std::size_t user) const {
+    return base_wh_[user];
+  }
+  [[nodiscard]] double per_shard_energy_wh(std::size_t user) const {
+    return per_shard_wh_[user];
+  }
+  [[nodiscard]] double battery_budget_wh(std::size_t user) const {
+    return budget_wh_[user];
+  }
+
+  /// Largest k <= capacity with energy(j, k) <= the client's battery budget —
+  /// the battery-feasible load. Requires has_energy().
+  [[nodiscard]] std::size_t max_shards_within_battery(std::size_t user) const noexcept;
+
  private:
   std::vector<double> base_s_;
   std::vector<double> per_shard_s_;
@@ -63,6 +96,9 @@ class LinearCosts {
   std::size_t shard_size_;
   std::size_t total_capacity_ = 0;
   double lo_cost_;
+  std::vector<double> base_wh_;
+  std::vector<double> per_shard_wh_;
+  std::vector<double> budget_wh_;
 };
 
 }  // namespace fedsched::sched

@@ -1,0 +1,70 @@
+#include "sched/olar.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "common/json.hpp"
+
+namespace fedsched::sched {
+
+OlarResult olar(const LinearCosts& costs, std::size_t total_shards,
+                obs::TraceWriter* trace) {
+  if (total_shards == 0) throw std::invalid_argument("olar: zero shards");
+  if (costs.total_capacity() < total_shards) {
+    throw std::invalid_argument("olar: user capacities cannot host the dataset");
+  }
+  const std::size_t n = costs.users();
+
+  OlarResult result;
+  result.assignment.shard_size = costs.shard_size();
+  auto& shards = result.assignment.shards_per_user;
+  shards.resize(n, 0);
+
+  // Heap of (cost after taking one more shard, client id); the candidate cost
+  // only grows as a client's load does, so each pop is the global argmin.
+  struct Candidate {
+    double next_cost;
+    std::uint32_t user;
+    bool operator>(const Candidate& o) const {
+      if (next_cost != o.next_cost) return next_cost > o.next_cost;
+      return user > o.user;  // min-heap: lowest client id wins ties
+    }
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<Candidate>>
+      heap;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (costs.capacity(j) == 0) continue;
+    heap.push({costs.cost(j, 1), static_cast<std::uint32_t>(j)});
+  }
+
+  while (result.steps < total_shards) {
+    const Candidate top = heap.top();
+    heap.pop();
+    const std::size_t j = top.user;
+    ++shards[j];
+    ++result.steps;
+    result.makespan_seconds = std::max(result.makespan_seconds, top.next_cost);
+    if (shards[j] < costs.capacity(j)) {
+      heap.push({costs.cost(j, shards[j] + 1), static_cast<std::uint32_t>(j)});
+    }
+  }
+
+  for (std::size_t j = 0; j < n; ++j) {
+    if (shards[j] > 0) result.total_time_seconds += costs.cost(j, shards[j]);
+  }
+
+  if (trace != nullptr && trace->enabled()) {
+    common::JsonObject ev;
+    ev.field("ev", "sched_olar")
+        .field("users", n)
+        .field("total_shards", total_shards)
+        .field("steps", result.steps)
+        .field("total_s", result.total_time_seconds)
+        .field("makespan_s", result.makespan_seconds);
+    trace->write(ev);
+  }
+  return result;
+}
+
+}  // namespace fedsched::sched

@@ -1,0 +1,41 @@
+#pragma once
+// OLAR-style optimal task assignment (Pilla, arXiv:2010.00239) over the
+// fleet tier's closed-form LinearCosts view.
+//
+// Shards are assigned one at a time to the client whose cost *after* taking
+// the shard is smallest (lowest client id on ties). For cost functions that
+// are non-decreasing in the load — Property 1, guaranteed by LinearCosts —
+// this greedy provably minimizes the synchronous-round makespan: at every
+// step the partial assignment's maximum is the smallest achievable for the
+// shards placed so far, so the final makespan equals the exact Fed-LBAP
+// optimum (tests/sched/test_minenergy.cpp pins the equality against the
+// CostMatrix oracles).
+//
+// Unlike fed_lbap_bucketed there is no quantization: the heap-based greedy is
+// exact at O(D log n) for D shards over n clients, which stays tractable at
+// fleet scale because D is shards, not samples.
+
+#include <cstddef>
+
+#include "obs/trace.hpp"
+#include "sched/linear_costs.hpp"
+#include "sched/types.hpp"
+
+namespace fedsched::sched {
+
+struct OlarResult {
+  Assignment assignment;
+  double makespan_seconds = 0.0;
+  /// Sum of busy users' costs under the final assignment.
+  double total_time_seconds = 0.0;
+  /// Greedy steps executed (== total shards assigned).
+  std::size_t steps = 0;
+};
+
+/// Assign total_shards over the costs view. Throws if the total capacity
+/// cannot host total_shards. A non-null `trace` receives one `sched_olar`
+/// decision event (users, shards, makespan).
+OlarResult olar(const LinearCosts& costs, std::size_t total_shards,
+                obs::TraceWriter* trace = nullptr);
+
+}  // namespace fedsched::sched

@@ -433,5 +433,88 @@ TEST(DeterminismMatrix, FleetSerialVsParallelByteIdentical) {
   EXPECT_EQ(serial.trace, parallel.trace) << "trace bytes differ";
 }
 
+// The dynamics row: 10k clients under simultaneous churn (joins + leaves)
+// and diurnal availability, replanning over the dynamics-masked costs each
+// round. The fleet grows mid-run via joins and shrinks via departures —
+// every result field and the trace bytes must still be independent of the
+// aggregation pool width.
+FleetRun run_dynamic_fleet(std::size_t parallelism) {
+  std::ostringstream sink;
+  obs::TraceWriter trace(sink);
+
+  fleet::FleetMix mix;
+  mix.lte_fraction = 0.3;
+  mix.capacity_shards = 16;
+  const fleet::FleetGenerator gen(mix, device::lenet_desc(), 91);
+
+  fleet::DynamicsConfig dyn_config = fleet::scenario_config("churn", 93);
+  dyn_config.diurnal = true;
+  dyn_config.day_fraction = 0.5;
+  dyn_config.net_switch_prob_per_round = 0.05;
+  fleet::ClientDynamics dynamics(dyn_config, &gen);
+
+  fleet::FleetSimConfig config;
+  config.shard_size = 20;
+  config.dropout_prob = 0.15;
+  config.deadline_s = 1e5;
+  config.update_dim = 32;
+  config.group_size = 256;
+  config.parallelism = parallelism;
+  config.seed = 92;
+  fleet::FleetSimulator sim(gen.generate(10000, &trace), config);
+
+  FleetRun run;
+  for (std::size_t round = 0; round < 3; ++round) {
+    const sched::LinearCosts costs =
+        fleet::dynamic_linear_costs(sim.state(), config.shard_size, dynamics);
+    const sched::BucketedLbapResult plan =
+        sched::fed_lbap_bucketed(costs, 10000, 64, &trace);
+    run.rounds.push_back(
+        sim.run_round(plan.assignment.shards_per_user, round, &trace, &dynamics));
+  }
+  run.final_state = sim.state();
+  run.trace = sink.str();
+  return run;
+}
+
+TEST(DeterminismMatrix, DynamicFleetSerialVsParallelByteIdentical) {
+  const FleetRun serial = run_dynamic_fleet(1);
+  const FleetRun parallel = run_dynamic_fleet(4);
+
+  ASSERT_EQ(serial.rounds.size(), parallel.rounds.size());
+  std::size_t joins = 0, leaves = 0;
+  for (std::size_t r = 0; r < serial.rounds.size(); ++r) {
+    SCOPED_TRACE(::testing::Message() << "round " << r);
+    const auto& a = serial.rounds[r];
+    const auto& b = parallel.rounds[r];
+    EXPECT_EQ(a.participants, b.participants);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.dropped_crash, b.dropped_crash);
+    EXPECT_EQ(a.dropped_deadline, b.dropped_deadline);
+    EXPECT_EQ(a.dropped_stale, b.dropped_stale);
+    EXPECT_EQ(a.dropped_offline, b.dropped_offline);
+    EXPECT_EQ(a.joins, b.joins);
+    EXPECT_EQ(a.leaves, b.leaves);
+    EXPECT_EQ(a.net_switches, b.net_switches);
+    EXPECT_EQ(a.battery_deaths, b.battery_deaths);
+    EXPECT_EQ(a.survivor_shards, b.survivor_shards);
+    EXPECT_EQ(a.makespan_s, b.makespan_s);
+    EXPECT_EQ(a.energy_wh, b.energy_wh);
+    EXPECT_EQ(a.contributors, b.contributors);
+    EXPECT_EQ(a.global_update, b.global_update);  // bitwise
+    joins += a.joins;
+    leaves += a.leaves;
+  }
+  // The dynamics mix must not be vacuous: the fleet actually churned.
+  EXPECT_GT(joins, 0u);
+  EXPECT_GT(leaves, 0u);
+  EXPECT_GT(serial.final_state.size(), 10000u) << "joins must grow the fleet";
+  EXPECT_EQ(serial.final_state.size(), parallel.final_state.size());
+  EXPECT_EQ(serial.final_state.battery_soc, parallel.final_state.battery_soc);
+  EXPECT_EQ(serial.final_state.alive, parallel.final_state.alive);
+  EXPECT_EQ(serial.final_state.network, parallel.final_state.network);
+  EXPECT_EQ(serial.trace, parallel.trace) << "trace bytes differ";
+}
+
 }  // namespace
 }  // namespace fedsched::fl

@@ -1,0 +1,324 @@
+// Oracle suite for the energy-optimal schedulers: hand-computed
+// minimal-energy assignments on tiny instances, a brute-force cross-check at
+// n <= 8, OLAR against an exhaustive makespan oracle, and an invariant sweep
+// over every scheduler in the library.
+//
+// Instances use dyadic constants (multiples of 0.25) so every cost and
+// energy sum is exactly representable — equality assertions are bitwise.
+
+#include "sched/minenergy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/bucketed.hpp"
+#include "sched/olar.hpp"
+
+namespace fedsched::sched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// LinearCosts with an attached energy model from parallel dyadic vectors.
+LinearCosts make_costs(std::vector<double> base_s, std::vector<double> per_s,
+                       std::vector<std::uint32_t> cap,
+                       std::vector<double> base_wh, std::vector<double> per_wh,
+                       std::vector<double> budget_wh) {
+  LinearCosts costs(std::move(base_s), std::move(per_s), std::move(cap),
+                    /*shard_size=*/1);
+  costs.set_energy(std::move(base_wh), std::move(per_wh),
+                   std::move(budget_wh));
+  return costs;
+}
+
+/// Dyadic random instance; zero_base forces base_wh = 0 (the purely linear
+/// regime where the marginal-energy greedy is exactly optimal).
+LinearCosts random_costs(std::uint64_t seed, std::size_t n, std::size_t cap_max,
+                         bool zero_base, double budget_scale = 1e6) {
+  common::Rng rng(seed);
+  std::vector<double> base_s(n), per_s(n), base_wh(n), per_wh(n), budget(n);
+  std::vector<std::uint32_t> cap(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    base_s[j] = 0.5 * static_cast<double>(rng.uniform_int(8));
+    per_s[j] = 0.25 * static_cast<double>(1 + rng.uniform_int(16));
+    cap[j] = static_cast<std::uint32_t>(1 + rng.uniform_int(cap_max));
+    base_wh[j] =
+        zero_base ? 0.0 : 0.25 * static_cast<double>(rng.uniform_int(6));
+    per_wh[j] = 0.25 * static_cast<double>(1 + rng.uniform_int(12));
+    budget[j] = budget_scale;
+  }
+  return make_costs(std::move(base_s), std::move(per_s), std::move(cap),
+                    std::move(base_wh), std::move(per_wh), std::move(budget));
+}
+
+std::size_t assigned_total(const Assignment& a) {
+  return std::accumulate(a.shards_per_user.begin(), a.shards_per_user.end(),
+                         std::size_t{0});
+}
+
+/// Exhaustive minimum over all feasible assignments of `total` shards.
+/// objective: true = total energy (battery-constrained), false = makespan.
+double brute_force(const LinearCosts& costs, std::size_t total,
+                   bool energy_objective) {
+  const std::size_t n = costs.users();
+  std::vector<std::size_t> pick(n, 0);
+  double best = kInf;
+  const auto recurse = [&](auto&& self, std::size_t j,
+                           std::size_t remaining) -> void {
+    if (j == n) {
+      if (remaining != 0) return;
+      double value = 0.0;
+      for (std::size_t u = 0; u < n; ++u) {
+        if (pick[u] == 0) continue;
+        if (energy_objective) {
+          if (costs.energy(u, pick[u]) > costs.battery_budget_wh(u)) return;
+          value += costs.energy(u, pick[u]);
+        } else {
+          value = std::max(value, costs.cost(u, pick[u]));
+        }
+      }
+      best = std::min(best, value);
+      return;
+    }
+    const std::size_t cap = std::min<std::size_t>(costs.capacity(j), remaining);
+    for (std::size_t k = 0; k <= cap; ++k) {
+      pick[j] = k;
+      self(self, j + 1, remaining - k);
+    }
+    pick[j] = 0;
+  };
+  recurse(recurse, 0, total);
+  return best;
+}
+
+// ---- fed_minenergy oracles -------------------------------------------------
+
+TEST(MinEnergy, HandComputedTinyInstance) {
+  // Three clients, no time cap. Per-shard energies 1.25 / 0.50 / 1.00 Wh,
+  // B capped at 3 shards. For D = 4 the optimum is B:3, C:1 = 2.5 Wh: B's
+  // three 0.50 marginals and C's 1.00 are the four cheapest bids; A's 1.25
+  // never wins.
+  const LinearCosts costs =
+      make_costs({1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {8, 3, 8},
+                 {0.0, 0.0, 0.0}, {1.25, 0.5, 1.0}, {100.0, 100.0, 100.0});
+  MinEnergyConfig config;
+  config.makespan_cap_s = kInf;
+  const MinEnergyResult r = fed_minenergy(costs, 4, config);
+  EXPECT_EQ(r.assignment.shards_per_user, (std::vector<std::size_t>{0, 3, 1}));
+  EXPECT_DOUBLE_EQ(r.total_energy_wh, 2.5);
+  EXPECT_EQ(r.relaxed_shards, 0u);
+  EXPECT_DOUBLE_EQ(r.total_energy_wh, brute_force(costs, 4, true));
+}
+
+TEST(MinEnergy, BatteryBudgetRedirectsLoad) {
+  // B is the energy-cheapest client but its battery only hosts 2 shards
+  // (0.25 + 0.5k <= 1.25 => k <= 2); the remainder must go to A even though
+  // every A shard is pricier.
+  const LinearCosts costs =
+      make_costs({1.0, 1.0}, {1.0, 1.0}, {10, 10}, {0.0, 0.25}, {1.0, 0.5},
+                 {100.0, 1.25});
+  MinEnergyConfig config;
+  config.makespan_cap_s = kInf;
+  const MinEnergyResult r = fed_minenergy(costs, 5, config);
+  EXPECT_EQ(r.assignment.shards_per_user, (std::vector<std::size_t>{3, 2}));
+  EXPECT_DOUBLE_EQ(r.total_energy_wh, 3.0 + 1.25);
+  EXPECT_DOUBLE_EQ(r.total_energy_wh, brute_force(costs, 5, true));
+}
+
+TEST(MinEnergy, MakespanCapLimitsConcentration) {
+  // Unlimited, all 6 shards pile on B (cheapest energy). A 5.0 s cap allows
+  // only 4 B-shards (1 + 1k <= 5), so two shards spill to A — and the cap is
+  // respected, not relaxed, because A can host them in time.
+  const LinearCosts costs =
+      make_costs({1.0, 1.0}, {1.0, 1.0}, {10, 10}, {0.0, 0.0}, {1.0, 0.5},
+                 {100.0, 100.0});
+  MinEnergyConfig config;
+  config.makespan_cap_s = 5.0;
+  const MinEnergyResult r = fed_minenergy(costs, 6, config);
+  EXPECT_EQ(r.assignment.shards_per_user, (std::vector<std::size_t>{2, 4}));
+  EXPECT_EQ(r.relaxed_shards, 0u);
+  EXPECT_LE(r.makespan_seconds, 5.0);
+}
+
+TEST(MinEnergy, InfeasibleTimeCapRelaxesNotAborts) {
+  // A 1.5 s cap admits one shard per client (1 + 1k <= 1.5 fails at k=1...
+  // actually cost(j,1) = 2 > 1.5), so the capped pass places nothing; the
+  // relaxed pass must still place everything and record it.
+  const LinearCosts costs =
+      make_costs({1.0, 1.0}, {1.0, 1.0}, {4, 4}, {0.0, 0.0}, {1.0, 0.5},
+                 {100.0, 100.0});
+  MinEnergyConfig config;
+  config.makespan_cap_s = 1.5;
+  const MinEnergyResult r = fed_minenergy(costs, 6, config);
+  EXPECT_EQ(assigned_total(r.assignment), 6u);
+  EXPECT_EQ(r.relaxed_shards, 6u);
+}
+
+TEST(MinEnergy, BatteryCapsAreNeverRelaxed) {
+  // Batteries host 3 shards total but the plan wants 4: hard error, because
+  // relaxing battery caps would burn clients the whole design promises to
+  // protect.
+  const LinearCosts costs =
+      make_costs({1.0, 1.0}, {1.0, 1.0}, {4, 4}, {0.0, 0.0}, {1.0, 1.0},
+                 {2.0, 1.0});
+  EXPECT_THROW(fed_minenergy(costs, 4), std::invalid_argument);
+  MinEnergyConfig config;
+  config.makespan_cap_s = kInf;
+  const MinEnergyResult r = fed_minenergy(costs, 3, config);
+  EXPECT_EQ(r.assignment.shards_per_user, (std::vector<std::size_t>{2, 1}));
+}
+
+TEST(MinEnergy, RejectsBadArguments) {
+  const LinearCosts costs =
+      make_costs({1.0}, {1.0}, {4}, {0.0}, {1.0}, {100.0});
+  EXPECT_THROW(fed_minenergy(costs, 0), std::invalid_argument);
+  MinEnergyConfig bad_slack;
+  bad_slack.makespan_slack = 0.5;
+  EXPECT_THROW(fed_minenergy(costs, 1, bad_slack), std::invalid_argument);
+  const LinearCosts no_energy({1.0}, {1.0}, {4}, 1);
+  EXPECT_THROW(fed_minenergy(no_energy, 1), std::invalid_argument);
+}
+
+TEST(MinEnergy, MatchesBruteForceOnLinearInstances) {
+  // base_wh == 0 makes total energy a sum of independent per-shard
+  // marginals, where the greedy is provably optimal — cross-check against
+  // exhaustive enumeration at n <= 8, exactly.
+  MinEnergyConfig config;
+  config.makespan_cap_s = kInf;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const std::size_t n = 2 + seed % 7;  // 2..8 clients
+    const LinearCosts costs = random_costs(seed * 977, n, 3, /*zero_base=*/true);
+    const std::size_t total =
+        std::min<std::size_t>(costs.total_capacity(), 2 + seed % 5);
+    const MinEnergyResult r = fed_minenergy(costs, total, config);
+    EXPECT_EQ(assigned_total(r.assignment), total) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(r.total_energy_wh, brute_force(costs, total, true))
+        << "seed " << seed;
+  }
+}
+
+TEST(MinEnergy, BoundedAboveByBruteForceWithBaseEnergies) {
+  // With activation energies the greedy is a heuristic; it must still be
+  // feasible, never beat the true optimum (sanity for the brute force), and
+  // stay within 2x of it on these small instances.
+  MinEnergyConfig config;
+  config.makespan_cap_s = kInf;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const std::size_t n = 2 + seed % 5;  // 2..6 clients
+    const LinearCosts costs =
+        random_costs(seed * 1811, n, 3, /*zero_base=*/false);
+    const std::size_t total =
+        std::min<std::size_t>(costs.total_capacity(), 2 + seed % 4);
+    const MinEnergyResult r = fed_minenergy(costs, total, config);
+    const double optimal = brute_force(costs, total, true);
+    EXPECT_EQ(assigned_total(r.assignment), total) << "seed " << seed;
+    EXPECT_GE(r.total_energy_wh, optimal) << "seed " << seed;
+    EXPECT_LE(r.total_energy_wh, 2.0 * optimal) << "seed " << seed;
+  }
+}
+
+// ---- OLAR ------------------------------------------------------------------
+
+TEST(Olar, HandComputedTinyInstance) {
+  // Rows: A 1 + 1k, B 2 + 0.5k. D = 4: the optimum is A:2 B:2 with makespan
+  // max(3, 3) = 3 (every other split has a 3.5 s or slower straggler). OLAR
+  // pops the globally cheapest next shard each step and lands exactly there.
+  const LinearCosts costs({1.0, 2.0}, {1.0, 0.5}, {8, 8}, 1);
+  const OlarResult r = olar(costs, 4);
+  EXPECT_EQ(assigned_total(r.assignment), 4u);
+  EXPECT_DOUBLE_EQ(r.makespan_seconds, brute_force(costs, 4, false));
+  EXPECT_EQ(r.steps, 4u);
+}
+
+TEST(Olar, MakespanMatchesExhaustiveOracle) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const std::size_t n = 2 + seed % 7;
+    const LinearCosts costs = random_costs(seed * 3571, n, 3, true);
+    const std::size_t total =
+        std::min<std::size_t>(costs.total_capacity(), 2 + seed % 5);
+    const OlarResult r = olar(costs, total);
+    EXPECT_EQ(assigned_total(r.assignment), total) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(r.makespan_seconds, brute_force(costs, total, false))
+        << "seed " << seed;
+  }
+}
+
+TEST(Olar, TieBreaksToLowestClientId) {
+  // Identical rows: the deterministic tie-break must fill client 0 first.
+  const LinearCosts costs({1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {2, 2, 2}, 1);
+  const OlarResult r = olar(costs, 1);
+  EXPECT_EQ(r.assignment.shards_per_user, (std::vector<std::size_t>{1, 0, 0}));
+}
+
+TEST(Olar, RejectsBadArguments) {
+  const LinearCosts costs({1.0}, {1.0}, {2}, 1);
+  EXPECT_THROW(olar(costs, 0), std::invalid_argument);
+  EXPECT_THROW(olar(costs, 3), std::invalid_argument);  // over capacity
+}
+
+// ---- cross-scheduler invariant sweep ---------------------------------------
+
+TEST(MinEnergy, InvariantSweepAcrossAllSchedulers) {
+  // Every scheduler in the library, same contract: each shard assigned
+  // exactly once, nothing on a zero-capacity (excluded) client, per-client
+  // capacity respected — and for fed_minenergy, energy within battery on
+  // feasible instances.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::size_t n = 4 + seed % 5;
+    LinearCosts costs = random_costs(seed * 7919, n, 4, false,
+                                     /*budget_scale=*/8.0);
+    // Knock out one client entirely — the "excluded" row.
+    std::vector<double> base_s(n), per_s(n), base_wh(n), per_wh(n), budget(n);
+    std::vector<std::uint32_t> cap(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      base_s[j] = costs.base_seconds(j);
+      per_s[j] = costs.per_shard_seconds(j);
+      cap[j] = j == 0 ? 0 : static_cast<std::uint32_t>(costs.capacity(j));
+      base_wh[j] = costs.base_energy_wh(j);
+      per_wh[j] = costs.per_shard_energy_wh(j);
+      budget[j] = costs.battery_budget_wh(j);
+    }
+    costs = make_costs(base_s, per_s, cap, base_wh, per_wh, budget);
+
+    std::size_t battery_total = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      battery_total += costs.max_shards_within_battery(j);
+    }
+    const std::size_t total = std::max<std::size_t>(
+        1, std::min<std::size_t>(battery_total, costs.total_capacity() / 2));
+
+    std::vector<Assignment> plans;
+    plans.push_back(fed_lbap_bucketed(costs, total, 32).assignment);
+    plans.push_back(fed_minavg_bucketed(costs, total, 32).assignment);
+    plans.push_back(olar(costs, total).assignment);
+    plans.push_back(fed_minenergy(costs, total).assignment);
+
+    for (std::size_t p = 0; p < plans.size(); ++p) {
+      const Assignment& plan = plans[p];
+      ASSERT_EQ(plan.shards_per_user.size(), n) << "plan " << p;
+      EXPECT_EQ(assigned_total(plan), total) << "plan " << p << " seed " << seed;
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_LE(plan.shards_per_user[j], costs.capacity(j))
+            << "plan " << p << " client " << j;
+      }
+      EXPECT_EQ(plan.shards_per_user[0], 0u) << "plan " << p;
+    }
+    // fed_minenergy additionally honors every battery budget (total was
+    // chosen battery-feasible).
+    const Assignment& me = plans.back();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (me.shards_per_user[j] == 0) continue;
+      EXPECT_LE(costs.energy(j, me.shards_per_user[j]),
+                costs.battery_budget_wh(j))
+          << "client " << j << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedsched::sched
