@@ -70,6 +70,9 @@ int main(int argc, char** argv) {
   config.workers = 4;
   config.max_concurrent_rounds = 4;
   config.max_queued_runs = 64;
+  // Explicitly chaos-off: this snapshot doubles as the floor-check proof
+  // that the disabled injector costs nothing on the hot path.
+  config.chaos = coord::chaos::ChaosConfig{};
 
   std::vector<coord::RunSpec> specs;
   const std::size_t fleet_runs = full ? 8 : 4;
@@ -142,7 +145,8 @@ int main(int argc, char** argv) {
       .field("drain_s", drain_s)
       .field("rounds_per_s", rounds_per_s)
       .field("frames_per_s", frames_per_s)
-      .field("all_done", all_done);
+      .field("all_done", all_done)
+      .field("chaos_enabled", config.chaos.enabled);
   std::filesystem::create_directories("bench_out");
   std::ofstream summary("bench_out/BENCH_coord.json");
   summary << doc.str() << '\n';

@@ -572,10 +572,51 @@ void print_run_rows(const common::JsonValue& runs) {
   table.print(std::cout);
 }
 
+// Shared --retry-* / timeout client knobs (coord/server.hpp RetryPolicy).
+coord::RetryPolicy retry_policy_from(const Args& args) {
+  coord::RetryPolicy policy;
+  policy.attempts = static_cast<std::size_t>(args.get_int("retry-attempts", 3));
+  policy.connect_timeout_s = args.get_double("connect-timeout", 5.0);
+  policy.recv_timeout_s = args.get_double("recv-timeout", 10.0);
+  policy.backoff_base_s = args.get_double("retry-backoff", 0.05);
+  policy.backoff_max_s = args.get_double("retry-backoff-max", 2.0);
+  return policy;
+}
+
+// Shared --chaos-* flags (coord/chaos/chaos.hpp). Any armed hazard (or
+// --chaos itself) switches the injector on; the default config is disabled
+// and byte-inert.
+coord::chaos::ChaosConfig chaos_config_from(const Args& args) {
+  coord::chaos::ChaosConfig chaos;
+  chaos.seed = static_cast<std::uint64_t>(args.get_int("chaos-seed", 0));
+  chaos.crash_at_write = args.get_int("chaos-crash-at", -1);
+  chaos.crash_phase =
+      coord::chaos::parse_crash_phase(args.get("chaos-crash-phase", "before-tmp"));
+  chaos.crash_prob = args.get_double("chaos-crash-prob", 0.0);
+  chaos.frame_truncate_prob = args.get_double("chaos-frame-truncate", 0.0);
+  chaos.frame_close_prob = args.get_double("chaos-frame-close", 0.0);
+  chaos.frame_delay_prob = args.get_double("chaos-frame-delay", 0.0);
+  chaos.frame_split_prob = args.get_double("chaos-frame-split", 0.0);
+  chaos.frame_delay_s = args.get_double("chaos-frame-delay-s", 0.05);
+  chaos.close_reply_at = args.get_int("chaos-close-reply-at", -1);
+  chaos.fail_round = args.get_int("chaos-fail-round", -1);
+  chaos.fail_run_id = args.get("chaos-fail-id", "");
+  chaos.hang_round = args.get_int("chaos-hang-round", -1);
+  chaos.hang_run_id = args.get("chaos-hang-id", "");
+  chaos.hang_s = args.get_double("chaos-hang-s", 0.0);
+  chaos.enabled = args.has("chaos") || chaos.crash_at_write >= 0 ||
+                  chaos.crash_prob > 0.0 || chaos.frame_truncate_prob > 0.0 ||
+                  chaos.frame_close_prob > 0.0 || chaos.frame_delay_prob > 0.0 ||
+                  chaos.frame_split_prob > 0.0 || chaos.close_reply_at >= 0 ||
+                  chaos.fail_round >= 0 || chaos.hang_round >= 0;
+  return chaos;
+}
+
 common::JsonValue coord_request_ok(const std::string& socket_path,
-                                   const common::JsonObject& request) {
-  common::JsonValue reply =
-      common::json_parse(coord::request(socket_path, request.str()));
+                                   const common::JsonObject& request,
+                                   const coord::RetryPolicy& policy) {
+  common::JsonValue reply = common::json_parse(
+      coord::request_with_retry(socket_path, request.str(), policy));
   if (!reply.get_bool("ok", false)) {
     throw std::runtime_error("coordinator: " + reply.get_string("error", "request failed"));
   }
@@ -599,17 +640,45 @@ int cmd_serve(const Args& args) {
       static_cast<std::size_t>(args.get_int("max-resident-clients", 1'000'000));
   config.max_queued_runs = static_cast<std::size_t>(args.get_int("max-queued", 16));
   config.trace_path = args.get("trace-out", "");
+  config.durable_writes = args.has("durable");
+  config.watchdog_s = args.get_double("watchdog-s", 0.0);
+  config.chaos = chaos_config_from(args);
   const std::string socket_path = args.get("socket", config.root + "/coord.sock");
 
   coord::Coordinator coordinator(config);
   const std::size_t recovered = coordinator.list().size();
   std::cout << "coordinator serving on " << socket_path << " (root "
             << config.root << ", " << config.workers << " workers, "
-            << recovered << " runs recovered)\n"
+            << recovered << " runs recovered";
+  for (const coord::QuarantineRecord& q : coordinator.quarantined()) {
+    std::cout << "; quarantined '" << q.id << "' -> " << q.moved_to << " ("
+              << q.reason << ")";
+  }
+  std::cout << ")\n" << std::flush;
+
+  coord::ServeOptions serve_options;
+  serve_options.read_deadline_s = args.get_double("read-deadline", 30.0);
+  serve_options.idle_timeout_s = args.get_double("idle-timeout", 600.0);
+  serve_options.chaos = &coordinator.chaos();
+  coord::ServeStats stats;
+  coord::serve(coordinator, socket_path, serve_options, &stats);
+  const bool crashed = coordinator.chaos_crashed();
+  std::cout << (crashed ? "chaos crash injected; freezing registry state\n"
+                        : "shutdown requested; finishing in-flight steps\n")
             << std::flush;
-  coord::serve(coordinator, socket_path);
-  std::cout << "shutdown requested; finishing in-flight steps\n" << std::flush;
   coordinator.stop();
+  if (args.has("metrics-out")) {
+    const std::string path = args.get("metrics-out", "coord-metrics.json");
+    write_bytes(path, coordinator.metrics_json() + "\n");
+    std::cout << "wrote coordinator metrics to " << path << "\n";
+  }
+  std::cout << "served " << stats.frames << " frames over " << stats.connections
+            << " connections (" << stats.deadline_drops << " deadline drops, "
+            << stats.idle_drops << " idle drops, " << stats.protocol_drops
+            << " protocol drops)\n";
+  // A distinct exit code so chaos-soak harnesses can tell an injected crash
+  // from a clean shutdown without parsing output.
+  if (crashed) return 42;
 
   common::Table table({"id", "kind", "status", "rounds"});
   for (const coord::RunInfo& info : coordinator.list()) {
@@ -635,10 +704,16 @@ int cmd_submit(const Args& args) {
   // Client-side validation first: a malformed spec fails here with the same
   // message the server would produce, without a round-trip.
   const coord::RunSpec spec = coord::parse_run_spec(common::json_parse(spec_text));
+  const coord::RetryPolicy policy = retry_policy_from(args);
 
-  common::JsonObject req;
-  req.field("verb", "submit").field_raw("spec", coord::run_spec_json(spec));
-  common::JsonValue reply = coord_request_ok(socket_path, req);
+  // Idempotent: a duplicate-id rejection on a retry means the first attempt
+  // landed and only its ack was lost, so it resolves to the run's status.
+  common::JsonValue reply =
+      common::json_parse(coord::submit_with_retry(socket_path, spec, policy));
+  if (!reply.get_bool("ok", false)) {
+    throw std::runtime_error("coordinator: " +
+                             reply.get_string("error", "submit failed"));
+  }
   std::cout << "run '" << spec.id << "' admitted ("
             << reply.get_string("status", "?") << ", "
             << static_cast<long long>(reply.get_number("total_rounds", 0))
@@ -651,7 +726,7 @@ int cmd_submit(const Args& args) {
   for (;;) {
     common::JsonObject sreq;
     sreq.field("verb", "status").field("id", spec.id);
-    const common::JsonValue status = coord_request_ok(socket_path, sreq);
+    const common::JsonValue status = coord_request_ok(socket_path, sreq, policy);
     const std::string state = status.get_string("status", "?");
     const auto rounds =
         static_cast<std::size_t>(status.get_number("rounds_completed", 0));
@@ -672,7 +747,7 @@ int cmd_submit(const Args& args) {
 
   common::JsonObject rreq;
   rreq.field("verb", "result").field("id", spec.id);
-  const common::JsonValue result = coord_request_ok(socket_path, rreq);
+  const common::JsonValue result = coord_request_ok(socket_path, rreq, policy);
   const std::string doc = result.get_string("json", "{}");
   std::cout << "result: " << doc << "\n";
   if (args.has("result-out")) {
@@ -681,7 +756,7 @@ int cmd_submit(const Args& args) {
   if (args.has("fetch-trace")) {
     common::JsonObject treq;
     treq.field("verb", "trace").field("id", spec.id);
-    const common::JsonValue trace = coord_request_ok(socket_path, treq);
+    const common::JsonValue trace = coord_request_ok(socket_path, treq, policy);
     const std::string path = args.get("fetch-trace", spec.id + ".trace.jsonl");
     write_bytes(path, trace.get_string("jsonl", ""));
     std::cout << "wrote run trace to " << path << "\n";
@@ -691,17 +766,18 @@ int cmd_submit(const Args& args) {
 
 int cmd_coord(const Args& args) {
   const std::string socket_path = args.get("socket", "coord-runs/coord.sock");
+  const coord::RetryPolicy policy = retry_policy_from(args);
   if (args.has("ping")) {
     common::JsonObject req;
     req.field("verb", "ping");
-    const common::JsonValue reply = coord_request_ok(socket_path, req);
+    const common::JsonValue reply = coord_request_ok(socket_path, req, policy);
     std::cout << reply.get_string("service", "?") << " is up\n";
     return 0;
   }
   if (args.has("list")) {
     common::JsonObject req;
     req.field("verb", "list");
-    const common::JsonValue reply = coord_request_ok(socket_path, req);
+    const common::JsonValue reply = coord_request_ok(socket_path, req, policy);
     const common::JsonValue* runs = reply.find("runs");
     if (runs != nullptr) print_run_rows(*runs);
     return 0;
@@ -709,7 +785,7 @@ int cmd_coord(const Args& args) {
   if (args.has("status")) {
     common::JsonObject req;
     req.field("verb", "status").field("id", args.get("status", ""));
-    const common::JsonValue reply = coord_request_ok(socket_path, req);
+    const common::JsonValue reply = coord_request_ok(socket_path, req, policy);
     std::cout << reply.get_string("id", "?") << ": "
               << reply.get_string("status", "?") << " ("
               << static_cast<long long>(reply.get_number("rounds_completed", 0))
@@ -720,7 +796,7 @@ int cmd_coord(const Args& args) {
   if (args.has("trace")) {
     common::JsonObject req;
     req.field("verb", "trace").field("id", args.get("trace", ""));
-    const common::JsonValue reply = coord_request_ok(socket_path, req);
+    const common::JsonValue reply = coord_request_ok(socket_path, req, policy);
     const std::string bytes = reply.get_string("jsonl", "");
     if (args.has("out")) {
       write_bytes(args.get("out", "trace.jsonl"), bytes);
@@ -734,7 +810,7 @@ int cmd_coord(const Args& args) {
   if (args.has("result")) {
     common::JsonObject req;
     req.field("verb", "result").field("id", args.get("result", ""));
-    const common::JsonValue reply = coord_request_ok(socket_path, req);
+    const common::JsonValue reply = coord_request_ok(socket_path, req, policy);
     std::cout << reply.get_string("json", "{}") << "\n";
     return 0;
   }
@@ -744,23 +820,31 @@ int cmd_coord(const Args& args) {
     }
     common::JsonObject req;
     req.field("verb", "checkpoint").field("id", args.get("checkpoint", ""));
-    const common::JsonValue reply = coord_request_ok(socket_path, req);
+    const common::JsonValue reply = coord_request_ok(socket_path, req, policy);
     const std::string bytes = coord::from_hex(reply.get_string("hex", ""));
     write_bytes(args.get("out", "ckpt.bin"), bytes);
     std::cout << "wrote " << bytes.size() << " checkpoint bytes to "
               << args.get("out", "ckpt.bin") << "\n";
     return 0;
   }
+  if (args.has("metrics")) {
+    common::JsonObject req;
+    req.field("verb", "metrics");
+    const common::JsonValue reply = coord_request_ok(socket_path, req, policy);
+    std::cout << reply.get_string("json", "{}") << "\n";
+    return 0;
+  }
   if (args.has("shutdown")) {
     common::JsonObject req;
     req.field("verb", "shutdown");
-    (void)coord_request_ok(socket_path, req);
+    (void)coord_request_ok(socket_path, req, policy);
     std::cout << "coordinator shutting down\n";
     return 0;
   }
   throw std::invalid_argument(
       "coord needs one of --ping | --list | --status ID | --trace ID "
-      "[--out FILE] | --result ID | --checkpoint ID --out FILE | --shutdown");
+      "[--out FILE] | --result ID | --checkpoint ID --out FILE | --metrics | "
+      "--shutdown");
 }
 
 void usage() {
@@ -788,12 +872,15 @@ void usage() {
       "            [--trace-out FILE] [--metrics-out FILE]\n"
       "  serve     --root DIR [--socket PATH] [--workers N]\n"
       "            [--max-concurrent-rounds N] [--max-resident-clients N]\n"
-      "            [--max-queued N] [--trace-out FILE]\n"
+      "            [--max-queued N] [--trace-out FILE] [--metrics-out FILE]\n"
+      "            [--durable] [--watchdog-s S] [--read-deadline S]\n"
+      "            [--idle-timeout S] [chaos flags]\n"
       "  submit    --socket PATH (--spec FILE | --spec-json JSON) [--wait]\n"
       "            [--poll-ms N] [--result-out FILE] [--fetch-trace FILE]\n"
+      "            [client retry flags]\n"
       "  coord     --socket PATH (--ping | --list | --status ID | --trace ID\n"
       "            [--out FILE] | --result ID | --checkpoint ID --out FILE |\n"
-      "            --shutdown)\n"
+      "            --metrics | --shutdown) [client retry flags]\n"
       "fleet flags (bucketed schedulers over a generated 1k..1M population):\n"
       "  --fleet-size N           clients to generate (default 10000)\n"
       "  --fleet-mix SPEC         population mixture, e.g.\n"
@@ -843,7 +930,32 @@ void usage() {
       "                           uninterrupted run with the same cadence\n"
       "observability (simulated time only; byte-identical at any --parallel):\n"
       "  --trace-out FILE         stream JSONL run-trace events to FILE\n"
-      "  --metrics-out FILE       write the metrics registry as JSON to FILE\n";
+      "  --metrics-out FILE       write the metrics registry as JSON to FILE\n"
+      "serve hardening flags:\n"
+      "  --durable                fsync temp files + dirs around registry renames\n"
+      "  --watchdog-s S           fail any step older than S real seconds\n"
+      "  --read-deadline S        drop a partial frame older than S seconds (30)\n"
+      "  --idle-timeout S         drop a silent connection after S seconds (600)\n"
+      "client retry flags (submit/coord; deterministic exponential backoff):\n"
+      "  --retry-attempts N       total tries per request (default 3)\n"
+      "  --connect-timeout S      bounded connect (default 5)\n"
+      "  --recv-timeout S         bounded reply wait (default 10)\n"
+      "  --retry-backoff S        backoff base, doubles per retry (default .05)\n"
+      "  --retry-backoff-max S    backoff cap (default 2)\n"
+      "chaos flags (serve; deterministic per --chaos-seed, byte-inert when\n"
+      "disabled; any armed hazard or --chaos enables injection):\n"
+      "  --chaos-seed N           draw-stream seed (default 0)\n"
+      "  --chaos-crash-at OP      crash at registry write op OP (exit 42)\n"
+      "  --chaos-crash-phase P    before-tmp|after-tmp|after-rename\n"
+      "  --chaos-crash-prob P     seeded per-(op,phase) crash probability\n"
+      "  --chaos-frame-truncate P truncate a reply frame mid-byte, then close\n"
+      "  --chaos-frame-close P    close a connection instead of replying\n"
+      "  --chaos-frame-delay P    delay a reply by --chaos-frame-delay-s\n"
+      "  --chaos-frame-split P    send a reply in two delayed bursts\n"
+      "  --chaos-close-reply-at N close instead of sending reply frame N\n"
+      "  --chaos-fail-round K     fail a run's step at round K (--chaos-fail-id)\n"
+      "  --chaos-hang-round K     hang a step at round K for --chaos-hang-s\n"
+      "                           real seconds (--chaos-hang-id; watchdog bait)\n";
 }
 
 }  // namespace

@@ -1,0 +1,153 @@
+#include "coord/chaos/chaos.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace fedsched::coord::chaos {
+
+namespace {
+
+// Hazard families hashed into independent draw streams.
+constexpr std::uint64_t kStreamCrash = 0xC5A5'0000'0000'0001ULL;
+constexpr std::uint64_t kStreamFrameAction = 0xC5A5'0000'0000'0002ULL;
+constexpr std::uint64_t kStreamFrameBoundary = 0xC5A5'0000'0000'0003ULL;
+
+// Uniform [0, 1) as a stateless function of (seed, stream, op): three
+// splitmix64 rounds over the mixed words, same recipe as the scenario
+// layer's hashed draws.
+double unit_draw(std::uint64_t seed, std::uint64_t stream, std::uint64_t op) {
+  std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
+  (void)common::splitmix64(state);
+  state ^= 0xBF58476D1CE4E5B9ULL * (op + 1);
+  (void)common::splitmix64(state);
+  const std::uint64_t z = common::splitmix64(state);
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+void check_unit(double value, const char* name) {
+  if (value < 0.0 || value > 1.0) {
+    throw std::invalid_argument(std::string("chaos: ") + name +
+                                " must be in [0, 1]");
+  }
+}
+
+bool id_matches(const std::string& wanted, const std::string& id) noexcept {
+  return wanted.empty() || wanted == id;
+}
+
+}  // namespace
+
+const char* crash_phase_name(CrashPhase phase) noexcept {
+  switch (phase) {
+    case CrashPhase::kBeforeTmp: return "before-tmp";
+    case CrashPhase::kAfterTmp: return "after-tmp";
+    case CrashPhase::kAfterRename: return "after-rename";
+  }
+  return "unknown";
+}
+
+CrashPhase parse_crash_phase(const std::string& name) {
+  if (name == "before-tmp") return CrashPhase::kBeforeTmp;
+  if (name == "after-tmp") return CrashPhase::kAfterTmp;
+  if (name == "after-rename") return CrashPhase::kAfterRename;
+  throw std::invalid_argument("chaos: unknown crash phase '" + name +
+                              "' (want before-tmp|after-tmp|after-rename)");
+}
+
+void ChaosConfig::validate() const {
+  check_unit(crash_prob, "crash_prob");
+  check_unit(frame_truncate_prob, "frame_truncate_prob");
+  check_unit(frame_close_prob, "frame_close_prob");
+  check_unit(frame_delay_prob, "frame_delay_prob");
+  check_unit(frame_split_prob, "frame_split_prob");
+  const double frame_total =
+      frame_truncate_prob + frame_close_prob + frame_delay_prob + frame_split_prob;
+  if (frame_total > 1.0 + 1e-12) {
+    throw std::invalid_argument("chaos: frame action probabilities sum to > 1");
+  }
+  if (frame_delay_s < 0.0) {
+    throw std::invalid_argument("chaos: frame_delay_s must be >= 0");
+  }
+  if (hang_s < 0.0) {
+    throw std::invalid_argument("chaos: hang_s must be >= 0");
+  }
+}
+
+ChaosInjector::ChaosInjector(ChaosConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+std::uint64_t ChaosInjector::begin_write() noexcept {
+  if (!config_.enabled) return 0;
+  return write_op_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ChaosInjector::crash_point(std::uint64_t op, CrashPhase phase,
+                                const std::string& path) const {
+  if (!config_.enabled) return;
+  if (config_.crash_at_write >= 0 &&
+      op == static_cast<std::uint64_t>(config_.crash_at_write) &&
+      phase == config_.crash_phase) {
+    throw ChaosCrash{phase, op, path};
+  }
+  if (config_.crash_prob > 0.0) {
+    const std::uint64_t draw_op = op * 4 + static_cast<std::uint64_t>(phase);
+    if (unit_draw(config_.seed, kStreamCrash, draw_op) < config_.crash_prob) {
+      throw ChaosCrash{phase, op, path};
+    }
+  }
+}
+
+FramePlan ChaosInjector::plan_frame(std::size_t frame_size) noexcept {
+  FramePlan plan;
+  if (!config_.enabled) return plan;
+  const std::uint64_t op = frame_op_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.close_reply_at >= 0 &&
+      op == static_cast<std::uint64_t>(config_.close_reply_at)) {
+    plan.action = FrameAction::kClose;
+    return plan;
+  }
+  const double u = unit_draw(config_.seed, kStreamFrameAction, op);
+  double edge = config_.frame_truncate_prob;
+  if (u < edge && frame_size >= 2) {
+    plan.action = FrameAction::kTruncate;
+  } else if (u < (edge += config_.frame_close_prob)) {
+    plan.action = FrameAction::kClose;
+    return plan;
+  } else if (u < (edge += config_.frame_delay_prob)) {
+    plan.action = FrameAction::kDelay;
+    plan.delay_s = config_.frame_delay_s;
+    return plan;
+  } else if (u < (edge += config_.frame_split_prob) && frame_size >= 2) {
+    plan.action = FrameAction::kSplit;
+    plan.delay_s = config_.frame_delay_s;
+  } else {
+    return plan;
+  }
+  // Truncate/split boundary: a strict, non-empty prefix of the frame.
+  const double b = unit_draw(config_.seed, kStreamFrameBoundary, op);
+  plan.boundary =
+      1 + static_cast<std::size_t>(b * static_cast<double>(frame_size - 1));
+  if (plan.boundary >= frame_size) plan.boundary = frame_size - 1;
+  return plan;
+}
+
+bool ChaosInjector::should_fail_round(const std::string& id,
+                                      std::size_t round) const noexcept {
+  return config_.enabled && config_.fail_round >= 0 &&
+         round == static_cast<std::size_t>(config_.fail_round) &&
+         id_matches(config_.fail_run_id, id);
+}
+
+double ChaosInjector::hang_before_round(const std::string& id,
+                                        std::size_t round) const noexcept {
+  if (config_.enabled && config_.hang_round >= 0 &&
+      round == static_cast<std::size_t>(config_.hang_round) &&
+      id_matches(config_.hang_run_id, id)) {
+    return config_.hang_s;
+  }
+  return 0.0;
+}
+
+}  // namespace fedsched::coord::chaos

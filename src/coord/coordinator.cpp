@@ -23,16 +23,37 @@ const char* run_status_name(RunStatus status) {
 }
 
 Coordinator::Coordinator(CoordinatorConfig config)
-    : config_(std::move(config)), registry_(config_.root) {
+    : config_(std::move(config)),
+      registry_(config_.root),
+      chaos_(config_.chaos) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.max_concurrent_rounds == 0) config_.max_concurrent_rounds = 1;
   if (!config_.trace_path.empty()) {
     trace_ = obs::TraceWriter::to_file(config_.trace_path);
   }
+  registry_.set_durable(config_.durable_writes);
+  registry_.set_chaos(&chaos_);
 
   // Restart story: every persisted run resumes exactly where its checkpoint
-  // left it. scan() sorts by id, so the requeue order is deterministic.
-  for (RecoveredRun& rec : registry_.scan()) {
+  // left it. scan() sorts by id, so the requeue order is deterministic, and
+  // quarantines damaged directories so one corrupt run cannot block the rest.
+  // Chaos is deliberately not threaded through the scan's own renames: the
+  // recovery path must always make forward progress.
+  ScanOutcome scanned = registry_.scan();
+  quarantined_ = std::move(scanned.quarantined);
+  for (const QuarantineRecord& q : quarantined_) {
+    metrics_.add("coord.runs_quarantined");
+    common::JsonObject ev;
+    ev.field("ev", "coord_quarantine")
+        .field("id", q.id)
+        .field("moved_to", q.moved_to)
+        .field("reason", q.reason);
+    emit(ev);
+  }
+  if (scanned.stale_tmp_removed > 0) {
+    metrics_.add("coord.stale_tmp_removed", scanned.stale_tmp_removed);
+  }
+  for (RecoveredRun& rec : scanned.runs) {
     Entry e;
     e.spec = std::move(rec.spec);
     e.rounds_completed = rec.rounds_completed;
@@ -56,6 +77,9 @@ Coordinator::Coordinator(CoordinatorConfig config)
   for (std::size_t i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
+  if (config_.watchdog_s > 0.0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 Coordinator::~Coordinator() { stop(); }
@@ -66,10 +90,19 @@ void Coordinator::stop() {
     stop_ = true;
   }
   work_cv_.notify_all();
-  for (std::thread& t : workers_) {
+  watchdog_cv_.notify_all();
+  idle_cv_.notify_all();
+  // Join the watchdog first: it is the only thing that appends replacement
+  // workers, so afterwards the workers_ vector is stable.
+  if (watchdog_.joinable()) watchdog_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers.swap(workers_);
+  }
+  for (std::thread& t : workers) {
     if (t.joinable()) t.join();
   }
-  workers_.clear();
 }
 
 bool Coordinator::head_dispatchable() const {
@@ -84,6 +117,15 @@ bool Coordinator::head_dispatchable() const {
 
 void Coordinator::emit(const common::JsonObject& event) { trace_.write(event); }
 
+void Coordinator::enter_crashed_state() {
+  crashed_ = true;
+  stop_ = true;
+  metrics_.add("coord.chaos_crashes");
+  work_cv_.notify_all();
+  idle_cv_.notify_all();
+  watchdog_cv_.notify_all();
+}
+
 void Coordinator::worker_loop(std::size_t worker_index) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -97,8 +139,12 @@ void Coordinator::worker_loop(std::size_t worker_index) {
     const RunSpec spec = entry.spec;  // stable copy for the unlocked step
     const std::size_t round = entry.rounds_completed;
     const std::size_t resident = spec.resident_clients();
+    const std::uint64_t token = next_token_++;
+    inflight_.emplace(
+        token, InFlight{id, resident, std::chrono::steady_clock::now()});
     ++running_;
     running_resident_ += resident;
+    metrics_.add("coord.steps");
     {
       common::JsonObject ev;
       ev.field("ev", "coord_round_dispatch")
@@ -112,43 +158,92 @@ void Coordinator::worker_loop(std::size_t worker_index) {
 
     std::size_t completed = round;
     bool done = false;
+    bool crashed = false;
     std::string error;
+    std::string result_json;
     try {
+      if (chaos_.should_fail_round(id, round)) {
+        throw std::runtime_error("chaos: injected failure for run '" + id +
+                                 "' at round " + std::to_string(round));
+      }
+      const double hang = chaos_.hang_before_round(id, round);
+      if (hang > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(hang));
+      }
       const std::string ckpt = registry_.ckpt_path(id);
       const std::string trace = registry_.trace_path(id);
       if (spec.kind == RunKind::kTrain) {
-        TrainStepOutcome out = run_train_step(spec.train, ckpt, trace, round);
+        TrainStepOutcome out =
+            run_train_step(spec.train, ckpt, trace, round, &chaos_);
         completed = out.rounds_completed;
         done = out.done;
-        if (done) {
-          registry_.write_result(id, train_result_json(spec.train, out.result));
-        }
+        if (done) result_json = train_result_json(spec.train, out.result);
       } else {
-        FleetStepOutcome out = run_fleet_step(spec.fleet, ckpt, trace, round);
+        FleetStepOutcome out =
+            run_fleet_step(spec.fleet, ckpt, trace, round, &chaos_);
         completed = out.rounds_completed;
         done = out.done;
         if (done) {
-          registry_.write_result(
-              id, fleet_result_json(spec.fleet, load_fleet_summaries(ckpt)));
+          result_json = fleet_result_json(spec.fleet, load_fleet_summaries(ckpt));
         }
       }
-      registry_.write_meta(id, completed);
+    } catch (const chaos::ChaosCrash&) {
+      crashed = true;
     } catch (const std::exception& ex) {
       error = ex.what();
-      try {
-        registry_.write_error(id, error);
-      } catch (...) {
-        // The in-memory status still flips to failed below.
-      }
     }
 
     lock.lock();
+    if (crashed) {
+      // Simulated SIGKILL: freeze everything exactly as it stands. No entry
+      // update, no registry write — the on-disk state is whatever the crash
+      // point left, and only a fresh Coordinator over this root moves on.
+      enter_crashed_state();
+      return;
+    }
+    const auto claim = inflight_.find(token);
+    if (claim == inflight_.end()) {
+      // The watchdog expired this step and already published a failure: this
+      // thread was replaced, and its late outcome must be discarded. The
+      // watchdog released the capacity when it erased the token.
+      return;
+    }
+    inflight_.erase(claim);
+    // `running_` is NOT decremented yet: the step still owns its capacity
+    // until its outcome is published below. Releasing it here would open a
+    // window where ready_ is empty and running_ is zero with the run neither
+    // requeued nor terminal — wait_all_done() would report an idle
+    // coordinator mid-run (the chaos soak caught exactly that).
+    lock.unlock();
+
+    // Terminal registry writes happen only after claiming the token, so an
+    // abandoned step can never overwrite the watchdog's verdict on disk.
+    try {
+      if (error.empty()) {
+        if (done) registry_.write_result(id, result_json);
+        registry_.write_meta(id, completed);
+      } else {
+        registry_.write_error(id, error);
+      }
+    } catch (const chaos::ChaosCrash&) {
+      crashed = true;
+    } catch (const std::exception& ex) {
+      if (error.empty()) error = ex.what();
+      // else: the in-memory status still flips to failed below.
+    }
+
+    lock.lock();
+    if (crashed) {
+      enter_crashed_state();
+      return;
+    }
     --running_;
     running_resident_ -= resident;
     Entry& after = runs_.at(id);
     if (!error.empty()) {
       after.status = RunStatus::kFailed;
       after.error = error;
+      metrics_.add("coord.step_failures");
     } else {
       after.rounds_completed = completed;
       if (done) {
@@ -163,16 +258,69 @@ void Coordinator::worker_loop(std::size_t worker_index) {
   }
 }
 
+void Coordinator::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    watchdog_cv_.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(config_.watchdog_poll_ms),
+        [this] { return stop_; });
+    if (stop_) return;
+
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<std::pair<std::uint64_t, InFlight>> expired;
+    for (const auto& [token, step] : inflight_) {
+      const double age = std::chrono::duration<double>(now - step.started).count();
+      if (age > config_.watchdog_s) expired.emplace_back(token, step);
+    }
+    for (const auto& [token, step] : expired) {
+      inflight_.erase(token);
+      --running_;
+      running_resident_ -= step.resident;
+      Entry& entry = runs_.at(step.id);
+      entry.status = RunStatus::kFailed;
+      entry.error = "watchdog: step exceeded " +
+                    std::to_string(config_.watchdog_s) + " s wall clock";
+      metrics_.add("coord.watchdog_kills");
+      {
+        common::JsonObject ev;
+        ev.field("ev", "coord_watchdog_kill")
+            .field("id", step.id)
+            .field("round", entry.rounds_completed);
+        emit(ev);
+      }
+      // The wedged worker still holds its (now ownerless) step; give the
+      // pool a fresh thread so capacity is actually freed.
+      workers_.emplace_back([this, i = workers_.size()] { worker_loop(i); });
+      const std::string id = step.id;
+      const std::string error = entry.error;
+      lock.unlock();
+      try {
+        registry_.write_error(id, error);
+      } catch (...) {
+        // In-memory status already failed; disk stays best-effort here.
+      }
+      lock.lock();
+    }
+    if (!expired.empty()) {
+      work_cv_.notify_all();
+      idle_cv_.notify_all();
+    }
+  }
+}
+
 SubmitOutcome Coordinator::submit(const RunSpec& spec) {
   SubmitOutcome out;
   std::lock_guard<std::mutex> lock(mu_);
   const auto reject = [&](const std::string& why) {
     out.error = why;
+    metrics_.add("coord.rejects");
     common::JsonObject ev;
     ev.field("ev", "coord_reject").field("id", spec.id).field("reason", why);
     emit(ev);
     return out;
   };
+  if (crashed_) return reject("chaos: coordinator crashed");
   if (stop_) return reject("coordinator is shutting down");
   if (runs_.count(spec.id) != 0 || registry_.exists(spec.id)) {
     return reject("duplicate run id '" + spec.id + "'");
@@ -188,12 +336,19 @@ SubmitOutcome Coordinator::submit(const RunSpec& spec) {
                   " runs waiting)");
   }
 
-  registry_.persist_spec(spec);
+  try {
+    registry_.persist_spec(spec);
+  } catch (const chaos::ChaosCrash&) {
+    enter_crashed_state();
+    out.error = "chaos: coordinator crashed while persisting spec";
+    return out;
+  }
   Entry e;
   e.spec = spec;
   e.status = RunStatus::kAdmitted;
   runs_.emplace(spec.id, std::move(e));
   ready_.push_back(spec.id);
+  metrics_.add("coord.submits");
   {
     common::JsonObject ev;
     ev.field("ev", "coord_admit")
@@ -247,12 +402,36 @@ std::string Coordinator::checkpoint_bytes(const std::string& id) const {
 
 void Coordinator::wait_all_done() {
   std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return ready_.empty() && running_ == 0; });
+  idle_cv_.wait(lock, [this] {
+    return stop_ || crashed_ || (ready_.empty() && running_ == 0);
+  });
 }
 
 bool Coordinator::shutdown_requested() const {
   std::lock_guard<std::mutex> lock(mu_);
   return shutdown_requested_;
+}
+
+bool Coordinator::chaos_crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+std::vector<QuarantineRecord> Coordinator::quarantined() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_;
+}
+
+std::string Coordinator::metrics_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.to_json();
+}
+
+void Coordinator::record_event(const common::JsonObject& event,
+                               const char* counter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  emit(event);
+  if (counter != nullptr) metrics_.add(counter);
 }
 
 namespace {
@@ -348,6 +527,13 @@ std::string Coordinator::handle_request_json(const std::string& request) {
       const std::string id = require_id(v);
       common::JsonObject o;
       o.field("ok", true).field("id", id).field("hex", to_hex(checkpoint_bytes(id)));
+      return o.str();
+    }
+    if (verb == "metrics") {
+      const std::string doc = metrics_json();
+      common::JsonObject o;
+      // Both views, like `result`: parsed object + exact-byte string.
+      o.field("ok", true).field_raw("metrics", doc).field("json", doc);
       return o.str();
     }
     if (verb == "shutdown") {

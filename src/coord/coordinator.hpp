@@ -10,7 +10,9 @@
 // run's own spec'd seed — a run's RunResult and trace bytes are identical
 // whether it ran alone or multiplexed with arbitrary neighbors, and across
 // any number of coordinator kill/restart cycles (the constructor rescans the
-// registry root and requeues every in-flight run from its checkpoint).
+// registry root and requeues every in-flight run from its checkpoint; a
+// corrupt run directory is quarantined by the scan instead of blocking the
+// healthy runs' recovery).
 //
 // Admission control: a spec whose resident client count exceeds the cap, a
 // duplicate id, or a full queue is rejected before any registry write — a
@@ -22,9 +24,22 @@
 // The wire entry point is handle_frame(): decode (hardened, coord/wire.hpp)
 // happens strictly before dispatch, so a malformed frame provably cannot
 // change coordinator state — it yields an {"ok":false,...} reply frame.
+//
+// Robustness plane (coord/chaos.hpp):
+//   * config.chaos arms the deterministic fault injector. A ChaosCrash
+//     thrown at a write point freezes the coordinator — stop flag set, no
+//     further registry writes, chaos_crashed() true — simulating SIGKILL
+//     while staying in-process; recovery is constructing a fresh Coordinator
+//     over the same root, exactly the real restart path.
+//   * config.watchdog_s > 0 starts a watchdog that marks any step exceeding
+//     that wall-clock budget failed, releases its capacity, and replaces the
+//     (possibly wedged) worker thread so the queue keeps draining.
+//   * durable_writes gates fsync-before-rename in the registry.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -33,8 +48,10 @@
 #include <thread>
 #include <vector>
 
+#include "coord/chaos/chaos.hpp"
 #include "coord/registry.hpp"
 #include "coord/spec.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace fedsched::coord {
@@ -50,6 +67,15 @@ struct CoordinatorConfig {
   /// log — dispatch order depends on host scheduling — and is deliberately
   /// separate from the per-run traces, which stay byte-deterministic.
   std::string trace_path;
+  /// fsync temp files and directories around registry renames (power-loss
+  /// durability). Off by default so tests stay fast.
+  bool durable_writes = false;
+  /// > 0 starts the per-run wall-clock watchdog: a step older than this many
+  /// real seconds is marked failed and its worker replaced. 0 = off.
+  double watchdog_s = 0.0;
+  double watchdog_poll_ms = 20.0;
+  /// Deterministic fault injection (disabled config = byte-inert).
+  chaos::ChaosConfig chaos;
 };
 
 enum class RunStatus { kSubmitted, kAdmitted, kRunning, kCheckpointed, kDone, kFailed };
@@ -70,7 +96,8 @@ struct SubmitOutcome {
 class Coordinator {
  public:
   /// Scans `config.root`, requeues every non-terminal run (checkpoint
-  /// resume, or round zero if it never stepped), and starts the workers.
+  /// resume, or round zero if it never stepped), quarantines corrupt run
+  /// directories, and starts the workers (and watchdog, when configured).
   explicit Coordinator(CoordinatorConfig config);
   ~Coordinator();
   Coordinator(const Coordinator&) = delete;
@@ -88,7 +115,8 @@ class Coordinator {
   [[nodiscard]] std::string result_document(const std::string& id) const;
   [[nodiscard]] std::string checkpoint_bytes(const std::string& id) const;
 
-  /// Block until the ready queue is empty and no step is in flight.
+  /// Block until the ready queue is empty and no step is in flight (or the
+  /// coordinator stopped / chaos-crashed).
   void wait_all_done();
 
   /// Stop dispatching; in-flight steps finish (and checkpoint) first. Safe
@@ -106,6 +134,25 @@ class Coordinator {
   /// this to leave its accept loop.
   [[nodiscard]] bool shutdown_requested() const;
 
+  /// True once an injected ChaosCrash "killed" the process: all dispatch and
+  /// registry writes are frozen; the only way forward is a fresh Coordinator
+  /// over the same root.
+  [[nodiscard]] bool chaos_crashed() const;
+
+  /// The fault injector (shared with the socket server for frame chaos).
+  [[nodiscard]] chaos::ChaosInjector& chaos() noexcept { return chaos_; }
+
+  /// Run directories the startup scan set aside, in scan order.
+  [[nodiscard]] std::vector<QuarantineRecord> quarantined() const;
+
+  /// Service counters (submits, steps, failures, watchdog kills, ...) as a
+  /// deterministic JSON document.
+  [[nodiscard]] std::string metrics_json() const;
+
+  /// Record a service-plane event (used by the socket server for connection
+  /// drops) in the operations trace, bumping `counter` when non-null.
+  void record_event(const common::JsonObject& event, const char* counter);
+
   [[nodiscard]] const RunRegistry& registry() const noexcept { return registry_; }
   [[nodiscard]] const CoordinatorConfig& config() const noexcept { return config_; }
 
@@ -117,7 +164,17 @@ class Coordinator {
     std::string error;
   };
 
+  /// One dispatched step, keyed by token so the watchdog and the worker can
+  /// race for its completion: whoever erases the token owns the outcome.
+  struct InFlight {
+    std::string id;
+    std::size_t resident = 0;
+    std::chrono::steady_clock::time_point started;
+  };
+
   void worker_loop(std::size_t worker_index);
+  void watchdog_loop();
+  void enter_crashed_state();                    // callers hold mu_
   [[nodiscard]] bool head_dispatchable() const;  // callers hold mu_
   void emit(const common::JsonObject& event);    // callers hold mu_
   [[nodiscard]] RunInfo info_of(const Entry& e) const;
@@ -125,18 +182,26 @@ class Coordinator {
 
   CoordinatorConfig config_;
   RunRegistry registry_;
-  obs::TraceWriter trace_;  // guarded by mu_
+  chaos::ChaosInjector chaos_;
+  obs::TraceWriter trace_;        // guarded by mu_
+  obs::MetricsRegistry metrics_;  // guarded by mu_
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
+  std::condition_variable watchdog_cv_;
   std::map<std::string, Entry> runs_;
   std::deque<std::string> ready_;
+  std::map<std::uint64_t, InFlight> inflight_;
+  std::uint64_t next_token_ = 0;
+  std::vector<QuarantineRecord> quarantined_;
   std::size_t running_ = 0;
   std::size_t running_resident_ = 0;
   bool stop_ = false;
   bool shutdown_requested_ = false;
+  bool crashed_ = false;
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
 };
 
 }  // namespace fedsched::coord

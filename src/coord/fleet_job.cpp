@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "coord/chaos/chaos.hpp"
 #include "device/model_desc.hpp"
 #include "fl/checkpoint/codec.hpp"
 #include "fleet/event_sim.hpp"
@@ -59,7 +60,8 @@ FleetRoundSummary get_summary(fc::PayloadReader& in) {
   return s;
 }
 
-void save_fleet_checkpoint(const FleetCheckpoint& ckpt, const std::string& path) {
+void save_fleet_checkpoint(const FleetCheckpoint& ckpt, const std::string& path,
+                           chaos::ChaosInjector* chaos) {
   fc::PayloadWriter out;
   out.put_u64(ckpt.rounds_completed);
 
@@ -84,6 +86,10 @@ void save_fleet_checkpoint(const FleetCheckpoint& ckpt, const std::string& path)
   out.put_u64(ckpt.trace_events);
   out.put_bytes(ckpt.trace_prefix);
 
+  const std::uint64_t op = chaos != nullptr ? chaos->begin_write() : 0;
+  if (chaos != nullptr) {
+    chaos->crash_point(op, chaos::CrashPhase::kBeforeTmp, path);
+  }
   const std::string tmp = path + ".tmp";
   {
     const std::filesystem::path p(tmp);
@@ -94,11 +100,17 @@ void save_fleet_checkpoint(const FleetCheckpoint& ckpt, const std::string& path)
     file.write(sealed.data(), static_cast<std::streamsize>(sealed.size()));
     if (!file) throw std::runtime_error("fleet checkpoint: write failed for " + tmp);
   }
+  if (chaos != nullptr) {
+    chaos->crash_point(op, chaos::CrashPhase::kAfterTmp, path);
+  }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     throw std::runtime_error("fleet checkpoint: cannot rename " + tmp + " -> " +
                              path + ": " + ec.message());
+  }
+  if (chaos != nullptr) {
+    chaos->crash_point(op, chaos::CrashPhase::kAfterRename, path);
   }
 }
 
@@ -164,10 +176,12 @@ FleetPlan plan_fleet_round(const std::string& policy,
 FleetStepOutcome run_fleet_step(const FleetRunSpec& spec,
                                 const std::string& ckpt_path,
                                 const std::string& trace_path,
-                                std::size_t completed_rounds) {
+                                std::size_t completed_rounds,
+                                chaos::ChaosInjector* chaos) {
   if (completed_rounds >= spec.rounds) {
     throw std::runtime_error("fleet job: run already complete");
   }
+  if (chaos != nullptr && !chaos->enabled()) chaos = nullptr;
   obs::TraceWriter trace = obs::TraceWriter::to_file(trace_path);
   trace.enable_capture();
 
@@ -181,6 +195,18 @@ FleetStepOutcome run_fleet_step(const FleetRunSpec& spec,
         fleet::FleetGenerator(mix, desc, spec.seed).generate(spec.fleet_size, &trace);
   } else {
     ckpt = load_fleet_checkpoint(ckpt_path);
+    if (ckpt.rounds_completed == completed_rounds + 1) {
+      // Torn recovery state: a crash between the checkpoint rename and the
+      // meta write lost the step's acknowledgement, but the checkpoint
+      // already holds the completed round. Replay its trace and report the
+      // step done instead of re-simulating (which would double-apply it).
+      trace.write_raw(ckpt.trace_prefix, ckpt.trace_events);
+      trace.flush();
+      FleetStepOutcome replayed;
+      replayed.rounds_completed = ckpt.rounds_completed;
+      replayed.done = ckpt.rounds_completed == spec.rounds;
+      return replayed;
+    }
     if (ckpt.rounds_completed != completed_rounds) {
       throw std::runtime_error("fleet job: checkpoint round mismatch");
     }
@@ -224,7 +250,7 @@ FleetStepOutcome run_fleet_step(const FleetRunSpec& spec,
   ckpt.rounds_completed = completed_rounds + 1;
   ckpt.trace_prefix = trace.captured();
   ckpt.trace_events = trace.captured_events();
-  save_fleet_checkpoint(ckpt, ckpt_path);
+  save_fleet_checkpoint(ckpt, ckpt_path, chaos);
 
   FleetStepOutcome out;
   out.rounds_completed = ckpt.rounds_completed;

@@ -24,6 +24,10 @@
 
 namespace fedsched::coord {
 
+namespace chaos {
+class ChaosInjector;
+}  // namespace chaos
+
 /// What the coordinator reports per simulated fleet round.
 struct FleetRoundSummary {
   std::size_t round = 0;
@@ -59,11 +63,13 @@ struct FleetStepOutcome {
 /// Run one round of `spec`. `completed_rounds` must match the checkpoint at
 /// `ckpt_path` (0 = generate the fleet and start fresh). The trace file at
 /// `trace_path` is rewritten each step from the captured prefix; the
-/// checkpoint is written to a temp file and renamed into place.
+/// checkpoint is written to a temp file and renamed into place. A non-null
+/// enabled `chaos` injector threads that write through its crash points.
 [[nodiscard]] FleetStepOutcome run_fleet_step(const FleetRunSpec& spec,
                                               const std::string& ckpt_path,
                                               const std::string& trace_path,
-                                              std::size_t completed_rounds);
+                                              std::size_t completed_rounds,
+                                              chaos::ChaosInjector* chaos = nullptr);
 
 /// Per-round summaries stored in the checkpoint at `ckpt_path` (the fleet
 /// run's result payload once the run is done).

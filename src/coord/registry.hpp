@@ -14,6 +14,14 @@
 // file. scan() reconstructs each run's lifecycle position from which files
 // exist — that is the whole restart story: result.json wins, then error.txt,
 // then a checkpoint to resume, else the run restarts from round zero.
+//
+// A directory scan() cannot make sense of — torn spec/meta, an id that does
+// not match its directory, a checkpoint whose sealed checksum fails — is
+// *quarantined*: renamed to `<id>.quarantined` (collisions get `.2`, `.3`,
+// ...) with the reason recorded in `quarantine.txt` inside, and the scan
+// keeps going. One corrupt run must never block recovery of the healthy
+// ones. Stale `*.tmp` files (a write that died between tmp and rename) are
+// swept at scan time.
 
 #include <cstddef>
 #include <string>
@@ -23,6 +31,10 @@
 
 namespace fedsched::coord {
 
+namespace chaos {
+class ChaosInjector;
+}  // namespace chaos
+
 /// Where scan() found a run in its lifecycle.
 enum class RecoveredState { kDone, kFailed, kResumable, kFresh };
 
@@ -31,6 +43,24 @@ struct RecoveredRun {
   RecoveredState state = RecoveredState::kFresh;
   std::size_t rounds_completed = 0;  // meaningful for kResumable
   std::string error;                 // meaningful for kFailed
+};
+
+/// One corrupt run directory set aside by scan().
+struct QuarantineRecord {
+  std::string id;        // the directory name the run claimed
+  std::string moved_to;  // quarantine directory name under root
+  std::string reason;
+};
+
+struct ScanOutcome {
+  std::vector<RecoveredRun> runs;              // sorted by id
+  std::vector<QuarantineRecord> quarantined;   // sorted by id
+  std::size_t stale_tmp_removed = 0;
+};
+
+struct AtomicWriteOptions {
+  bool durable = false;
+  chaos::ChaosInjector* chaos = nullptr;  // may be null or disabled
 };
 
 class RunRegistry {
@@ -49,6 +79,15 @@ class RunRegistry {
 
   [[nodiscard]] bool exists(const std::string& id) const;
 
+  /// fsync the temp file and its directory around every rename (power-loss
+  /// durability). Off by default so tests stay fast.
+  void set_durable(bool durable) noexcept { durable_ = durable; }
+  [[nodiscard]] bool durable() const noexcept { return durable_; }
+  /// Optional fault injector threaded through every atomic write. The
+  /// registry does not own it; nullptr (default) and a disabled injector are
+  /// byte-equivalent.
+  void set_chaos(chaos::ChaosInjector* chaos) noexcept { chaos_ = chaos; }
+
   /// Create the run directory and persist spec.json (atomic).
   void persist_spec(const RunSpec& spec) const;
   /// Rewrite meta.json with the step's progress (atomic).
@@ -64,16 +103,39 @@ class RunRegistry {
 
   /// Rebuild every persisted run's lifecycle position, sorted by id so a
   /// restarted coordinator requeues in-flight runs in a deterministic order.
-  [[nodiscard]] std::vector<RecoveredRun> scan() const;
+  /// Corrupt directories are quarantined instead of aborting the scan;
+  /// previously-quarantined directories are skipped. Never throws for
+  /// per-run damage — only for an unreadable root.
+  [[nodiscard]] ScanOutcome scan();
+
+  /// Move a run directory to `<id>.quarantined` and record `reason` in its
+  /// quarantine.txt. Exposed for scan(); safe to call directly.
+  QuarantineRecord quarantine_run(const std::string& id,
+                                  const std::string& reason);
 
  private:
+  [[nodiscard]] AtomicWriteOptions write_options() const noexcept {
+    return {durable_, chaos_};
+  }
+
   std::string root_;
+  bool durable_ = false;
+  chaos::ChaosInjector* chaos_ = nullptr;
 };
 
 /// Shared atomic-write helper (temp file + rename within the directory).
-void write_file_atomic(const std::string& path, const std::string& bytes);
+/// With options.durable the temp file and its directory are fsync'd so the
+/// rename survives power loss; options.chaos threads the write through the
+/// injector's before-tmp / after-tmp / after-rename crash points.
+void write_file_atomic(const std::string& path, const std::string& bytes,
+                       const AtomicWriteOptions& options = {});
 /// Whole-file read; throws std::runtime_error when missing/unreadable.
 [[nodiscard]] std::string read_file(const std::string& path,
                                     const std::string& context);
+/// Validate a sealed artifact's generic framing (header length, declared
+/// payload size, FNV-1a checksum) without knowing its magic. Throws
+/// std::runtime_error with `context` on damage.
+void validate_sealed_artifact(const std::string& bytes,
+                              const std::string& context);
 
 }  // namespace fedsched::coord

@@ -1,18 +1,26 @@
 #include "coord/server.hpp"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "coord/wire.hpp"
 
 namespace fedsched::coord {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 [[noreturn]] void sys_fail(const std::string& what) {
   throw std::runtime_error("coord server: " + what + ": " +
@@ -26,6 +34,15 @@ struct Fd {
   }
   Fd() = default;
   explicit Fd(int f) : fd(f) {}
+  Fd(Fd&& other) noexcept : fd(other.fd) { other.fd = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      if (fd >= 0) ::close(fd);
+      fd = other.fd;
+      other.fd = -1;
+    }
+    return *this;
+  }
   Fd(const Fd&) = delete;
   Fd& operator=(const Fd&) = delete;
 };
@@ -41,43 +58,139 @@ sockaddr_un make_addr(const std::string& socket_path) {
   return addr;
 }
 
-void send_all(int fd, const std::string& bytes) {
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    sys_fail("fcntl O_NONBLOCK");
+  }
+}
+
+void set_blocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) < 0) {
+    sys_fail("fcntl blocking");
+  }
+}
+
+void set_socket_timeout(int fd, int option, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  if (::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+    sys_fail("setsockopt timeout");
+  }
+}
+
+void sleep_seconds(double seconds) {
+  if (seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+/// Send every byte, polling out of EAGAIN on non-blocking sockets, bounded
+/// by `timeout_s` of cumulative waiting. MSG_NOSIGNAL: a peer that vanished
+/// mid-reply must surface as EPIPE, not SIGPIPE.
+void send_all(int fd, std::string_view bytes, double timeout_s = 30.0) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd p{};
+        p.fd = fd;
+        p.events = POLLOUT;
+        const int rc = ::poll(&p, 1, static_cast<int>(timeout_s * 1000.0));
+        if (rc == 0) throw std::runtime_error("coord server: send timed out");
+        if (rc < 0 && errno != EINTR) sys_fail("poll send");
+        continue;
+      }
       sys_fail("send");
     }
     sent += static_cast<std::size_t>(n);
   }
 }
 
-/// Drain the connection through a FrameBuffer, answering each complete
-/// frame. Returns false once the peer closes; throws wire errors upward.
-bool serve_connection(int fd, Coordinator& coordinator) {
-  FrameBuffer buffer;
-  char chunk[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      sys_fail("recv");
-    }
-    if (n == 0) return true;  // peer closed
-    buffer.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
-    // take_frame() already validated the frame (header, length, checksum) —
-    // a corrupt stream throws here, before any verb dispatch runs.
-    while (auto payload = buffer.take_frame()) {
-      send_all(fd, encode_frame(coordinator.handle_request_json(*payload)));
-      if (coordinator.shutdown_requested()) return false;
-    }
+/// Apply the injector's plan to one reply frame. Returns false when the
+/// connection must be closed afterwards (truncate / close actions).
+bool send_reply_frame(int fd, const std::string& frame,
+                      chaos::ChaosInjector* chaos, ServeStats& stats) {
+  if (chaos == nullptr) {
+    send_all(fd, frame);
+    return true;
   }
+  const chaos::FramePlan plan = chaos->plan_frame(frame.size());
+  switch (plan.action) {
+    case chaos::FrameAction::kNone:
+      send_all(fd, frame);
+      return true;
+    case chaos::FrameAction::kDelay:
+      ++stats.chaos_delayed;
+      sleep_seconds(plan.delay_s);
+      send_all(fd, frame);
+      return true;
+    case chaos::FrameAction::kSplit:
+      ++stats.chaos_split;
+      send_all(fd, std::string_view(frame).substr(0, plan.boundary));
+      sleep_seconds(plan.delay_s);
+      send_all(fd, std::string_view(frame).substr(plan.boundary));
+      return true;
+    case chaos::FrameAction::kTruncate:
+      ++stats.chaos_truncated;
+      send_all(fd, std::string_view(frame).substr(0, plan.boundary));
+      return false;
+    case chaos::FrameAction::kClose:
+      ++stats.chaos_closed;
+      return false;
+  }
+  return true;
+}
+
+struct Connection {
+  Fd fd;
+  FrameBuffer buffer;
+  Clock::time_point last_activity;
+  Clock::time_point frame_start;  // when the current partial frame began
+  bool in_frame = false;
+
+  Connection(int f, Clock::time_point now) : fd(f), last_activity(now) {}
+};
+
+void emit_drop(Coordinator& coordinator, const char* reason,
+               const char* counter) {
+  common::JsonObject ev;
+  ev.field("ev", "coord_conn_drop").field("reason", reason);
+  coordinator.record_event(ev, counter);
 }
 
 }  // namespace
 
+SocketPathGuard::~SocketPathGuard() {
+  if (!path_.empty()) ::unlink(path_.c_str());
+}
+
+double RetryPolicy::backoff_before_attempt(std::size_t attempt) const {
+  if (attempt == 0) return 0.0;
+  double backoff = backoff_base_s;
+  for (std::size_t i = 1; i < attempt && backoff < backoff_max_s; ++i) {
+    backoff *= 2.0;
+  }
+  return backoff < backoff_max_s ? backoff : backoff_max_s;
+}
+
 void serve(Coordinator& coordinator, const std::string& socket_path) {
+  serve(coordinator, socket_path, ServeOptions{}, nullptr);
+}
+
+void serve(Coordinator& coordinator, const std::string& socket_path,
+           const ServeOptions& options, ServeStats* stats_out) {
+  ServeStats local_stats;
+  ServeStats& stats = stats_out != nullptr ? *stats_out : local_stats;
+  chaos::ChaosInjector* chaos =
+      (options.chaos != nullptr && options.chaos->enabled()) ? options.chaos
+                                                             : nullptr;
+
   const sockaddr_un addr = make_addr(socket_path);
   Fd listener(::socket(AF_UNIX, SOCK_STREAM, 0));
   if (listener.fd < 0) sys_fail("socket");
@@ -86,41 +199,176 @@ void serve(Coordinator& coordinator, const std::string& socket_path) {
              sizeof(addr)) != 0) {
     sys_fail("bind " + socket_path);
   }
-  if (::listen(listener.fd, 16) != 0) sys_fail("listen");
+  // From here the path exists on disk; the guard removes it on every exit —
+  // normal shutdown, chaos crash, or an exception out of the loop.
+  SocketPathGuard socket_guard(socket_path);
+  if (::listen(listener.fd, 64) != 0) sys_fail("listen");
+  set_nonblocking(listener.fd);
 
-  bool keep_serving = true;
-  while (keep_serving) {
-    Fd conn(::accept(listener.fd, nullptr, nullptr));
-    if (conn.fd < 0) {
-      if (errno == EINTR) continue;
-      sys_fail("accept");
+  std::vector<std::unique_ptr<Connection>> conns;
+  bool shutting_down = false;
+  while (!shutting_down) {
+    if (coordinator.chaos_crashed()) return;  // simulated process death
+
+    std::vector<pollfd> fds;
+    fds.reserve(conns.size() + 1);
+    {
+      pollfd p{};
+      p.fd = listener.fd;
+      p.events = POLLIN;
+      fds.push_back(p);
     }
-    try {
-      keep_serving = serve_connection(conn.fd, coordinator);
-    } catch (const std::exception& ex) {
-      // Corrupt byte stream: best-effort error reply, drop the connection.
-      // Decode-before-dispatch means the coordinator state is untouched.
-      try {
-        common::JsonObject o;
-        o.field("ok", false).field("error", ex.what());
-        send_all(conn.fd, encode_frame(o.str()));
-      } catch (...) {
+    for (const auto& conn : conns) {
+      pollfd p{};
+      p.fd = conn->fd.fd;
+      p.events = POLLIN;
+      fds.push_back(p);
+    }
+    const int rc = ::poll(fds.data(), fds.size(), options.poll_interval_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("poll");
+    }
+    const Clock::time_point now = Clock::now();
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int conn_fd = ::accept(listener.fd, nullptr, nullptr);
+        if (conn_fd < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+          sys_fail("accept");
+        }
+        set_nonblocking(conn_fd);
+        conns.push_back(std::make_unique<Connection>(conn_fd, now));
+        ++stats.connections;
+      }
+    }
+
+    // Bound by the polled set, not conns.size(): the accept loop above may
+    // have appended connections that have no pollfd this tick — they are
+    // picked up by the next poll round.
+    for (std::size_t i = 0; i + 1 < fds.size() && !shutting_down; ++i) {
+      Connection& conn = *conns[i];
+      bool dead = false;
+      if ((fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        char chunk[4096];
+        while (!dead && !shutting_down) {
+          const ssize_t n = ::recv(conn.fd.fd, chunk, sizeof(chunk), 0);
+          if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            dead = true;
+            break;
+          }
+          if (n == 0) {  // peer closed
+            dead = true;
+            break;
+          }
+          conn.last_activity = now;
+          if (!conn.in_frame) {
+            conn.in_frame = true;
+            conn.frame_start = now;
+          }
+          try {
+            conn.buffer.feed(
+                std::string_view(chunk, static_cast<std::size_t>(n)));
+            // take_frame() already validated the frame (header, length,
+            // checksum) — a corrupt stream throws here, before any verb
+            // dispatch runs.
+            while (auto payload = conn.buffer.take_frame()) {
+              ++stats.frames;
+              const std::string reply =
+                  encode_frame(coordinator.handle_request_json(*payload));
+              if (!send_reply_frame(conn.fd.fd, reply, chaos, stats)) {
+                dead = true;
+                break;
+              }
+              if (coordinator.shutdown_requested()) shutting_down = true;
+            }
+            if (conn.buffer.pending_bytes() == 0) conn.in_frame = false;
+          } catch (const std::exception& ex) {
+            // Corrupt byte stream or send failure: best-effort error reply,
+            // drop the connection. Decode-before-dispatch means the
+            // coordinator state is untouched.
+            ++stats.protocol_drops;
+            emit_drop(coordinator, "protocol", "coord.conn_protocol_drops");
+            try {
+              common::JsonObject o;
+              o.field("ok", false).field("error", ex.what());
+              send_all(conn.fd.fd, encode_frame(o.str()), 1.0);
+            } catch (...) {
+            }
+            dead = true;
+          }
+        }
+      }
+      if (!dead && !shutting_down) {
+        const double frame_age =
+            std::chrono::duration<double>(now - conn.frame_start).count();
+        const double idle =
+            std::chrono::duration<double>(now - conn.last_activity).count();
+        if (conn.in_frame && frame_age > options.read_deadline_s) {
+          // Slow-loris: bytes may still trickle in, but the frame they
+          // belong to is older than the deadline.
+          ++stats.deadline_drops;
+          emit_drop(coordinator, "read_deadline", "coord.conn_deadline_drops");
+          dead = true;
+        } else if (!conn.in_frame && idle > options.idle_timeout_s) {
+          ++stats.idle_drops;
+          emit_drop(coordinator, "idle_timeout", "coord.conn_idle_drops");
+          dead = true;
+        }
+      }
+      if (dead) {
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+        fds.erase(fds.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+        --i;
       }
     }
   }
-  ::unlink(socket_path.c_str());
 }
 
-std::string request(const std::string& socket_path,
-                    const std::string& request_json) {
+namespace {
+
+std::string request_once(const std::string& socket_path,
+                         const std::string& request_json,
+                         const RetryPolicy& policy) {
   const sockaddr_un addr = make_addr(socket_path);
   Fd conn(::socket(AF_UNIX, SOCK_STREAM, 0));
   if (conn.fd < 0) sys_fail("socket");
+
+  // Bounded connect: non-blocking + poll for writability + SO_ERROR.
+  set_nonblocking(conn.fd);
   if (::connect(conn.fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
-    sys_fail("connect " + socket_path);
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      sys_fail("connect " + socket_path);
+    }
+    pollfd p{};
+    p.fd = conn.fd;
+    p.events = POLLOUT;
+    const int rc =
+        ::poll(&p, 1, static_cast<int>(policy.connect_timeout_s * 1000.0));
+    if (rc == 0) {
+      throw std::runtime_error("coord client: connect to " + socket_path +
+                               " timed out");
+    }
+    if (rc < 0) sys_fail("poll connect");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      sys_fail("getsockopt SO_ERROR");
+    }
+    if (err != 0) {
+      errno = err;
+      sys_fail("connect " + socket_path);
+    }
   }
-  send_all(conn.fd, encode_frame(request_json));
+  set_blocking(conn.fd);
+  set_socket_timeout(conn.fd, SO_RCVTIMEO, policy.recv_timeout_s);
+  set_socket_timeout(conn.fd, SO_SNDTIMEO, policy.recv_timeout_s);
+
+  send_all(conn.fd, encode_frame(request_json), policy.recv_timeout_s);
 
   FrameBuffer buffer;
   char chunk[4096];
@@ -128,6 +376,10 @@ std::string request(const std::string& socket_path,
     const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw std::runtime_error("coord client: reply from " + socket_path +
+                                 " timed out");
+      }
       sys_fail("recv");
     }
     if (n == 0) {
@@ -136,6 +388,70 @@ std::string request(const std::string& socket_path,
     buffer.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
     if (auto frame = buffer.take_frame()) return std::string(*frame);
   }
+}
+
+}  // namespace
+
+std::string request(const std::string& socket_path,
+                    const std::string& request_json) {
+  RetryPolicy once;
+  once.attempts = 1;
+  return request_with_retry(socket_path, request_json, once);
+}
+
+std::string request_with_retry(const std::string& socket_path,
+                               const std::string& request_json,
+                               const RetryPolicy& policy) {
+  const std::size_t attempts = policy.attempts > 0 ? policy.attempts : 1;
+  std::string last_error;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    sleep_seconds(policy.backoff_before_attempt(attempt));
+    try {
+      return request_once(socket_path, request_json, policy);
+    } catch (const std::exception& ex) {
+      last_error = ex.what();
+    }
+  }
+  if (attempts == 1) throw std::runtime_error(last_error);
+  throw std::runtime_error(last_error + " (after " + std::to_string(attempts) +
+                           " attempts)");
+}
+
+std::string submit_with_retry(const std::string& socket_path,
+                              const RunSpec& spec, const RetryPolicy& policy) {
+  common::JsonObject req;
+  req.field("verb", "submit").field_raw("spec", run_spec_json(spec));
+  const std::string request_json = req.str();
+  const std::size_t attempts = policy.attempts > 0 ? policy.attempts : 1;
+  std::string last_error;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    sleep_seconds(policy.backoff_before_attempt(attempt));
+    std::string reply_json;
+    try {
+      reply_json = request_once(socket_path, request_json, policy);
+    } catch (const std::exception& ex) {
+      last_error = ex.what();
+      continue;
+    }
+    const common::JsonValue reply = common::json_parse(reply_json);
+    if (reply.get_bool("ok", false)) return reply_json;
+    const std::string error = reply.get_string("error", "");
+    if (attempt > 0 && error.find("duplicate run id") != std::string::npos) {
+      // An earlier attempt landed and only its ack was lost: the run is
+      // registered, so its status reply is this submit's success document.
+      const std::string status_reply = request_with_retry(
+          socket_path,
+          common::JsonObject().field("verb", "status").field("id", spec.id).str(),
+          policy);
+      if (common::json_parse(status_reply).get_bool("ok", false)) {
+        return status_reply;
+      }
+    }
+    return reply_json;  // genuine rejection — retrying cannot help
+  }
+  throw std::runtime_error("coord client: submit of '" + spec.id +
+                           "' failed after " + std::to_string(attempts) +
+                           " attempts: " + last_error);
 }
 
 }  // namespace fedsched::coord

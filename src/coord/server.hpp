@@ -1,32 +1,120 @@
 #pragma once
 // Local-socket transport for the coordinator protocol.
 //
-// serve() binds an AF_UNIX stream socket and services one connection at a
-// time: frames are accumulated through a FrameBuffer, each complete frame is
-// answered via Coordinator::handle_frame, and a malformed byte stream gets a
-// best-effort error reply before the connection is dropped (the coordinator
-// itself is untouched — decode happens before dispatch). The accept loop
-// exits after a "shutdown" verb is handled; in-flight run steps finish and
-// checkpoint through Coordinator::stop().
+// serve() binds an AF_UNIX stream socket and services many connections at
+// once through a poll() loop: frames are accumulated per-connection through
+// a FrameBuffer, each complete frame is answered via
+// Coordinator::handle_frame, and a malformed byte stream gets a best-effort
+// error reply before the connection is dropped (the coordinator itself is
+// untouched — decode happens before dispatch). Two deadlines keep a hostile
+// or wedged peer from holding resources: a *read deadline* measured from the
+// first byte of a partial frame (a slow-loris trickling one byte at a time
+// is dropped once the frame is older than the deadline, while other
+// connections keep being served), and an *idle timeout* for connections with
+// no traffic at all. The accept loop exits after a "shutdown" verb is
+// handled (in-flight run steps finish and checkpoint through
+// Coordinator::stop()), or as soon as the coordinator reports
+// chaos_crashed() — simulated process death takes the server down with it.
+// The bound socket path is removed via RAII on *every* exit path, including
+// exceptions, so a crashed server never leaves a stale socket behind.
 //
 // request() is the matching client side: one connection, one frame out, one
-// reply frame back. `fedsched_cli submit/coord` is a thin wrapper over it.
+// reply frame back, with a bounded connect and a receive deadline.
+// request_with_retry() adds a deterministic exponential-backoff schedule,
+// and submit_with_retry() makes re-submission idempotent: a duplicate-id
+// rejection on a retry attempt means the lost ack's submit actually landed,
+// so it is confirmed via `status` and treated as success.
+// `fedsched_cli submit/coord` is a thin wrapper over these.
 
+#include <cstddef>
 #include <string>
 
 #include "coord/coordinator.hpp"
 
 namespace fedsched::coord {
 
+/// Unlinks `path` on destruction — exception-safe cleanup of the bound
+/// AF_UNIX socket path.
+class SocketPathGuard {
+ public:
+  explicit SocketPathGuard(std::string path) : path_(std::move(path)) {}
+  ~SocketPathGuard();
+  SocketPathGuard(const SocketPathGuard&) = delete;
+  SocketPathGuard& operator=(const SocketPathGuard&) = delete;
+
+  /// Keep the path (ownership transferred elsewhere).
+  void release() noexcept { path_.clear(); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+struct ServeOptions {
+  /// Max real seconds a partial frame may sit unfinished before the
+  /// connection is dropped (slow-loris defense).
+  double read_deadline_s = 30.0;
+  /// Max real seconds a connection may stay silent between frames.
+  double idle_timeout_s = 600.0;
+  /// poll() tick; bounds how late deadline enforcement can fire.
+  int poll_interval_ms = 50;
+  /// Reply-frame fault injection (truncate/split/delay/close). The server
+  /// does not own it; nullptr or a disabled injector is byte-inert.
+  chaos::ChaosInjector* chaos = nullptr;
+};
+
+struct ServeStats {
+  std::size_t connections = 0;
+  std::size_t frames = 0;
+  std::size_t deadline_drops = 0;
+  std::size_t idle_drops = 0;
+  std::size_t protocol_drops = 0;
+  std::size_t chaos_truncated = 0;
+  std::size_t chaos_split = 0;
+  std::size_t chaos_delayed = 0;
+  std::size_t chaos_closed = 0;
+};
+
 /// Serve `coordinator` on an AF_UNIX socket at `socket_path` until a
-/// shutdown verb arrives. Replaces a stale socket file at that path; removes
-/// it on exit. Throws std::runtime_error on socket setup failures.
+/// shutdown verb arrives (or the coordinator chaos-crashes). Replaces a
+/// stale socket file at that path; removes it on every exit path. Throws
+/// std::runtime_error on socket setup failures.
 void serve(Coordinator& coordinator, const std::string& socket_path);
+void serve(Coordinator& coordinator, const std::string& socket_path,
+           const ServeOptions& options, ServeStats* stats = nullptr);
+
+struct RetryPolicy {
+  /// Total tries (min 1). request() uses a single attempt by default.
+  std::size_t attempts = 3;
+  double connect_timeout_s = 5.0;
+  double recv_timeout_s = 10.0;
+  /// Deterministic backoff before retry i (1-based):
+  /// min(backoff_base_s * 2^(i-1), backoff_max_s).
+  double backoff_base_s = 0.05;
+  double backoff_max_s = 2.0;
+
+  [[nodiscard]] double backoff_before_attempt(std::size_t attempt) const;
+};
 
 /// Send one request document to the server at `socket_path` and return the
 /// reply document. Throws std::runtime_error on connection or protocol
-/// failures.
+/// failures. Connect and receive are bounded by RetryPolicy defaults.
 [[nodiscard]] std::string request(const std::string& socket_path,
                                   const std::string& request_json);
+
+/// request() with `policy.attempts` tries and deterministic exponential
+/// backoff between them. Throws the last failure once attempts run out.
+[[nodiscard]] std::string request_with_retry(const std::string& socket_path,
+                                             const std::string& request_json,
+                                             const RetryPolicy& policy);
+
+/// Idempotent submit: retries like request_with_retry, but a duplicate-id
+/// rejection on any attempt after the first means an earlier try landed and
+/// only its ack was lost — the run's `status` reply is returned as the
+/// success document. A duplicate on the *first* attempt is a genuine
+/// rejection and is returned as-is. Other rejections are never retried.
+[[nodiscard]] std::string submit_with_retry(const std::string& socket_path,
+                                            const RunSpec& spec,
+                                            const RetryPolicy& policy);
 
 }  // namespace fedsched::coord

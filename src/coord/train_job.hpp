@@ -34,6 +34,10 @@
 
 namespace fedsched::coord {
 
+namespace chaos {
+class ChaosInjector;
+}  // namespace chaos
+
 /// Everything a FedAvgRunner needs, fully deterministic in the spec.
 struct TrainJob {
   data::Dataset train;
@@ -68,10 +72,13 @@ struct TrainStepOutcome {
 /// captured prefix, so after the final step it is byte-identical to an
 /// uninterrupted run's. The checkpoint is written to a temp file and renamed
 /// into place, so a kill mid-step can never leave a corrupt resume point.
+/// A non-null enabled `chaos` injector threads the checkpoint write through
+/// its before-tmp / after-tmp / after-rename crash points.
 [[nodiscard]] TrainStepOutcome run_train_step(const TrainRunSpec& spec,
                                               const std::string& ckpt_path,
                                               const std::string& trace_path,
-                                              std::size_t completed_rounds);
+                                              std::size_t completed_rounds,
+                                              chaos::ChaosInjector* chaos = nullptr);
 
 /// The complete run in one call with the same cadence (checkpoint every
 /// round) — the reference the stepped execution must match byte-for-byte.

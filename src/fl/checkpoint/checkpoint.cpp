@@ -200,6 +200,24 @@ void save_checkpoint(const RunState& state, const std::string& path) {
   write_sidecar(state, path + ".meta.jsonl");
 }
 
+std::uint64_t peek_rounds_completed(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("peek_rounds_completed: cannot open " + path);
+  }
+  std::string file((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw std::runtime_error("peek_rounds_completed: read failed for " + path);
+  }
+  const std::string_view body = open(kMagic, kFormatVersion, file,
+                                     "peek_rounds_completed: " + path,
+                                     "fedsched checkpoint");
+  Reader payload(body, "peek_rounds_completed: " + path);
+  (void)payload.get_u64();    // seed
+  return payload.get_u64();   // rounds_completed
+}
+
 RunState load_checkpoint(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);

@@ -102,4 +102,11 @@ void save_checkpoint(const RunState& state, const std::string& path);
 /// on I/O failure, bad magic, or an unsupported format version.
 [[nodiscard]] RunState load_checkpoint(const std::string& path);
 
+/// Read only the `rounds_completed` field (the header and payload checksum
+/// are still fully validated first). Lets the coordinator detect a
+/// checkpoint one round ahead of its meta — the torn state a crash between
+/// the checkpoint rename and the meta write leaves behind — without paying
+/// for a full state restore.
+[[nodiscard]] std::uint64_t peek_rounds_completed(const std::string& path);
+
 }  // namespace fedsched::fl::checkpoint

@@ -1,0 +1,466 @@
+// Service-plane chaos contract (coord/chaos):
+//   * the injector is a pure function of (seed, op-counter) — two injectors
+//     with the same config plan identical fault schedules, and a disabled
+//     injector is a byte-inert no-op that burns no counter;
+//   * crash-recovery soak — for EVERY registry write point (spec, per-step
+//     checkpoint, meta, result) and EVERY phase inside the atomic write
+//     (before-tmp / after-tmp / after-rename), kill the coordinator at that
+//     exact point, restart a fresh one over the same root, and assert the
+//     finished run's trace, result document, and checkpoint are byte-identical
+//     to a run that was never disturbed;
+//   * seeded mode — probabilistic crashes over a matrix of seeds converge to
+//     the same bytes through repeated kill/restart cycles;
+//   * job chaos — fail_round marks exactly the targeted run failed,
+//     hang_round baits the watchdog, which frees the worker so healthy runs
+//     still finish.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "coord/chaos/chaos.hpp"
+#include "coord/coordinator.hpp"
+
+namespace fedsched::coord {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(CoordChaosInjector, DisabledInjectorIsInertAndBurnsNoCounters) {
+  chaos::ChaosInjector injector;  // default: disabled
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_EQ(injector.begin_write(), 0u);
+  EXPECT_EQ(injector.begin_write(), 0u);
+  EXPECT_EQ(injector.write_ops(), 0u);
+  EXPECT_NO_THROW(
+      injector.crash_point(0, chaos::CrashPhase::kAfterRename, "x"));
+  EXPECT_EQ(injector.plan_frame(64).action, chaos::FrameAction::kNone);
+  EXPECT_EQ(injector.frame_ops(), 0u);
+  EXPECT_FALSE(injector.should_fail_round("any", 0));
+  EXPECT_EQ(injector.hang_before_round("any", 0), 0.0);
+
+  // Armed knobs are still inert while the master switch is off.
+  chaos::ChaosConfig config;
+  config.crash_at_write = 0;
+  config.fail_round = 0;
+  config.hang_round = 0;
+  config.hang_s = 10.0;
+  chaos::ChaosInjector off(config);
+  EXPECT_NO_THROW(off.crash_point(0, chaos::CrashPhase::kBeforeTmp, "x"));
+  EXPECT_FALSE(off.should_fail_round("any", 0));
+  EXPECT_EQ(off.hang_before_round("any", 0), 0.0);
+}
+
+TEST(CoordChaosInjector, ConfigValidationRejectsBadKnobs) {
+  const auto expect_invalid = [](chaos::ChaosConfig config) {
+    EXPECT_THROW(chaos::ChaosInjector{config}, std::invalid_argument);
+  };
+  chaos::ChaosConfig bad_prob;
+  bad_prob.crash_prob = 1.5;
+  expect_invalid(bad_prob);
+  chaos::ChaosConfig bad_sum;
+  bad_sum.frame_truncate_prob = 0.6;
+  bad_sum.frame_close_prob = 0.6;
+  expect_invalid(bad_sum);
+  chaos::ChaosConfig bad_delay;
+  bad_delay.frame_delay_s = -0.1;
+  expect_invalid(bad_delay);
+  chaos::ChaosConfig bad_hang;
+  bad_hang.hang_s = -1.0;
+  expect_invalid(bad_hang);
+}
+
+TEST(CoordChaosInjector, CrashPhaseNamesRoundTrip) {
+  for (const chaos::CrashPhase phase :
+       {chaos::CrashPhase::kBeforeTmp, chaos::CrashPhase::kAfterTmp,
+        chaos::CrashPhase::kAfterRename}) {
+    EXPECT_EQ(chaos::parse_crash_phase(chaos::crash_phase_name(phase)), phase);
+  }
+  EXPECT_THROW((void)chaos::parse_crash_phase("mid-air"), std::invalid_argument);
+}
+
+TEST(CoordChaosInjector, ArmedCrashFiresAtExactOpAndPhaseOnly) {
+  chaos::ChaosConfig config;
+  config.enabled = true;
+  config.crash_at_write = 2;
+  config.crash_phase = chaos::CrashPhase::kAfterTmp;
+  chaos::ChaosInjector injector(config);
+
+  EXPECT_EQ(injector.begin_write(), 0u);
+  EXPECT_EQ(injector.begin_write(), 1u);
+  EXPECT_EQ(injector.begin_write(), 2u);
+  EXPECT_EQ(injector.write_ops(), 3u);
+
+  EXPECT_NO_THROW(injector.crash_point(0, chaos::CrashPhase::kAfterTmp, "a"));
+  EXPECT_NO_THROW(injector.crash_point(2, chaos::CrashPhase::kBeforeTmp, "a"));
+  EXPECT_NO_THROW(injector.crash_point(2, chaos::CrashPhase::kAfterRename, "a"));
+  bool crashed = false;
+  try {
+    injector.crash_point(2, chaos::CrashPhase::kAfterTmp, "root/r1/meta.json");
+  } catch (const chaos::ChaosCrash& crash) {
+    crashed = true;
+    EXPECT_EQ(crash.op, 2u);
+    EXPECT_EQ(crash.phase, chaos::CrashPhase::kAfterTmp);
+    EXPECT_EQ(crash.path, "root/r1/meta.json");
+  }
+  EXPECT_TRUE(crashed);
+}
+
+TEST(CoordChaosInjector, FramePlansAreDeterministicFunctionsOfSeed) {
+  chaos::ChaosConfig config;
+  config.enabled = true;
+  config.seed = 7;
+  config.frame_truncate_prob = 0.2;
+  config.frame_close_prob = 0.2;
+  config.frame_delay_prob = 0.2;
+  config.frame_split_prob = 0.2;
+  config.frame_delay_s = 0.01;
+  chaos::ChaosInjector a(config);
+  chaos::ChaosInjector b(config);
+
+  bool saw_truncate = false, saw_close = false, saw_delay = false,
+       saw_split = false;
+  for (int i = 0; i < 256; ++i) {
+    const chaos::FramePlan pa = a.plan_frame(64);
+    const chaos::FramePlan pb = b.plan_frame(64);
+    EXPECT_EQ(pa.action, pb.action) << "frame " << i;
+    EXPECT_EQ(pa.boundary, pb.boundary) << "frame " << i;
+    EXPECT_EQ(pa.delay_s, pb.delay_s) << "frame " << i;
+    if (pa.action == chaos::FrameAction::kTruncate ||
+        pa.action == chaos::FrameAction::kSplit) {
+      EXPECT_GE(pa.boundary, 1u);
+      EXPECT_LT(pa.boundary, 64u);
+    }
+    saw_truncate = saw_truncate || pa.action == chaos::FrameAction::kTruncate;
+    saw_close = saw_close || pa.action == chaos::FrameAction::kClose;
+    saw_delay = saw_delay || pa.action == chaos::FrameAction::kDelay;
+    saw_split = saw_split || pa.action == chaos::FrameAction::kSplit;
+  }
+  EXPECT_TRUE(saw_truncate && saw_close && saw_delay && saw_split);
+
+  // The targeted lost-ack knob overrides the hashed draw at its frame op.
+  chaos::ChaosConfig targeted;
+  targeted.enabled = true;
+  targeted.close_reply_at = 1;
+  chaos::ChaosInjector t(targeted);
+  EXPECT_EQ(t.plan_frame(64).action, chaos::FrameAction::kNone);
+  EXPECT_EQ(t.plan_frame(64).action, chaos::FrameAction::kClose);
+  EXPECT_EQ(t.plan_frame(64).action, chaos::FrameAction::kNone);
+}
+
+TEST(CoordChaosInjector, JobHooksTargetRunAndRound) {
+  chaos::ChaosConfig config;
+  config.enabled = true;
+  config.fail_round = 1;
+  config.fail_run_id = "victim";
+  config.hang_round = 0;
+  config.hang_s = 0.25;
+  chaos::ChaosInjector injector(config);
+  EXPECT_TRUE(injector.should_fail_round("victim", 1));
+  EXPECT_FALSE(injector.should_fail_round("victim", 0));
+  EXPECT_FALSE(injector.should_fail_round("bystander", 1));
+  // Empty hang_run_id means every run hangs at the configured round.
+  EXPECT_EQ(injector.hang_before_round("anyone", 0), 0.25);
+  EXPECT_EQ(injector.hang_before_round("anyone", 1), 0.0);
+}
+
+class CoordChaos : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = fs::temp_directory_path() /
+            ("fedsched_chaos_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+    fs::remove_all(base_);
+    fs::create_directories(base_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(base_, ec);
+  }
+
+  [[nodiscard]] std::string root(const std::string& name) const {
+    return (base_ / name).string();
+  }
+
+  // Single worker, single in-flight step: the registry write-op sequence is
+  // then a deterministic function of the spec alone, which is what lets the
+  // soak enumerate every crash point by op index.
+  static CoordinatorConfig config(const std::string& root) {
+    CoordinatorConfig cfg;
+    cfg.root = root;
+    cfg.workers = 1;
+    cfg.max_concurrent_rounds = 1;
+    return cfg;
+  }
+
+  static RunSpec fleet_spec(const std::string& id, std::size_t rounds) {
+    RunSpec spec;
+    spec.id = id;
+    spec.kind = RunKind::kFleet;
+    spec.fleet.fleet_size = 300;
+    spec.fleet.buckets = 16;
+    spec.fleet.rounds = rounds;
+    spec.fleet.seed = 5;
+    return spec;
+  }
+
+  static RunSpec train_spec(const std::string& id, std::size_t rounds) {
+    RunSpec spec;
+    spec.id = id;
+    spec.kind = RunKind::kTrain;
+    spec.train.samples = 300;
+    spec.train.rounds = rounds;
+    spec.train.seed = 9;
+    return spec;
+  }
+
+  struct Artifacts {
+    std::string trace;
+    std::string result;
+    std::string ckpt;
+  };
+
+  Artifacts run_reference(const RunSpec& spec, const std::string& name) {
+    Coordinator coordinator(config(root(name)));
+    EXPECT_TRUE(coordinator.submit(spec).accepted);
+    coordinator.wait_all_done();
+    EXPECT_EQ(coordinator.status(spec.id)->status, RunStatus::kDone);
+    return {coordinator.trace_bytes(spec.id),
+            coordinator.result_document(spec.id),
+            coordinator.checkpoint_bytes(spec.id)};
+  }
+
+  // Kill/restart soak over every (write op, crash phase) pair. Returns the
+  // number of write ops the run performs, discovered by arming one op past
+  // the end and observing no crash.
+  std::size_t soak(const RunSpec& spec, const Artifacts& reference,
+                   chaos::CrashPhase phase) {
+    std::size_t ops = 0;
+    for (std::int64_t op = 0; op < 32; ++op) {
+      const std::string run_root =
+          root(std::string(chaos::crash_phase_name(phase)) + "_op" +
+               std::to_string(op));
+      bool crashed = false;
+      {
+        CoordinatorConfig armed_cfg = config(run_root);
+        armed_cfg.chaos.enabled = true;
+        armed_cfg.chaos.crash_at_write = op;
+        armed_cfg.chaos.crash_phase = phase;
+        Coordinator armed(armed_cfg);
+        const SubmitOutcome out = armed.submit(spec);
+        if (out.accepted) armed.wait_all_done();
+        crashed = armed.chaos_crashed();
+        if (!out.accepted) {
+          // The only way a submit fails here is a crash while persisting the
+          // spec (op 0).
+          EXPECT_TRUE(crashed) << out.error;
+        }
+      }
+      if (!crashed) {
+        ops = static_cast<std::size_t>(op);
+        break;
+      }
+
+      // The real restart path: a fresh, unarmed coordinator over the same
+      // root. When the crash predates a durable spec.json the run vanished
+      // entirely and the client must re-submit.
+      Coordinator recovered(config(run_root));
+      EXPECT_TRUE(recovered.quarantined().empty())
+          << "crash state looked corrupt at op " << op << " phase "
+          << chaos::crash_phase_name(phase) << ": "
+          << recovered.quarantined().front().reason;
+      if (!recovered.status(spec.id).has_value()) {
+        EXPECT_TRUE(recovered.submit(spec).accepted);
+      }
+      recovered.wait_all_done();
+      const auto info = recovered.status(spec.id);
+      EXPECT_TRUE(info.has_value());
+      if (!info.has_value()) continue;
+      EXPECT_EQ(info->status, RunStatus::kDone)
+          << "op " << op << " phase " << chaos::crash_phase_name(phase) << ": "
+          << info->error;
+      if (info->status != RunStatus::kDone) continue;
+      EXPECT_EQ(recovered.trace_bytes(spec.id), reference.trace)
+          << "op " << op << " phase " << chaos::crash_phase_name(phase);
+      EXPECT_EQ(recovered.result_document(spec.id), reference.result)
+          << "op " << op << " phase " << chaos::crash_phase_name(phase);
+      EXPECT_EQ(recovered.checkpoint_bytes(spec.id), reference.ckpt)
+          << "op " << op << " phase " << chaos::crash_phase_name(phase);
+    }
+    return ops;
+  }
+
+  fs::path base_;
+};
+
+TEST_F(CoordChaos, DisabledChaosConfigIsByteInert) {
+  const RunSpec spec = fleet_spec("f1", 2);
+  const Artifacts plain = run_reference(spec, "plain");
+
+  CoordinatorConfig cfg = config(root("armed_but_off"));
+  cfg.chaos.enabled = false;  // master switch off; every other knob armed
+  cfg.chaos.seed = 99;
+  cfg.chaos.crash_at_write = 0;
+  cfg.chaos.crash_prob = 1.0;
+  cfg.chaos.fail_round = 0;
+  Coordinator coordinator(cfg);
+  ASSERT_TRUE(coordinator.submit(spec).accepted);
+  coordinator.wait_all_done();
+  ASSERT_EQ(coordinator.status("f1")->status, RunStatus::kDone);
+  EXPECT_EQ(coordinator.trace_bytes("f1"), plain.trace);
+  EXPECT_EQ(coordinator.result_document("f1"), plain.result);
+  EXPECT_EQ(coordinator.checkpoint_bytes("f1"), plain.ckpt);
+  EXPECT_EQ(coordinator.chaos().write_ops(), 0u);
+  EXPECT_FALSE(coordinator.chaos_crashed());
+}
+
+TEST_F(CoordChaos, CrashRecoverySoakCoversEveryFleetWritePoint) {
+  // 3-round fleet run, one worker: spec + (ckpt, meta) + (ckpt, meta) +
+  // (ckpt, result, meta) = 8 registry write ops, each with 3 crash phases.
+  const RunSpec spec = fleet_spec("f1", 3);
+  const Artifacts reference = run_reference(spec, "ref");
+  for (const chaos::CrashPhase phase :
+       {chaos::CrashPhase::kBeforeTmp, chaos::CrashPhase::kAfterTmp,
+        chaos::CrashPhase::kAfterRename}) {
+    EXPECT_EQ(soak(spec, reference, phase), 8u)
+        << "write-op count drifted for phase "
+        << chaos::crash_phase_name(phase)
+        << " — the soak no longer covers every write point";
+  }
+}
+
+TEST_F(CoordChaos, CrashRecoverySoakCoversEveryTrainWritePoint) {
+  // 3-round train run: same 8-op schedule, but each step's checkpoint write
+  // op spans the FedAvg runner itself, and recovery exercises the torn
+  // ckpt-ahead-of-meta states (mid-run replay and final-round tail rerun).
+  const RunSpec spec = train_spec("t1", 3);
+  const Artifacts reference = run_reference(spec, "ref");
+  for (const chaos::CrashPhase phase :
+       {chaos::CrashPhase::kBeforeTmp, chaos::CrashPhase::kAfterTmp,
+        chaos::CrashPhase::kAfterRename}) {
+    EXPECT_EQ(soak(spec, reference, phase), 8u)
+        << "write-op count drifted for phase "
+        << chaos::crash_phase_name(phase);
+  }
+}
+
+TEST_F(CoordChaos, SeededCrashMatrixConvergesToReferenceBytes) {
+  const RunSpec spec = fleet_spec("f1", 2);
+  const Artifacts reference = run_reference(spec, "ref");
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    const std::string run_root = root("seed" + std::to_string(seed));
+    bool done = false;
+    int restarts = 0;
+    for (int attempt = 0; attempt < 50 && !done; ++attempt) {
+      CoordinatorConfig cfg = config(run_root);
+      cfg.chaos.enabled = true;
+      // A fresh sub-seed per restart: a fixed seed could re-fire the same
+      // draw at the same op index forever.
+      cfg.chaos.seed = seed + 1000u * static_cast<std::uint64_t>(attempt);
+      cfg.chaos.crash_prob = 0.12;
+      Coordinator coordinator(cfg);
+      ASSERT_TRUE(coordinator.quarantined().empty());
+      if (!coordinator.status(spec.id).has_value()) {
+        const SubmitOutcome out = coordinator.submit(spec);
+        if (!out.accepted) {
+          ASSERT_TRUE(coordinator.chaos_crashed()) << out.error;
+          ++restarts;
+          continue;
+        }
+      }
+      coordinator.wait_all_done();
+      if (coordinator.chaos_crashed()) {
+        ++restarts;
+        continue;
+      }
+      ASSERT_EQ(coordinator.status(spec.id)->status, RunStatus::kDone);
+      EXPECT_EQ(coordinator.trace_bytes(spec.id), reference.trace)
+          << "seed " << seed << " after " << restarts << " restarts";
+      EXPECT_EQ(coordinator.result_document(spec.id), reference.result);
+      EXPECT_EQ(coordinator.checkpoint_bytes(spec.id), reference.ckpt);
+      done = true;
+    }
+    EXPECT_TRUE(done) << "seed " << seed
+                      << " never converged within 50 kill/restart cycles";
+  }
+}
+
+TEST_F(CoordChaos, FailRoundFailsOnlyTheTargetedRun) {
+  CoordinatorConfig cfg = config(root("a"));
+  cfg.chaos.enabled = true;
+  cfg.chaos.fail_round = 1;
+  cfg.chaos.fail_run_id = "victim";
+  Coordinator coordinator(cfg);
+  ASSERT_TRUE(coordinator.submit(fleet_spec("victim", 3)).accepted);
+  ASSERT_TRUE(coordinator.submit(fleet_spec("bystander", 2)).accepted);
+  coordinator.wait_all_done();
+
+  const auto victim = coordinator.status("victim");
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->status, RunStatus::kFailed);
+  EXPECT_NE(victim->error.find("chaos: injected failure"), std::string::npos);
+  EXPECT_EQ(victim->rounds_completed, 1u);  // round 0 landed, round 1 failed
+  EXPECT_EQ(coordinator.status("bystander")->status, RunStatus::kDone);
+  EXPECT_NE(coordinator.metrics_json().find("coord.step_failures"),
+            std::string::npos);
+
+  // The failure is persisted: a restart sees it without re-running anything.
+  coordinator.stop();
+  Coordinator restarted(config(root("a")));
+  EXPECT_EQ(restarted.status("victim")->status, RunStatus::kFailed);
+  EXPECT_NE(restarted.status("victim")->error.find("chaos: injected failure"),
+            std::string::npos);
+  EXPECT_EQ(restarted.status("bystander")->status, RunStatus::kDone);
+}
+
+TEST_F(CoordChaos, WatchdogKillsHungStepAndHealthyRunsStillFinish) {
+  CoordinatorConfig cfg = config(root("a"));
+  cfg.watchdog_s = 0.15;
+  cfg.watchdog_poll_ms = 5.0;
+  cfg.chaos.enabled = true;
+  cfg.chaos.hang_round = 0;
+  cfg.chaos.hang_run_id = "hung";
+  cfg.chaos.hang_s = 1.0;
+  Coordinator coordinator(cfg);
+  // One worker: the hung step wedges the only thread, so the healthy run can
+  // finish only if the watchdog actually frees capacity and replaces it.
+  ASSERT_TRUE(coordinator.submit(fleet_spec("hung", 1)).accepted);
+  ASSERT_TRUE(coordinator.submit(fleet_spec("healthy", 1)).accepted);
+  coordinator.wait_all_done();
+
+  const auto hung = coordinator.status("hung");
+  ASSERT_TRUE(hung.has_value());
+  EXPECT_EQ(hung->status, RunStatus::kFailed);
+  EXPECT_NE(hung->error.find("watchdog"), std::string::npos);
+  EXPECT_EQ(coordinator.status("healthy")->status, RunStatus::kDone);
+  EXPECT_NE(coordinator.metrics_json().find("coord.watchdog_kills"),
+            std::string::npos);
+}
+
+TEST_F(CoordChaos, CrashFreezesAdmissionAndRegistryState) {
+  CoordinatorConfig cfg = config(root("a"));
+  cfg.chaos.enabled = true;
+  cfg.chaos.crash_at_write = 1;  // first step's checkpoint write
+  cfg.chaos.crash_phase = chaos::CrashPhase::kBeforeTmp;
+  Coordinator coordinator(cfg);
+  ASSERT_TRUE(coordinator.submit(fleet_spec("f1", 2)).accepted);
+  coordinator.wait_all_done();
+  ASSERT_TRUE(coordinator.chaos_crashed());
+
+  // A crashed coordinator is a dead process in all but address space:
+  // admission refuses, and nothing new lands in the registry.
+  const SubmitOutcome refused = coordinator.submit(fleet_spec("late", 1));
+  EXPECT_FALSE(refused.accepted);
+  EXPECT_NE(refused.error.find("crashed"), std::string::npos);
+  EXPECT_FALSE(fs::exists(coordinator.registry().run_dir("late")));
+  EXPECT_NE(coordinator.metrics_json().find("coord.chaos_crashes"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedsched::coord

@@ -1,0 +1,256 @@
+// Registry hardening contract:
+//   * write_file_atomic in durable mode (fsync tmp + parent dir before/after
+//     the rename) produces byte-identical files to the fast path;
+//   * scan() quarantines — not crashes on, not silently skips — every class
+//     of damaged run directory: torn spec, torn meta, a checkpoint whose
+//     sealed checksum fails, a spec whose id contradicts its directory. The
+//     directory is renamed `<id>.quarantined` with the reason recorded, and
+//     healthy neighbors keep recovering bit-identically;
+//   * stale `*.tmp` files (a write that died between tmp and rename) are
+//     swept at scan time;
+//   * validate_sealed_artifact rejects truncation, length lies, and bit
+//     flips with clean errors.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "coord/coordinator.hpp"
+#include "coord/fleet_job.hpp"
+#include "coord/registry.hpp"
+#include "fl/checkpoint/codec.hpp"
+
+namespace fedsched::coord {
+namespace {
+
+namespace fs = std::filesystem;
+namespace fc = fl::checkpoint;
+
+void write_raw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class CoordRegistry : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = fs::temp_directory_path() /
+            ("fedsched_registry_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+    fs::remove_all(base_);
+    fs::create_directories(base_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(base_, ec);
+  }
+
+  [[nodiscard]] std::string root(const std::string& name) const {
+    return (base_ / name).string();
+  }
+
+  static RunSpec fleet_spec(const std::string& id, std::size_t rounds) {
+    RunSpec spec;
+    spec.id = id;
+    spec.kind = RunKind::kFleet;
+    spec.fleet.fleet_size = 300;
+    spec.fleet.buckets = 16;
+    spec.fleet.rounds = rounds;
+    spec.fleet.seed = 5;
+    return spec;
+  }
+
+  /// A registry directory for `id` holding a structurally valid sealed
+  /// checkpoint and a meta, i.e. what scan() classifies as resumable.
+  static void make_resumable(RunRegistry& registry, const RunSpec& spec) {
+    registry.persist_spec(spec);
+    write_raw(registry.ckpt_path(spec.id), fc::seal(0x46534631, 1, "payload"));
+    registry.write_meta(spec.id, 1);
+  }
+
+  fs::path base_;
+};
+
+TEST_F(CoordRegistry, DurableAtomicWriteMatchesFastPathByteForByte) {
+  const std::string bytes =
+      std::string("{\"a\":1}\nsecond line\n") + '\0' + "\x7f binary";
+  const std::string fast = root("fast.json");
+  const std::string durable = root("durable.json");
+  write_file_atomic(fast, bytes);
+  AtomicWriteOptions options;
+  options.durable = true;
+  write_file_atomic(durable, bytes, options);
+  EXPECT_EQ(read_file(fast, "test"), bytes);
+  EXPECT_EQ(read_file(durable, "test"), read_file(fast, "test"));
+  // Neither path leaves its temp file behind.
+  EXPECT_FALSE(fs::exists(fast + ".tmp"));
+  EXPECT_FALSE(fs::exists(durable + ".tmp"));
+
+  // Overwrite through the durable path: old-or-new, never torn.
+  write_file_atomic(durable, "replacement", options);
+  EXPECT_EQ(read_file(durable, "test"), "replacement");
+}
+
+TEST_F(CoordRegistry, ValidateSealedArtifactRejectsEveryDamageClass) {
+  const std::string good = fc::seal(0x46534631, 1, "some payload bytes");
+  EXPECT_NO_THROW(validate_sealed_artifact(good, "test"));
+
+  // Truncated below the header.
+  EXPECT_THROW(validate_sealed_artifact(good.substr(0, 10), "test"),
+               std::runtime_error);
+  // Truncated payload: declared length no longer matches.
+  EXPECT_THROW(validate_sealed_artifact(good.substr(0, good.size() - 1), "test"),
+               std::runtime_error);
+  // Trailing garbage: length lies the other way.
+  EXPECT_THROW(validate_sealed_artifact(good + "x", "test"), std::runtime_error);
+  // A flipped payload bit fails the checksum.
+  std::string flipped = good;
+  flipped.back() = static_cast<char>(flipped.back() ^ 0x01);
+  try {
+    validate_sealed_artifact(flipped, "ckpt of run 'r1'");
+    FAIL() << "bit flip was accepted";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("checksum mismatch"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("r1"), std::string::npos);
+  }
+}
+
+TEST_F(CoordRegistry, TornSpecIsQuarantinedWithReason) {
+  RunRegistry registry(root("a"));
+  fs::create_directories(registry.run_dir("torn"));
+  write_raw(registry.spec_path("torn"), "{\"id\":\"torn\",\"kind\":");  // torn
+
+  const ScanOutcome out = registry.scan();
+  EXPECT_TRUE(out.runs.empty());
+  ASSERT_EQ(out.quarantined.size(), 1u);
+  EXPECT_EQ(out.quarantined[0].id, "torn");
+  EXPECT_EQ(out.quarantined[0].moved_to, "torn.quarantined");
+  EXPECT_FALSE(out.quarantined[0].reason.empty());
+  EXPECT_FALSE(fs::exists(registry.run_dir("torn")));
+  const std::string marker =
+      read_file(registry.root() + "/torn.quarantined/quarantine.txt", "test");
+  EXPECT_EQ(marker, out.quarantined[0].reason + "\n");
+}
+
+TEST_F(CoordRegistry, IdMismatchIsQuarantined) {
+  RunRegistry registry(root("a"));
+  // A spec claiming id "other" parked in directory "mismatch" — a copy/paste
+  // or tooling accident the scan must not trust.
+  registry.persist_spec(fleet_spec("other", 1));
+  fs::rename(registry.run_dir("other"), registry.run_dir("mismatch"));
+
+  const ScanOutcome out = registry.scan();
+  EXPECT_TRUE(out.runs.empty());
+  ASSERT_EQ(out.quarantined.size(), 1u);
+  EXPECT_EQ(out.quarantined[0].id, "mismatch");
+  EXPECT_NE(out.quarantined[0].reason.find("does not match"), std::string::npos);
+}
+
+TEST_F(CoordRegistry, CorruptCheckpointIsQuarantinedTornMetaToo) {
+  RunRegistry registry(root("a"));
+  // Run 1: checkpoint with a flipped byte.
+  make_resumable(registry, fleet_spec("badckpt", 2));
+  std::string sealed = read_file(registry.ckpt_path("badckpt"), "test");
+  sealed.back() = static_cast<char>(sealed.back() ^ 0x40);
+  write_raw(registry.ckpt_path("badckpt"), sealed);
+  // Run 2: meta that is not a round count.
+  make_resumable(registry, fleet_spec("badmeta", 2));
+  write_raw(registry.meta_path("badmeta"), "{\"rounds_completed\":-3.5}\n");
+  // Run 3: healthy neighbor.
+  make_resumable(registry, fleet_spec("good", 2));
+
+  const ScanOutcome out = registry.scan();
+  ASSERT_EQ(out.quarantined.size(), 2u);
+  EXPECT_EQ(out.quarantined[0].id, "badckpt");
+  EXPECT_NE(out.quarantined[0].reason.find("checksum mismatch"),
+            std::string::npos);
+  EXPECT_EQ(out.quarantined[1].id, "badmeta");
+  ASSERT_EQ(out.runs.size(), 1u);
+  EXPECT_EQ(out.runs[0].spec.id, "good");
+  EXPECT_EQ(out.runs[0].state, RecoveredState::kResumable);
+  EXPECT_EQ(out.runs[0].rounds_completed, 1u);
+}
+
+TEST_F(CoordRegistry, StaleTmpFilesAreSweptAndRunStillClassified) {
+  RunRegistry registry(root("a"));
+  make_resumable(registry, fleet_spec("r1", 2));
+  write_raw(registry.spec_path("r1") + ".tmp", "half a spec");
+  write_raw(registry.ckpt_path("r1") + ".tmp", "half a checkpoint");
+
+  const ScanOutcome out = registry.scan();
+  EXPECT_EQ(out.stale_tmp_removed, 2u);
+  EXPECT_FALSE(fs::exists(registry.spec_path("r1") + ".tmp"));
+  EXPECT_FALSE(fs::exists(registry.ckpt_path("r1") + ".tmp"));
+  ASSERT_EQ(out.runs.size(), 1u);
+  EXPECT_EQ(out.runs[0].state, RecoveredState::kResumable);
+  EXPECT_TRUE(out.quarantined.empty());
+}
+
+TEST_F(CoordRegistry, QuarantineCollisionsGetNumberedSuffixes) {
+  RunRegistry registry(root("a"));
+  fs::create_directories(registry.run_dir("r1") + ".quarantined");
+  fs::create_directories(registry.run_dir("r1"));
+  write_raw(registry.spec_path("r1"), "garbage");
+
+  ScanOutcome out = registry.scan();
+  ASSERT_EQ(out.quarantined.size(), 1u);
+  EXPECT_EQ(out.quarantined[0].moved_to, "r1.quarantined.2");
+
+  // Quarantined directories are invisible to later scans — no re-quarantine,
+  // no resurrection.
+  out = registry.scan();
+  EXPECT_TRUE(out.quarantined.empty());
+  EXPECT_TRUE(out.runs.empty());
+  EXPECT_TRUE(fs::exists(registry.run_dir("r1") + ".quarantined"));
+  EXPECT_TRUE(fs::exists(registry.run_dir("r1") + ".quarantined.2"));
+}
+
+TEST_F(CoordRegistry, HealthyRunsRecoverBitIdenticallyNextToQuarantine) {
+  // Reference: the run finished with no interference.
+  const RunSpec spec = fleet_spec("healthy", 3);
+  CoordinatorConfig solo_cfg;
+  solo_cfg.root = root("solo");
+  solo_cfg.workers = 1;
+  Coordinator solo(solo_cfg);
+  ASSERT_TRUE(solo.submit(spec).accepted);
+  solo.wait_all_done();
+
+  // The crashed root: one half-finished healthy run (spec + round-1
+  // checkpoint + meta, a SIGKILL between steps) and one corrupted neighbor.
+  RunRegistry registry(root("crashed"));
+  registry.persist_spec(spec);
+  const FleetStepOutcome first =
+      run_fleet_step(spec.fleet, registry.ckpt_path("healthy"),
+                     registry.trace_path("healthy"), 0);
+  ASSERT_EQ(first.rounds_completed, 1u);
+  registry.write_meta("healthy", first.rounds_completed);
+  fs::create_directories(registry.run_dir("corrupt"));
+  write_raw(registry.spec_path("corrupt"), "not a spec at all");
+
+  CoordinatorConfig cfg;
+  cfg.root = root("crashed");
+  cfg.workers = 1;
+  Coordinator recovered(cfg);
+  ASSERT_EQ(recovered.quarantined().size(), 1u);
+  EXPECT_EQ(recovered.quarantined()[0].id, "corrupt");
+  recovered.wait_all_done();
+  ASSERT_TRUE(recovered.status("healthy").has_value());
+  EXPECT_EQ(recovered.status("healthy")->status, RunStatus::kDone);
+  EXPECT_FALSE(recovered.status("corrupt").has_value());
+  EXPECT_EQ(recovered.trace_bytes("healthy"), solo.trace_bytes("healthy"));
+  EXPECT_EQ(recovered.result_document("healthy"),
+            solo.result_document("healthy"));
+  EXPECT_EQ(recovered.checkpoint_bytes("healthy"),
+            solo.checkpoint_bytes("healthy"));
+  EXPECT_NE(recovered.metrics_json().find("coord.runs_quarantined"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedsched::coord

@@ -1,0 +1,404 @@
+// Socket-server hardening contract:
+//   * the bound socket path disappears on every exit path (SocketPathGuard);
+//   * a slow-loris connection trickling a partial frame is dropped at the
+//     read deadline while concurrent well-behaved clients keep being served;
+//   * a silent connection is dropped at the idle timeout;
+//   * a garbage byte stream gets a best-effort error reply and a drop, and
+//     the server keeps serving fresh connections afterwards;
+//   * request_with_retry rides out a chaos-closed reply via deterministic
+//     exponential backoff;
+//   * submit_with_retry is idempotent across a lost ack: the duplicate-id
+//     rejection on the retry is confirmed via `status` and returned as
+//     success, while a genuine duplicate on the first attempt stays a
+//     rejection.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "common/json.hpp"
+#include "coord/server.hpp"
+#include "coord/wire.hpp"
+
+namespace fedsched::coord {
+namespace {
+
+namespace fs = std::filesystem;
+
+void sleep_s(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+/// Blocking AF_UNIX connect, or -1. Raw on purpose: the loris/idle tests
+/// need a peer the polite client helpers would never be.
+int raw_connect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Read until the peer closes (or `timeout_s` elapses); returns everything
+/// received and whether the close was observed.
+struct DrainResult {
+  std::string bytes;
+  bool closed = false;
+};
+
+DrainResult drain_until_close(int fd, double timeout_s) {
+  timeval tv{};
+  tv.tv_sec = 0;
+  tv.tv_usec = 100'000;  // 100ms recv slices
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  DrainResult out;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  char chunk[4096];
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      out.bytes.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      out.closed = true;
+      break;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    break;
+  }
+  return out;
+}
+
+class CoordServer : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = fs::temp_directory_path() /
+            ("fedsched_server_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name()));
+    fs::remove_all(base_);
+    fs::create_directories(base_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(base_, ec);
+    if (!sock_.empty()) ::unlink(sock_.c_str());
+  }
+
+  /// Short (sun_path is ~108 bytes) and unique per process + test.
+  [[nodiscard]] const std::string& sock() {
+    if (sock_.empty()) {
+      sock_ = "/tmp/fssrv_" + std::to_string(::getpid()) + "_" +
+              std::to_string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->line()) +
+              ".sock";
+    }
+    return sock_;
+  }
+
+  [[nodiscard]] CoordinatorConfig config() const {
+    CoordinatorConfig cfg;
+    cfg.root = (base_ / "runs").string();
+    cfg.workers = 1;
+    cfg.max_concurrent_rounds = 1;
+    return cfg;
+  }
+
+  static RunSpec fleet_spec(const std::string& id) {
+    RunSpec spec;
+    spec.id = id;
+    spec.kind = RunKind::kFleet;
+    spec.fleet.fleet_size = 200;
+    spec.fleet.buckets = 8;
+    spec.fleet.rounds = 1;
+    spec.fleet.seed = 7;
+    return spec;
+  }
+
+  /// Launch serve() on its own thread and wait for the socket to exist.
+  void start(Coordinator& coordinator, const ServeOptions& options) {
+    // Materialize the lazily-built path on this thread before the server
+    // thread reads it — sock() writes sock_ on first use.
+    const std::string path = sock();
+    server_ = std::thread([this, &coordinator, options, path] {
+      try {
+        serve(coordinator, path, options, &stats_);
+      } catch (const std::exception& ex) {
+        serve_error_ = ex.what();
+      }
+    });
+    for (int i = 0; i < 5000 && !fs::exists(sock()); ++i) sleep_s(0.001);
+    ASSERT_TRUE(fs::exists(sock())) << "server never bound " << sock();
+  }
+
+  /// Shut the server down and join. Stats are only safe to read after this.
+  void finish() {
+    if (!server_.joinable()) return;
+    (void)request(sock(), R"({"verb":"shutdown"})");
+    server_.join();
+    EXPECT_TRUE(serve_error_.empty()) << serve_error_;
+  }
+
+  fs::path base_;
+  std::string sock_;
+  std::thread server_;
+  ServeStats stats_;
+  std::string serve_error_;
+};
+
+TEST(CoordServerGuard, SocketPathGuardUnlinksOnDestruction) {
+  const std::string path =
+      (fs::temp_directory_path() / "fedsched_guard_probe").string();
+  { std::ofstream(path) << "x"; }
+  ASSERT_TRUE(fs::exists(path));
+  { SocketPathGuard guard(path); }
+  EXPECT_FALSE(fs::exists(path));
+
+  { std::ofstream(path) << "x"; }
+  {
+    SocketPathGuard guard(path);
+    guard.release();
+    EXPECT_TRUE(guard.path().empty());
+  }
+  EXPECT_TRUE(fs::exists(path));
+  fs::remove(path);
+}
+
+TEST(CoordServerGuard, BackoffScheduleIsDeterministicAndCapped) {
+  RetryPolicy policy;
+  policy.backoff_base_s = 0.05;
+  policy.backoff_max_s = 2.0;
+  EXPECT_DOUBLE_EQ(policy.backoff_before_attempt(0), 0.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_before_attempt(1), 0.05);
+  EXPECT_DOUBLE_EQ(policy.backoff_before_attempt(2), 0.1);
+  EXPECT_DOUBLE_EQ(policy.backoff_before_attempt(3), 0.2);
+  EXPECT_DOUBLE_EQ(policy.backoff_before_attempt(7), 2.0);  // 3.2 capped
+  EXPECT_DOUBLE_EQ(policy.backoff_before_attempt(100), 2.0);
+}
+
+TEST(CoordServerGuard, RequestFailsCleanlyWithoutAServer) {
+  EXPECT_THROW((void)request("/tmp/fssrv_nobody_home.sock", R"({"verb":"ping"})"),
+               std::runtime_error);
+  RetryPolicy policy;
+  policy.attempts = 3;
+  policy.backoff_base_s = 0.001;
+  try {
+    (void)request_with_retry("/tmp/fssrv_nobody_home.sock",
+                             R"({"verb":"ping"})", policy);
+    FAIL() << "request against a dead path succeeded";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("after 3 attempts"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(CoordServer, ServesFramesAndUnlinksSocketOnShutdown) {
+  Coordinator coordinator(config());
+  ServeOptions options;
+  options.poll_interval_ms = 5;
+  start(coordinator, options);
+
+  const std::string reply = request(sock(), R"({"verb":"ping"})");
+  EXPECT_TRUE(common::json_parse(reply).get_bool("ok", false)) << reply;
+  finish();
+
+  EXPECT_FALSE(fs::exists(sock())) << "socket path leaked past shutdown";
+  EXPECT_EQ(stats_.frames, 2u);  // ping + shutdown
+  EXPECT_EQ(stats_.connections, 2u);
+  EXPECT_EQ(stats_.deadline_drops, 0u);
+  EXPECT_EQ(stats_.idle_drops, 0u);
+  EXPECT_EQ(stats_.protocol_drops, 0u);
+}
+
+TEST_F(CoordServer, SlowLorisIsDroppedWhileOthersAreServed) {
+  Coordinator coordinator(config());
+  ServeOptions options;
+  options.poll_interval_ms = 5;
+  options.read_deadline_s = 0.25;
+  options.idle_timeout_s = 30.0;  // must be the *frame* deadline that fires
+  start(coordinator, options);
+
+  // The loris: four bytes of a valid frame, then silence with the
+  // connection held open.
+  const int loris = raw_connect(sock());
+  ASSERT_GE(loris, 0);
+  const std::string frame = encode_frame(R"({"verb":"ping"})");
+  ASSERT_EQ(::send(loris, frame.data(), 4, MSG_NOSIGNAL), 4);
+
+  // Well-behaved clients are served the whole time it dangles.
+  for (int i = 0; i < 3; ++i) {
+    const std::string reply = request(sock(), R"({"verb":"ping"})");
+    EXPECT_TRUE(common::json_parse(reply).get_bool("ok", false)) << reply;
+  }
+
+  // The server closes the loris once its partial frame outlives the
+  // deadline — observed as EOF on our side, no reply bytes ever sent.
+  const DrainResult drained = drain_until_close(loris, 5.0);
+  EXPECT_TRUE(drained.closed) << "loris connection was never dropped";
+  EXPECT_TRUE(drained.bytes.empty());
+  ::close(loris);
+
+  finish();
+  EXPECT_EQ(stats_.deadline_drops, 1u);
+  EXPECT_EQ(stats_.idle_drops, 0u);
+  EXPECT_NE(coordinator.metrics_json().find("coord.conn_deadline_drops"),
+            std::string::npos);
+}
+
+TEST_F(CoordServer, IdleConnectionIsDropped) {
+  Coordinator coordinator(config());
+  ServeOptions options;
+  options.poll_interval_ms = 5;
+  options.read_deadline_s = 30.0;
+  options.idle_timeout_s = 0.2;
+  start(coordinator, options);
+
+  const int idle = raw_connect(sock());
+  ASSERT_GE(idle, 0);
+  const DrainResult drained = drain_until_close(idle, 5.0);
+  EXPECT_TRUE(drained.closed) << "idle connection was never dropped";
+  ::close(idle);
+
+  finish();
+  EXPECT_EQ(stats_.idle_drops, 1u);
+  EXPECT_EQ(stats_.deadline_drops, 0u);
+}
+
+TEST_F(CoordServer, GarbageStreamGetsErrorReplyThenDropThenServiceContinues) {
+  Coordinator coordinator(config());
+  ServeOptions options;
+  options.poll_interval_ms = 5;
+  start(coordinator, options);
+
+  const int garbage = raw_connect(sock());
+  ASSERT_GE(garbage, 0);
+  const std::string junk(64, 'Z');  // wrong magic, rejected at the header
+  ASSERT_EQ(::send(garbage, junk.data(), junk.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(junk.size()));
+
+  const DrainResult drained = drain_until_close(garbage, 5.0);
+  EXPECT_TRUE(drained.closed);
+  ::close(garbage);
+  // Best-effort error reply: a well-formed frame whose document says ok:false.
+  ASSERT_FALSE(drained.bytes.empty());
+  const common::JsonValue error_doc =
+      common::json_parse(decode_frame(drained.bytes));
+  EXPECT_FALSE(error_doc.get_bool("ok", true));
+  EXPECT_FALSE(error_doc.get_string("error", "").empty());
+
+  // The poisoned connection took nothing down with it.
+  const std::string reply = request(sock(), R"({"verb":"ping"})");
+  EXPECT_TRUE(common::json_parse(reply).get_bool("ok", false)) << reply;
+
+  finish();
+  EXPECT_EQ(stats_.protocol_drops, 1u);
+  EXPECT_NE(coordinator.metrics_json().find("coord.conn_protocol_drops"),
+            std::string::npos);
+}
+
+TEST_F(CoordServer, RequestWithRetryRidesOutAChaosClosedReply) {
+  CoordinatorConfig cfg = config();
+  cfg.chaos.enabled = true;
+  cfg.chaos.seed = 1;
+  cfg.chaos.close_reply_at = 0;  // swallow exactly the first reply frame
+  Coordinator coordinator(cfg);
+  ServeOptions options;
+  options.poll_interval_ms = 5;
+  options.chaos = &coordinator.chaos();
+  start(coordinator, options);
+
+  RetryPolicy policy;
+  policy.attempts = 3;
+  policy.backoff_base_s = 0.001;
+  // Attempt 0's reply is closed before a byte is sent; attempt 1 succeeds.
+  const std::string reply =
+      request_with_retry(sock(), R"({"verb":"ping"})", policy);
+  EXPECT_TRUE(common::json_parse(reply).get_bool("ok", false)) << reply;
+
+  // A single attempt against the same fault would have surfaced the error —
+  // the retry schedule is what absorbed it.
+  finish();
+  EXPECT_EQ(stats_.chaos_closed, 1u);
+}
+
+TEST_F(CoordServer, SubmitWithRetryIsIdempotentAfterALostAck) {
+  CoordinatorConfig cfg = config();
+  cfg.chaos.enabled = true;
+  cfg.chaos.seed = 1;
+  cfg.chaos.close_reply_at = 0;  // the submit ack is the frame that is lost
+  Coordinator coordinator(cfg);
+  ServeOptions options;
+  options.poll_interval_ms = 5;
+  options.chaos = &coordinator.chaos();
+  start(coordinator, options);
+
+  RetryPolicy policy;
+  policy.attempts = 3;
+  policy.backoff_base_s = 0.001;
+  // Attempt 0: the submit lands, its ack is swallowed. Attempt 1: the
+  // duplicate-id rejection proves it landed; the status document comes back
+  // as this submit's success reply.
+  const std::string reply = submit_with_retry(sock(), fleet_spec("r1"), policy);
+  const common::JsonValue doc = common::json_parse(reply);
+  EXPECT_TRUE(doc.get_bool("ok", false)) << reply;
+  EXPECT_EQ(doc.get_string("id", ""), "r1");
+
+  coordinator.wait_all_done();
+  ASSERT_TRUE(coordinator.status("r1").has_value());
+  EXPECT_EQ(coordinator.status("r1")->status, RunStatus::kDone);
+
+  finish();
+  EXPECT_EQ(stats_.chaos_closed, 1u);
+}
+
+TEST_F(CoordServer, GenuineDuplicateOnFirstAttemptStaysARejection) {
+  Coordinator coordinator(config());
+  ServeOptions options;
+  options.poll_interval_ms = 5;
+  start(coordinator, options);
+
+  RetryPolicy policy;
+  policy.attempts = 3;
+  policy.backoff_base_s = 0.001;
+  const std::string first = submit_with_retry(sock(), fleet_spec("r1"), policy);
+  EXPECT_TRUE(common::json_parse(first).get_bool("ok", false)) << first;
+
+  // No lost ack here: the duplicate arrives on attempt 0 and must be
+  // reported, not laundered into a success via the status fallback.
+  const std::string second = submit_with_retry(sock(), fleet_spec("r1"), policy);
+  const common::JsonValue doc = common::json_parse(second);
+  EXPECT_FALSE(doc.get_bool("ok", true)) << second;
+  EXPECT_NE(doc.get_string("error", "").find("duplicate run id"),
+            std::string::npos)
+      << second;
+
+  coordinator.wait_all_done();
+  finish();
+}
+
+}  // namespace
+}  // namespace fedsched::coord

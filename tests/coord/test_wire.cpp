@@ -134,6 +134,56 @@ TEST(CoordWire, BufferRejectsBadHeaderAsSoonAsItArrives) {
   EXPECT_THROW((void)bad_magic.take_frame(), std::runtime_error);
 }
 
+TEST(CoordWire, EveryByteOffsetSplitReassembles) {
+  // A two-frame stream cut into exactly two feeds at *every* possible byte
+  // boundary — including mid-header, on the header/payload seam, and inside
+  // either payload — must always reassemble to the same two documents.
+  const std::string a = "{\"a\":1}";
+  const std::string b = "{\"b\":[2,3,4]}";
+  const std::string stream = encode_frame(a) + encode_frame(b);
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    FrameBuffer buffer;
+    std::vector<std::string> payloads;
+    buffer.feed(std::string_view(stream).substr(0, cut));
+    while (auto payload = buffer.take_frame()) payloads.push_back(*payload);
+    buffer.feed(std::string_view(stream).substr(cut));
+    while (auto payload = buffer.take_frame()) payloads.push_back(*payload);
+    ASSERT_EQ(payloads.size(), 2u) << "cut at byte " << cut;
+    EXPECT_EQ(payloads[0], a) << "cut at byte " << cut;
+    EXPECT_EQ(payloads[1], b) << "cut at byte " << cut;
+    EXPECT_EQ(buffer.pending_bytes(), 0u) << "cut at byte " << cut;
+  }
+}
+
+TEST(CoordWire, MultiFrameBurstWithPartialTailDrainsInOrder) {
+  // One feed carrying several complete frames plus the head of another —
+  // the Nagle / large-recv case. The complete frames drain in order, the
+  // tail waits, and finishing the tail later yields exactly one more frame.
+  std::vector<std::string> docs;
+  std::string burst;
+  for (int i = 0; i < 3; ++i) {
+    docs.push_back("{\"seq\":" + std::to_string(i) + "}");
+    burst += encode_frame(docs.back());
+  }
+  const std::string tail_doc = "{\"seq\":3,\"tail\":true}";
+  const std::string tail = encode_frame(tail_doc);
+  const std::size_t partial = tail.size() / 2;
+  burst += tail.substr(0, partial);
+
+  FrameBuffer buffer;
+  buffer.feed(burst);
+  std::vector<std::string> payloads;
+  while (auto payload = buffer.take_frame()) payloads.push_back(*payload);
+  ASSERT_EQ(payloads.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(payloads[i], docs[i]);
+  EXPECT_EQ(buffer.pending_bytes(), partial);
+
+  buffer.feed(tail.substr(partial));
+  EXPECT_EQ(buffer.take_frame(), tail_doc);
+  EXPECT_EQ(buffer.take_frame(), std::nullopt);
+  EXPECT_EQ(buffer.pending_bytes(), 0u);
+}
+
 TEST(CoordWire, BufferWaitsForIncompleteFrame) {
   const std::string frame = sample_frame();
   FrameBuffer buffer;
